@@ -1,0 +1,24 @@
+"""Section III-C ablation: core-side instruction pre-decoding.
+
+The paper: "our DIFT prototype can run 30% faster by performing the
+instruction decoding for operands and control signals on the core
+side".  We run DIFT with the pre-decoded packet fields and with the
+decode pushed onto the fabric (one extra fabric cycle per packet).
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation import geomean, run_decode_ablation
+
+
+def test_decode_ablation_dift(benchmark, bench_scale):
+    ablation = run_once(benchmark, run_decode_ablation, scale=bench_scale)
+    print()
+    print(f"{'Benchmark':14s}{'pre-decoded':>12s}{'fabric-decode':>14s}"
+          f"{'penalty':>9s}")
+    for bench, (with_decode, without) in ablation.items():
+        print(f"{bench:14s}{with_decode:12.2f}{without:14.2f}"
+              f"{without / with_decode - 1:9.1%}")
+    with_gm = geomean(v[0] for v in ablation.values())
+    without_gm = geomean(v[1] for v in ablation.values())
+    print(f"{'geomean':14s}{with_gm:12.2f}{without_gm:14.2f}"
+          f"{without_gm / with_gm - 1:9.1%}")

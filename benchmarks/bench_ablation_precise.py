@@ -1,0 +1,45 @@
+"""Ablation: decoupled vs precise-exception commit (Section III-C).
+
+The paper argues the decoupling through FIFOs is what hides fabric
+latency: extensions that terminate on a trap don't need precise
+exceptions, so the commit never waits for an acknowledgment.  This
+ablation turns the conservative always-ack mode on and measures what
+the decoupling buys.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation import geomean
+from repro.evaluation.config import experiment_system_config
+from repro.extensions import create_extension
+from repro.flexcore import FlexCoreSystem
+from repro.workloads import build_workload, workload_names
+
+
+def sweep(scale):
+    rows = {}
+    for bench in workload_names():
+        workload = build_workload(bench, scale)
+        baseline = FlexCoreSystem(workload.build()).run().cycles
+        row = {}
+        for precise in (False, True):
+            config = experiment_system_config(clock_ratio=0.5)
+            config.interface.precise_exceptions = precise
+            run = FlexCoreSystem(
+                workload.build(), create_extension("dift"), config
+            ).run()
+            row["precise" if precise else "decoupled"] = (
+                run.cycles / baseline
+            )
+        rows[bench] = row
+    return rows
+
+
+def test_decoupling_ablation_dift(benchmark, bench_scale):
+    rows = run_once(benchmark, sweep, bench_scale)
+    print()
+    print(f"{'Benchmark':14s}{'decoupled':>11s}{'precise':>9s}")
+    for bench, row in rows.items():
+        print(f"{bench:14s}{row['decoupled']:11.2f}{row['precise']:9.2f}")
+    print(f"{'geomean':14s}"
+          f"{geomean(r['decoupled'] for r in rows.values()):11.2f}"
+          f"{geomean(r['precise'] for r in rows.values()):9.2f}")

@@ -1,0 +1,16 @@
+"""Section V-C: software monitoring comparison.
+
+Runs the same monitors as compiler/DBI-style instrumentation on the
+main core: optimized DIFT (LIFT-style, paper cites 3.6x), naive taint
+tracking (up to 37x), Purify-style UMC (up to 5.5x), and software
+bound checks (up to 1.69x) — versus ~1.0-1.2x on the fabric.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation import format_software, run_software
+
+
+def test_software_monitoring_slowdowns(benchmark, bench_scale):
+    slowdowns = run_once(benchmark, run_software, scale=bench_scale)
+    print()
+    print(format_software(slowdowns))

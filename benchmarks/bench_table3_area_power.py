@@ -1,0 +1,16 @@
+"""Table III: area, power and frequency of every implementation.
+
+Regenerates all three columns for the baseline Leon3, the four
+full-ASIC integrations, the dedicated FlexCore modules, and the four
+extensions mapped onto the reconfigurable fabric — side by side with
+the numbers published in the paper.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation import format_table3, run_table3
+
+
+def test_table3_area_power_frequency(benchmark):
+    result = run_once(benchmark, run_table3)
+    print()
+    print(format_table3(result))

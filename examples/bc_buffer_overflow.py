@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Array bound checking catching a heap buffer overflow.
+
+A colour-tagging malloc (after Clause et al., the scheme the paper's
+BC prototype implements) assigns each allocation a colour, marks the
+pointer and the memory words with the co-processor instructions, and
+the fabric then checks every access.  A copy loop with an off-by-one
+walks off the end of its destination array into its neighbour and is
+caught at the exact out-of-bounds store.
+"""
+
+from repro import assemble, create_extension, run_program
+
+SOURCE = """
+        .equ    HEAP_A, 0x30000         ! dst: 8 words, colour 3
+        .equ    HEAP_B, 0x30020         ! src: 9 words, colour 5 (adjacent!)
+        .text
+start:
+        ! --- malloc(32) -> colour 3: colour the region and pointer ---
+        mov     3, %g1
+        fxval   %g1
+        set     HEAP_A, %o0
+        mov     8, %g2
+        mov     %o0, %g3
+mk_a:   fxcolorm %g3, %g0
+        add     %g3, 4, %g3
+        subcc   %g2, 1, %g2
+        bne     mk_a
+        nop
+        fxcolorp %o0                    ! dst pointer gets colour 3
+
+        ! --- malloc(36) -> colour 5 ---
+        mov     5, %g1
+        fxval   %g1
+        set     HEAP_B, %o1
+        mov     9, %g2
+        mov     %o1, %g3
+mk_b:   fxcolorm %g3, %g0
+        add     %g3, 4, %g3
+        subcc   %g2, 1, %g2
+        bne     mk_b
+        nop
+        fxcolorp %o1                    ! src pointer gets colour 5
+
+        ! --- fill src with data (in bounds, colour 5 vs 5: fine) ---
+        clr     %g2
+fill:   sll     %g2, 2, %l0
+        add     %g2, 100, %l1
+        st      %l1, [%o1 + %l0]
+        add     %g2, 1, %g2
+        cmp     %g2, 9
+        bne     fill
+        nop
+
+        ! --- buggy copy: dst has 8 words but the loop runs i <= 8 ---
+        clr     %g2
+copy:   sll     %g2, 2, %l0
+        ld      [%o1 + %l0], %l1        ! src[i]
+        st      %l1, [%o0 + %l0]        ! dst[i]  (i = 8 overflows!)
+        add     %g2, 1, %g2
+        cmp     %g2, 9
+        bne     copy
+        nop
+
+        ta      0
+        nop
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE, entry="start")
+    result = run_program(program, create_extension("bc"),
+                         clock_ratio=0.5)
+    print(f"trap: {result.trap}")
+    assert result.trap is not None
+    assert result.trap.kind == "out-of-bounds-write"
+    # dst[8] is the first word *past* HEAP_A — which is HEAP_B[0].
+    assert result.trap.addr == 0x30020
+    print("\nthe 9th store landed on the neighbouring allocation "
+          "(colour 5) while the pointer carries colour 3 — the fabric "
+          "raised TRAP on the exact overflowing store.")
+    print("\nNote what software-only checking would cost here: the "
+          "paper cites up to 1.69x for compiler bound checks, while "
+          "Table IV puts BC on FlexCore at ~1.17x.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Soft-error checking: injecting transient ALU faults and watching
+the SEC extension catch them.
+
+The SEC co-processor re-executes every ALU operation from the operand
+values in the trace packet (Argus-style) and compares.  We run a
+compute kernel many times, each time flipping one random result bit of
+one random dynamic ALU instruction — simulating a particle strike on
+the ALU output latch — and measure the detection rate.
+"""
+
+import random
+
+from repro import assemble, create_extension
+from repro.flexcore import FlexCoreSystem
+from repro.isa import ALU_CLASSES
+
+SOURCE = """
+        .text
+start:  set     0x1234, %o0
+        mov     64, %o1
+loop:   xor     %o0, %o1, %o2
+        add     %o2, 17, %o2
+        sll     %o2, 3, %o3
+        srl     %o2, 5, %o4
+        or      %o3, %o4, %o0
+        umul    %o0, 13, %o5
+        subcc   %o1, 1, %o1
+        bne     loop
+        nop
+        ta      0
+        nop
+"""
+
+
+def count_alu_ops() -> int:
+    program = assemble(SOURCE, entry="start")
+    system = FlexCoreSystem(program, create_extension("sec"),
+                            config=None)
+    seen = {"n": 0}
+    system.record_hooks.append(
+        lambda r: seen.__setitem__(
+            "n", seen["n"] + (r.instr_class in ALU_CLASSES))
+    )
+    system.run()
+    return seen["n"]
+
+
+def inject_one(target_index: int, bit: int):
+    program = assemble(SOURCE, entry="start")
+    extension = create_extension("sec")
+    system = FlexCoreSystem(program, extension)
+    state = {"alu": 0}
+
+    def flip(record):
+        if record.instr_class in ALU_CLASSES:
+            state["alu"] += 1
+            if state["alu"] == target_index:
+                record.result ^= 1 << bit
+
+    system.record_hooks.append(flip)
+    return system.run(), extension
+
+
+def main() -> None:
+    total_alu = count_alu_ops()
+    print(f"kernel executes {total_alu} ALU instructions\n")
+
+    rng = random.Random(42)
+    trials = 50
+    detected = 0
+    for _ in range(trials):
+        index = rng.randrange(1, total_alu + 1)
+        bit = rng.randrange(32)
+        result, extension = inject_one(index, bit)
+        if result.trap is not None:
+            detected += 1
+
+    print(f"injected {trials} single-bit ALU faults: "
+          f"{detected} detected ({detected / trials:.0%})")
+    # Bit-exact re-execution catches every single-bit fault on
+    # add/sub/logic/shift; only multiply faults that happen to preserve
+    # the mod-7 residue could escape, and single-bit flips never do
+    # (powers of two are never multiples of 7).
+    assert detected == trials
+    print("every single-bit fault was caught — flips never preserve "
+          "the mod-7 residue, so even the checksum-checked multiplies "
+          "cannot hide them.")
+
+
+if __name__ == "__main__":
+    main()

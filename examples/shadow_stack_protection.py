@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Beyond the paper's four prototypes: field-upgrading the fabric.
+
+The FlexCore pitch is that monitors ship *after* the chip does.  This
+example "reprograms" the same simulated system twice in one process:
+
+1. a return-address shadow stack that catches a smashed saved return
+   address the moment the `ret` commits;
+2. hardware watchpoints over a heap range, armed by software.
+
+It also shows the disassembler, which makes the trap reports readable.
+"""
+
+from repro import assemble, run_program
+from repro.extensions import ShadowStack, Watchpoints
+from repro.fabric import synthesize_fabric
+from repro.isa import disassemble_program
+
+VICTIM = """
+        .text
+start:  call    process_request
+        nop
+        ta      0
+        nop
+
+process_request:
+        save    %sp, -96, %sp
+        ! ... a stack-smashing bug corrupts the saved return address:
+        set     attacker_code, %i7
+        sub     %i7, 8, %i7
+        ret
+        restore
+
+attacker_code:
+        ta      0
+        nop
+"""
+
+HEAP_BUG = """
+        .equ    OBJ, 0x20000
+        .text
+start:  mov     3, %g2                  ! watch mode: read | write
+        fxval   %g2
+        set     OBJ, %g1
+        set     OBJ+16, %g3
+        fxtagm  %g1, %g3                ! watch the object's header
+
+        set     OBJ+32, %g4             ! normal traffic elsewhere
+        mov     10, %o0
+w1:     st      %o0, [%g4]
+        add     %g4, 4, %g4
+        subcc   %o0, 1, %o0
+        bne     w1
+        nop
+
+        mov     0x55, %o1
+        st      %o1, [%g1 + 8]          ! the corrupting write
+        ta      0
+        nop
+"""
+
+
+def main() -> None:
+    print("=== monitor 1: shadow stack ===")
+    program = assemble(VICTIM, entry="start")
+    print("victim function:")
+    print(disassemble_program(program, limit=10))
+    extension = ShadowStack()
+    result = run_program(program, extension, clock_ratio=0.5)
+    print(f"\ntrap: {result.trap}")
+    assert result.trap is not None
+    assert result.trap.kind == "return-address-mismatch"
+
+    report = synthesize_fabric(extension)
+    print(f"costs {report.luts} LUTs at {report.fmax_mhz:.0f} MHz — "
+          f"the CFGR forwards only calls and returns, so the overhead "
+          f"is negligible.")
+
+    print("\n=== monitor 2 (same fabric, new bitstream): watchpoints ===")
+    extension = Watchpoints()
+    result = run_program(assemble(HEAP_BUG, entry="start"), extension,
+                         clock_ratio=0.5)
+    print(f"trap: {result.trap}")
+    assert result.trap is not None
+    assert result.trap.kind == "watchpoint-write"
+    print("the stray write into the watched header was pinpointed "
+          "without any single-stepping or page-protection tricks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""UMC as a debugging aid: catching reads of uninitialized memory.
+
+A function builds a record on its stack but forgets to initialize one
+field before another routine consumes it — the classic heisenbug that
+Purify-style tools hunt in software at a multi-x slowdown.  The UMC
+extension catches the exact faulting load in hardware, and the example
+also shows the use-after-free variant via the tag-clearing
+co-processor instruction.
+"""
+
+from repro import assemble, create_extension, run_program
+
+BUGGY = """
+        .equ    REC, 0x20000            ! heap record: 4 fields
+        .text
+start:  call    make_record
+        nop
+        call    consume_record
+        nop
+        ta      0
+        nop
+
+make_record:
+        set     REC, %o1
+        mov     10, %o2
+        st      %o2, [%o1]              ! field 0
+        mov     20, %o2
+        st      %o2, [%o1 + 4]          ! field 1
+        mov     30, %o2
+        st      %o2, [%o1 + 8]          ! field 2
+        retl                            ! ... field 3 forgotten!
+        nop
+
+consume_record:
+        set     REC, %o1
+        ld      [%o1], %o2
+        ld      [%o1 + 4], %o3
+        add     %o2, %o3, %o2
+        ld      [%o1 + 8], %o3
+        add     %o2, %o3, %o2
+        ld      [%o1 + 12], %o3         ! reads the missing field
+        add     %o2, %o3, %o2
+        set     total, %o4
+        st      %o2, [%o4]
+        retl
+        nop
+
+        .data
+total:  .word   0
+"""
+
+USE_AFTER_FREE = """
+        .equ    OBJ, 0x21000
+        .text
+start:  set     OBJ, %g1
+        mov     99, %o0
+        st      %o0, [%g1]              ! construct
+        ld      [%g1], %o1              ! legitimate use
+        fxuntagm %g1, %g0               ! free(): software clears the tag
+        ld      [%g1], %o2              ! use after free
+        ta      0
+        nop
+"""
+
+
+def main() -> None:
+    program = assemble(BUGGY, entry="start")
+    result = run_program(program, create_extension("umc"))
+    print("--- forgotten field ---")
+    print(f"trap: {result.trap}")
+    assert result.trap is not None
+    assert result.trap.addr == 0x20000 + 12, "field 3 is the culprit"
+    offset = result.trap.pc - program.symbol("consume_record")
+    print(f"the trap PC is consume_record+{offset:#x} — the load of "
+          f"field 3, exactly the buggy line.")
+
+    print("\n--- use after free ---")
+    result = run_program(assemble(USE_AFTER_FREE, entry="start"),
+                         create_extension("umc"))
+    print(f"trap: {result.trap}")
+    assert result.trap is not None
+
+    print("\n--- fixed program (field 3 initialized) ---")
+    fixed = BUGGY.replace(
+        "        retl                            ! ... field 3 forgotten!",
+        "        mov     40, %o2\n"
+        "        st      %o2, [%o1 + 12]         ! field 3\n"
+        "        retl",
+    )
+    result = run_program(assemble(fixed, entry="start"),
+                         create_extension("umc"))
+    print(f"trap: {result.trap}, total = {result.word('total')}")
+    assert result.trap is None and result.word("total") == 100
+
+
+if __name__ == "__main__":
+    main()

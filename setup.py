@@ -1,0 +1,13 @@
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "FlexCore reproduction: instruction-grained run-time monitoring "
+        "on an on-chip reconfigurable fabric (MICRO 2010)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,47 @@
+"""FlexCore reproduction.
+
+A Python reproduction of "Flexible and Efficient Instruction-Grained
+Run-Time Monitoring Using On-Chip Reconfigurable Fabric" (MICRO 2010):
+a Leon3-like SPARC V8 core coupled with a reconfigurable-fabric
+monitoring co-processor through the FlexCore FIFO interface, plus the
+four monitoring extensions (UMC, DIFT, BC, SEC), fabric/ASIC cost
+models, MiBench-like workloads, and the full evaluation harness.
+
+Quick start::
+
+    from repro import assemble, run_program, create_extension
+
+    program = assemble(SOURCE, entry="start")
+    baseline = run_program(program)
+    monitored = run_program(program, create_extension("dift"))
+    print(monitored.cycles / baseline.cycles)
+"""
+
+from repro.extensions import MonitorExtension, MonitorTrap, create_extension
+from repro.flexcore import (
+    FlexCoreSystem,
+    ForwardConfig,
+    ForwardPolicy,
+    RunResult,
+    SystemConfig,
+    TracePacket,
+    run_program,
+)
+from repro.isa import assemble
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlexCoreSystem",
+    "ForwardConfig",
+    "ForwardPolicy",
+    "MonitorExtension",
+    "MonitorTrap",
+    "RunResult",
+    "SystemConfig",
+    "TracePacket",
+    "assemble",
+    "create_extension",
+    "run_program",
+    "__version__",
+]

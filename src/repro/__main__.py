@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run      assemble and simulate a .s file, optionally with a monitor
+disasm   assemble a .s file and print the disassembly listing
+table3   print the Table III area/power/frequency report
+synth    synthesize one extension for the fabric and the ASIC flow
+
+Examples::
+
+    python -m repro run prog.s --extension dift --ratio 0.5
+    python -m repro disasm prog.s
+    python -m repro table3
+    python -m repro synth umc
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.extensions import EXTENSION_CLASSES, create_extension
+from repro.flexcore import run_program
+from repro.isa import assemble, disassemble_program
+
+
+def _load(path: str, entry: str):
+    with open(path) as handle:
+        source = handle.read()
+    return assemble(source, entry=entry)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = _load(args.source, args.entry)
+    extension = (create_extension(args.extension)
+                 if args.extension else None)
+    result = run_program(
+        program,
+        extension,
+        clock_ratio=args.ratio,
+        fifo_depth=args.fifo,
+        max_instructions=args.max_instructions,
+    )
+    print(f"instructions : {result.instructions}")
+    print(f"cycles       : {result.cycles}")
+    print(f"CPI          : {result.cpi:.2f}")
+    print(f"halted       : {result.halted}")
+    if result.interface_stats is not None:
+        stats = result.interface_stats
+        print(f"forwarded    : {stats.forwarded} "
+              f"({stats.forwarded_fraction:.1%} of commits)")
+        print(f"fifo stalls  : {stats.fifo_stall_cycles} cycles")
+        print(f"meta stalls  : {stats.meta_stall_cycles:.0f} cycles")
+    if result.trap is not None:
+        print(f"TRAP         : {result.trap}")
+        return 2
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    program = _load(args.source, args.entry)
+    print(disassemble_program(program))
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    from repro.evaluation import format_table3, run_table3
+    print(format_table3(run_table3(), compare=not args.no_compare))
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    from repro.fabric import synthesize_asic, synthesize_fabric
+    extension = create_extension(args.extension)
+    fabric = synthesize_fabric(extension)
+    asic = synthesize_asic(extension)
+    print(f"{extension.name}: {extension.description}")
+    print(f"  fabric: {fabric.luts} LUTs, {fabric.area_um2:,.0f} um^2, "
+          f"{fabric.power_mw:.0f} mW, {fabric.fmax_mhz:.0f} MHz "
+          f"(sustains a {fabric.clock_ratio}x fabric clock)")
+    print(f"  ASIC:   {asic.area_um2 - 835_525:,.0f} um^2 over the "
+          f"baseline, {asic.power_mw:.0f} mW total, "
+          f"{asic.fmax_mhz:.0f} MHz")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FlexCore reproduction command-line interface",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = commands.add_parser("run", help="simulate a .s program")
+    run_cmd.add_argument("source", help="assembly source file")
+    run_cmd.add_argument("--entry", default="start")
+    run_cmd.add_argument(
+        "--extension", choices=sorted(EXTENSION_CLASSES), default=None,
+        help="monitoring extension to attach",
+    )
+    run_cmd.add_argument("--ratio", type=float, default=0.5,
+                         help="fabric:core clock ratio")
+    run_cmd.add_argument("--fifo", type=int, default=64,
+                         help="forward FIFO depth")
+    run_cmd.add_argument("--max-instructions", type=int, default=None)
+    run_cmd.set_defaults(handler=cmd_run)
+
+    disasm_cmd = commands.add_parser("disasm",
+                                     help="disassemble a .s program")
+    disasm_cmd.add_argument("source")
+    disasm_cmd.add_argument("--entry", default="start")
+    disasm_cmd.set_defaults(handler=cmd_disasm)
+
+    table3_cmd = commands.add_parser("table3",
+                                     help="print the Table III report")
+    table3_cmd.add_argument("--no-compare", action="store_true",
+                            help="omit the paper's reference numbers")
+    table3_cmd.set_defaults(handler=cmd_table3)
+
+    synth_cmd = commands.add_parser(
+        "synth", help="synthesize one extension (fabric + ASIC)"
+    )
+    synth_cmd.add_argument("extension",
+                           choices=sorted(EXTENSION_CLASSES))
+    synth_cmd.set_defaults(handler=cmd_synth)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Leon3-like main core: functional executor and timing model."""
+
+from repro.core.alu import (
+    AluResult,
+    ConditionCodes,
+    DivisionByZero,
+    execute_alu,
+)
+from repro.core.executor import (
+    CommitRecord,
+    CpuState,
+    SimulationError,
+    evaluate_condition,
+)
+from repro.core.timing import CoreTiming, CoreTimingConfig, CoreTimingStats
+
+__all__ = [
+    "AluResult",
+    "CommitRecord",
+    "ConditionCodes",
+    "CoreTiming",
+    "CoreTimingConfig",
+    "CoreTimingStats",
+    "CpuState",
+    "DivisionByZero",
+    "SimulationError",
+    "evaluate_condition",
+    "execute_alu",
+]

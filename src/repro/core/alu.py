@@ -1,0 +1,167 @@
+"""Integer ALU with SPARC V8 condition-code semantics.
+
+The ALU is used twice in the reproduction: by the main core's
+functional executor, and by the SEC (soft-error check) extension,
+which re-executes ALU results on the fabric the way Argus does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import Op3, sets_condition_codes
+
+MASK32 = 0xFFFFFFFF
+
+
+class DivisionByZero(Exception):
+    """SPARC raises a divide-by-zero trap; we surface it as an error."""
+
+
+@dataclass(frozen=True)
+class ConditionCodes:
+    """The integer condition codes (icc): negative, zero, overflow,
+    carry.  Packed as the 4-bit N|Z|V|C field of the trace packet."""
+
+    n: bool = False
+    z: bool = False
+    v: bool = False
+    c: bool = False
+
+    def pack(self) -> int:
+        return (self.n << 3) | (self.z << 2) | (self.v << 1) | int(self.c)
+
+    @classmethod
+    def unpack(cls, bits: int) -> "ConditionCodes":
+        return cls(
+            n=bool(bits & 8), z=bool(bits & 4),
+            v=bool(bits & 2), c=bool(bits & 1),
+        )
+
+
+@dataclass(frozen=True)
+class AluResult:
+    """Result of one ALU operation."""
+
+    value: int
+    codes: ConditionCodes | None  # None if the op does not set icc
+    y: int | None = None  # new value of the Y register, if written
+
+
+def _signed(value: int) -> int:
+    return (value & MASK32) - ((value & 0x80000000) << 1)
+
+
+def _nz(value: int) -> tuple[bool, bool]:
+    return bool(value & 0x80000000), value == 0
+
+
+def _add(a: int, b: int, carry_in: int) -> tuple[int, ConditionCodes]:
+    total = a + b + carry_in
+    value = total & MASK32
+    n, z = _nz(value)
+    c = total > MASK32
+    v = (~(a ^ b) & (a ^ value) & 0x80000000) != 0
+    return value, ConditionCodes(n=n, z=z, v=v, c=c)
+
+
+def _sub(a: int, b: int, borrow_in: int) -> tuple[int, ConditionCodes]:
+    total = a - b - borrow_in
+    value = total & MASK32
+    n, z = _nz(value)
+    c = total < 0  # SPARC subcc sets C on borrow
+    v = ((a ^ b) & (a ^ value) & 0x80000000) != 0
+    return value, ConditionCodes(n=n, z=z, v=v, c=c)
+
+
+def _logic(value: int) -> tuple[int, ConditionCodes]:
+    value &= MASK32
+    n, z = _nz(value)
+    return value, ConditionCodes(n=n, z=z, v=False, c=False)
+
+
+def execute_alu(
+    op3: Op3, a: int, b: int, carry: bool = False, y: int = 0
+) -> AluResult:
+    """Execute one integer ALU operation.
+
+    ``a``/``b`` are the 32-bit source operands, ``carry`` the incoming
+    carry flag (for addx/subx) and ``y`` the Y register (for division
+    and as the destination of multiplication high bits).
+    """
+    a &= MASK32
+    b &= MASK32
+    base = Op3(op3)
+    new_y: int | None = None
+
+    if base in (Op3.ADD, Op3.ADDCC):
+        value, codes = _add(a, b, 0)
+    elif base in (Op3.ADDX, Op3.ADDXCC):
+        value, codes = _add(a, b, int(carry))
+    elif base in (Op3.SUB, Op3.SUBCC):
+        value, codes = _sub(a, b, 0)
+    elif base in (Op3.SUBX, Op3.SUBXCC):
+        value, codes = _sub(a, b, int(carry))
+    elif base in (Op3.AND, Op3.ANDCC):
+        value, codes = _logic(a & b)
+    elif base in (Op3.ANDN, Op3.ANDNCC):
+        value, codes = _logic(a & ~b)
+    elif base in (Op3.OR, Op3.ORCC):
+        value, codes = _logic(a | b)
+    elif base in (Op3.ORN, Op3.ORNCC):
+        value, codes = _logic(a | ~b)
+    elif base in (Op3.XOR, Op3.XORCC):
+        value, codes = _logic(a ^ b)
+    elif base in (Op3.XNOR, Op3.XNORCC):
+        value, codes = _logic(~(a ^ b))
+    elif base == Op3.SLL:
+        value, codes = (a << (b & 31)) & MASK32, None
+    elif base == Op3.SRL:
+        value, codes = (a >> (b & 31)) & MASK32, None
+    elif base == Op3.SRA:
+        value, codes = (_signed(a) >> (b & 31)) & MASK32, None
+    elif base in (Op3.UMUL, Op3.UMULCC):
+        product = a * b
+        value = product & MASK32
+        new_y = (product >> 32) & MASK32
+        codes = ConditionCodes(*_nz(value)) if base == Op3.UMULCC else None
+    elif base in (Op3.SMUL, Op3.SMULCC):
+        product = _signed(a) * _signed(b)
+        value = product & MASK32
+        new_y = (product >> 32) & MASK32
+        codes = ConditionCodes(*_nz(value)) if base == Op3.SMULCC else None
+    elif base in (Op3.UDIV, Op3.UDIVCC):
+        if b == 0:
+            raise DivisionByZero("udiv by zero")
+        dividend = (y << 32) | a
+        quotient = dividend // b
+        overflow = quotient > MASK32
+        value = MASK32 if overflow else quotient
+        codes = None
+        if base == Op3.UDIVCC:
+            n, z = _nz(value)
+            codes = ConditionCodes(n=n, z=z, v=overflow, c=False)
+    elif base in (Op3.SDIV, Op3.SDIVCC):
+        if b == 0:
+            raise DivisionByZero("sdiv by zero")
+        dividend = _signed_64((y << 32) | a)
+        quotient = int(dividend / _signed(b))
+        overflow = not -(1 << 31) <= quotient <= (1 << 31) - 1
+        if overflow:
+            quotient = (1 << 31) - 1 if quotient > 0 else -(1 << 31)
+        value = quotient & MASK32
+        codes = None
+        if base == Op3.SDIVCC:
+            n, z = _nz(value)
+            codes = ConditionCodes(n=n, z=z, v=overflow, c=False)
+    else:
+        raise ValueError(f"not an ALU operation: {op3!r}")
+
+    if codes is not None and not sets_condition_codes(base):
+        codes = None
+    return AluResult(value=value, codes=codes, y=new_y)
+
+
+def _signed_64(value: int) -> int:
+    value &= (1 << 64) - 1
+    return value - ((value & (1 << 63)) << 1)

@@ -1,0 +1,55 @@
+"""Evaluation harness: experiment runners and report formatters."""
+
+from repro.evaluation.config import (
+    CLOCK_RATIOS,
+    DEFAULT_FIFO_DEPTH,
+    FIFO_SWEEP,
+    FLEXCORE_RATIOS,
+    MEMORY_SCALE,
+    experiment_system_config,
+)
+from repro.evaluation.experiments import (
+    Figure5Result,
+    Table3Result,
+    Table4Cell,
+    Table4Result,
+    geomean,
+    run_decode_ablation,
+    run_figure4,
+    run_figure5,
+    run_software,
+    run_table3,
+    run_table4,
+)
+from repro.evaluation.tables import (
+    format_figure4,
+    format_figure5,
+    format_software,
+    format_table3,
+    format_table4,
+)
+
+__all__ = [
+    "CLOCK_RATIOS",
+    "DEFAULT_FIFO_DEPTH",
+    "FIFO_SWEEP",
+    "FLEXCORE_RATIOS",
+    "Figure5Result",
+    "MEMORY_SCALE",
+    "Table3Result",
+    "Table4Cell",
+    "Table4Result",
+    "experiment_system_config",
+    "format_figure4",
+    "format_figure5",
+    "format_software",
+    "format_table3",
+    "format_table4",
+    "geomean",
+    "run_decode_ablation",
+    "run_figure4",
+    "run_figure5",
+    "run_software",
+    "run_table3",
+    "run_table4",
+]

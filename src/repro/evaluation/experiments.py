@@ -1,0 +1,274 @@
+"""Experiment runners: one function per table/figure of the paper.
+
+Every function returns plain data structures so the benchmark harness,
+the tests and the report generator can share them.  Formatting lives
+in :mod:`repro.evaluation.tables`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.evaluation.config import (
+    CLOCK_RATIOS,
+    DEFAULT_FIFO_DEPTH,
+    FIFO_SWEEP,
+    FLEXCORE_RATIOS,
+    experiment_system_config,
+)
+from repro.extensions import EXTENSION_NAMES, create_extension
+from repro.fabric import fifo_area_um2
+from repro.fabric.synthesis import (
+    SynthesisReport,
+    baseline_report,
+    synthesize_asic,
+    synthesize_common,
+    synthesize_fabric,
+)
+from repro.flexcore.packet import PACKET_BITS
+from repro.flexcore.system import FlexCoreSystem, RunResult
+from repro.software.instrumentation import SOFTWARE_TOOLS, run_instrumented
+from repro.workloads import build_workload, workload_names
+
+
+def geomean(values) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _run(
+    workload,
+    extension_name: str | None,
+    clock_ratio: float = 0.5,
+    fifo_depth: int = DEFAULT_FIFO_DEPTH,
+    scaled_memory: bool = True,
+    predecode: bool = True,
+) -> RunResult:
+    config = experiment_system_config(
+        clock_ratio=clock_ratio,
+        fifo_depth=fifo_depth,
+        scaled_memory=scaled_memory,
+        predecode=predecode,
+    )
+    extension = (
+        create_extension(extension_name) if extension_name else None
+    )
+    system = FlexCoreSystem(workload.build(), extension, config)
+    result = system.run()
+    if result.word(workload.checksum_symbol) != workload.expected_checksum:
+        raise AssertionError(
+            f"{workload.name} checksum mismatch under "
+            f"{extension_name or 'baseline'}"
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table III.
+
+
+@dataclass
+class Table3Result:
+    baseline: SynthesisReport
+    asic: dict[str, SynthesisReport]
+    common: SynthesisReport
+    fabric: dict[str, SynthesisReport]
+
+
+def run_table3() -> Table3Result:
+    """Area, power, and frequency of every implementation target."""
+    asic, fabric = {}, {}
+    for name in EXTENSION_NAMES:
+        extension = create_extension(name)
+        asic[name] = synthesize_asic(extension)
+        fabric[name] = synthesize_fabric(extension)
+    return Table3Result(
+        baseline=baseline_report(),
+        asic=asic,
+        common=synthesize_common(),
+        fabric=fabric,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table IV.
+
+
+@dataclass
+class Table4Cell:
+    benchmark: str
+    extension: str
+    clock_ratio: float
+    normalized_time: float
+    forwarded_fraction: float
+    fifo_stall_cycles: int
+    meta_stall_cycles: float
+
+
+@dataclass
+class Table4Result:
+    cells: list[Table4Cell] = field(default_factory=list)
+    baseline_cycles: dict[str, int] = field(default_factory=dict)
+
+    def cell(self, benchmark: str, extension: str, ratio: float
+             ) -> Table4Cell:
+        for cell in self.cells:
+            if (cell.benchmark == benchmark
+                    and cell.extension == extension
+                    and cell.clock_ratio == ratio):
+                return cell
+        raise KeyError((benchmark, extension, ratio))
+
+    def geomean(self, extension: str, ratio: float) -> float:
+        return geomean(
+            cell.normalized_time
+            for cell in self.cells
+            if cell.extension == extension and cell.clock_ratio == ratio
+        )
+
+
+def run_table4(
+    scale: int = 1,
+    benchmarks=None,
+    extensions=EXTENSION_NAMES,
+    ratios=CLOCK_RATIOS,
+) -> Table4Result:
+    """Normalized execution time per benchmark/extension/clock ratio.
+
+    Ratio 1.0 is the full-ASIC comparison point; 0.5/0.25 are the
+    FlexCore fabric clocks of Table IV.
+    """
+    benchmarks = benchmarks or workload_names()
+    result = Table4Result()
+    for bench in benchmarks:
+        workload = build_workload(bench, scale)
+        baseline = _run(workload, None)
+        result.baseline_cycles[bench] = baseline.cycles
+        for extension in extensions:
+            for ratio in ratios:
+                run = _run(workload, extension, clock_ratio=ratio)
+                stats = run.interface_stats
+                result.cells.append(Table4Cell(
+                    benchmark=bench,
+                    extension=extension,
+                    clock_ratio=ratio,
+                    normalized_time=run.cycles / baseline.cycles,
+                    forwarded_fraction=stats.forwarded_fraction,
+                    fifo_stall_cycles=stats.fifo_stall_cycles,
+                    meta_stall_cycles=stats.meta_stall_cycles,
+                ))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 4.
+
+
+def run_figure4(scale: int = 1, benchmarks=None) -> dict[str, dict[str, float]]:
+    """Fraction of committed instructions forwarded to the fabric.
+
+    Returns ``{benchmark: {extension: fraction}}``.
+    """
+    benchmarks = benchmarks or workload_names()
+    fractions: dict[str, dict[str, float]] = {}
+    for bench in benchmarks:
+        workload = build_workload(bench, scale)
+        fractions[bench] = {}
+        for extension in EXTENSION_NAMES:
+            run = _run(workload, extension,
+                       clock_ratio=FLEXCORE_RATIOS[extension])
+            fractions[bench][extension] = (
+                run.interface_stats.forwarded_fraction
+            )
+    return fractions
+
+
+# ---------------------------------------------------------------------------
+# Figure 5.
+
+
+@dataclass
+class Figure5Result:
+    #: {extension: {fifo_depth: average normalized time}}
+    times: dict[str, dict[int, float]]
+    #: {fifo_depth: forward-FIFO silicon area} (the ~10% growth claim)
+    fifo_area_um2: dict[int, float]
+
+
+def run_figure5(
+    scale: int = 1,
+    depths=FIFO_SWEEP,
+    benchmarks=None,
+) -> Figure5Result:
+    """Average normalized execution time vs forward-FIFO size.
+
+    Each extension runs at its Table IV fabric clock (0.5X; SEC 0.25X).
+    """
+    benchmarks = benchmarks or workload_names()
+    workloads = {b: build_workload(b, scale) for b in benchmarks}
+    baselines = {b: _run(w, None).cycles for b, w in workloads.items()}
+    times: dict[str, dict[int, float]] = {}
+    for extension in EXTENSION_NAMES:
+        ratio = FLEXCORE_RATIOS[extension]
+        times[extension] = {}
+        for depth in depths:
+            normalized = [
+                _run(workloads[b], extension, clock_ratio=ratio,
+                     fifo_depth=depth).cycles / baselines[b]
+                for b in benchmarks
+            ]
+            times[extension][depth] = geomean(normalized)
+    areas = {d: fifo_area_um2(d, PACKET_BITS) for d in depths}
+    return Figure5Result(times=times, fifo_area_um2=areas)
+
+
+# ---------------------------------------------------------------------------
+# Section V-C: software monitoring comparison.
+
+
+def run_software(scale: int = 1, benchmarks=None) -> dict[str, dict[str, float]]:
+    """Software-instrumentation slowdowns: {tool: {benchmark: x}}."""
+    benchmarks = benchmarks or workload_names()
+    config = experiment_system_config(clock_ratio=1.0)
+    slowdowns: dict[str, dict[str, float]] = {}
+    baselines = {}
+    for bench in benchmarks:
+        workload = build_workload(bench, scale)
+        baselines[bench] = (workload, _run(workload, None).cycles)
+    for tool, factory in SOFTWARE_TOOLS.items():
+        spec = factory()
+        slowdowns[tool] = {}
+        for bench in benchmarks:
+            workload, base_cycles = baselines[bench]
+            run = run_instrumented(workload.build(), spec, config)
+            slowdowns[tool][bench] = run.cycles / base_cycles
+    return slowdowns
+
+
+# ---------------------------------------------------------------------------
+# Section III-C ablation: core-side pre-decoding.
+
+
+def run_decode_ablation(
+    scale: int = 1, extension: str = "dift", benchmarks=None
+) -> dict[str, tuple[float, float]]:
+    """Normalized time with and without core-side instruction
+    decoding (the paper: DIFT runs ~30% faster with pre-decoding).
+
+    Returns {benchmark: (with_predecode, without)}.
+    """
+    benchmarks = benchmarks or workload_names()
+    ratio = FLEXCORE_RATIOS[extension]
+    out = {}
+    for bench in benchmarks:
+        workload = build_workload(bench, scale)
+        base = _run(workload, None).cycles
+        with_decode = _run(workload, extension, clock_ratio=ratio,
+                           predecode=True).cycles / base
+        without = _run(workload, extension, clock_ratio=ratio,
+                       predecode=False).cycles / base
+        out[bench] = (with_decode, without)
+    return out

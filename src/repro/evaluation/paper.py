@@ -1,0 +1,87 @@
+"""Published numbers from the paper, for side-by-side comparison.
+
+Only used for reporting (EXPERIMENTS.md, shape assertions in tests) —
+never fed back into the models at run time.
+"""
+
+from __future__ import annotations
+
+#: Table III — baseline Leon3 with 32-KB L1 caches.
+TABLE3_BASELINE = {"fmax_mhz": 465, "area_um2": 835_525, "power_mw": 365}
+
+#: Table III — full-ASIC integration rows (absolute values).
+TABLE3_ASIC = {
+    "umc": {"fmax_mhz": 463, "area_um2": 932_118, "power_mw": 388},
+    "dift": {"fmax_mhz": 456, "area_um2": 960_558, "power_mw": 388},
+    "bc": {"fmax_mhz": 456, "area_um2": 996_894, "power_mw": 393},
+    "sec": {"fmax_mhz": 463, "area_um2": 836_786, "power_mw": 364},
+}
+
+#: Table III — dedicated FlexCore modules (interface + meta cache).
+TABLE3_COMMON = {"fmax_mhz": 458, "area_um2": 1_106_967, "power_mw": 418}
+
+#: Table III — extensions on the Flex fabric (area excludes the
+#: dedicated modules; power is the fabric extension alone).
+TABLE3_FABRIC = {
+    "umc": {"fmax_mhz": 266, "area_um2": 90_384, "power_mw": 21},
+    "dift": {"fmax_mhz": 256, "area_um2": 123_471, "power_mw": 23},
+    "bc": {"fmax_mhz": 229, "area_um2": 203_364, "power_mw": 27},
+    "sec": {"fmax_mhz": 213, "area_um2": 390_588, "power_mw": 36},
+}
+
+#: Table IV — normalized execution time (baseline Leon3 = 1.00) per
+#: benchmark, extension, and fabric clock ratio.
+TABLE4 = {
+    # benchmark: {extension: {ratio: normalized time}}
+    "sha": {
+        "umc": {1.0: 1.01, 0.5: 1.01, 0.25: 1.01},
+        "dift": {1.0: 1.01, 0.5: 1.06, 0.25: 1.16},
+        "bc": {1.0: 1.03, 0.5: 1.07, 0.25: 1.15},
+        "sec": {1.0: 1.00, 0.5: 1.33, 0.25: 1.50},
+    },
+    "gmac": {
+        "umc": {1.0: 1.01, 0.5: 1.01, 0.25: 1.09},
+        "dift": {1.0: 1.01, 0.5: 1.15, 0.25: 1.34},
+        "bc": {1.0: 1.02, 0.5: 1.17, 0.25: 1.37},
+        "sec": {1.0: 1.00, 0.5: 1.20, 0.25: 1.47},
+    },
+    "stringsearch": {
+        "umc": {1.0: 1.03, 0.5: 1.05, 0.25: 1.12},
+        "dift": {1.0: 1.16, 0.5: 1.46, 0.25: 1.89},
+        "bc": {1.0: 1.22, 0.5: 1.45, 0.25: 1.84},
+        "sec": {1.0: 1.00, 0.5: 1.00, 0.25: 1.11},
+    },
+    "fft": {
+        "umc": {1.0: 1.01, 0.5: 1.01, 0.25: 1.01},
+        "dift": {1.0: 1.02, 0.5: 1.05, 0.25: 1.31},
+        "bc": {1.0: 1.02, 0.5: 1.03, 0.25: 1.35},
+        "sec": {1.0: 1.00, 0.5: 1.15, 0.25: 1.45},
+    },
+    "basicmath": {
+        "umc": {1.0: 1.01, 0.5: 1.01, 0.25: 1.01},
+        "dift": {1.0: 1.03, 0.5: 1.08, 0.25: 1.34},
+        "bc": {1.0: 1.04, 0.5: 1.07, 0.25: 1.37},
+        "sec": {1.0: 1.00, 0.5: 1.14, 0.25: 1.43},
+    },
+    "bitcount": {
+        "umc": {1.0: 1.04, 0.5: 1.06, 0.25: 1.07},
+        "dift": {1.0: 1.08, 0.5: 1.36, 0.25: 1.69},
+        "bc": {1.0: 1.13, 0.5: 1.27, 0.25: 1.64},
+        "sec": {1.0: 1.00, 0.5: 1.19, 0.25: 1.48},
+    },
+}
+
+#: Table IV geomean row.
+TABLE4_GEOMEAN = {
+    "umc": {1.0: 1.02, 0.5: 1.02, 0.25: 1.05},
+    "dift": {1.0: 1.05, 0.5: 1.18, 0.25: 1.43},
+    "bc": {1.0: 1.07, 0.5: 1.17, 0.25: 1.44},
+    "sec": {1.0: 1.00, 0.5: 1.16, 0.25: 1.40},
+}
+
+#: Section V-C — software monitoring comparison points.
+SOFTWARE_SLOWDOWNS = {
+    "dift": (3.6, 37.0),  # LIFT optimized .. naive taint tracking
+    "umc": (1.5, 5.5),  # Purify up to 5.5x
+    "bc": (1.2, 1.69),  # array bound checks up to 1.69x
+}

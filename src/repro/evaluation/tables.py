@@ -1,0 +1,135 @@
+"""Render experiment results as the paper's tables and figures."""
+
+from __future__ import annotations
+
+from repro.evaluation import paper
+from repro.evaluation.config import CLOCK_RATIOS
+from repro.evaluation.experiments import (
+    Figure5Result,
+    Table3Result,
+    Table4Result,
+)
+from repro.extensions import EXTENSION_NAMES
+from repro.workloads import workload_names
+
+RATIO_LABELS = {1.0: "(1X)", 0.5: "(0.5X)", 0.25: "(0.25X)"}
+
+
+def format_table3(result: Table3Result, compare: bool = True) -> str:
+    """Table III: area, power and frequency for every target."""
+    lines = []
+    header = (f"{'':10s}{'Extension':11s}{'MHz':>6s}{'Area um^2':>12s}"
+              f"{'ovh':>8s}{'mW':>7s}{'ovh':>7s}")
+    if compare:
+        header += f"   {'paper: MHz / um^2 / mW'}"
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    def row(group, name, report, ref=None):
+        text = (f"{group:10s}{name:11s}{report.fmax_mhz:6.0f}"
+                f"{report.area_um2:12,.0f}{report.area_overhead:8.1%}"
+                f"{report.power_mw:7.0f}{report.power_overhead:7.1%}")
+        if compare and ref:
+            text += (f"   {ref['fmax_mhz']:.0f} / {ref['area_um2']:,}"
+                     f" / {ref['power_mw']}")
+        return text
+
+    lines.append(row("Baseline", "-", result.baseline,
+                     paper.TABLE3_BASELINE if compare else None))
+    for name in EXTENSION_NAMES:
+        lines.append(row("ASIC", name, result.asic[name],
+                         paper.TABLE3_ASIC.get(name) if compare else None))
+    lines.append(row("FlexCore", "common", result.common,
+                     paper.TABLE3_COMMON if compare else None))
+    for name in EXTENSION_NAMES:
+        report = result.fabric[name]
+        text = (f"{'FlexCore':10s}{name + ' (fab)':11s}"
+                f"{report.fmax_mhz:6.0f}{report.area_um2:12,.0f}"
+                f"{report.area_overhead:8.1%}{report.power_mw:7.0f}"
+                f"{report.power_overhead:7.1%}")
+        if compare:
+            ref = paper.TABLE3_FABRIC[name]
+            text += (f"   {ref['fmax_mhz']} / {ref['area_um2']:,}"
+                     f" / {ref['power_mw']}")
+        lines.append(text)
+    return "\n".join(lines)
+
+
+def format_table4(result: Table4Result, compare: bool = True) -> str:
+    """Table IV: normalized execution time."""
+    ratios = sorted({c.clock_ratio for c in result.cells}, reverse=True)
+    extensions = [e for e in EXTENSION_NAMES
+                  if any(c.extension == e for c in result.cells)]
+    benchmarks = list(dict.fromkeys(c.benchmark for c in result.cells))
+
+    lines = []
+    header = f"{'Benchmark':14s}"
+    for ext in extensions:
+        for ratio in ratios:
+            header += f"{ext + RATIO_LABELS.get(ratio, ''):>12s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for bench in benchmarks:
+        line = f"{bench:14s}"
+        for ext in extensions:
+            for ratio in ratios:
+                line += f"{result.cell(bench, ext, ratio).normalized_time:12.2f}"
+        lines.append(line)
+    line = f"{'geomean':14s}"
+    for ext in extensions:
+        for ratio in ratios:
+            line += f"{result.geomean(ext, ratio):12.2f}"
+    lines.append(line)
+    if compare:
+        line = f"{'paper geomean':14s}"
+        for ext in extensions:
+            for ratio in ratios:
+                ref = paper.TABLE4_GEOMEAN.get(ext, {}).get(ratio)
+                line += f"{ref:12.2f}" if ref else f"{'-':>12s}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def format_figure4(fractions: dict[str, dict[str, float]]) -> str:
+    """Figure 4: % of instructions forwarded to the fabric."""
+    extensions = EXTENSION_NAMES
+    lines = [f"{'Benchmark':14s}" + "".join(f"{e:>8s}" for e in extensions)]
+    lines.append("-" * len(lines[0]))
+    for bench, per_ext in fractions.items():
+        lines.append(
+            f"{bench:14s}"
+            + "".join(f"{per_ext[e] * 100:7.1f}%" for e in extensions)
+        )
+    return "\n".join(lines)
+
+
+def format_figure5(result: Figure5Result) -> str:
+    """Figure 5: average normalized time vs forward-FIFO size."""
+    depths = sorted(next(iter(result.times.values())))
+    lines = [f"{'FIFO size':10s}"
+             + "".join(f"{d:>8d}" for d in depths)]
+    lines.append("-" * len(lines[0]))
+    for ext, per_depth in result.times.items():
+        lines.append(f"{ext:10s}"
+                     + "".join(f"{per_depth[d]:8.2f}" for d in depths))
+    lines.append(f"{'FIFO um^2':10s}"
+                 + "".join(f"{result.fifo_area_um2[d]/1000:7.1f}k"
+                           for d in depths))
+    return "\n".join(lines)
+
+
+def format_software(slowdowns: dict[str, dict[str, float]]) -> str:
+    """Section V-C software-monitoring slowdowns."""
+    benchmarks = list(next(iter(slowdowns.values())))
+    lines = [f"{'Tool':12s}"
+             + "".join(f"{b[:9]:>10s}" for b in benchmarks)
+             + f"{'geomean':>10s}"]
+    lines.append("-" * len(lines[0]))
+    import math
+    for tool, per_bench in slowdowns.items():
+        values = [per_bench[b] for b in benchmarks]
+        gm = math.exp(sum(math.log(v) for v in values) / len(values))
+        lines.append(f"{tool:12s}"
+                     + "".join(f"{v:10.2f}" for v in values)
+                     + f"{gm:10.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Monitoring extensions: the co-processing model and the four
+prototypes from the paper (UMC, DIFT, BC, SEC)."""
+
+from repro.extensions.base import (
+    DEFAULT_META_BASE,
+    MetaAccess,
+    MonitorExtension,
+    MonitorTrap,
+    PacketOutcome,
+)
+from repro.extensions.bc import ArrayBoundCheck
+from repro.extensions.dift import (
+    DEFAULT_POLICY,
+    POLICY_CHECK_JUMP,
+    POLICY_CHECK_LOAD_ADDR,
+    POLICY_CHECK_STORE_ADDR,
+    POLICY_PROPAGATE_LOAD_ADDR,
+    DynamicInformationFlowTracking,
+)
+from repro.extensions.registry import (
+    EXTENSION_CLASSES,
+    EXTENSION_NAMES,
+    EXTRA_EXTENSION_NAMES,
+    create_extension,
+)
+from repro.extensions.sec import SoftErrorCheck
+from repro.extensions.shadow_stack import ShadowStack
+from repro.extensions.umc import UninitializedMemoryCheck
+from repro.extensions.watchpoint import Watchpoints
+
+__all__ = [
+    "ArrayBoundCheck",
+    "DEFAULT_META_BASE",
+    "DEFAULT_POLICY",
+    "DynamicInformationFlowTracking",
+    "EXTENSION_CLASSES",
+    "EXTENSION_NAMES",
+    "EXTRA_EXTENSION_NAMES",
+    "MetaAccess",
+    "MonitorExtension",
+    "MonitorTrap",
+    "PacketOutcome",
+    "POLICY_CHECK_JUMP",
+    "POLICY_CHECK_LOAD_ADDR",
+    "POLICY_CHECK_STORE_ADDR",
+    "POLICY_PROPAGATE_LOAD_ADDR",
+    "ShadowStack",
+    "SoftErrorCheck",
+    "UninitializedMemoryCheck",
+    "Watchpoints",
+    "create_extension",
+]

@@ -1,0 +1,36 @@
+"""Registry of the built-in monitoring extensions."""
+
+from __future__ import annotations
+
+from repro.extensions.base import MonitorExtension
+from repro.extensions.bc import ArrayBoundCheck
+from repro.extensions.dift import DynamicInformationFlowTracking
+from repro.extensions.sec import SoftErrorCheck
+from repro.extensions.shadow_stack import ShadowStack
+from repro.extensions.umc import UninitializedMemoryCheck
+from repro.extensions.watchpoint import Watchpoints
+
+EXTENSION_CLASSES = {
+    "umc": UninitializedMemoryCheck,
+    "dift": DynamicInformationFlowTracking,
+    "bc": ArrayBoundCheck,
+    "sec": SoftErrorCheck,
+    "shadowstack": ShadowStack,
+    "watchpoint": Watchpoints,
+}
+
+#: The paper's four prototypes, in table order (the evaluation tables
+#: iterate exactly these).
+EXTENSION_NAMES = ("umc", "dift", "bc", "sec")
+
+#: Extensions this repository adds beyond the paper's prototypes.
+EXTRA_EXTENSION_NAMES = ("shadowstack", "watchpoint")
+
+
+def create_extension(name: str) -> MonitorExtension:
+    """Instantiate a built-in extension by name."""
+    try:
+        return EXTENSION_CLASSES[name]()
+    except KeyError:
+        known = ", ".join(sorted(EXTENSION_CLASSES))
+        raise ValueError(f"unknown extension {name!r} (known: {known})")

@@ -1,0 +1,111 @@
+"""Watchpoint extension (extra, beyond the paper's four prototypes).
+
+iWatcher-style debugging support (cited in the paper's Section II-B):
+software registers up to N address ranges with read/write modes via
+co-processor instructions; the fabric then checks every memory access
+against the ranges in parallel and traps on a hit — hardware
+watchpoints without debug-register limits or single-stepping.
+
+Software interface (all through the generic flex ops):
+
+* ``fxval %r``   — latch the watch mode (1 = read, 2 = write, 3 = both)
+* ``fxtagm %lo, %hi`` — arm a watchpoint over [lo, hi)
+* ``fxuntagm %lo, %g0`` — disarm the watchpoint starting at lo
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.extensions.base import MonitorExtension, PacketOutcome
+from repro.fabric.logic import LogicNetwork, Prim
+from repro.flexcore.cfgr import ForwardConfig, ForwardPolicy
+from repro.flexcore.packet import TracePacket
+from repro.isa.opcodes import MEMORY_CLASSES, FlexOpf, InstrClass
+
+WATCH_READ = 1
+WATCH_WRITE = 2
+DEFAULT_SLOTS = 4
+
+
+@dataclass(frozen=True)
+class WatchRange:
+    lo: int
+    hi: int
+    mode: int
+
+    def matches(self, addr: int, is_write: bool) -> bool:
+        if not self.lo <= addr < self.hi:
+            return False
+        wanted = WATCH_WRITE if is_write else WATCH_READ
+        return bool(self.mode & wanted)
+
+
+class Watchpoints(MonitorExtension):
+    """Hardware watchpoints over software-armed address ranges."""
+
+    name = "watchpoint"
+    description = "debugging watchpoints over address ranges"
+    register_tag_bits = 0
+    memory_tag_bits = 0
+
+    def __init__(self, slots: int = DEFAULT_SLOTS):
+        super().__init__()
+        self.slots = slots
+        self.ranges: list[WatchRange] = []
+        self.hits = 0
+
+    def forward_config(self) -> ForwardConfig:
+        config = ForwardConfig()
+        config.set_classes(MEMORY_CLASSES, ForwardPolicy.ALWAYS)
+        config.set(InstrClass.FLEX, ForwardPolicy.ALWAYS)
+        return config
+
+    def process(self, packet: TracePacket) -> PacketOutcome:
+        if packet.opcode == InstrClass.FLEX:
+            outcome = self.handle_flex(packet)
+            if packet.opf == FlexOpf.TAG_SET_MEM:
+                if len(self.ranges) >= self.slots:
+                    self.ranges.pop(0)
+                self.ranges.append(WatchRange(
+                    lo=packet.srcv1, hi=packet.srcv2,
+                    mode=self.tagval & 3,
+                ))
+            elif packet.opf == FlexOpf.TAG_CLR_MEM:
+                self.ranges = [
+                    r for r in self.ranges if r.lo != packet.srcv1
+                ]
+            return outcome
+
+        outcome = PacketOutcome()
+        is_write = packet.is_store
+        for watch in self.ranges:
+            if watch.matches(packet.addr, is_write):
+                self.hits += 1
+                kind = "write" if is_write else "read"
+                outcome.trap = self.trap(
+                    packet, f"watchpoint-{kind}",
+                    f"{kind} of watched range "
+                    f"[{watch.lo:#x}, {watch.hi:#x}) at {packet.addr:#x}",
+                    addr=packet.addr,
+                )
+                break
+        return outcome
+
+    def status_word(self) -> int:
+        return self.hits & 0xFFFFFFFF
+
+    def hardware(self) -> LogicNetwork:
+        """Per-slot bound registers and magnitude comparators, all in
+        parallel — the kind of bit-level parallel check a LUT fabric
+        is good at."""
+        net = LogicNetwork(self.name, pipeline_stages=2)
+        net.add(Prim.REGISTER, width=66, count=self.slots,
+                label="range bounds + mode")
+        net.add(Prim.COMPARATOR_MAG, width=32, count=2 * self.slots,
+                label="range compare")
+        net.add(Prim.GATE, width=8 * self.slots, label="mode match")
+        net.add(Prim.REDUCE, width=self.slots, label="any-hit")
+        net.add(Prim.GATE, width=16, label="FIFO handshake")
+        net.add(Prim.REGISTER, width=40, count=2, label="pipeline regs")
+        return net

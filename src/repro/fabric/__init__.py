@@ -1,0 +1,71 @@
+"""Reconfigurable-fabric and ASIC cost models (Table III machinery)."""
+
+from repro.fabric.area import (
+    KUON_ROSE_UM2_PER_LUT,
+    fabric_capacity_luts,
+    fpga_area_um2,
+)
+from repro.fabric.asic import (
+    BASELINE_AREA_UM2,
+    BASELINE_POWER_MW,
+    AsicEstimate,
+    asic_extension_estimate,
+    cache_area_um2,
+    fifo_area_um2,
+    flexcore_common_estimate,
+    network_gates,
+    regfile_area_um2,
+    sram_area_um2,
+)
+from repro.fabric.logic import LogicNetwork, Prim, Primitive
+from repro.fabric.mapping import MappingResult, map_network
+from repro.fabric.power import (
+    DEFAULT_STATIC_PROBABILITY,
+    DEFAULT_TOGGLE_RATE,
+    fpga_power_mw,
+)
+from repro.fabric.synthesis import (
+    SynthesisReport,
+    baseline_report,
+    synthesize_asic,
+    synthesize_common,
+    synthesize_fabric,
+)
+from repro.fabric.timing import (
+    ASIC_BASELINE_MHZ,
+    asic_fmax_mhz,
+    fpga_fmax_mhz,
+    supported_clock_ratio,
+)
+
+__all__ = [
+    "ASIC_BASELINE_MHZ",
+    "AsicEstimate",
+    "BASELINE_AREA_UM2",
+    "BASELINE_POWER_MW",
+    "DEFAULT_STATIC_PROBABILITY",
+    "DEFAULT_TOGGLE_RATE",
+    "KUON_ROSE_UM2_PER_LUT",
+    "LogicNetwork",
+    "MappingResult",
+    "Prim",
+    "Primitive",
+    "SynthesisReport",
+    "asic_extension_estimate",
+    "asic_fmax_mhz",
+    "baseline_report",
+    "cache_area_um2",
+    "fabric_capacity_luts",
+    "fifo_area_um2",
+    "flexcore_common_estimate",
+    "fpga_area_um2",
+    "fpga_fmax_mhz",
+    "fpga_power_mw",
+    "map_network",
+    "network_gates",
+    "regfile_area_um2",
+    "sram_area_um2",
+    "synthesize_asic",
+    "synthesize_common",
+    "synthesize_fabric",
+]

@@ -1,0 +1,29 @@
+"""Silicon-area models.
+
+FPGA side — the paper's exact method (Section V-A): "the area of a CLB
+tile with 10 6-input LUTs in the 65nm technology node is approximately
+8,069 µm^2 [Kuon and Rose].  We used this estimate of 807 µm^2 per LUT
+and multiplied it by the total number of LUTs."
+
+ASIC side — per-component models (standard-cell logic, SRAM macros,
+FIFO macros, register files) with constants calibrated against the
+Table III anchors; see :mod:`repro.fabric.asic`.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.mapping import MappingResult
+
+#: Kuon-Rose 65 nm CLB tile: 8069 um^2 per 10-LUT tile.
+KUON_ROSE_UM2_PER_LUT = 807.0
+
+
+def fpga_area_um2(mapping: MappingResult) -> float:
+    """Fabric area of a mapped extension, Kuon-Rose style."""
+    return mapping.luts * KUON_ROSE_UM2_PER_LUT
+
+
+def fabric_capacity_luts(fabric_area_um2: float) -> int:
+    """How many LUTs fit in a given fabric provision (used to check
+    the paper's claim that all extensions fit in a 0.4 mm^2 fabric)."""
+    return int(fabric_area_um2 // KUON_ROSE_UM2_PER_LUT)

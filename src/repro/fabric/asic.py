@@ -1,0 +1,272 @@
+"""65 nm ASIC cost models: standard-cell logic, SRAM macros, FIFOs.
+
+These replace the Synopsys DC + IBM 65 nm library flow of Section V-A.
+Component constants are calibrated against the absolute anchors that
+Table III publishes (baseline Leon3 = 835,525 µm^2 / 365 mW / 465 MHz;
+ASIC extension deltas of +96.6k/+125k/+161.4k/+1.3k µm^2) and then
+reused for everything else (FIFO sweeps, common-module estimates), so
+relative results are model outputs, not table lookups.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fabric.logic import LogicNetwork, Prim, Primitive
+from repro.flexcore.packet import PACKET_BITS
+
+# ---------------------------------------------------------------------------
+# Calibrated constants (65 nm).
+
+#: Area of one NAND2-equivalent standard cell, placed and routed.
+UM2_PER_GATE = 2.5
+#: SRAM macro: per-bit cell area and fixed peripheral overhead.
+SRAM_UM2_PER_BIT = 0.9
+SRAM_PERIPHERY_UM2 = 30_000.0
+#: FIFO macros: the periphery (sense amps, pointers, ports) scales
+#: with the *width* of the entry, while adding entries only grows the
+#: cell array — which is why the paper sees the forward FIFO grow only
+#: ~10% from 16 to 64 entries (Section V-C).
+FIFO_UM2_PER_BIT = 0.25
+FIFO_PERIPHERY_UM2_PER_WIDTH_BIT = 104.0
+REGFILE_UM2_PER_BIT = 4.0
+REGFILE_PERIPHERY_UM2 = 4_000.0
+
+#: Dynamic power at the 465 MHz baseline clock.
+SRAM_MW_PER_KB = 4.0
+FIFO_MW = 5.5
+REGFILE_MW = 1.5
+MW_PER_KGATE = 0.55
+
+#: Table III baseline anchors.
+BASELINE_AREA_UM2 = 835_525.0
+BASELINE_POWER_MW = 365.0
+
+# ---------------------------------------------------------------------------
+# Gate counts for logic networks (NAND2 equivalents).
+
+
+def _gate_cost(prim: Primitive) -> float:
+    width = prim.width
+    if prim.kind == Prim.GATE:
+        return width * 1.0
+    if prim.kind == Prim.REDUCE:
+        return width * 1.0
+    if prim.kind == Prim.MUX:
+        return width * (prim.ways - 1) * 3.0
+    if prim.kind == Prim.ADDER:
+        return width * 6.5
+    if prim.kind == Prim.COMPARATOR_EQ:
+        return width * 2.5
+    if prim.kind == Prim.COMPARATOR_MAG:
+        return width * 4.0
+    if prim.kind == Prim.SHIFTER:
+        return width * math.ceil(math.log2(max(width, 2))) * 3.0
+    if prim.kind == Prim.DECODER:
+        return (1 << width) * 1.5
+    if prim.kind == Prim.REGISTER:
+        return width * 5.5  # a scan flip-flop is ~5-6 NAND2
+    if prim.kind == Prim.LUTRAM:
+        return prim.depth * width * 1.8  # latch array
+    if prim.kind == Prim.SRAM:
+        return 0.0  # costed as a macro, not cells
+    if prim.kind == Prim.MOD_REDUCE:
+        return width * 5.0
+    if prim.kind == Prim.MULTIPLIER:
+        return width * width * 6.0
+    raise ValueError(f"unknown primitive kind {prim.kind}")
+
+
+def network_gates(network: LogicNetwork) -> float:
+    """NAND2-equivalent gate count of a logic network."""
+    return sum(_gate_cost(p) * p.count for p in network.primitives)
+
+
+def logic_area_um2(network: LogicNetwork) -> float:
+    return network_gates(network) * UM2_PER_GATE
+
+
+def logic_power_mw(network: LogicNetwork) -> float:
+    return network_gates(network) / 1000.0 * MW_PER_KGATE
+
+
+# ---------------------------------------------------------------------------
+# Macro models.
+
+
+def sram_area_um2(bits: int) -> float:
+    """A dedicated SRAM macro (cache data/tag arrays)."""
+    return bits * SRAM_UM2_PER_BIT + SRAM_PERIPHERY_UM2
+
+
+def fifo_area_um2(entries: int, width_bits: int) -> float:
+    """A FIFO macro; periphery dominates at these small depths."""
+    return width_bits * (
+        FIFO_PERIPHERY_UM2_PER_WIDTH_BIT + FIFO_UM2_PER_BIT * entries
+    )
+
+
+def regfile_area_um2(entries: int, width_bits: int) -> float:
+    """A small multi-ported register file (the shadow register file)."""
+    return entries * width_bits * REGFILE_UM2_PER_BIT + REGFILE_PERIPHERY_UM2
+
+
+def cache_area_um2(
+    size_bytes: int,
+    line_bytes: int = 32,
+    bit_writable: bool = False,
+    tag_datapath_bits: int = 1,
+) -> float:
+    """A small L1-style cache: data array + tag array + control.
+
+    ``bit_writable`` adds the per-bit write-enable logic of the
+    FlexCore meta-data cache (Section III-D), a significant overhead
+    for small arrays.  ``tag_datapath_bits`` widens the read-modify
+    datapath for extensions with multi-bit memory tags (BC keeps an
+    8-bit tag per word and pays for the wider port).
+    """
+    data_bits = size_bytes * 8
+    lines = size_bytes // line_bytes
+    tag_bits = lines * 22  # tag + valid + replacement state
+    area = sram_area_um2(data_bits + tag_bits)
+    if bit_writable:
+        area *= 1.35
+    area *= 1.0 + max(tag_datapath_bits - 1, 0) / 14.0
+    area += 1_000 * UM2_PER_GATE  # control logic
+    return area
+
+
+# ---------------------------------------------------------------------------
+# Extension-level ASIC integration (the "ASIC" rows of Table III).
+
+#: Tailored forward-FIFO widths: a fixed-function integration only
+#: carries the fields its extension needs, unlike the general FlexCore
+#: interface which carries the full Table II packet.
+TAILORED_FIFO_BITS = {
+    "umc": 72,  # address + opcode + size
+    "dift": 150,  # + register numbers, store-value tag path, policy ops
+    "bc": 180,  # + 8-bit tag datapath and colour ops
+}
+
+
+@dataclass(frozen=True)
+class AsicEstimate:
+    """Area/power delta of integrating one extension in full ASIC."""
+
+    name: str
+    logic_um2: float
+    cache_um2: float
+    fifo_um2: float
+    regfile_um2: float
+    power_mw: float
+
+    @property
+    def total_um2(self) -> float:
+        return (
+            self.logic_um2 + self.cache_um2 + self.fifo_um2
+            + self.regfile_um2
+        )
+
+
+def asic_extension_estimate(
+    extension,
+    fifo_entries: int = 64,
+    meta_cache_bytes: int = 4 * 1024,
+) -> AsicEstimate:
+    """ASIC-integration cost of one extension (Table III ASIC rows).
+
+    SEC is special-cased by its own meta-data declaration: with no
+    memory tags it needs neither the meta-data cache nor a deep FIFO,
+    which is why its ASIC delta is ~0.15% (Section V-B).
+    """
+    network = extension.hardware()
+    # A fixed-function integration runs at the core clock in a single
+    # pass and taps existing pipeline registers, so the deep pipeline
+    # staging of the fabric version is not replicated in cells.
+    gates = sum(
+        _gate_cost(p) * p.count
+        for p in network.primitives
+        if p.kind != Prim.REGISTER
+    )
+    logic = gates * UM2_PER_GATE
+    power = gates / 1000.0 * MW_PER_KGATE
+
+    cache = fifo = regfile = 0.0
+    if extension.memory_tag_bits:
+        cache = cache_area_um2(
+            meta_cache_bytes,
+            bit_writable=True,
+            tag_datapath_bits=extension.memory_tag_bits,
+        )
+        width = TAILORED_FIFO_BITS.get(extension.name, 128)
+        fifo = fifo_area_um2(fifo_entries, width)
+        power += SRAM_MW_PER_KB * meta_cache_bytes / 1024 + FIFO_MW
+        power += extension.memory_tag_bits / 8.0 * 2.0  # tag datapath
+    if extension.register_tag_bits:
+        regfile = regfile_area_um2(
+            entries=136, width_bits=extension.register_tag_bits
+        )
+        power += REGFILE_MW
+
+    return AsicEstimate(
+        name=extension.name,
+        logic_um2=logic,
+        cache_um2=cache,
+        fifo_um2=fifo,
+        regfile_um2=regfile,
+        power_mw=power,
+    )
+
+
+def flexcore_common_estimate(
+    fifo_entries: int = 64,
+    meta_cache_bytes: int = 4 * 1024,
+    num_physical_registers: int = 136,
+) -> AsicEstimate:
+    """The dedicated FlexCore modules shared by every extension
+    (Table III "Common" row): the general core-fabric interface with
+    the full packet FIFO, the bit-writable meta-data cache, the 8-bit
+    shadow register file, backward FIFO, CFGR and clock-domain
+    crossing."""
+    interface = LogicNetwork("flexcore-interface", pipeline_stages=2)
+    # Packet fields are harvested alongside the 7-stage pipeline and
+    # carried to the commit stage, then staged across the clock-domain
+    # crossing.
+    interface.add(Prim.REGISTER, width=PACKET_BITS, count=7,
+                  label="per-stage trace harvest registers")
+    interface.add(Prim.MUX, width=PACKET_BITS, ways=8, label="packet mux")
+    interface.add(Prim.REGISTER, width=PACKET_BITS, count=4,
+                  label="packet staging + CDC synchronizers")
+    interface.add(Prim.DECODER, width=5, label="instruction-type decode")
+    interface.add(Prim.REGISTER, width=64, label="CFGR")
+    interface.add(Prim.GATE, width=4096,
+                  label="per-type policy matrix + control/ack logic")
+    interface.add(Prim.MUX, width=32, ways=4, label="BFIFO return path")
+    # The meta-data cache needs its own master port on the shared AHB
+    # bus (refill engine, write buffer, arbitration), plus the general
+    # 1/2/4/8-bit tag-width datapath.
+    interface.add(Prim.GATE, width=4096, label="bus master + refill engine")
+    interface.add(Prim.REGISTER, width=256, count=2, label="write buffer")
+    interface.add(Prim.GATE, width=4096, label="bit-write mask datapath")
+
+    logic = logic_area_um2(interface)
+    cache = cache_area_um2(meta_cache_bytes, bit_writable=True)
+    fifo = fifo_area_um2(fifo_entries, PACKET_BITS)
+    fifo += fifo_area_um2(8, 40)  # backward FIFO (VAL + control)
+    regfile = regfile_area_um2(num_physical_registers, 8)
+    power = (
+        logic_power_mw(interface)
+        + SRAM_MW_PER_KB * meta_cache_bytes / 1024
+        + 2 * FIFO_MW
+        + REGFILE_MW
+        + 5.0  # second clock tree + CDC infrastructure
+    )
+    return AsicEstimate(
+        name="common",
+        logic_um2=logic,
+        cache_um2=cache,
+        fifo_um2=fifo,
+        regfile_um2=regfile,
+        power_mw=power,
+    )

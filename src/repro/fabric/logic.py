@@ -1,0 +1,94 @@
+"""Structural hardware description (logic-network IR).
+
+Each monitoring extension describes its datapath as a network of
+coarse primitives.  Two cost models consume the same description:
+
+* :mod:`repro.fabric.mapping` — technology-maps it onto 6-input LUTs
+  (Virtex-5 style) for the FlexCore fabric numbers of Table III, and
+* :mod:`repro.fabric.asic` — maps it onto a 65 nm standard-cell
+  estimate for the full-ASIC rows.
+
+This mirrors the paper's own methodology, which estimated FPGA area
+from LUT counts (Kuon-Rose tile area) and ASIC area from Design
+Compiler synthesis; we replace both tools with calibrated per-
+primitive cost functions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Prim(enum.Enum):
+    """Primitive kinds understood by the cost models."""
+
+    GATE = "gate"  # 2-input gate array, `width` bits wide
+    REDUCE = "reduce"  # AND/OR/XOR reduction of `width` bits to 1
+    MUX = "mux"  # `ways`-to-1 multiplexer, `width` bits wide
+    ADDER = "adder"  # ripple/carry-chain adder, `width` bits
+    COMPARATOR_EQ = "cmp_eq"  # equality comparator, `width` bits
+    COMPARATOR_MAG = "cmp_mag"  # magnitude comparator, `width` bits
+    SHIFTER = "shifter"  # barrel shifter, `width` bits
+    DECODER = "decoder"  # `width`-bit input full decoder
+    REGISTER = "register"  # flip-flops, `width` bits (x count)
+    LUTRAM = "lutram"  # distributed RAM, depth x width
+    SRAM = "sram"  # dedicated SRAM macro, depth x width
+    MOD_REDUCE = "mod_reduce"  # Mersenne-modulus folding tree
+    MULTIPLIER = "multiplier"  # combinational multiplier, width x width
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """One primitive instance group in a network."""
+
+    kind: Prim
+    width: int = 1  # bit width (or input bits for DECODER)
+    count: int = 1  # number of identical instances
+    ways: int = 2  # mux fan-in
+    depth: int = 0  # RAM depth (entries)
+    label: str = ""
+
+    def __post_init__(self):
+        if self.width < 1 or self.count < 1:
+            raise ValueError("primitive width/count must be positive")
+
+
+@dataclass
+class LogicNetwork:
+    """A named collection of primitives plus pipeline structure.
+
+    ``pipeline_stages`` is the number of register stages the extension
+    designer inserted ("extensions are moderately pipelined (3 to 6
+    stages)", Section IV); the timing model divides the combinational
+    depth across stages when estimating the achievable clock.
+    """
+
+    name: str
+    primitives: list[Primitive] = field(default_factory=list)
+    pipeline_stages: int = 3
+    #: toggle activity used by the power models (the paper fixes 0.1).
+    toggle_rate: float = 0.1
+    notes: str = ""
+
+    def add(self, kind: Prim, **kwargs) -> "LogicNetwork":
+        self.primitives.append(Primitive(kind=kind, **kwargs))
+        return self
+
+    def total(self, kind: Prim) -> int:
+        """Total instance count of one primitive kind."""
+        return sum(p.count for p in self.primitives if p.kind == kind)
+
+    def flipflop_bits(self) -> int:
+        return sum(
+            p.width * p.count
+            for p in self.primitives
+            if p.kind == Prim.REGISTER
+        )
+
+    def sram_bits(self) -> int:
+        return sum(
+            p.width * p.depth * p.count
+            for p in self.primitives
+            if p.kind == Prim.SRAM
+        )

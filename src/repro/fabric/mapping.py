@@ -1,0 +1,172 @@
+"""Technology mapping of logic networks onto 6-input LUTs.
+
+Models the Synplify-Pro-to-Virtex-5 flow of Section V-A with
+per-primitive cost functions: each primitive contributes a LUT count
+and a combinational-depth contribution (levels of LUT logic).  The
+depth, divided across the extension's pipeline stages, feeds the
+frequency estimate in :mod:`repro.fabric.timing`.
+
+A Virtex-5 6-LUT has a single 6-input function generator usable as two
+outputs when five or fewer inputs are shared (LUT6_2), which is where
+the "two 2-input gates per LUT" packing below comes from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fabric.logic import LogicNetwork, Prim, Primitive
+
+
+def _reduce_luts(width: int, fan_in: int = 6) -> int:
+    """LUTs of a reduction tree of ``width`` inputs."""
+    total = 0
+    remaining = width
+    while remaining > 1:
+        level = math.ceil(remaining / fan_in)
+        total += level
+        remaining = level
+    return total
+
+
+def _lut_cost(prim: Primitive) -> int:
+    """6-LUT count for one primitive instance."""
+    width = prim.width
+    if prim.kind == Prim.GATE:
+        # Two independent 2-input gates pack into one LUT6_2.
+        return math.ceil(width / 2)
+    if prim.kind == Prim.REDUCE:
+        return _reduce_luts(width)
+    if prim.kind == Prim.MUX:
+        # A LUT6 implements a 4:1 mux per bit; wider muxes cascade.
+        luts_per_bit = math.ceil(max(prim.ways - 1, 1) / 3)
+        return width * luts_per_bit
+    if prim.kind == Prim.ADDER:
+        # One LUT per bit ahead of the dedicated carry chain.
+        return width
+    if prim.kind == Prim.COMPARATOR_EQ:
+        # Three XNOR pairs per LUT, then an AND-reduce tree.
+        pairs = math.ceil(width / 3)
+        return pairs + _reduce_luts(pairs)
+    if prim.kind == Prim.COMPARATOR_MAG:
+        return math.ceil(width / 2) + 2
+    if prim.kind == Prim.SHIFTER:
+        # log2(width) stages of 2:1 muxes, two bits per LUT6_2.
+        stages = max(1, math.ceil(math.log2(width)))
+        return stages * math.ceil(width / 2)
+    if prim.kind == Prim.DECODER:
+        # Full decode: one LUT per output for <= 6 input bits.
+        return (1 << width) * math.ceil(width / 6)
+    if prim.kind == Prim.REGISTER:
+        return 0  # flip-flops pack into LUT sites; counted separately
+    if prim.kind == Prim.LUTRAM:
+        # SLICEM distributed RAM: 64 bits per LUT.
+        return math.ceil(prim.depth * width / 64)
+    if prim.kind == Prim.SRAM:
+        return 0  # dedicated macro, not fabric LUTs
+    if prim.kind == Prim.MOD_REDUCE:
+        # Fold `width` bits into a 3-bit residue: a carry-save tree of
+        # 3-bit adders, ~width/3 adders of 3 bits each plus correction.
+        return width + 4
+    if prim.kind == Prim.MULTIPLIER:
+        return width * width
+    raise ValueError(f"unknown primitive kind {prim.kind}")
+
+
+def _depth_cost(prim: Primitive) -> float:
+    """Combinational depth contribution, in LUT levels."""
+    width = prim.width
+    if prim.kind == Prim.GATE:
+        return 1.0
+    if prim.kind == Prim.REDUCE:
+        return max(1.0, math.ceil(math.log(max(width, 2), 6)))
+    if prim.kind == Prim.MUX:
+        # A LUT6 is a 4:1 mux: log4(ways) levels.
+        return max(1.0, math.ceil(math.log(max(prim.ways, 2), 4)))
+    if prim.kind == Prim.ADDER:
+        # Carry chains are fast; treat 16 bits of carry as one level.
+        return 2.0 + width / 16.0
+    if prim.kind == Prim.COMPARATOR_EQ:
+        if width <= 3:
+            return 1.0
+        return 1.0 + max(1.0, math.log(max(width / 3, 2), 6))
+    if prim.kind == Prim.COMPARATOR_MAG:
+        return 2.0 + width / 16.0
+    if prim.kind == Prim.SHIFTER:
+        return max(1.0, math.ceil(math.log2(width)) / 2.0)
+    if prim.kind == Prim.DECODER:
+        return 1.0
+    if prim.kind in (Prim.REGISTER, Prim.SRAM):
+        return 0.0
+    if prim.kind == Prim.LUTRAM:
+        return 1.0
+    if prim.kind == Prim.MOD_REDUCE:
+        return 1.0 + math.log(max(width / 3, 2), 2)
+    if prim.kind == Prim.MULTIPLIER:
+        return float(width)
+    raise ValueError(f"unknown primitive kind {prim.kind}")
+
+
+def _critical_stage_depth(depths: list[float], stages: int) -> float:
+    """Distribute the primitive groups over the pipeline stages.
+
+    Models a designer pipelining the datapath: units are packed into
+    ``stages`` register-bounded stages (greedy longest-processing-time
+    bin packing); the critical stage is the deepest bin.
+    """
+    bins = [0.0] * max(stages, 1)
+    for depth in sorted(depths, reverse=True):
+        bins[bins.index(min(bins))] += depth
+    return max(bins)
+
+
+@dataclass(frozen=True)
+class MappingResult:
+    """Outcome of technology mapping one network."""
+
+    name: str
+    luts: int
+    flipflops: int
+    logic_depth: float  # total combinational levels, all groups summed
+    critical_stage_depth: float  # deepest pipeline stage, in LUT levels
+    pipeline_stages: int
+
+    @property
+    def sites(self) -> int:
+        """Occupied LUT/FF sites: each LUT site carries one FF, so the
+        footprint is whichever resource runs out first."""
+        return max(self.luts, self.flipflops)
+
+    @property
+    def depth_per_stage(self) -> float:
+        return self.logic_depth / max(self.pipeline_stages, 1)
+
+    @property
+    def routing_congestion(self) -> float:
+        """Routing-delay derating that grows with design size — larger
+        networks place and route worse on a real fabric."""
+        return 1.0 + self.luts / 2000.0
+
+
+def map_network(network: LogicNetwork) -> MappingResult:
+    """Map a logic network onto 6-LUTs."""
+    luts = 0
+    depths: list[float] = []
+    for prim in network.primitives:
+        luts += _lut_cost(prim) * prim.count
+        # Instances of the same primitive group operate in parallel;
+        # their depth counts once per group.
+        depth = _depth_cost(prim)
+        if depth > 0:
+            depths.append(depth)
+    return MappingResult(
+        name=network.name,
+        luts=luts,
+        flipflops=network.flipflop_bits(),
+        logic_depth=sum(depths),
+        critical_stage_depth=_critical_stage_depth(
+            depths, network.pipeline_stages
+        ),
+        pipeline_stages=network.pipeline_stages,
+    )

@@ -1,0 +1,45 @@
+"""Power models.
+
+FPGA side: the paper used the Xilinx Virtex-5 power spreadsheet with a
+fixed toggle rate of 0.1 and static probability of 0.5.  We use the
+same two-term structure the spreadsheet produces — a static + clock-
+tree floor plus a dynamic term proportional to (LUTs x frequency x
+toggle rate).  The two coefficients are fitted to the four fabric
+power figures of Table III (the fit reproduces all four within 1 mW):
+
+    P(mW) = 14.9 + 2.047e-3 * LUTs * f_MHz * toggle
+
+ASIC side: a baseline Leon3 floor (365 mW at 465 MHz) plus per-
+component adders for SRAM macros, FIFOs and logic; constants live in
+:mod:`repro.fabric.asic`.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.mapping import MappingResult
+
+#: Fitted Virtex-5 spreadsheet coefficients (see module docstring).
+FPGA_STATIC_MW = 14.9
+FPGA_DYNAMIC_MW_PER_LUT_MHZ_TOGGLE = 2.047e-3
+
+#: The paper's fixed switching assumptions.
+DEFAULT_TOGGLE_RATE = 0.1
+DEFAULT_STATIC_PROBABILITY = 0.5
+
+#: ASIC anchors (Table III).
+ASIC_BASELINE_MW = 365.0
+
+
+def fpga_power_mw(
+    mapping: MappingResult,
+    freq_mhz: float,
+    toggle_rate: float = DEFAULT_TOGGLE_RATE,
+) -> float:
+    """Spreadsheet-style power of a mapped extension at ``freq_mhz``."""
+    dynamic = (
+        FPGA_DYNAMIC_MW_PER_LUT_MHZ_TOGGLE
+        * mapping.luts
+        * freq_mhz
+        * toggle_rate
+    )
+    return FPGA_STATIC_MW + dynamic

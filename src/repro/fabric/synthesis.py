@@ -1,0 +1,110 @@
+"""Synthesis driver: one call per implementation target.
+
+Combines the mapping, timing, area and power models into the rows of
+Table III.  ``synthesize_fabric`` is the Synplify-Pro/ISE replacement
+(extension on the reconfigurable fabric); ``synthesize_asic`` is the
+Design-Compiler replacement (extension integrated in standard cells).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fabric.area import fpga_area_um2
+from repro.fabric.asic import (
+    BASELINE_AREA_UM2,
+    BASELINE_POWER_MW,
+    AsicEstimate,
+    asic_extension_estimate,
+    flexcore_common_estimate,
+)
+from repro.fabric.mapping import MappingResult, map_network
+from repro.fabric.power import DEFAULT_TOGGLE_RATE, fpga_power_mw
+from repro.fabric.timing import (
+    ASIC_BASELINE_MHZ,
+    TAP_BITS,
+    asic_fmax_mhz,
+    fpga_fmax_mhz,
+    supported_clock_ratio,
+)
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """One row of Table III."""
+
+    name: str
+    target: str  # "fabric" | "asic" | "baseline" | "common"
+    fmax_mhz: float
+    area_um2: float
+    area_overhead: float  # fraction of the baseline Leon3 area
+    power_mw: float
+    power_overhead: float
+    luts: int = 0
+
+    @property
+    def clock_ratio(self) -> float:
+        """The coarse fabric:core ratio this target can sustain."""
+        return supported_clock_ratio(self.fmax_mhz, ASIC_BASELINE_MHZ)
+
+
+def baseline_report() -> SynthesisReport:
+    """The unmodified Leon3 with 32-KB L1 caches."""
+    return SynthesisReport(
+        name="baseline",
+        target="baseline",
+        fmax_mhz=ASIC_BASELINE_MHZ,
+        area_um2=BASELINE_AREA_UM2,
+        area_overhead=0.0,
+        power_mw=BASELINE_POWER_MW,
+        power_overhead=0.0,
+    )
+
+
+def synthesize_fabric(
+    extension, toggle_rate: float = DEFAULT_TOGGLE_RATE
+) -> SynthesisReport:
+    """Map one extension onto the reconfigurable fabric."""
+    mapping: MappingResult = map_network(extension.hardware())
+    fmax = fpga_fmax_mhz(mapping)
+    area = fpga_area_um2(mapping)
+    power = fpga_power_mw(mapping, fmax, toggle_rate)
+    return SynthesisReport(
+        name=extension.name,
+        target="fabric",
+        fmax_mhz=fmax,
+        area_um2=area,
+        area_overhead=area / BASELINE_AREA_UM2,
+        power_mw=power,
+        power_overhead=power / BASELINE_POWER_MW,
+        luts=mapping.luts,
+    )
+
+
+def synthesize_asic(extension) -> SynthesisReport:
+    """Integrate one extension into the core as full custom ASIC."""
+    estimate: AsicEstimate = asic_extension_estimate(extension)
+    return SynthesisReport(
+        name=extension.name,
+        target="asic",
+        fmax_mhz=asic_fmax_mhz(extension.name),
+        area_um2=BASELINE_AREA_UM2 + estimate.total_um2,
+        area_overhead=estimate.total_um2 / BASELINE_AREA_UM2,
+        power_mw=BASELINE_POWER_MW + estimate.power_mw,
+        power_overhead=estimate.power_mw / BASELINE_POWER_MW,
+    )
+
+
+def synthesize_common() -> SynthesisReport:
+    """The dedicated FlexCore modules (interface + meta cache +
+    shadow register file) shared by every fabric extension."""
+    estimate = flexcore_common_estimate()
+    return SynthesisReport(
+        name="common",
+        target="common",
+        fmax_mhz=asic_fmax_mhz("common", TAP_BITS["common"]),
+        area_um2=BASELINE_AREA_UM2 + estimate.total_um2,
+        area_overhead=estimate.total_um2 / BASELINE_AREA_UM2,
+        power_mw=BASELINE_POWER_MW + estimate.power_mw,
+        power_overhead=estimate.power_mw / BASELINE_POWER_MW,
+    )

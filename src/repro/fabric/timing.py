@@ -1,0 +1,66 @@
+"""Clock-frequency estimation for fabric and ASIC implementations.
+
+Constants are calibrated once against the synthesis anchors the paper
+publishes (Section V-A / Table III) and then applied uniformly:
+
+* FPGA: a 65 nm Virtex-5-class LUT+route level costs ~0.75 ns, the
+  sequencing overhead (FF clk->q + setup) ~0.6 ns, and routing delay
+  derates with design size (placement congestion).
+* ASIC: the baseline Leon3 closes at 465 MHz; adding an extension taps
+  internal pipeline signals, loading them and costing a small amount
+  of slack proportional to how many bits are tapped.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.mapping import MappingResult
+
+#: FPGA timing constants (65 nm Virtex-5 class).
+FPGA_FF_OVERHEAD_NS = 0.6
+FPGA_LEVEL_NS = 0.75
+
+#: ASIC timing anchors (65 nm IBM library, Table III).
+ASIC_BASELINE_MHZ = 465.0
+#: frequency loss per tapped pipeline-signal bit (Table III: light
+#: taps like UMC/SEC lose ~2 MHz, value-heavy taps like DIFT/BC ~9).
+ASIC_TAP_PENALTY_MHZ_PER_BIT = 0.05
+
+#: Signal bits each extension taps from the core pipeline.  UMC needs
+#: the address and opcode; DIFT/BC also need register numbers and the
+#: store value; SEC needs operands/result but taps them at the commit
+#: stage where they are already collected.
+TAP_BITS = {
+    "umc": 40,
+    "dift": 180,
+    "bc": 180,
+    "sec": 40,
+    "common": 140,  # the generic FlexCore interface (Table II packet)
+}
+
+
+def fpga_fmax_mhz(mapping: MappingResult) -> float:
+    """Achievable fabric clock for a mapped extension."""
+    period_ns = (
+        FPGA_FF_OVERHEAD_NS
+        + mapping.critical_stage_depth
+        * FPGA_LEVEL_NS
+        * mapping.routing_congestion
+    )
+    return 1000.0 / period_ns
+
+
+def asic_fmax_mhz(name: str, tap_bits: int | None = None) -> float:
+    """Core clock after integrating an extension (or the FlexCore
+    interface) into the ASIC flow."""
+    if tap_bits is None:
+        tap_bits = TAP_BITS.get(name, 100)
+    return ASIC_BASELINE_MHZ - ASIC_TAP_PENALTY_MHZ_PER_BIT * tap_bits
+
+
+def supported_clock_ratio(fmax_mhz: float, core_mhz: float) -> float:
+    """The coarse fabric:core clock ratio a synthesised extension can
+    sustain — the paper runs extensions at 1x, 1/2x, or 1/4x."""
+    for ratio in (1.0, 0.5, 0.25, 0.125):
+        if fmax_mhz >= core_mhz * ratio * 0.98:  # small rounding slack
+            return ratio
+    return 0.0625

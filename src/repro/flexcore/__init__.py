@@ -1,0 +1,37 @@
+"""FlexCore architecture: CFGR, trace packets, FIFOs, interface,
+shadow meta-data state, and the top-level system."""
+
+from repro.flexcore.cfgr import ForwardConfig, ForwardPolicy
+from repro.flexcore.fifo import DecouplingFifo, FifoStats
+from repro.flexcore.interface import (
+    CoreFabricInterface,
+    InterfaceConfig,
+    InterfaceStats,
+)
+from repro.flexcore.packet import PACKET_BITS, PACKET_FIELD_BITS, TracePacket
+from repro.flexcore.shadow import ShadowRegisterFile, TagStore
+from repro.flexcore.system import (
+    FlexCoreSystem,
+    RunResult,
+    SystemConfig,
+    run_program,
+)
+
+__all__ = [
+    "CoreFabricInterface",
+    "DecouplingFifo",
+    "FifoStats",
+    "FlexCoreSystem",
+    "ForwardConfig",
+    "ForwardPolicy",
+    "InterfaceConfig",
+    "InterfaceStats",
+    "PACKET_BITS",
+    "PACKET_FIELD_BITS",
+    "RunResult",
+    "ShadowRegisterFile",
+    "SystemConfig",
+    "TagStore",
+    "TracePacket",
+    "run_program",
+]

@@ -1,0 +1,81 @@
+"""Forwarding configuration register (CFGR).
+
+Table II: "Select a FIFO behavior for each instruction type: 1) ignore,
+2) accept only if not full, 3) accept and proceed, 4) accept and wait
+for an acknowledgement.  Contains 2 bits for each of the main 32
+instruction types" — a 64-bit register.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.isa.opcodes import NUM_INSTR_CLASSES, InstrClass
+
+
+class ForwardPolicy(enum.IntEnum):
+    """Per-instruction-type FIFO behaviour (2 bits each)."""
+
+    IGNORE = 0  # never forwarded
+    BEST_EFFORT = 1  # forwarded only if a FIFO entry is free
+    ALWAYS = 2  # forwarded; commit stalls while the FIFO is full
+    ALWAYS_ACK = 3  # forwarded; commit waits for the co-processor ack
+
+
+class ForwardConfig:
+    """A decoded CFGR: one :class:`ForwardPolicy` per instruction type."""
+
+    def __init__(
+        self, default: ForwardPolicy = ForwardPolicy.IGNORE, **overrides
+    ):
+        self._policies = [default] * NUM_INSTR_CLASSES
+        for name, policy in overrides.items():
+            self.set(InstrClass[name.upper()], policy)
+
+    def set(self, instr_class: InstrClass, policy: ForwardPolicy) -> None:
+        self._policies[int(instr_class)] = ForwardPolicy(policy)
+
+    def set_classes(self, classes, policy: ForwardPolicy) -> None:
+        for instr_class in classes:
+            self.set(instr_class, policy)
+
+    def policy(self, instr_class: InstrClass) -> ForwardPolicy:
+        return self._policies[int(instr_class)]
+
+    def forwarded_classes(self) -> set[InstrClass]:
+        """The instruction types this configuration forwards at all."""
+        return {
+            InstrClass(i)
+            for i, policy in enumerate(self._policies)
+            if policy != ForwardPolicy.IGNORE
+        }
+
+    # ------------------------------------------------------------------
+    # 64-bit hardware encoding (2 bits per type, type 0 in bits 1:0).
+
+    def encode(self) -> int:
+        word = 0
+        for i, policy in enumerate(self._policies):
+            word |= int(policy) << (2 * i)
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "ForwardConfig":
+        if not 0 <= word < (1 << 64):
+            raise ValueError("CFGR encoding must fit in 64 bits")
+        config = cls()
+        for i in range(NUM_INSTR_CLASSES):
+            config._policies[i] = ForwardPolicy((word >> (2 * i)) & 0b11)
+        return config
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ForwardConfig):
+            return NotImplemented
+        return self._policies == other._policies
+
+    def __repr__(self) -> str:
+        active = {
+            instr_class.name: self.policy(instr_class).name
+            for instr_class in self.forwarded_classes()
+        }
+        return f"ForwardConfig({active})"

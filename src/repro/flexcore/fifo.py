@@ -1,0 +1,73 @@
+"""Decoupling FIFO between the core's commit stage and the fabric.
+
+The forward FIFO is the central decoupling mechanism of the FlexCore
+architecture (Section III-B): the core pushes trace packets at commit,
+the fabric drains them at its own (slower) clock, and the core only
+stalls when the FIFO is full and the CFGR policy demands forwarding.
+
+The simulator is discrete-event, so occupancy is represented as the
+set of *drain times* of in-flight packets rather than ticking every
+cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass
+class FifoStats:
+    enqueued: int = 0
+    dropped: int = 0  # BEST_EFFORT packets rejected while full
+    full_stall_cycles: int = 0  # commit stalls waiting for space
+    max_occupancy: int = 0
+
+
+class DecouplingFifo:
+    """Bounded FIFO tracked by drain timestamps (core-clock cycles)."""
+
+    def __init__(self, depth: int = 64):
+        if depth < 1:
+            raise ValueError("FIFO depth must be positive")
+        self.depth = depth
+        self._drains: deque[int] = deque()
+        self.stats = FifoStats()
+
+    def occupancy(self, now: int) -> int:
+        """Entries still resident at time ``now``."""
+        while self._drains and self._drains[0] <= now:
+            self._drains.popleft()
+        return len(self._drains)
+
+    def is_full(self, now: int) -> bool:
+        return self.occupancy(now) >= self.depth
+
+    def time_until_space(self, now: int) -> int:
+        """Cycles the core must wait before a slot frees up."""
+        if not self.is_full(now):
+            return 0
+        return self._drains[0] - now
+
+    def push(self, now: int, drain_time: int) -> None:
+        """Insert a packet that the fabric will drain at ``drain_time``.
+
+        The caller must have ensured space (policy-dependent).
+        """
+        if self.is_full(now):
+            raise OverflowError("push into a full FIFO")
+        if drain_time < now:
+            raise ValueError("drain time before enqueue time")
+        self._drains.append(drain_time)
+        self.stats.enqueued += 1
+        occupancy = len(self._drains)
+        if occupancy > self.stats.max_occupancy:
+            self.stats.max_occupancy = occupancy
+
+    def drained_by(self) -> int:
+        """Time at which the FIFO is empty (EMPTY signal asserts)."""
+        return self._drains[-1] if self._drains else 0
+
+    def reset(self) -> None:
+        self._drains.clear()
+        self.stats = FifoStats()

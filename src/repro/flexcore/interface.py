@@ -1,0 +1,252 @@
+"""The core-fabric interface module (Section III-C, Table II).
+
+Sits at the commit stage of the main core.  For every committed
+instruction it:
+
+1. classifies the instruction into one of the 32 CFGR types and looks
+   up the forwarding policy (ignore / best-effort / always /
+   always-with-ack);
+2. assembles the trace packet, including the pre-decoded fields;
+3. pushes it into the forward FIFO, stalling the commit only when the
+   policy requires forwarding and the FIFO is full;
+4. lets the fabric drain packets in its own (slower) clock domain,
+   stalling the fabric pipeline on meta-data cache misses, which are
+   refilled over the *shared* bus and therefore contend with the main
+   core's own cache traffic;
+5. delivers TRAP/ACK/EMPTY control signals and BFIFO return values.
+
+Timing is event-driven: the fabric's service schedule is computed at
+enqueue time, which is exact for an in-order, single-engine fabric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from typing import TYPE_CHECKING
+
+from repro.core.executor import CommitRecord
+from repro.flexcore.cfgr import ForwardPolicy
+from repro.flexcore.fifo import DecouplingFifo
+from repro.flexcore.packet import TracePacket
+from repro.isa.opcodes import FlexOpf, InstrClass
+from repro.memory.bus import SharedBus
+from repro.memory.cache import META_CACHE_CONFIG, CacheConfig, MetadataCache
+
+if TYPE_CHECKING:
+    from repro.extensions.base import MonitorExtension, MonitorTrap
+
+
+@dataclass
+class InterfaceConfig:
+    """Configuration of the core-fabric interface."""
+
+    #: fabric clock as a fraction of the core clock (Table IV: 1X for
+    #: the ASIC comparison point, 0.5X for UMC/DIFT/BC, 0.25X for SEC).
+    clock_ratio: float = 0.5
+    fifo_depth: int = 64
+    meta_cache: CacheConfig = field(default_factory=lambda: META_CACHE_CONFIG)
+    #: cross-clock-domain synchronisation latency, in fabric cycles.
+    sync_fabric_cycles: int = 1
+    #: decode instruction fields on the core side (Section III-C: the
+    #: DIFT prototype runs ~30% faster with core-side decoding).
+    predecode: bool = True
+    #: extra fabric cycles per packet when the fabric must decode the
+    #: raw instruction word itself (predecode disabled).  A LUT-based
+    #: SPARC decoder adds half an initiation interval on average (it
+    #: overlaps with the tag datapath for the simpler formats), which
+    #: reproduces the ~30% DIFT slowdown the paper reports.
+    decode_penalty: float = 0.5
+    #: require a CACK before every forwarded instruction commits,
+    #: giving precise monitor exceptions (Section III-C discusses this
+    #: as the conservative option; the prototypes don't need it since
+    #: they terminate on a trap).  Expensive on an in-order core.
+    precise_exceptions: bool = False
+    #: optional meta-data TLB (Section III-B: "optionally a TLB if
+    #: virtual memory is supported"; the paper's prototype omits it).
+    #: When enabled, each meta-data access that misses the TLB costs a
+    #: table walk over the shared bus.
+    meta_tlb_entries: int = 0
+    meta_tlb_walk_cycles: int = 12
+
+    @property
+    def fabric_period(self) -> float:
+        """Fabric clock period, in core-clock cycles."""
+        if not 0 < self.clock_ratio <= 1:
+            raise ValueError("clock ratio must be in (0, 1]")
+        return 1.0 / self.clock_ratio
+
+
+@dataclass
+class InterfaceStats:
+    """Counters the evaluation section reports."""
+
+    committed: int = 0  # committed instructions seen (incl. annulled)
+    forwarded: int = 0
+    ignored: int = 0
+    dropped: int = 0
+    forwarded_by_class: dict[InstrClass, int] = field(default_factory=dict)
+    fifo_stall_cycles: int = 0  # commit stalled on a full FIFO
+    ack_stall_cycles: int = 0  # commit stalled waiting for an ack
+    meta_stall_cycles: int = 0  # fabric stalled on meta-data misses
+    fabric_busy_cycles: float = 0.0
+
+    @property
+    def forwarded_fraction(self) -> float:
+        return self.forwarded / self.committed if self.committed else 0.0
+
+
+class CoreFabricInterface:
+    """FIFO interface + fabric service model for one extension."""
+
+    def __init__(
+        self,
+        extension: MonitorExtension,
+        bus: SharedBus,
+        config: InterfaceConfig | None = None,
+    ):
+        self.extension = extension
+        self.bus = bus
+        self.config = config or InterfaceConfig()
+        self.cfgr = extension.forward_config()
+        self.fifo = DecouplingFifo(self.config.fifo_depth)
+        self.meta_cache = MetadataCache(self.config.meta_cache)
+        self.stats = InterfaceStats()
+        self.pending_trap: MonitorTrap | None = None
+        self.trap_time: float = 0.0
+        self._fabric_free: float = 0.0
+        #: BFIFO: value most recently produced for READ_STATUS.
+        self.bfifo_value = 0
+        # Meta-data TLB: fully-associative over 4-KB meta pages.
+        self._tlb: list[int] = []
+
+    # ------------------------------------------------------------------
+
+    def _fabric_edge(self, time: float) -> float:
+        """Next fabric clock edge at or after ``time``."""
+        period = self.config.fabric_period
+        return math.ceil(time / period) * period
+
+    def _service(self, packet: TracePacket, enqueue_time: float) -> float:
+        """Run the packet through the fabric; return its drain time."""
+        config = self.config
+        period = config.fabric_period
+        outcome = self.extension.process(packet)
+
+        cycles = outcome.fabric_cycles
+        if not config.predecode:
+            cycles += config.decode_penalty
+
+        # The packet crosses the clock domain, then waits for the
+        # fabric engine to be free.
+        earliest = self._fabric_edge(
+            enqueue_time + config.sync_fabric_cycles * period
+        )
+        start = max(self._fabric_free, earliest)
+        time = start + cycles * period
+
+        # Meta-data accesses: reads stall the fabric on a miss while
+        # the line is refilled over the shared bus; writes go through
+        # write-through posted writes that occupy the bus but do not
+        # stall the fabric.
+        for access in outcome.meta_accesses:
+            time = self._tlb_lookup(access.addr, time)
+            if access.kind == "read":
+                if not self.meta_cache.read(access.addr):
+                    done = self.bus.line_refill(int(time), "meta-refill")
+                    self.stats.meta_stall_cycles += done - time
+                    time = done
+            else:
+                self.meta_cache.write_bits(access.addr, access.mask)
+                self.bus.word_write(int(time), "meta-write")
+
+        self.stats.fabric_busy_cycles += time - start
+        self._fabric_free = time
+
+        if outcome.trap is not None and self.pending_trap is None:
+            self.pending_trap = outcome.trap
+            self.trap_time = time
+        return time
+
+    def _tlb_lookup(self, addr: int, time: float) -> float:
+        """Translate a meta-data address; a miss costs a table walk
+        over the shared bus.  Disabled (zero entries) by default, like
+        the paper's prototype."""
+        entries = self.config.meta_tlb_entries
+        if entries <= 0:
+            return time
+        page = addr >> 12
+        if page in self._tlb:
+            self._tlb.remove(page)
+            self._tlb.append(page)
+            return time
+        done = self.bus.acquire(
+            int(time), self.config.meta_tlb_walk_cycles, "meta-tlb-walk"
+        )
+        self.stats.meta_stall_cycles += done - time
+        self._tlb.append(page)
+        if len(self._tlb) > entries:
+            self._tlb.pop(0)
+        return done
+
+    # ------------------------------------------------------------------
+
+    def on_commit(self, record: CommitRecord, now: float) -> float:
+        """Handle one committed instruction; return the (possibly
+        stalled) core time after commit."""
+        stats = self.stats
+        stats.committed += 1
+        if record.annulled:
+            return now
+
+        instr_class = record.instr_class
+        policy = self.cfgr.policy(instr_class)
+        if policy == ForwardPolicy.IGNORE:
+            stats.ignored += 1
+            return now
+
+        # The "read from co-processor" instruction always needs the
+        # BFIFO round trip, regardless of the class policy; precise-
+        # exception mode acknowledges every forwarded instruction.
+        needs_ack = (
+            policy == ForwardPolicy.ALWAYS_ACK
+            or self.config.precise_exceptions
+            or (instr_class == InstrClass.FLEX
+                and record.instr.opf == FlexOpf.READ_STATUS)
+        )
+
+        if self.fifo.is_full(now):
+            if policy == ForwardPolicy.BEST_EFFORT:
+                stats.dropped += 1
+                return now
+            wait = self.fifo.time_until_space(now)
+            stats.fifo_stall_cycles += wait
+            self.fifo.stats.full_stall_cycles += wait
+            now += wait
+
+        packet = TracePacket.from_commit(record)
+        stats.forwarded += 1
+        stats.forwarded_by_class[instr_class] = (
+            stats.forwarded_by_class.get(instr_class, 0) + 1
+        )
+        drain = self._service(packet, now)
+        self.fifo.push(now, drain)
+
+        if needs_ack:
+            # CACK comes back through a synchroniser as well.
+            ack_at = drain + self.config.sync_fabric_cycles
+            stats.ack_stall_cycles += ack_at - now
+            now = ack_at
+        return now
+
+    # ------------------------------------------------------------------
+
+    def read_status(self) -> int:
+        """Functional BFIFO read for the READ_STATUS instruction."""
+        self.bfifo_value = self.extension.status_word()
+        return self.bfifo_value
+
+    def drain_time(self) -> float:
+        """Time at which the co-processor goes EMPTY."""
+        return self._fabric_free

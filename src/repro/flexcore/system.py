@@ -1,0 +1,174 @@
+"""Top-level FlexCore system: core + interface + fabric extension.
+
+:class:`FlexCoreSystem` assembles the whole prototype of Section IV:
+the Leon3-like core with its L1 caches, the shared bus to SDRAM, and
+(optionally) one monitoring extension behind the core-fabric
+interface.  ``clock_ratio=1.0`` models the full-ASIC comparison point
+of Table IV (the extension keeps up with the core clock);
+``clock_ratio=0.5 / 0.25`` model the synthesised fabric frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.executor import CommitRecord, CpuState, SimulationError
+from typing import TYPE_CHECKING
+
+from repro.core.timing import CoreTiming, CoreTimingConfig, CoreTimingStats
+from repro.flexcore.interface import (
+    CoreFabricInterface,
+    InterfaceConfig,
+    InterfaceStats,
+)
+from repro.isa.assembler import Program
+from repro.memory.backing import SparseMemory
+from repro.memory.bus import SharedBus
+
+if TYPE_CHECKING:
+    from repro.extensions.base import MonitorExtension, MonitorTrap
+
+DEFAULT_STACK_TOP = 0x7FFFF0
+DEFAULT_MAX_INSTRUCTIONS = 50_000_000
+
+
+@dataclass
+class RunResult:
+    """Everything a run produces."""
+
+    cycles: int
+    instructions: int
+    halted: bool
+    trap: MonitorTrap | None
+    core_stats: CoreTimingStats
+    interface_stats: InterfaceStats | None
+    memory: SparseMemory
+    program: Program
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def word(self, symbol: str, offset: int = 0) -> int:
+        """Read a result word from memory by data-symbol name."""
+        return self.memory.read_word(self.program.symbol(symbol) + offset)
+
+
+@dataclass
+class SystemConfig:
+    """Configuration for one simulated system."""
+
+    core: CoreTimingConfig = field(default_factory=CoreTimingConfig)
+    interface: InterfaceConfig = field(default_factory=InterfaceConfig)
+    nwindows: int = 8
+    stack_top: int = DEFAULT_STACK_TOP
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
+    #: stop the simulation when the extension raises TRAP (the paper's
+    #: extensions terminate the program); if False, record and continue.
+    stop_on_trap: bool = True
+
+
+class FlexCoreSystem:
+    """One assembled program running on one system configuration."""
+
+    def __init__(
+        self,
+        program: Program,
+        extension: MonitorExtension | None = None,
+        config: SystemConfig | None = None,
+    ):
+        self.program = program
+        self.config = config or SystemConfig()
+        self.memory = SparseMemory()
+        self.memory.load_program(program)
+        self.bus = SharedBus(self.config.core.bus)
+        self.cpu = CpuState(
+            self.memory,
+            entry=program.entry,
+            nwindows=self.config.nwindows,
+            stack_top=self.config.stack_top,
+        )
+        self.core_timing = CoreTiming(self.config.core, self.bus)
+        self.extension = extension
+        self.interface: CoreFabricInterface | None = None
+        if extension is not None:
+            extension.attach(self.cpu.regs.num_physical)
+            extension.on_program_load(program, self.config.stack_top)
+            self.interface = CoreFabricInterface(
+                extension, self.bus, self.config.interface
+            )
+            self.cpu.coprocessor_read = self.interface.read_status
+        #: hooks applied to every commit record before forwarding —
+        #: used for fault injection in the SEC example/tests.
+        self.record_hooks: list = []
+
+    def run(self, max_instructions: int | None = None) -> RunResult:
+        """Run to completion (ta 0), trap, or the instruction limit."""
+        limit = max_instructions or self.config.max_instructions
+        cpu = self.cpu
+        core_timing = self.core_timing
+        interface = self.interface
+        hooks = self.record_hooks
+        stop_on_trap = self.config.stop_on_trap
+        now: float = 0.0
+        trap: MonitorTrap | None = None
+
+        while not cpu.halted:
+            if cpu.instret >= limit:
+                raise SimulationError(
+                    f"instruction limit {limit} exceeded at "
+                    f"pc={cpu.pc:#x} — runaway program?"
+                )
+            record: CommitRecord = cpu.step()
+            now = core_timing.advance(record, int(now))
+            if interface is not None:
+                for hook in hooks:
+                    hook(record)
+                now = interface.on_commit(record, now)
+                if interface.pending_trap is not None and stop_on_trap:
+                    trap = interface.pending_trap
+                    now = max(now, interface.trap_time)
+                    break
+
+        # Wait for the co-processor to drain (the EMPTY signal) and
+        # the store buffer to flush before declaring the run over.
+        if interface is not None:
+            if trap is None and interface.pending_trap is not None:
+                trap = interface.pending_trap
+            now = max(now, interface.drain_time())
+        now = max(now, core_timing.store_buffer.drain_time())
+
+        return RunResult(
+            cycles=int(now),
+            instructions=cpu.instret,
+            halted=cpu.halted,
+            trap=trap,
+            core_stats=core_timing.stats,
+            interface_stats=interface.stats if interface else None,
+            memory=self.memory,
+            program=self.program,
+        )
+
+
+def run_program(
+    program: Program,
+    extension: MonitorExtension | None = None,
+    clock_ratio: float = 0.5,
+    fifo_depth: int = 64,
+    config: SystemConfig | None = None,
+    max_instructions: int | None = None,
+) -> RunResult:
+    """Convenience entry point: build a system and run it.
+
+    This is the main public API used by the examples and benchmarks::
+
+        result = run_program(program)                         # baseline
+        result = run_program(program, create_extension("dift"))
+        result = run_program(program, SoftErrorCheck(), clock_ratio=0.25)
+    """
+    if config is None:
+        config = SystemConfig()
+        config.interface.clock_ratio = clock_ratio
+        config.interface.fifo_depth = fifo_depth
+    system = FlexCoreSystem(program, extension, config)
+    return system.run(max_instructions)

@@ -1,0 +1,57 @@
+"""SPARC V8 subset ISA: opcodes, encodings, registers, assembler."""
+
+from repro.isa.assembler import Assembler, AssemblyError, Program, assemble
+from repro.isa.disasm import disassemble, disassemble_program
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    ALU_CLASSES,
+    LOAD_CLASSES,
+    MEMORY_CLASSES,
+    NUM_INSTR_CLASSES,
+    STORE_CLASSES,
+    Cond,
+    FlexOpf,
+    InstrClass,
+    Op,
+    Op2,
+    Op3,
+    Op3Mem,
+)
+from repro.isa.registers import (
+    RegisterFile,
+    WindowOverflow,
+    WindowUnderflow,
+    parse_register,
+    register_name,
+)
+
+__all__ = [
+    "ALU_CLASSES",
+    "Assembler",
+    "AssemblyError",
+    "Cond",
+    "EncodingError",
+    "FlexOpf",
+    "Instruction",
+    "InstrClass",
+    "LOAD_CLASSES",
+    "MEMORY_CLASSES",
+    "NUM_INSTR_CLASSES",
+    "Op",
+    "Op2",
+    "Op3",
+    "Op3Mem",
+    "Program",
+    "RegisterFile",
+    "STORE_CLASSES",
+    "WindowOverflow",
+    "WindowUnderflow",
+    "assemble",
+    "decode",
+    "disassemble",
+    "disassemble_program",
+    "encode",
+    "parse_register",
+    "register_name",
+]

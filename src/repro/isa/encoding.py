@@ -1,0 +1,154 @@
+"""Binary encoder/decoder for the SPARC V8 subset.
+
+Encodings follow the SPARC Architecture Manual V8:
+
+* format 1 (``op=1``): ``op[31:30] disp30[29:0]`` — CALL
+* format 2 (``op=0``): ``op rd[29:25] op2[24:22] imm22[21:0]`` — SETHI;
+  ``op a[29] cond[28:25] op2 disp22[21:0]`` — Bicc
+* format 3 (``op=2,3``): ``op rd[29:25] op3[24:19] rs1[18:14] i[13]
+  (simm13[12:0] | asi/opf rs2[4:0])``
+
+FlexCore co-processor instructions reuse the CPop1 space
+(``op=2, op3=0x36``) with the 9-bit ``opf`` field in bits 13:5.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Cond, Op, Op2, Op3, Op3Mem
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+def _check_range(name: str, value: int, bits: int, signed: bool) -> int:
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    if not lo <= value <= hi:
+        raise EncodingError(f"{name}={value} does not fit in {bits} bits")
+    return value & ((1 << bits) - 1)
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    mask = 1 << (bits - 1)
+    return (value & (mask - 1)) - (value & mask)
+
+
+def encode(instr: Instruction) -> int:
+    """Encode a decoded instruction into its 32-bit binary word."""
+    if instr.op == Op.CALL:
+        disp = _check_range("disp30", instr.disp, 30, signed=True)
+        return (1 << 30) | disp
+
+    if instr.op == Op.FORMAT2:
+        if instr.opcode == Op2.SETHI:
+            imm = _check_range("imm22", instr.imm, 22, signed=False)
+            rd = _check_range("rd", instr.rd, 5, signed=False)
+            return (rd << 25) | (int(Op2.SETHI) << 22) | imm
+        if instr.opcode == Op2.BICC:
+            disp = _check_range("disp22", instr.disp, 22, signed=True)
+            word = (int(instr.cond) << 25) | (int(Op2.BICC) << 22) | disp
+            if instr.annul:
+                word |= 1 << 29
+            return word
+        raise EncodingError(f"unsupported format-2 opcode {instr.opcode}")
+
+    # Format 3.  Ticc keeps its condition code in bits 28:25 (the low
+    # bits of the rd field slot).
+    if instr.op == Op.FORMAT3_ALU and instr.opcode == Op3.TICC:
+        rd = int(instr.cond)
+    else:
+        rd = _check_range("rd", instr.rd, 5, signed=False)
+    rs1 = _check_range("rs1", instr.rs1, 5, signed=False)
+    op3 = int(instr.opcode)
+    word = (int(instr.op) << 30) | (rd << 25) | (op3 << 19) | (rs1 << 14)
+    if instr.op == Op.FORMAT3_ALU and instr.opcode == Op3.FLEXOP:
+        opf = _check_range("opf", instr.opf, 9, signed=False)
+        rs2 = _check_range("rs2", instr.rs2, 5, signed=False)
+        return word | (opf << 5) | rs2
+    if instr.use_imm:
+        simm = _check_range("simm13", instr.imm, 13, signed=True)
+        return word | (1 << 13) | simm
+    rs2 = _check_range("rs2", instr.rs2, 5, signed=False)
+    return word | rs2
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit binary word into an :class:`Instruction`."""
+    if not 0 <= word <= 0xFFFFFFFF:
+        raise EncodingError(f"not a 32-bit word: {word:#x}")
+    op = (word >> 30) & 0x3
+
+    if op == Op.CALL:
+        return Instruction(
+            op=Op.CALL, disp=_sign_extend(word & 0x3FFFFFFF, 30), rd=15
+        )
+
+    if op == Op.FORMAT2:
+        op2 = (word >> 22) & 0x7
+        if op2 == Op2.SETHI:
+            return Instruction(
+                op=Op.FORMAT2,
+                opcode=Op2.SETHI,
+                rd=(word >> 25) & 0x1F,
+                imm=word & 0x3FFFFF,
+            )
+        if op2 == Op2.BICC:
+            return Instruction(
+                op=Op.FORMAT2,
+                opcode=Op2.BICC,
+                cond=Cond((word >> 25) & 0xF),
+                annul=bool((word >> 29) & 1),
+                disp=_sign_extend(word & 0x3FFFFF, 22),
+            )
+        raise EncodingError(f"unsupported format-2 op2={op2:#o}")
+
+    op3_raw = (word >> 19) & 0x3F
+    rd = (word >> 25) & 0x1F
+    rs1 = (word >> 14) & 0x1F
+    i_bit = (word >> 13) & 1
+
+    if op == Op.FORMAT3_MEM:
+        try:
+            op3 = Op3Mem(op3_raw)
+        except ValueError as exc:
+            raise EncodingError(f"unknown memory op3={op3_raw:#x}") from exc
+        common = dict(op=Op.FORMAT3_MEM, opcode=op3, rd=rd, rs1=rs1)
+        if i_bit:
+            return Instruction(
+                use_imm=True, imm=_sign_extend(word & 0x1FFF, 13), **common
+            )
+        return Instruction(rs2=word & 0x1F, **common)
+
+    try:
+        op3 = Op3(op3_raw)
+    except ValueError as exc:
+        raise EncodingError(f"unknown ALU op3={op3_raw:#x}") from exc
+    if op3 == Op3.FLEXOP:
+        return Instruction(
+            op=Op.FORMAT3_ALU,
+            opcode=Op3.FLEXOP,
+            rd=rd,
+            rs1=rs1,
+            rs2=word & 0x1F,
+            opf=(word >> 5) & 0x1FF,
+        )
+    if op3 == Op3.TICC:
+        return Instruction(
+            op=Op.FORMAT3_ALU,
+            opcode=Op3.TICC,
+            cond=Cond(rd & 0xF),
+            rs1=rs1,
+            use_imm=bool(i_bit),
+            imm=_sign_extend(word & 0x7F, 7) if i_bit else 0,
+            rs2=0 if i_bit else word & 0x1F,
+        )
+    common = dict(op=Op.FORMAT3_ALU, opcode=op3, rd=rd, rs1=rs1)
+    if i_bit:
+        return Instruction(
+            use_imm=True, imm=_sign_extend(word & 0x1FFF, 13), **common
+        )
+    return Instruction(rs2=word & 0x1F, **common)

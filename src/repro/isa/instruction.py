@@ -1,0 +1,96 @@
+"""Decoded instruction representation.
+
+An :class:`Instruction` is the output of the decoder and the input to
+both the functional executor and the assembler's encoder.  It carries
+the raw fields of the three SPARC instruction formats plus the derived
+:class:`~repro.isa.opcodes.InstrClass` used by the CFGR filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import (
+    Cond,
+    InstrClass,
+    Op,
+    Op2,
+    Op3,
+    Op3Mem,
+    alu_class,
+    mem_class,
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded 32-bit SPARC instruction."""
+
+    op: Op
+    #: op3 for format-3 (Op3 or Op3Mem), op2 for format-2, None for CALL.
+    opcode: object | None = None
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    #: True when the second operand is the sign-extended 13-bit immediate.
+    use_imm: bool = False
+    imm: int = 0  # simm13 (sign-extended) or imm22 for SETHI
+    cond: Cond = Cond.BN
+    annul: bool = False
+    disp: int = 0  # disp22 (branches) or disp30 (call), in instructions
+    opf: int = 0  # flex sub-opcode for Op3.FLEXOP
+
+    @property
+    def instr_class(self) -> InstrClass:
+        """The CFGR instruction type of this instruction."""
+        if self.op == Op.CALL:
+            return InstrClass.CALL
+        if self.op == Op.FORMAT2:
+            if self.opcode == Op2.SETHI:
+                # `sethi 0, %g0` is the canonical NOP encoding.
+                if self.rd == 0 and self.imm == 0:
+                    return InstrClass.NOP
+                return InstrClass.SETHI
+            return InstrClass.BRANCH
+        if self.op == Op.FORMAT3_MEM:
+            return mem_class(self.opcode)
+        return alu_class(self.opcode)
+
+    @property
+    def is_load(self) -> bool:
+        return self.op == Op.FORMAT3_MEM and self.opcode in (
+            Op3Mem.LD,
+            Op3Mem.LDUB,
+            Op3Mem.LDSB,
+            Op3Mem.LDUH,
+            Op3Mem.LDSH,
+            Op3Mem.LDD,
+        )
+
+    @property
+    def is_store(self) -> bool:
+        return self.op == Op.FORMAT3_MEM and not self.is_load
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op == Op.FORMAT2 and self.opcode == Op2.BICC
+
+    @property
+    def is_flex(self) -> bool:
+        return self.op == Op.FORMAT3_ALU and self.opcode == Op3.FLEXOP
+
+    def access_size(self) -> int:
+        """Size in bytes of the memory access (loads/stores only)."""
+        sizes = {
+            Op3Mem.LD: 4,
+            Op3Mem.ST: 4,
+            Op3Mem.LDD: 8,
+            Op3Mem.STD: 8,
+            Op3Mem.LDUB: 1,
+            Op3Mem.LDSB: 1,
+            Op3Mem.STB: 1,
+            Op3Mem.LDUH: 2,
+            Op3Mem.LDSH: 2,
+            Op3Mem.STH: 2,
+        }
+        return sizes[self.opcode]

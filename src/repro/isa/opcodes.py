@@ -1,0 +1,314 @@
+"""SPARC V8 subset opcode definitions.
+
+The FlexCore prototype is built on Leon3, a SPARC V8 processor.  This
+module defines the instruction subset the reproduction implements:
+format-1 CALL, format-2 SETHI/Bicc, and format-3 integer/memory/flex
+operations, together with the 32 *instruction types* that the forward
+configuration register (CFGR, Table II of the paper) uses to decide,
+per type, whether a committed instruction is forwarded to the fabric.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Op(enum.IntEnum):
+    """Top-level 2-bit opcode field (bits 31:30)."""
+
+    FORMAT2 = 0  # SETHI / Bicc
+    CALL = 1
+    FORMAT3_ALU = 2  # arithmetic / logical / shift / jmpl / save / flex
+    FORMAT3_MEM = 3  # loads and stores
+
+
+class Op2(enum.IntEnum):
+    """Format-2 op2 field (bits 24:22)."""
+
+    UNIMP = 0b000
+    BICC = 0b010
+    SETHI = 0b100
+
+
+class Op3(enum.IntEnum):
+    """Format-3 op3 field (bits 24:19) for ``Op.FORMAT3_ALU``."""
+
+    ADD = 0x00
+    AND = 0x01
+    OR = 0x02
+    XOR = 0x03
+    SUB = 0x04
+    ANDN = 0x05
+    ORN = 0x06
+    XNOR = 0x07
+    ADDX = 0x08
+    UMUL = 0x0A
+    SMUL = 0x0B
+    SUBX = 0x0C
+    UDIV = 0x0E
+    SDIV = 0x0F
+    ADDCC = 0x10
+    ANDCC = 0x11
+    ORCC = 0x12
+    XORCC = 0x13
+    SUBCC = 0x14
+    ANDNCC = 0x15
+    ORNCC = 0x16
+    XNORCC = 0x17
+    ADDXCC = 0x18
+    UMULCC = 0x1A
+    SMULCC = 0x1B
+    SUBXCC = 0x1C
+    UDIVCC = 0x1E
+    SDIVCC = 0x1F
+    SLL = 0x25
+    SRL = 0x26
+    SRA = 0x27
+    RDY = 0x28
+    WRY = 0x30
+    FLEXOP = 0x36  # CPop1 encoding space, used for FlexCore co-processor ops
+    JMPL = 0x38
+    RETT = 0x39
+    TICC = 0x3A
+    SAVE = 0x3C
+    RESTORE = 0x3D
+
+
+class Op3Mem(enum.IntEnum):
+    """Format-3 op3 field for ``Op.FORMAT3_MEM``."""
+
+    LD = 0x00
+    LDUB = 0x01
+    LDUH = 0x02
+    LDD = 0x03
+    ST = 0x04
+    STB = 0x05
+    STH = 0x06
+    STD = 0x07
+    LDSB = 0x09
+    LDSH = 0x0A
+
+
+class Cond(enum.IntEnum):
+    """Bicc condition field (bits 28:25)."""
+
+    BN = 0b0000
+    BE = 0b0001
+    BLE = 0b0010
+    BL = 0b0011
+    BLEU = 0b0100
+    BCS = 0b0101  # also BLU
+    BNEG = 0b0110
+    BVS = 0b0111
+    BA = 0b1000
+    BNE = 0b1001
+    BG = 0b1010
+    BGE = 0b1011
+    BGU = 0b1100
+    BCC = 0b1101  # also BGEU
+    BPOS = 0b1110
+    BVC = 0b1111
+
+
+class FlexOpf(enum.IntEnum):
+    """Sub-opcode (``opf`` field, bits 13:5) for FlexCore co-processor
+    instructions (``Op3.FLEXOP``).
+
+    The interface merely forwards these packets; each monitoring
+    extension interprets the ones it cares about (Section III-C of the
+    paper: "the fabric can be programmed to update the register on a
+    particular instruction encoding").
+    """
+
+    NOPF = 0x00
+    SET_BASE = 0x01  # meta-data base address <- rs1 value
+    SET_POLICY = 0x02  # extension policy register <- rs1 value
+    READ_STATUS = 0x03  # rd <- co-processor status word (blocks via BFIFO)
+    TAG_SET_REG = 0x10  # tag[rd] <- low bits of rs1 value (or imm)
+    TAG_CLR_REG = 0x11  # tag[rd] <- 0
+    TAG_SET_MEM = 0x12  # mem tag at address (rs1 + rs2/imm) <- tag value in Y
+    TAG_CLR_MEM = 0x13  # mem tag at address (rs1 + rs2/imm) <- 0
+    SET_TAGVAL = 0x14  # latch the tag value used by TAG_SET_MEM / colour ops
+    COLOR_PTR = 0x15  # BC: colour the pointer register rd
+    COLOR_MEM = 0x16  # BC: colour the memory word at (rs1 + rs2/imm)
+
+
+class InstrClass(enum.IntEnum):
+    """The 32 instruction types used by the forward configuration
+    register (Table II: "2 bits for each of the main 32 instruction
+    types").
+
+    Values 26..31 are reserved to keep the CFGR's 64-bit layout exact.
+    """
+
+    LOAD_WORD = 0
+    LOAD_BYTE = 1
+    LOAD_HALF = 2
+    LOAD_DOUBLE = 3
+    STORE_WORD = 4
+    STORE_BYTE = 5
+    STORE_HALF = 6
+    STORE_DOUBLE = 7
+    ARITH_ADD = 8
+    ARITH_SUB = 9
+    LOGIC = 10
+    SHIFT = 11
+    MUL = 12
+    DIV = 13
+    SETHI = 14
+    BRANCH = 15
+    CALL = 16
+    JMPL = 17  # indirect jumps (incl. returns)
+    RETT = 18
+    SAVE = 19
+    RESTORE = 20
+    RDSR = 21
+    WRSR = 22
+    FLEX = 23  # FlexCore co-processor instructions
+    NOP = 24
+    TRAP = 25
+    RESERVED26 = 26
+    RESERVED27 = 27
+    RESERVED28 = 28
+    RESERVED29 = 29
+    RESERVED30 = 30
+    RESERVED31 = 31
+
+
+NUM_INSTR_CLASSES = 32
+
+#: Instruction classes that read or write data memory.
+MEMORY_CLASSES = frozenset(
+    {
+        InstrClass.LOAD_WORD,
+        InstrClass.LOAD_BYTE,
+        InstrClass.LOAD_HALF,
+        InstrClass.LOAD_DOUBLE,
+        InstrClass.STORE_WORD,
+        InstrClass.STORE_BYTE,
+        InstrClass.STORE_HALF,
+        InstrClass.STORE_DOUBLE,
+    }
+)
+
+#: Load classes only.
+LOAD_CLASSES = frozenset(
+    {
+        InstrClass.LOAD_WORD,
+        InstrClass.LOAD_BYTE,
+        InstrClass.LOAD_HALF,
+        InstrClass.LOAD_DOUBLE,
+    }
+)
+
+#: Store classes only.
+STORE_CLASSES = frozenset(
+    {
+        InstrClass.STORE_WORD,
+        InstrClass.STORE_BYTE,
+        InstrClass.STORE_HALF,
+        InstrClass.STORE_DOUBLE,
+    }
+)
+
+#: Classes whose result is produced by the integer ALU datapath.
+ALU_CLASSES = frozenset(
+    {
+        InstrClass.ARITH_ADD,
+        InstrClass.ARITH_SUB,
+        InstrClass.LOGIC,
+        InstrClass.SHIFT,
+        InstrClass.MUL,
+        InstrClass.DIV,
+    }
+)
+
+_CC_OPS = frozenset(
+    {
+        Op3.ADDCC,
+        Op3.ANDCC,
+        Op3.ORCC,
+        Op3.XORCC,
+        Op3.SUBCC,
+        Op3.ANDNCC,
+        Op3.ORNCC,
+        Op3.XNORCC,
+        Op3.ADDXCC,
+        Op3.UMULCC,
+        Op3.SMULCC,
+        Op3.SUBXCC,
+        Op3.UDIVCC,
+        Op3.SDIVCC,
+    }
+)
+
+
+def sets_condition_codes(op3: Op3) -> bool:
+    """Return True if the ALU op updates the integer condition codes."""
+    return op3 in _CC_OPS
+
+
+_ALU_CLASS_BY_OP3 = {
+    Op3.ADD: InstrClass.ARITH_ADD,
+    Op3.ADDCC: InstrClass.ARITH_ADD,
+    Op3.ADDX: InstrClass.ARITH_ADD,
+    Op3.ADDXCC: InstrClass.ARITH_ADD,
+    Op3.SUB: InstrClass.ARITH_SUB,
+    Op3.SUBCC: InstrClass.ARITH_SUB,
+    Op3.SUBX: InstrClass.ARITH_SUB,
+    Op3.SUBXCC: InstrClass.ARITH_SUB,
+    Op3.AND: InstrClass.LOGIC,
+    Op3.ANDCC: InstrClass.LOGIC,
+    Op3.ANDN: InstrClass.LOGIC,
+    Op3.ANDNCC: InstrClass.LOGIC,
+    Op3.OR: InstrClass.LOGIC,
+    Op3.ORCC: InstrClass.LOGIC,
+    Op3.ORN: InstrClass.LOGIC,
+    Op3.ORNCC: InstrClass.LOGIC,
+    Op3.XOR: InstrClass.LOGIC,
+    Op3.XORCC: InstrClass.LOGIC,
+    Op3.XNOR: InstrClass.LOGIC,
+    Op3.XNORCC: InstrClass.LOGIC,
+    Op3.SLL: InstrClass.SHIFT,
+    Op3.SRL: InstrClass.SHIFT,
+    Op3.SRA: InstrClass.SHIFT,
+    Op3.UMUL: InstrClass.MUL,
+    Op3.UMULCC: InstrClass.MUL,
+    Op3.SMUL: InstrClass.MUL,
+    Op3.SMULCC: InstrClass.MUL,
+    Op3.UDIV: InstrClass.DIV,
+    Op3.UDIVCC: InstrClass.DIV,
+    Op3.SDIV: InstrClass.DIV,
+    Op3.SDIVCC: InstrClass.DIV,
+    Op3.RDY: InstrClass.RDSR,
+    Op3.WRY: InstrClass.WRSR,
+    Op3.FLEXOP: InstrClass.FLEX,
+    Op3.JMPL: InstrClass.JMPL,
+    Op3.RETT: InstrClass.RETT,
+    Op3.TICC: InstrClass.TRAP,
+    Op3.SAVE: InstrClass.SAVE,
+    Op3.RESTORE: InstrClass.RESTORE,
+}
+
+_MEM_CLASS_BY_OP3 = {
+    Op3Mem.LD: InstrClass.LOAD_WORD,
+    Op3Mem.LDUB: InstrClass.LOAD_BYTE,
+    Op3Mem.LDSB: InstrClass.LOAD_BYTE,
+    Op3Mem.LDUH: InstrClass.LOAD_HALF,
+    Op3Mem.LDSH: InstrClass.LOAD_HALF,
+    Op3Mem.LDD: InstrClass.LOAD_DOUBLE,
+    Op3Mem.ST: InstrClass.STORE_WORD,
+    Op3Mem.STB: InstrClass.STORE_BYTE,
+    Op3Mem.STH: InstrClass.STORE_HALF,
+    Op3Mem.STD: InstrClass.STORE_DOUBLE,
+}
+
+
+def alu_class(op3: Op3) -> InstrClass:
+    """Map a format-3 ALU op3 to its CFGR instruction class."""
+    return _ALU_CLASS_BY_OP3[op3]
+
+
+def mem_class(op3: Op3Mem) -> InstrClass:
+    """Map a format-3 memory op3 to its CFGR instruction class."""
+    return _MEM_CLASS_BY_OP3[op3]

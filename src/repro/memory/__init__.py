@@ -1,0 +1,25 @@
+"""Memory hierarchy: functional backing store, timing caches, bus."""
+
+from repro.memory.backing import MemoryFault, SparseMemory
+from repro.memory.bus import BusConfig, BusStats, SharedBus, StoreBuffer
+from repro.memory.cache import (
+    META_CACHE_CONFIG,
+    Cache,
+    CacheConfig,
+    CacheStats,
+    MetadataCache,
+)
+
+__all__ = [
+    "BusConfig",
+    "BusStats",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "META_CACHE_CONFIG",
+    "MemoryFault",
+    "MetadataCache",
+    "SharedBus",
+    "SparseMemory",
+    "StoreBuffer",
+]

@@ -1,0 +1,80 @@
+"""Functional backing memory.
+
+A sparse, byte-addressable, big-endian (SPARC) 32-bit address space.
+The timing side of the memory system (caches, bus, SDRAM latency) is
+modelled separately in :mod:`repro.memory.cache` and
+:mod:`repro.memory.bus`; this module only stores values.
+"""
+
+from __future__ import annotations
+
+PAGE_BITS = 12
+PAGE_SIZE = 1 << PAGE_BITS
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class MemoryFault(Exception):
+    """Raised on a misaligned access."""
+
+
+class SparseMemory:
+    """Byte-addressable sparse memory with big-endian word accessors."""
+
+    def __init__(self):
+        self._pages: dict[int, bytearray] = {}
+
+    def _page(self, addr: int) -> bytearray:
+        index = addr >> PAGE_BITS
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        return page
+
+    # ------------------------------------------------------------------
+    # Byte-granularity primitives.
+
+    def read_byte(self, addr: int) -> int:
+        addr &= 0xFFFFFFFF
+        return self._page(addr)[addr & PAGE_MASK]
+
+    def write_byte(self, addr: int, value: int) -> None:
+        addr &= 0xFFFFFFFF
+        self._page(addr)[addr & PAGE_MASK] = value & 0xFF
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        return bytes(self.read_byte(addr + i) for i in range(length))
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        for i, byte in enumerate(data):
+            self.write_byte(addr + i, byte)
+
+    # ------------------------------------------------------------------
+    # Sized big-endian accessors with SPARC alignment rules.
+
+    def read_word(self, addr: int) -> int:
+        if addr & 3:
+            raise MemoryFault(f"misaligned word read at {addr:#x}")
+        return int.from_bytes(self.read_bytes(addr, 4), "big")
+
+    def write_word(self, addr: int, value: int) -> None:
+        if addr & 3:
+            raise MemoryFault(f"misaligned word write at {addr:#x}")
+        self.write_bytes(addr, (value & 0xFFFFFFFF).to_bytes(4, "big"))
+
+    def read_half(self, addr: int) -> int:
+        if addr & 1:
+            raise MemoryFault(f"misaligned half read at {addr:#x}")
+        return int.from_bytes(self.read_bytes(addr, 2), "big")
+
+    def write_half(self, addr: int, value: int) -> None:
+        if addr & 1:
+            raise MemoryFault(f"misaligned half write at {addr:#x}")
+        self.write_bytes(addr, (value & 0xFFFF).to_bytes(2, "big"))
+
+    def load_program(self, program) -> None:
+        """Copy an assembled :class:`~repro.isa.assembler.Program`'s
+        text and data sections into memory."""
+        for i, word in enumerate(program.text):
+            self.write_word(program.text_base + 4 * i, word)
+        self.write_bytes(program.data_base, program.data)

@@ -1,0 +1,126 @@
+"""Shared memory bus and SDRAM timing model.
+
+The Leon3 prototype has no L2 cache: the L1 instruction cache, L1 data
+cache (write-through), and the FlexCore meta-data cache all share one
+AMBA-style bus to off-chip SDRAM.  Section V-C of the paper attributes
+part of the monitoring overhead to exactly this contention: "meta-data
+refills from memory hog the memory bus shared by the meta-data cache
+and the main core caches."
+
+The model is discrete-event: the bus is a single serially-reusable
+resource with a ``busy_until`` timestamp (in core-clock cycles).  Each
+transaction waits for the bus, occupies it for its duration, and the
+caller learns its completion time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BusConfig:
+    """Timing parameters, in main-core clock cycles."""
+
+    dram_latency: int = 30  # first-word latency of an SDRAM read
+    word_cycles: int = 1  # per-word burst transfer time
+    write_cycles: int = 4  # posted single-word write occupancy
+    line_words: int = 8  # words per cache line (32-byte lines)
+
+    @property
+    def refill_cycles(self) -> int:
+        """Total occupancy of a full line refill."""
+        return self.dram_latency + self.line_words * self.word_cycles
+
+
+@dataclass
+class BusStats:
+    """Accounting of bus usage per requester name."""
+
+    transactions: dict[str, int] = field(default_factory=dict)
+    busy_cycles: dict[str, int] = field(default_factory=dict)
+    wait_cycles: dict[str, int] = field(default_factory=dict)
+
+    def record(self, who: str, wait: int, duration: int) -> None:
+        self.transactions[who] = self.transactions.get(who, 0) + 1
+        self.busy_cycles[who] = self.busy_cycles.get(who, 0) + duration
+        self.wait_cycles[who] = self.wait_cycles.get(who, 0) + wait
+
+    @property
+    def total_busy(self) -> int:
+        return sum(self.busy_cycles.values())
+
+
+class SharedBus:
+    """Single shared bus; transactions are serialized in arrival order.
+
+    This is intentionally simple (no split transactions, no priorities)
+    — the same fidelity level the performance discussion in the paper
+    relies on: contention shows up as increased access latency for
+    whoever arrives while the bus is busy.
+    """
+
+    def __init__(self, config: BusConfig | None = None):
+        self.config = config or BusConfig()
+        self.busy_until = 0
+        self.stats = BusStats()
+
+    def acquire(self, now: int, duration: int, who: str) -> int:
+        """Occupy the bus for ``duration`` cycles starting no earlier
+        than ``now``; return the completion time."""
+        start = max(now, self.busy_until)
+        self.busy_until = start + duration
+        self.stats.record(who, start - now, duration)
+        return self.busy_until
+
+    # Convenience wrappers -------------------------------------------------
+
+    def line_refill(self, now: int, who: str) -> int:
+        """A full cache-line refill from SDRAM; returns completion time."""
+        return self.acquire(now, self.config.refill_cycles, who)
+
+    def word_write(self, now: int, who: str) -> int:
+        """A posted write-through word write; returns completion time."""
+        return self.acquire(now, self.config.write_cycles, who)
+
+    def reset(self) -> None:
+        self.busy_until = 0
+        self.stats = BusStats()
+
+
+class StoreBuffer:
+    """Write buffer between a write-through cache and the bus.
+
+    Stores are posted into the buffer and drain to the bus in order.
+    The core only stalls when the buffer is full — the dominant effect
+    that makes stores cheap on Leon3 despite the write-through policy.
+    """
+
+    def __init__(self, bus: SharedBus, depth: int = 8, who: str = "store"):
+        self.bus = bus
+        self.depth = depth
+        self.who = who
+        self._drain_times: list[int] = []
+        self.stall_cycles = 0
+
+    def push(self, now: int) -> int:
+        """Post a store at time ``now``; return the (possibly delayed)
+        time at which the core may proceed."""
+        self._drain_times = [t for t in self._drain_times if t > now]
+        proceed = now
+        if len(self._drain_times) >= self.depth:
+            # Stall until the oldest entry drains.
+            proceed = self._drain_times[0]
+            self.stall_cycles += proceed - now
+            self._drain_times = [t for t in self._drain_times if t > proceed]
+        done = self.bus.word_write(proceed, self.who)
+        self._drain_times.append(done)
+        return proceed
+
+    def drain_time(self) -> int:
+        """Time at which every buffered store has reached memory."""
+        return self._drain_times[-1] if self._drain_times else 0
+
+    def reset(self) -> None:
+        self._drain_times = []
+        self.stall_cycles = 0

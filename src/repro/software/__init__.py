@@ -1,0 +1,23 @@
+"""Software-monitoring baselines (instruction instrumentation)."""
+
+from repro.software.instrumentation import (
+    SOFTWARE_TOOLS,
+    ClassCost,
+    InstrumentationSpec,
+    lift_dift,
+    naive_dift,
+    purify_umc,
+    run_instrumented,
+    software_bc,
+)
+
+__all__ = [
+    "ClassCost",
+    "InstrumentationSpec",
+    "SOFTWARE_TOOLS",
+    "lift_dift",
+    "naive_dift",
+    "purify_umc",
+    "run_instrumented",
+    "software_bc",
+]

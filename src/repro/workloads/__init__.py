@@ -1,0 +1,25 @@
+"""Workload kernels: MiBench-like benchmarks in SPARC-subset assembly."""
+
+from repro.workloads import (  # noqa: F401 - registration side effects
+    basicmath,
+    bitcount,
+    crc32,
+    fft,
+    gmac,
+    qsort,
+    sha,
+    stringsearch,
+)
+from repro.workloads.base import (
+    Workload,
+    build_workload,
+    lcg_next,
+    workload_names,
+)
+
+__all__ = [
+    "Workload",
+    "build_workload",
+    "lcg_next",
+    "workload_names",
+]

@@ -1,0 +1,89 @@
+"""Workload infrastructure.
+
+The paper evaluates on MiBench programs (sha, gmac, stringsearch, fft,
+basicmath, bitcount) compiled for SPARC.  We reproduce each as a
+hand-written kernel in the repository's SPARC-subset assembly that
+implements the same algorithm and therefore the same dynamic
+instruction-class mix — the property every timing result depends on.
+
+Every workload:
+
+* assembles to a real :class:`~repro.isa.assembler.Program`;
+* computes a checksum into the ``checksum`` data word, which the test
+  suite compares against a pure-Python reference implementation of
+  the same algorithm (validating the ISA, assembler and executor);
+* accepts a ``scale`` knob so tests can run small and benchmarks big.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.isa.assembler import Program, assemble
+
+MASK32 = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark kernel."""
+
+    name: str
+    description: str
+    source: str
+    expected_checksum: int
+    entry: str = "start"
+    checksum_symbol: str = "checksum"
+
+    def build(self) -> Program:
+        return assemble(self.source, entry=self.entry)
+
+
+def lcg_next(state: int) -> int:
+    """The deterministic PRNG shared by kernels and their references."""
+    return (1103515245 * state + 12345) & 0x7FFFFFFF
+
+
+#: Registered workload builders: name -> (scale -> Workload).
+_BUILDERS: dict[str, Callable[[float], Workload]] = {}
+
+
+def register(name: str):
+    """Decorator registering a workload builder function."""
+
+    def wrap(builder: Callable[[int], Workload]):
+        _BUILDERS[name] = builder
+        return builder
+
+    return wrap
+
+
+PAPER_WORKLOADS = ("sha", "gmac", "stringsearch", "fft", "basicmath",
+                   "bitcount")
+
+
+def workload_names(include_extras: bool = False) -> tuple[str, ...]:
+    """The paper's six benchmarks (Table IV rows), in paper order.
+
+    ``include_extras=True`` appends kernels this repository provides
+    beyond the paper's set (they never enter the paper tables).
+    """
+    names = tuple(n for n in PAPER_WORKLOADS if n in _BUILDERS)
+    if include_extras:
+        names += tuple(sorted(set(_BUILDERS) - set(PAPER_WORKLOADS)))
+    return names
+
+
+def build_workload(name: str, scale: float = 1) -> Workload:
+    """Build one workload at the given scale.
+
+    ``scale=1`` is the benchmark size used for the paper's tables;
+    fractional scales (down to ~1/8) build fast variants for tests.
+    """
+    if name not in _BUILDERS:
+        known = ", ".join(workload_names())
+        raise ValueError(f"unknown workload {name!r} (known: {known})")
+    if not 0 < scale <= 64:
+        raise ValueError("scale must be in (0, 64]")
+    return _BUILDERS[name](scale)

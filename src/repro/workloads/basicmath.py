@@ -1,0 +1,215 @@
+"""basicmath — MiBench automotive/basicmath kernel.
+
+Integer square roots (Newton's method), cube roots (bit-by-bit), GCDs
+(Euclid with division) and degree/radian conversions over a stream of
+pseudo-random values.  Division-heavy, so the baseline CPI is the
+highest of the six kernels — which is why basicmath shows the lowest
+FlexCore overheads in Table IV (the fabric easily keeps up with a
+core that spends its time in 35-cycle divisions).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import MASK32, Workload, lcg_next, register
+
+VALUES_PER_SCALE = 400
+RAD_SCALE = 1144  # ~ pi/180 in Q16
+
+
+def isqrt_newton(x: int) -> int:
+    """Exact integer square root by Newton's method, seeded above
+    sqrt(x) so the iteration decreases monotonically to the floor."""
+    if x < 2:
+        return x
+    r, t = 1, x
+    while t > 0:
+        t >>= 2
+        r <<= 1
+    while True:
+        q = x // r
+        if r <= q:
+            return r
+        r = (r + q) >> 1
+
+
+def icbrt(x: int) -> int:
+    """Bit-by-bit integer cube root."""
+    y = 0
+    for s in range(30, -1, -3):
+        y = 2 * y
+        b = (3 * y * (y + 1) + 1) << s
+        if x >= b:
+            x -= b
+            y += 1
+    return y
+
+
+def gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def _reference(nvalues: int) -> int:
+    state = 0x00C0_FFEE & 0x7FFFFFFF
+    checksum = 0
+    prev = 1
+    for _ in range(nvalues):
+        state = lcg_next(state)
+        x = state & 0xFFFFF
+        s = isqrt_newton(x)
+        c = icbrt(x)
+        g = gcd(x | 1, prev | 1)
+        deg = x % 360
+        rad = deg * RAD_SCALE
+        back = rad // RAD_SCALE
+        checksum = (checksum + s + c + g + deg + back) & MASK32
+        prev = x
+    return checksum
+
+
+_SOURCE_TEMPLATE = """
+        .equ    NVALUES, {nvalues}
+        .equ    RADSCALE, {radscale}
+        .text
+start:  set     0x00c0ffee, %g2         ! LCG state
+        clr     %g4                     ! checksum
+        mov     1, %g6                  ! prev
+        set     NVALUES, %g5
+
+valloop:
+        set     1103515245, %l6
+        umul    %g2, %l6, %g2
+        set     12345, %l6
+        add     %g2, %l6, %g2
+        set     0x7fffffff, %l6
+        and     %g2, %l6, %g2
+        set     0xfffff, %l0
+        and     %g2, %l0, %g7           ! x
+
+        call    isqrt                   ! checksum += isqrt(x)
+        mov     %g7, %o0
+        add     %g4, %o0, %g4
+
+        call    cbrt                    ! checksum += icbrt(x)
+        mov     %g7, %o0
+        add     %g4, %o0, %g4
+
+        or      %g7, 1, %o0             ! checksum += gcd(x|1, prev|1)
+        call    gcd
+        or      %g6, 1, %o1
+        add     %g4, %o0, %g4
+
+        ! ---- degree / radian round trip (inline) ----
+        wr      %g0, %y
+        mov     360, %l1
+        udiv    %g7, %l1, %l2
+        umul    %l2, %l1, %l2
+        sub     %g7, %l2, %l2           ! deg = x mod 360
+        add     %g4, %l2, %g4
+        set     RADSCALE, %l3
+        umul    %l2, %l3, %l4           ! rad (Q16-ish)
+        wr      %g0, %y
+        udiv    %l4, %l3, %l5           ! back
+        add     %g4, %l5, %g4
+
+        mov     %g7, %g6                ! prev = x
+        subcc   %g5, 1, %g5
+        bne     valloop
+        nop
+        b       done
+        nop
+
+        ! ---- word isqrt(x): Newton with a shift-based seed ----
+isqrt:
+        cmp     %o0, 2
+        blu     sqrt_ret
+        nop
+        mov     1, %o1                  ! r
+        mov     %o0, %o2                ! t
+sq_init:
+        cmp     %o2, 0
+        be      sq_iter
+        nop
+        srl     %o2, 2, %o2
+        b       sq_init
+        sll     %o1, 1, %o1
+sq_iter:
+        wr      %g0, %y
+        udiv    %o0, %o1, %o2           ! q = x / r
+        cmp     %o1, %o2
+        bleu    sqrt_done
+        nop
+        add     %o1, %o2, %o1
+        b       sq_iter
+        srl     %o1, 1, %o1
+sqrt_done:
+        mov     %o1, %o0
+sqrt_ret:
+        retl
+        nop
+
+        ! ---- word cbrt(x): bit-by-bit cube root ----
+cbrt:
+        clr     %o1                     ! y
+        mov     30, %o2                 ! s
+cb_loop:
+        sll     %o1, 1, %o1             ! y = 2y
+        add     %o1, 1, %o3             ! y+1
+        umul    %o1, %o3, %o3           ! y*(y+1)
+        mov     3, %o4
+        umul    %o3, %o4, %o3
+        add     %o3, 1, %o3             ! 3y(y+1)+1
+        sll     %o3, %o2, %o3           ! b = ... << s
+        cmp     %o0, %o3
+        blu     cb_next
+        nop
+        sub     %o0, %o3, %o0
+        add     %o1, 1, %o1
+cb_next:
+        subcc   %o2, 3, %o2
+        bpos    cb_loop
+        nop
+        retl
+        mov     %o1, %o0
+
+        ! ---- word gcd(a, b): Euclid with division ----
+gcd:
+gcd_loop:
+        cmp     %o1, 0
+        be      gcd_done
+        nop
+        wr      %g0, %y
+        udiv    %o0, %o1, %o2           ! a / b
+        umul    %o2, %o1, %o2
+        sub     %o0, %o2, %o2           ! a mod b
+        mov     %o1, %o0
+        b       gcd_loop
+        mov     %o2, %o1
+gcd_done:
+        retl
+        nop
+
+done:
+        set     checksum, %l0
+        st      %g4, [%l0]
+        ta      0
+        nop
+
+        .data
+checksum:
+        .word   0
+"""
+
+
+@register("basicmath")
+def build(scale: float = 1) -> Workload:
+    nvalues = max(8, int(VALUES_PER_SCALE * scale))
+    return Workload(
+        name="basicmath",
+        description="integer sqrt/cbrt/gcd/angle conversions",
+        source=_SOURCE_TEMPLATE.format(
+            nvalues=nvalues, radscale=RAD_SCALE
+        ),
+        expected_checksum=_reference(nvalues),
+    )

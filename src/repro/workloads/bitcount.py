@@ -1,0 +1,154 @@
+"""bitcount — MiBench automotive/bitcount kernel.
+
+Counts set bits in a stream of pseudo-random words three ways, exactly
+like the original benchmark's method sweep: Kernighan's loop, a SWAR
+(parallel) popcount, and a nibble lookup table.  As in MiBench, each
+method is invoked through a *function-pointer table* per word, so the
+dynamic mix contains the indirect-call/return traffic of the real
+program, not just raw ALU operations.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import MASK32, Workload, lcg_next, register
+
+WORDS_PER_SCALE = 512
+NIBBLE_COUNTS = [bin(i).count("1") for i in range(16)]
+
+
+def _reference_checksum(words: int) -> int:
+    """Pure-Python model of the kernel below."""
+    checksum = 0
+    state = 0x1234_5678 & 0x7FFFFFFF
+    for _ in range(words):
+        state = lcg_next(state)
+        x = state
+        # Kernighan
+        count_a, v = 0, x
+        while v:
+            v &= v - 1
+            count_a += 1
+        # SWAR
+        v = x
+        v = (v - ((v >> 1) & 0x55555555)) & MASK32
+        v = ((v & 0x33333333) + ((v >> 2) & 0x33333333)) & MASK32
+        v = ((v + (v >> 4)) & 0x0F0F0F0F) & MASK32
+        count_b = ((v * 0x01010101) & MASK32) >> 24
+        # nibble table
+        count_c = sum(NIBBLE_COUNTS[(x >> s) & 0xF] for s in range(0, 32, 4))
+        checksum = (checksum + count_a + 2 * count_b + 3 * count_c) & MASK32
+    return checksum
+
+
+_SOURCE_TEMPLATE = """
+        .equ    NWORDS, {nwords}
+        .text
+start:  set     0x12345678, %i0         ! LCG state
+        set     0x7fffffff, %i1         ! LCG mask
+        set     1103515245, %i2         ! LCG multiplier
+        set     12345, %i3              ! LCG increment
+        clr     %g4                     ! checksum
+        set     NWORDS, %g5
+        set     functab, %g6
+
+wordloop:
+        umul    %i0, %i2, %i0           ! state = state*a + c (mod 2^31)
+        add     %i0, %i3, %i0
+        and     %i0, %i1, %i0
+
+        ! dispatch x through the three counting functions; method f
+        ! contributes with weight (f+1), as in the reference.
+        clr     %i4                     ! f = method index
+dispatch:
+        sll     %i4, 2, %l0
+        ld      [%g6 + %l0], %l1        ! fn = functab[f]
+        jmpl    %l1, %o7                ! indirect call, as in MiBench
+        mov     %i0, %o0                ! argument in the delay slot
+        ! weight loop: checksum += (f+1) * count
+        clr     %l2
+weight: add     %g4, %o0, %g4
+        cmp     %l2, %i4
+        bne     weight
+        add     %l2, 1, %l2
+        add     %i4, 1, %i4
+        cmp     %i4, 3
+        bne     dispatch
+        nop
+
+        subcc   %g5, 1, %g5
+        bne     wordloop
+        nop
+
+        set     checksum, %g1
+        st      %g4, [%g1]
+        ta      0
+        nop
+
+        ! ---- int bit_count(x): Kernighan ----
+bit_count:
+        clr     %o1
+kern:   cmp     %o0, 0
+        be      kern_done
+        nop
+        sub     %o0, 1, %o2
+        and     %o0, %o2, %o0
+        b       kern
+        add     %o1, 1, %o1
+kern_done:
+        retl
+        mov     %o1, %o0
+
+        ! ---- int bitcount(x): SWAR popcount ----
+swar_count:
+        set     0x55555555, %o3
+        srl     %o0, 1, %o1
+        and     %o1, %o3, %o1
+        sub     %o0, %o1, %o1
+        set     0x33333333, %o3
+        and     %o1, %o3, %o2
+        srl     %o1, 2, %o1
+        and     %o1, %o3, %o1
+        add     %o2, %o1, %o1
+        srl     %o1, 4, %o2
+        add     %o1, %o2, %o1
+        set     0x0f0f0f0f, %o3
+        and     %o1, %o3, %o1
+        set     0x01010101, %o3
+        umul    %o1, %o3, %o1
+        retl
+        srl     %o1, 24, %o0
+
+        ! ---- int ntbl_bitcount(x): nibble table ----
+ntbl_count:
+        set     nibtab, %o4
+        clr     %o1                     ! count
+        mov     8, %o2
+nib:    and     %o0, 15, %o3
+        ldub    [%o4 + %o3], %o5
+        add     %o1, %o5, %o1
+        srl     %o0, 4, %o0
+        subcc   %o2, 1, %o2
+        bne     nib
+        nop
+        retl
+        mov     %o1, %o0
+
+        .data
+functab:
+        .word   bit_count, swar_count, ntbl_count
+nibtab: .byte   0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4
+        .align  4
+checksum:
+        .word   0
+"""
+
+
+@register("bitcount")
+def build(scale: float = 1) -> Workload:
+    words = max(16, int(WORDS_PER_SCALE * scale))
+    return Workload(
+        name="bitcount",
+        description="bit counting by three methods via function pointers",
+        source=_SOURCE_TEMPLATE.format(nwords=words),
+        expected_checksum=_reference_checksum(words),
+    )

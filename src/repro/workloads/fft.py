@@ -1,0 +1,298 @@
+"""fft — MiBench telecomm/fft kernel.
+
+An in-place radix-2 decimation-in-time FFT on N = 256 complex points
+in Q16 fixed point, with per-stage scaling (divide by 2) to avoid
+overflow and a twiddle-factor ROM generated at build time.  Multiply-
+and memory-heavy: four 32x32 multiplies plus eight loads/stores per
+butterfly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.base import MASK32, Workload, lcg_next, register
+
+N_POINTS = 512
+RUNS_PER_SCALE = 2
+Q = 16
+
+
+def _signed(value: int) -> int:
+    value &= MASK32
+    return value - ((value & 0x8000_0000) << 1)
+
+
+def _qmul(a: int, b: int) -> int:
+    """Q16 multiply exactly as the kernel computes it: full 64-bit
+    signed product arithmetic-shifted right by 16."""
+    return (_signed(a) * _signed(b)) >> Q
+
+
+def _twiddles(n: int) -> tuple[list[int], list[int]]:
+    wr, wi = [], []
+    for k in range(n // 2):
+        angle = 2.0 * math.pi * k / n
+        wr.append(int(round(math.cos(angle) * (1 << Q))) & MASK32)
+        wi.append(int(round(-math.sin(angle) * (1 << Q))) & MASK32)
+    return wr, wi
+
+
+def _bit_reverse(index: int, bits: int) -> int:
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (index & 1)
+        index >>= 1
+    return out
+
+
+def _reference(n: int, runs: int) -> int:
+    bits = n.bit_length() - 1
+    wr, wi = _twiddles(n)
+    state = 0x2468_1357 & 0x7FFFFFFF
+    checksum = 0
+    for _ in range(runs):
+        re, im = [0] * n, [0] * n
+        for i in range(n):
+            state = lcg_next(state)
+            re[i] = (state & 0xFFFF) - 0x8000
+            state = lcg_next(state)
+            im[i] = (state & 0xFFFF) - 0x8000
+        # bit-reverse permutation
+        for i in range(n):
+            j = _bit_reverse(i, bits)
+            if j > i:
+                re[i], re[j] = re[j], re[i]
+                im[i], im[j] = im[j], im[i]
+        # stages with per-stage >>1 scaling
+        size = 2
+        while size <= n:
+            half = size // 2
+            step = n // size
+            for start in range(0, n, size):
+                for k in range(half):
+                    j1 = start + k
+                    j2 = j1 + half
+                    w_index = k * step
+                    tr = _qmul(wr[w_index], re[j2]) - _qmul(
+                        wi[w_index], im[j2]
+                    )
+                    ti = _qmul(wr[w_index], im[j2]) + _qmul(
+                        wi[w_index], re[j2]
+                    )
+                    re[j2] = (re[j1] - tr) >> 1
+                    im[j2] = (im[j1] - ti) >> 1
+                    re[j1] = (re[j1] + tr) >> 1
+                    im[j1] = (im[j1] + ti) >> 1
+            size *= 2
+        for i in range(n):
+            checksum ^= (re[i] & MASK32) ^ (im[i] & MASK32)
+    return checksum & MASK32
+
+
+_SOURCE_TEMPLATE = """
+        .equ    N, {n}
+        .equ    LOGN, {logn}
+        .equ    RUNS, {runs}
+        .text
+start:
+        set     0x24681357, %o0         ! LCG state (lives across runs)
+        clr     %g7                     ! checksum
+        clr     %i5                     ! run index
+
+run_loop:
+        ! ---- generate N complex points ----
+        set     0x7fffffff, %o5         ! (re-set: %o3 is reused as ti)
+        set     1103515245, %o3
+        set     12345, %o4
+        set     re, %g1
+        set     im, %g2
+        clr     %g3
+gen:    umul    %o0, %o3, %o0
+        add     %o0, %o4, %o0
+        and     %o0, %o5, %o0
+        set     0xffff, %l1
+        and     %o0, %l1, %l0
+        set     0x8000, %l1
+        sub     %l0, %l1, %l0
+        sll     %g3, 2, %l2
+        st      %l0, [%g1 + %l2]
+        umul    %o0, %o3, %o0
+        add     %o0, %o4, %o0
+        and     %o0, %o5, %o0
+        set     0xffff, %l1
+        and     %o0, %l1, %l0
+        set     0x8000, %l1
+        sub     %l0, %l1, %l0
+        st      %l0, [%g2 + %l2]
+        add     %g3, 1, %g3
+        cmp     %g3, N
+        bne     gen
+        nop
+
+        ! ---- bit-reverse permutation ----
+        clr     %g3                     ! i
+bitrev: mov     %g3, %l0
+        clr     %l1                     ! j
+        mov     LOGN, %l2
+revbit: sll     %l1, 1, %l1
+        and     %l0, 1, %l3
+        or      %l1, %l3, %l1
+        srl     %l0, 1, %l0
+        subcc   %l2, 1, %l2
+        bne     revbit
+        nop
+        cmp     %l1, %g3                ! only swap when j > i
+        bleu    norev
+        nop
+        sll     %g3, 2, %l2
+        sll     %l1, 2, %l3
+        ld      [%g1 + %l2], %l4        ! swap re
+        ld      [%g1 + %l3], %l5
+        st      %l5, [%g1 + %l2]
+        st      %l4, [%g1 + %l3]
+        ld      [%g2 + %l2], %l4        ! swap im
+        ld      [%g2 + %l3], %l5
+        st      %l5, [%g2 + %l2]
+        st      %l4, [%g2 + %l3]
+norev:  add     %g3, 1, %g3
+        cmp     %g3, N
+        bne     bitrev
+        nop
+
+        ! ---- butterflies ----
+        mov     2, %i0                  ! size
+stage:  srl     %i0, 1, %i1             ! half = size/2
+        ! step = N / size, as a shift: N and size are powers of two
+        clr     %g3                     ! start
+group:  clr     %g4                     ! k
+bfly:   add     %g3, %g4, %l0           ! j1
+        add     %l0, %i1, %l1           ! j2
+        ! w index = k * (N/size); compute as (k << LOGN) / size
+        wr      %g0, %y                 ! clear Y for the division
+        sll     %g4, LOGN, %l2
+        udiv    %l2, %i0, %l2           ! k*N/size
+        sll     %l2, 2, %l2
+        set     wr_tab, %l3
+        ld      [%l3 + %l2], %i2        ! wr
+        set     wi_tab, %l3
+        ld      [%l3 + %l2], %i3        ! wi
+
+        sll     %l1, 2, %l2             ! &[j2]
+        ld      [%g1 + %l2], %i4        ! re[j2]
+        ld      [%g2 + %l2], %o1        ! im[j2]
+
+        ! tr = (wr*re2 >> 16) - (wi*im2 >> 16)
+        smul    %i2, %i4, %l4
+        rd      %y, %l5
+        srl     %l4, 16, %l4
+        sll     %l5, 16, %l5
+        or      %l4, %l5, %l4           ! qmul(wr, re2)
+        smul    %i3, %o1, %l6
+        rd      %y, %l7
+        srl     %l6, 16, %l6
+        sll     %l7, 16, %l7
+        or      %l6, %l7, %l6           ! qmul(wi, im2)
+        sub     %l4, %l6, %o2           ! tr
+
+        ! ti = (wr*im2 >> 16) + (wi*re2 >> 16)
+        smul    %i2, %o1, %l4
+        rd      %y, %l5
+        srl     %l4, 16, %l4
+        sll     %l5, 16, %l5
+        or      %l4, %l5, %l4
+        smul    %i3, %i4, %l6
+        rd      %y, %l7
+        srl     %l6, 16, %l6
+        sll     %l7, 16, %l7
+        or      %l6, %l7, %l6
+        add     %l4, %l6, %o3           ! ti
+
+        sll     %l0, 2, %l2             ! &[j1]
+        ld      [%g1 + %l2], %l4        ! re[j1]
+        ld      [%g2 + %l2], %l5        ! im[j1]
+        sub     %l4, %o2, %l6           ! re[j1] - tr
+        sra     %l6, 1, %l6
+        sll     %l1, 2, %l7
+        st      %l6, [%g1 + %l7]        ! re[j2]
+        sub     %l5, %o3, %l6
+        sra     %l6, 1, %l6
+        st      %l6, [%g2 + %l7]        ! im[j2]
+        add     %l4, %o2, %l6
+        sra     %l6, 1, %l6
+        st      %l6, [%g1 + %l2]        ! re[j1]
+        add     %l5, %o3, %l6
+        sra     %l6, 1, %l6
+        st      %l6, [%g2 + %l2]        ! im[j1]
+
+        add     %g4, 1, %g4
+        cmp     %g4, %i1
+        bne     bfly
+        nop
+        add     %g3, %i0, %g3
+        cmp     %g3, N
+        blu     group
+        nop
+        sll     %i0, 1, %i0
+        cmp     %i0, N
+        bleu    stage
+        nop
+
+        ! ---- fold into the checksum ----
+        clr     %g3
+fold:   sll     %g3, 2, %l0
+        ld      [%g1 + %l0], %l1
+        xor     %g7, %l1, %g7
+        ld      [%g2 + %l0], %l1
+        xor     %g7, %l1, %g7
+        add     %g3, 1, %g3
+        cmp     %g3, N
+        bne     fold
+        nop
+
+        add     %i5, 1, %i5
+        cmp     %i5, RUNS
+        bne     run_loop
+        nop
+
+        set     checksum, %l0
+        st      %g7, [%l0]
+        ta      0
+        nop
+
+        .data
+checksum:
+        .word   0
+wr_tab:
+{wr_words}
+wi_tab:
+{wi_words}
+re:     .space  N*4
+im:     .space  N*4
+"""
+
+
+def _word_directives(values: list[int]) -> str:
+    lines = []
+    for i in range(0, len(values), 8):
+        chunk = ", ".join(hex(v) for v in values[i : i + 8])
+        lines.append(f"        .word   {chunk}")
+    return "\n".join(lines)
+
+
+@register("fft")
+def build(scale: float = 1) -> Workload:
+    runs = max(1, int(RUNS_PER_SCALE * scale))
+    wr, wi = _twiddles(N_POINTS)
+    return Workload(
+        name="fft",
+        description="fixed-point radix-2 FFT with per-stage scaling",
+        source=_SOURCE_TEMPLATE.format(
+            n=N_POINTS,
+            logn=N_POINTS.bit_length() - 1,
+            runs=runs,
+            wr_words=_word_directives(wr),
+            wi_words=_word_directives(wi),
+        ),
+        expected_checksum=_reference(N_POINTS, runs),
+    )

@@ -1,0 +1,127 @@
+"""gmac — Galois message authentication kernel.
+
+GHASH-style MAC over GF(2^32): for every message word the accumulator
+is XORed with the word and then multiplied by a fixed hash key H in
+GF(2^32) modulo the CRC-32 polynomial, bit-serially (32 shift/xor
+steps per word).  Shift/xor dense with a periodic message load — the
+classic "bit-level operations" workload the FlexCore fabric targets.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import MASK32, Workload, lcg_next, register
+
+WORDS_PER_SCALE = 1024
+HASH_KEY = 0x8765_4321
+POLY = 0x04C1_1DB7
+
+
+def gf32_multiply(a: int, b: int) -> int:
+    """Carry-less multiply of ``a`` by ``b`` modulo POLY (LSB-first)."""
+    z, v = 0, a
+    for i in range(32):
+        if (b >> i) & 1:
+            z ^= v
+        carry = v & 0x8000_0000
+        v = (v << 1) & MASK32
+        if carry:
+            v ^= POLY
+    return z
+
+
+def _reference(nwords: int) -> int:
+    state = 0x0F1E_2D3C & 0x7FFFFFFF
+    acc = 0xFFFF_FFFF
+    for _ in range(nwords):
+        state = lcg_next(state)
+        acc = gf32_multiply(acc ^ state, HASH_KEY)
+    return acc
+
+
+_SOURCE_TEMPLATE = """
+        .equ    NWORDS, {nwords}
+        .text
+start:  set     0x0f1e2d3c, %o0         ! LCG state
+        set     0x7fffffff, %o5
+        set     1103515245, %o3
+        set     12345, %o4
+        set     msg, %g1
+        set     NWORDS, %g5
+        clr     %g3
+gen:    umul    %o0, %o3, %o0           ! fill the message buffer
+        add     %o0, %o4, %o0
+        and     %o0, %o5, %o0
+        sll     %g3, 2, %l0
+        st      %o0, [%g1 + %l0]
+        add     %g3, 1, %g3
+        cmp     %g3, %g5
+        bne     gen
+        nop
+
+        set     0xffffffff, %g4         ! acc
+        set     {hash_key}, %g6         ! H
+        set     {poly}, %g7             ! reduction polynomial
+        clr     %g3
+
+wordloop:
+        sll     %g3, 2, %l0
+        ld      [%g1 + %l0], %o0        ! w = msg[i]
+        xor     %g4, %o0, %o0           ! arg0 = acc ^ w
+        call    gf32mul
+        mov     %g6, %o1                ! arg1 = H
+        mov     %o0, %g4                ! acc = result
+
+        add     %g3, 1, %g3
+        cmp     %g3, %g5
+        bne     wordloop
+        nop
+        b       done
+        nop
+
+        ! ---- word gf32mul(v, b): carry-less multiply mod POLY ----
+gf32mul:
+        clr     %o2                     ! z
+        mov     32, %o3
+bitloop:
+        andcc   %o1, 1, %g0             ! low bit of b set?
+        be      noxor
+        nop
+        xor     %o2, %o0, %o2           ! z ^= v
+noxor:  srl     %o1, 1, %o1
+        addcc   %o0, %o0, %o0           ! v <<= 1, carry = old MSB
+        bcc     nored
+        nop
+        xor     %o0, %g7, %o0           ! reduce by the polynomial
+nored:  subcc   %o3, 1, %o3
+        bne     bitloop
+        nop
+        retl
+        mov     %o2, %o0
+
+done:
+        set     checksum, %l0
+        st      %g4, [%l0]
+        ta      0
+        nop
+
+        .data
+checksum:
+        .word   0
+msg:    .space  {msgbytes}
+"""
+
+
+@register("gmac")
+def build(scale: float = 1) -> Workload:
+    nwords = max(16, int(WORDS_PER_SCALE * scale))
+    return Workload(
+        name="gmac",
+        description="GF(2^32) Galois MAC over a pseudo-random message",
+        source=_SOURCE_TEMPLATE.format(
+            nwords=nwords,
+            msgbytes=4 * nwords,
+            hash_key=hex(HASH_KEY),
+            poly=hex(POLY),
+        ),
+        expected_checksum=_reference(nwords),
+    )

@@ -1,0 +1,156 @@
+"""qsort — MiBench automotive/qsort kernel (extra, beyond the paper's
+six Table IV rows).
+
+Iterative quicksort (Lomuto partition, explicit lo/hi work stack in
+memory, as compiled code without deep register-window nesting would
+do) over a pseudo-random array.  Branchy, load/store- and
+compare-heavy — a different corner of the mix space than the paper's
+six kernels.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import MASK32, Workload, lcg_next, register
+
+WORDS_PER_SCALE = 1024
+
+
+def _generate(nwords: int) -> list[int]:
+    state = 0x5027_CAFE & 0x7FFFFFFF
+    values = []
+    for _ in range(nwords):
+        state = lcg_next(state)
+        values.append(state & 0xFFFF)
+    return values
+
+
+def _reference(nwords: int) -> int:
+    values = sorted(_generate(nwords))
+    checksum = 0
+    for i, value in enumerate(values):
+        checksum = (checksum + value * (i + 1)) & MASK32
+    return checksum
+
+
+_SOURCE_TEMPLATE = """
+        .equ    NWORDS, {nwords}
+        .text
+start:
+        ! ---- generate the array ----
+        set     0x5027cafe, %o0
+        set     0x7fffffff, %o5
+        set     1103515245, %o3
+        set     12345, %o4
+        set     arr, %g1
+        set     NWORDS, %g2
+        clr     %g3
+gen:    umul    %o0, %o3, %o0
+        add     %o0, %o4, %o0
+        and     %o0, %o5, %o0
+        set     0xffff, %l0
+        and     %o0, %l0, %l0
+        sll     %g3, 2, %l1
+        st      %l0, [%g1 + %l1]
+        add     %g3, 1, %g3
+        cmp     %g3, %g2
+        bne     gen
+        nop
+
+        ! ---- iterative quicksort with an explicit work stack ----
+        ! stack entries: (lo, hi) index pairs; %g4 = stack pointer
+        set     wstack, %g4
+        clr     %l0                     ! lo = 0
+        set     NWORDS-1, %l1           ! hi = n-1
+        st      %l0, [%g4]
+        st      %l1, [%g4 + 4]
+        add     %g4, 8, %g4
+
+qs_loop:
+        set     wstack, %l7
+        cmp     %g4, %l7                ! stack empty?
+        be      qs_done
+        nop
+        sub     %g4, 8, %g4             ! pop (lo, hi)
+        ld      [%g4], %i0              ! lo
+        ld      [%g4 + 4], %i1          ! hi
+        cmp     %i0, %i1
+        bge     qs_loop                 ! segment of size <= 1
+        nop
+
+        ! ---- Lomuto partition: pivot = arr[hi] ----
+        sll     %i1, 2, %l2
+        ld      [%g1 + %l2], %i2        ! pivot
+        sub     %i0, 1, %i3             ! i = lo - 1
+        mov     %i0, %i4                ! j = lo
+part:   cmp     %i4, %i1
+        bge     part_done
+        nop
+        sll     %i4, 2, %l2
+        ld      [%g1 + %l2], %l3        ! arr[j]
+        cmp     %l3, %i2
+        bg      part_next
+        nop
+        add     %i3, 1, %i3             ! i++
+        sll     %i3, 2, %l4
+        ld      [%g1 + %l4], %l5        ! swap arr[i], arr[j]
+        st      %l3, [%g1 + %l4]
+        st      %l5, [%g1 + %l2]
+part_next:
+        add     %i4, 1, %i4
+        b       part
+        nop
+part_done:
+        add     %i3, 1, %i3             ! p = i + 1
+        sll     %i3, 2, %l4
+        ld      [%g1 + %l4], %l5        ! swap arr[p], arr[hi]
+        sll     %i1, 2, %l2
+        ld      [%g1 + %l2], %l6
+        st      %l6, [%g1 + %l4]
+        st      %l5, [%g1 + %l2]
+
+        ! push (lo, p-1) and (p+1, hi)
+        sub     %i3, 1, %l2
+        st      %i0, [%g4]
+        st      %l2, [%g4 + 4]
+        add     %g4, 8, %g4
+        add     %i3, 1, %l2
+        st      %l2, [%g4]
+        st      %i1, [%g4 + 4]
+        add     %g4, 8, %g4
+        b       qs_loop
+        nop
+
+qs_done:
+        ! ---- checksum = sum(arr[i] * (i+1)) ----
+        clr     %g5
+        clr     %g3
+fold:   sll     %g3, 2, %l0
+        ld      [%g1 + %l0], %l1
+        add     %g3, 1, %l2
+        umul    %l1, %l2, %l1
+        add     %g5, %l1, %g5
+        cmp     %l2, %g2
+        bne     fold
+        mov     %l2, %g3
+        set     checksum, %l0
+        st      %g5, [%l0]
+        ta      0
+        nop
+
+        .data
+checksum:
+        .word   0
+arr:    .space  NWORDS*4
+wstack: .space  NWORDS*8+16
+"""
+
+
+@register("qsort")
+def build(scale: float = 1) -> Workload:
+    nwords = max(32, int(WORDS_PER_SCALE * scale))
+    return Workload(
+        name="qsort",
+        description="iterative quicksort over a random array",
+        source=_SOURCE_TEMPLATE.format(nwords=nwords),
+        expected_checksum=_reference(nwords),
+    )

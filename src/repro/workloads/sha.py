@@ -1,0 +1,255 @@
+"""sha — MiBench security/sha kernel.
+
+A genuine SHA-1 compression function over pseudo-random message
+blocks: the 80-step message schedule (rotate-left by 1 of four XORed
+words) and the 80 rounds with the standard f/K quarters.  Rotations
+are synthesised from sll/srl/or, making this the most ALU-dense kernel
+— which is why sha is SEC's worst case in Table IV while being nearly
+free for UMC.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import MASK32, Workload, lcg_next, register
+
+BLOCKS_PER_SCALE = 96
+H_INIT = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+
+
+def _rotl(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (32 - amount))) & MASK32
+
+
+def _generate_message(nblocks: int) -> list[int]:
+    state = 0x13572468 & 0x7FFFFFFF
+    words = []
+    for _ in range(nblocks * 16):
+        state = lcg_next(state)
+        words.append(state)
+    return words
+
+
+def _reference(nblocks: int) -> int:
+    message = _generate_message(nblocks)
+    h = list(H_INIT)
+    for block in range(nblocks):
+        w = message[block * 16 : block * 16 + 16] + [0] * 64
+        for t in range(16, 80):
+            w[t] = _rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1)
+        a, b, c, d, e = h
+        for t in range(80):
+            if t < 20:
+                f, k = (b & c) | (~b & d & MASK32), 0x5A827999
+            elif t < 40:
+                f, k = b ^ c ^ d, 0x6ED9EBA1
+            elif t < 60:
+                f, k = (b & c) | (b & d) | (c & d), 0x8F1BBCDC
+            else:
+                f, k = b ^ c ^ d, 0xCA62C1D6
+            temp = (_rotl(a, 5) + f + e + k + w[t]) & MASK32
+            a, b, c, d, e = temp, a, _rotl(b, 30), c, d
+        h = [(x + y) & MASK32 for x, y in zip(h, (a, b, c, d, e))]
+    return h[0] ^ h[1] ^ h[2] ^ h[3] ^ h[4]
+
+
+_SOURCE_TEMPLATE = """
+        .equ    NBLOCKS, {nblocks}
+        .text
+start:
+        ! ---- generate the message with the LCG ----
+        set     0x13572468, %o0
+        set     0x7fffffff, %o5
+        set     1103515245, %o3
+        set     12345, %o4
+        set     msg, %g1
+        set     NBLOCKS*16, %g2
+        clr     %g3
+gen:    umul    %o0, %o3, %o0
+        add     %o0, %o4, %o0
+        and     %o0, %o5, %o0
+        sll     %g3, 2, %l0
+        st      %o0, [%g1 + %l0]
+        add     %g3, 1, %g3
+        cmp     %g3, %g2
+        bne     gen
+        nop
+
+        ! ---- h0..h4 are pre-set in .data ----
+        clr     %g6                     ! block index
+block_loop:
+        set     msg, %l1
+        sll     %g6, 6, %l0             ! block*64 bytes
+        call    sha_transform
+        add     %l1, %l0, %o0           ! arg0 = &msg[block*16]
+        add     %g6, 1, %g6
+        cmp     %g6, NBLOCKS
+        bne     block_loop
+        nop
+        b       finish
+        nop
+
+        ! ---- void sha_transform(word *block) ----
+sha_transform:
+        save    %sp, -96, %sp
+
+        ! W[0..15] = block words
+        set     wbuf, %i1
+        clr     %l2
+wcopy:  sll     %l2, 2, %l3
+        ld      [%i0 + %l3], %l4
+        st      %l4, [%i1 + %l3]
+        add     %l2, 1, %l2
+        cmp     %l2, 16
+        bne     wcopy
+        nop
+
+        ! schedule: W[t] = rotl1(W[t-3]^W[t-8]^W[t-14]^W[t-16])
+        mov     16, %l2
+sched:  sll     %l2, 2, %l3
+        add     %i1, %l3, %l4           ! &W[t]
+        ld      [%l4 - 12], %l5
+        ld      [%l4 - 32], %l6
+        xor     %l5, %l6, %l5
+        ld      [%l4 - 56], %l6
+        xor     %l5, %l6, %l5
+        ld      [%l4 - 64], %l6
+        xor     %l5, %l6, %l5
+        sll     %l5, 1, %l6
+        srl     %l5, 31, %l7
+        or      %l6, %l7, %l5
+        st      %l5, [%l4]
+        add     %l2, 1, %l2
+        cmp     %l2, 80
+        bne     sched
+        nop
+
+        ! load working state a..e = h0..h4
+        set     hstate, %i2
+        ld      [%i2], %l0              ! a
+        ld      [%i2 + 4], %l1          ! b
+        ld      [%i2 + 8], %l2          ! c
+        ld      [%i2 + 12], %l3         ! d
+        ld      [%i2 + 16], %l4         ! e
+
+        ! quarter 1: t = 0..19, f = (b&c)|(~b&d)
+        clr     %i3                     ! t
+        set     0x5a827999, %i4
+q1_loop:
+        and     %l1, %l2, %l5
+        andn    %l3, %l1, %l6
+        or      %l5, %l6, %l5
+        call    sha_round
+        nop
+        cmp     %i3, 20
+        bne     q1_loop
+        nop
+        ! quarter 2: t = 20..39, f = b^c^d
+        set     0x6ed9eba1, %i4
+q2_loop:
+        xor     %l1, %l2, %l5
+        call    sha_round
+        xor     %l5, %l3, %l5
+        cmp     %i3, 40
+        bne     q2_loop
+        nop
+        ! quarter 3: t = 40..59, f = maj(b,c,d)
+        set     0x8f1bbcdc, %i4
+q3_loop:
+        and     %l1, %l2, %l5
+        and     %l1, %l3, %l6
+        or      %l5, %l6, %l5
+        and     %l2, %l3, %l6
+        call    sha_round
+        or      %l5, %l6, %l5
+        cmp     %i3, 60
+        bne     q3_loop
+        nop
+        ! quarter 4: t = 60..79, f = b^c^d
+        set     0xca62c1d6, %i4
+q4_loop:
+        xor     %l1, %l2, %l5
+        call    sha_round
+        xor     %l5, %l3, %l5
+        cmp     %i3, 80
+        bne     q4_loop
+        nop
+
+        ! h += (a..e)
+        ld      [%i2], %l5
+        add     %l5, %l0, %l5
+        st      %l5, [%i2]
+        ld      [%i2 + 4], %l5
+        add     %l5, %l1, %l5
+        st      %l5, [%i2 + 4]
+        ld      [%i2 + 8], %l5
+        add     %l5, %l2, %l5
+        st      %l5, [%i2 + 8]
+        ld      [%i2 + 12], %l5
+        add     %l5, %l3, %l5
+        st      %l5, [%i2 + 12]
+        ld      [%i2 + 16], %l5
+        add     %l5, %l4, %l5
+        st      %l5, [%i2 + 16]
+        ret
+        restore
+
+        ! one SHA round: uses caller's window registers via a plain
+        ! (leaf, no-save) call; f in %l5, k in %i4, t in %i3
+sha_round:
+        sll     %l0, 5, %l6             ! rotl5(a)
+        srl     %l0, 27, %l7
+        or      %l6, %l7, %l6
+        add     %l6, %l5, %l6           ! + f
+        add     %l6, %l4, %l6           ! + e
+        add     %l6, %i4, %l6           ! + k
+        sll     %i3, 2, %l7
+        ld      [%i1 + %l7], %o1        ! W[t]
+        add     %l6, %o1, %l6           ! temp
+        mov     %l3, %l4                ! e = d
+        mov     %l2, %l3                ! d = c
+        sll     %l1, 30, %l2            ! c = rotl30(b)
+        srl     %l1, 2, %l7
+        or      %l2, %l7, %l2
+        mov     %l0, %l1                ! b = a
+        mov     %l6, %l0                ! a = temp
+        retl
+        add     %i3, 1, %i3
+
+finish:
+        set     hstate, %i0
+        ! checksum = h0^h1^h2^h3^h4
+        ld      [%i0], %l0
+        ld      [%i0 + 4], %l1
+        xor     %l0, %l1, %l0
+        ld      [%i0 + 8], %l1
+        xor     %l0, %l1, %l0
+        ld      [%i0 + 12], %l1
+        xor     %l0, %l1, %l0
+        ld      [%i0 + 16], %l1
+        xor     %l0, %l1, %l0
+        set     checksum, %l1
+        st      %l0, [%l1]
+        ta      0
+        nop
+
+        .data
+hstate: .word   0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0
+checksum:
+        .word   0
+        .align  4
+wbuf:   .space  320
+msg:    .space  {msgbytes}
+"""
+
+
+@register("sha")
+def build(scale: float = 1) -> Workload:
+    nblocks = max(2, int(BLOCKS_PER_SCALE * scale))
+    return Workload(
+        name="sha",
+        description="SHA-1 compression over pseudo-random blocks",
+        source=_SOURCE_TEMPLATE.format(
+            nblocks=nblocks, msgbytes=nblocks * 64
+        ),
+        expected_checksum=_reference(nblocks),
+    )

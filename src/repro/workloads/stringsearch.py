@@ -1,0 +1,222 @@
+"""stringsearch — MiBench office/stringsearch kernel.
+
+Boyer-Moore-Horspool search of several 8-byte patterns over a
+pseudo-random text (16-letter alphabet) with planted occurrences.
+The search loop is byte-load dominated with a high IPC — the mix that
+makes stringsearch the worst case for DIFT/BC in Table IV.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import MASK32, Workload, lcg_next, register
+
+TEXT_BYTES_PER_SCALE = 16384
+PATTERN_LENGTH = 8
+PATTERNS = [
+    "abcdabcd", "badcfehg", "aaaabbbb", "cafebead",
+    "dcbaabcd", "feedface", "abbacddc", "hgfedcba",
+]
+REPEATS = 1
+PLANT_STRIDE = 257  # pattern k planted at PLANT_STRIDE * (k + 1)
+
+
+def _generate_text(length: int) -> bytearray:
+    state = 0x0BAD_5EED & 0x7FFFFFFF
+    text = bytearray(length)
+    for i in range(length):
+        state = lcg_next(state)
+        text[i] = 97 + ((state >> 8) & 15)
+    for k, pattern in enumerate(PATTERNS):
+        pos = PLANT_STRIDE * (k + 1)
+        if pos + PATTERN_LENGTH <= length:
+            text[pos : pos + PATTERN_LENGTH] = pattern.encode()
+    return text
+
+
+def _reference_checksum(length: int) -> int:
+    text = _generate_text(length)
+    m = PATTERN_LENGTH
+    total = count = 0
+    for _ in range(REPEATS):
+        for pattern in PATTERNS:
+            pat = pattern.encode()
+            skip = [m] * 256
+            for j in range(m - 1):
+                skip[pat[j]] = m - 1 - j
+            i = m - 1
+            while i < length:
+                j = 0
+                while j < m and pat[m - 1 - j] == text[i - j]:
+                    j += 1
+                if j == m:
+                    total = (total + i) & MASK32
+                    count += 1
+                i += skip[text[i]]
+    return (total + count * 0x10001) & MASK32
+
+
+_SOURCE_TEMPLATE = """
+        .equ    TEXTLEN, {textlen}
+        .equ    M, {m}
+        .equ    NPAT, {npat}
+        .equ    REPEATS, {repeats}
+        .equ    STRIDE, {stride}
+        .text
+start:
+        ! ---- generate the text with the LCG ----
+        set     0x0bad5eed, %o0
+        set     0x7fffffff, %o5
+        set     1103515245, %o3
+        set     12345, %o4
+        set     text, %g1
+        set     TEXTLEN, %g2
+        clr     %g3
+gen:    umul    %o0, %o3, %o0
+        add     %o0, %o4, %o0
+        and     %o0, %o5, %o0
+        srl     %o0, 8, %l0
+        and     %l0, 15, %l0
+        add     %l0, 97, %l0
+        stb     %l0, [%g1 + %g3]
+        add     %g3, 1, %g3
+        cmp     %g3, %g2
+        bne     gen
+        nop
+
+        ! ---- plant each pattern at STRIDE*(k+1) ----
+        set     patterns, %g4
+        clr     %l4                     ! k
+plant:  add     %l4, 1, %l0
+        set     STRIDE, %l1
+        umul    %l0, %l1, %l0           ! pos
+        add     %l0, M, %l1
+        cmp     %l1, %g2
+        bgu     plant_next
+        nop
+        sll     %l4, 3, %l2             ! pattern offset = k*8
+        add     %g4, %l2, %l2           ! &patterns[k]
+        add     %g1, %l0, %l3           ! &text[pos]
+        clr     %l5
+plcpy:  ldub    [%l2 + %l5], %l6
+        stb     %l6, [%l3 + %l5]
+        add     %l5, 1, %l5
+        cmp     %l5, M
+        bne     plcpy
+        nop
+plant_next:
+        add     %l4, 1, %l4
+        cmp     %l4, NPAT
+        bne     plant
+        nop
+
+        ! ---- searches ----
+        clr     %g5                     ! total
+        clr     %g6                     ! count
+        clr     %o1                     ! repeat index
+repeat_loop:
+        clr     %o2                     ! pattern index
+pattern_loop:
+        sll     %o2, 3, %l0
+        add     %g4, %l0, %g7           ! pat = &patterns[k]
+
+        ! build skip table: skip[c] = M for all c
+        set     skiptab, %i0
+        clr     %l0
+skinit: mov     M, %l1
+        stb     %l1, [%i0 + %l0]
+        add     %l0, 1, %l0
+        cmp     %l0, 256
+        bne     skinit
+        nop
+        ! skip[pat[j]] = M-1-j for j in 0..M-2
+        clr     %l0
+skset:  ldub    [%g7 + %l0], %l1
+        mov     M-1, %l2
+        sub     %l2, %l0, %l2
+        stb     %l2, [%i0 + %l1]
+        add     %l0, 1, %l0
+        cmp     %l0, M-1
+        bne     skset
+        nop
+
+        ! Horspool scan
+        mov     M-1, %i1                ! i
+scan:   cmp     %i1, %g2
+        bgeu    scan_done
+        nop
+        ldub    [%g1 + %i1], %i2        ! c = text[i]
+        clr     %l0                     ! j
+cmploop:
+        cmp     %l0, M
+        be      match
+        nop
+        mov     M-1, %l1
+        sub     %l1, %l0, %l1           ! m-1-j
+        ldub    [%g7 + %l1], %l2        ! pat[m-1-j]
+        sub     %i1, %l0, %l3
+        ldub    [%g1 + %l3], %l4        ! text[i-j]
+        cmp     %l2, %l4
+        bne     nomatch
+        nop
+        b       cmploop
+        add     %l0, 1, %l0
+match:  add     %g5, %i1, %g5           ! total += i
+        add     %g6, 1, %g6             ! count += 1
+nomatch:
+        ldub    [%i0 + %i2], %l5        ! skip[c]
+        b       scan
+        add     %i1, %l5, %i1
+
+scan_done:
+        add     %o2, 1, %o2
+        cmp     %o2, NPAT
+        bne     pattern_loop
+        nop
+        add     %o1, 1, %o1
+        cmp     %o1, REPEATS
+        bne     repeat_loop
+        nop
+
+        ! checksum = total + count * 0x10001
+        set     0x10001, %l0
+        umul    %g6, %l0, %l0
+        add     %g5, %l0, %l0
+        set     checksum, %l1
+        st      %l0, [%l1]
+        ta      0
+        nop
+
+        .data
+patterns:
+{pattern_data}
+        .align  4
+checksum:
+        .word   0
+skiptab:
+        .space  256
+        .align  4
+text:
+        .space  {textlen}
+"""
+
+
+@register("stringsearch")
+def build(scale: float = 1) -> Workload:
+    # keep room for every planted pattern
+    length = max(2304, int(TEXT_BYTES_PER_SCALE * scale))
+    pattern_data = "\n".join(
+        f'        .ascii  "{p}"' for p in PATTERNS
+    )
+    return Workload(
+        name="stringsearch",
+        description="Horspool multi-pattern search over random text",
+        source=_SOURCE_TEMPLATE.format(
+            textlen=length,
+            m=PATTERN_LENGTH,
+            npat=len(PATTERNS),
+            repeats=REPEATS,
+            stride=PLANT_STRIDE,
+            pattern_data=pattern_data,
+        ),
+        expected_checksum=_reference_checksum(length),
+    )

@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.executor import CpuState
+from repro.isa.assembler import assemble
+from repro.memory.backing import SparseMemory
+
+
+def run_source(source: str, entry: str = "start", max_steps: int = 200_000):
+    """Assemble and functionally execute a program; return (cpu, mem,
+    program)."""
+    program = assemble(source, entry=entry)
+    memory = SparseMemory()
+    memory.load_program(program)
+    cpu = CpuState(memory, program.entry)
+    steps = 0
+    while not cpu.halted:
+        cpu.step()
+        steps += 1
+        if steps > max_steps:
+            raise AssertionError("program did not halt")
+    return cpu, memory, program
+
+
+@pytest.fixture
+def tiny_loop_source() -> str:
+    """A minimal program: writes 42 to `result` and halts."""
+    return """
+        .text
+start:  mov     42, %o0
+        set     result, %o1
+        st      %o0, [%o1]
+        ta      0
+        nop
+        .data
+result: .word   0
+"""

@@ -1,0 +1,190 @@
+"""ALU semantics: exact SPARC V8 arithmetic, condition codes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.alu import (
+    ConditionCodes,
+    DivisionByZero,
+    execute_alu,
+)
+from repro.isa.opcodes import Op3
+
+U32 = st.integers(0, 0xFFFFFFFF)
+MASK = 0xFFFFFFFF
+
+
+def signed(x):
+    return (x & MASK) - ((x & 0x80000000) << 1)
+
+
+class TestAdd:
+    def test_simple(self):
+        assert execute_alu(Op3.ADD, 2, 3).value == 5
+
+    def test_wraps(self):
+        assert execute_alu(Op3.ADD, 0xFFFFFFFF, 1).value == 0
+
+    def test_addcc_carry(self):
+        result = execute_alu(Op3.ADDCC, 0xFFFFFFFF, 1)
+        assert result.codes.c and result.codes.z
+
+    def test_addcc_signed_overflow(self):
+        result = execute_alu(Op3.ADDCC, 0x7FFFFFFF, 1)
+        assert result.codes.v and result.codes.n
+
+    def test_addx_uses_carry(self):
+        assert execute_alu(Op3.ADDX, 1, 1, carry=True).value == 3
+
+    def test_plain_add_sets_no_codes(self):
+        assert execute_alu(Op3.ADD, 1, 1).codes is None
+
+
+class TestSub:
+    def test_simple(self):
+        assert execute_alu(Op3.SUB, 10, 3).value == 7
+
+    def test_borrow_sets_carry(self):
+        result = execute_alu(Op3.SUBCC, 0, 1)
+        assert result.codes.c
+        assert result.value == 0xFFFFFFFF
+
+    def test_subcc_zero(self):
+        result = execute_alu(Op3.SUBCC, 7, 7)
+        assert result.codes.z and not result.codes.c
+
+    def test_subx(self):
+        assert execute_alu(Op3.SUBX, 10, 3, carry=True).value == 6
+
+    def test_signed_overflow(self):
+        result = execute_alu(Op3.SUBCC, 0x80000000, 1)
+        assert result.codes.v
+
+
+class TestLogic:
+    @pytest.mark.parametrize("op3,a,b,expected", [
+        (Op3.AND, 0b1100, 0b1010, 0b1000),
+        (Op3.OR, 0b1100, 0b1010, 0b1110),
+        (Op3.XOR, 0b1100, 0b1010, 0b0110),
+        (Op3.ANDN, 0b1100, 0b1010, 0b0100),
+        (Op3.ORN, 0, 0xFFFFFFFF, 0),
+        (Op3.XNOR, 0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFF),
+    ])
+    def test_operations(self, op3, a, b, expected):
+        assert execute_alu(op3, a, b).value == expected
+
+    def test_logic_cc_clears_v_and_c(self):
+        result = execute_alu(Op3.ANDCC, 0xF0000000, 0xF0000000)
+        assert result.codes.n
+        assert not result.codes.v and not result.codes.c
+
+
+class TestShifts:
+    def test_sll(self):
+        assert execute_alu(Op3.SLL, 1, 4).value == 16
+
+    def test_srl_is_logical(self):
+        assert execute_alu(Op3.SRL, 0x80000000, 31).value == 1
+
+    def test_sra_is_arithmetic(self):
+        assert execute_alu(Op3.SRA, 0x80000000, 31).value == 0xFFFFFFFF
+
+    def test_shift_count_masked_to_5_bits(self):
+        assert execute_alu(Op3.SLL, 1, 33).value == 2
+
+
+class TestMultiply:
+    def test_umul_low_and_y(self):
+        result = execute_alu(Op3.UMUL, 0xFFFFFFFF, 2)
+        assert result.value == 0xFFFFFFFE
+        assert result.y == 1
+
+    def test_smul_negative(self):
+        result = execute_alu(Op3.SMUL, (-3) & MASK, 4)
+        assert signed(result.value) == -12
+        assert result.y == 0xFFFFFFFF
+
+    def test_umulcc_codes_from_low_word(self):
+        result = execute_alu(Op3.UMULCC, 1 << 31, 2)
+        assert result.codes.z  # low word is zero
+
+
+class TestDivide:
+    def test_udiv(self):
+        assert execute_alu(Op3.UDIV, 100, 7, y=0).value == 14
+
+    def test_udiv_uses_y_as_high_word(self):
+        # (1 << 32 | 0) / 2 = 1 << 31
+        assert execute_alu(Op3.UDIV, 0, 2, y=1).value == 0x80000000
+
+    def test_udiv_overflow_clamps(self):
+        result = execute_alu(Op3.UDIVCC, 0, 1, y=2)
+        assert result.value == 0xFFFFFFFF
+        assert result.codes.v
+
+    def test_sdiv_negative(self):
+        result = execute_alu(Op3.SDIV, (-100) & MASK, 7,
+                             y=0xFFFFFFFF)  # sign-extended dividend
+        assert signed(result.value) == -14
+
+    def test_divide_by_zero(self):
+        with pytest.raises(DivisionByZero):
+            execute_alu(Op3.UDIV, 1, 0)
+
+
+class TestConditionCodes:
+    def test_pack_unpack(self):
+        codes = ConditionCodes(n=True, z=False, v=True, c=False)
+        assert ConditionCodes.unpack(codes.pack()) == codes
+
+    def test_pack_bit_order(self):
+        assert ConditionCodes(n=True).pack() == 0b1000
+        assert ConditionCodes(c=True).pack() == 0b0001
+
+
+# ---------------------------------------------------------------------------
+# Properties against Python big-int arithmetic.
+
+
+@given(U32, U32)
+def test_property_add_matches_bigint(a, b):
+    assert execute_alu(Op3.ADD, a, b).value == (a + b) & MASK
+
+
+@given(U32, U32)
+def test_property_sub_matches_bigint(a, b):
+    assert execute_alu(Op3.SUB, a, b).value == (a - b) & MASK
+
+
+@given(U32, U32)
+def test_property_umul_full_product(a, b):
+    result = execute_alu(Op3.UMUL, a, b)
+    assert (result.y << 32) | result.value == a * b
+
+
+@given(U32, st.integers(1, 0xFFFFFFFF))
+def test_property_udiv_matches_bigint(a, b):
+    value = execute_alu(Op3.UDIV, a, b, y=0).value
+    assert value == min(a // b, MASK)
+
+
+@given(U32, U32)
+def test_property_xor_involution(a, b):
+    once = execute_alu(Op3.XOR, a, b).value
+    assert execute_alu(Op3.XOR, once, b).value == a
+
+
+@given(U32, U32)
+def test_property_addcc_carry_iff_overflow_33bit(a, b):
+    result = execute_alu(Op3.ADDCC, a, b)
+    assert result.codes.c == (a + b > MASK)
+
+
+@given(U32, U32)
+def test_property_subcc_flags_match_comparison(a, b):
+    """The flags produced by subcc implement unsigned/signed compares."""
+    codes = execute_alu(Op3.SUBCC, a, b).codes
+    assert codes.c == (a < b)  # unsigned below
+    assert codes.z == (a == b)
+    assert (codes.n != codes.v) == (signed(a) < signed(b))

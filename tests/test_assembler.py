@@ -1,0 +1,218 @@
+"""Assembler: directives, expressions, pseudo-ops, error reporting."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.encoding import decode
+from repro.isa.opcodes import Cond, FlexOpf, InstrClass, Op, Op3, Op3Mem
+
+
+def first_instr(source_line: str):
+    program = assemble(f".text\n{source_line}\n")
+    return decode(program.text[0])
+
+
+class TestDirectives:
+    def test_word_data(self):
+        program = assemble(".data\nvals: .word 1, 2, 0xff\n")
+        assert program.data[:12] == (
+            b"\x00\x00\x00\x01\x00\x00\x00\x02\x00\x00\x00\xff"
+        )
+
+    def test_byte_and_half(self):
+        program = assemble(".data\n.byte 1, 2\n.half 0x1234\n")
+        assert program.data == b"\x01\x02\x12\x34"
+
+    def test_space_zero_filled(self):
+        program = assemble(".data\n.space 5\n.byte 7\n")
+        assert program.data == b"\x00\x00\x00\x00\x00\x07"
+
+    def test_align(self):
+        program = assemble(".data\n.byte 1\n.align 4\nsym: .word 2\n")
+        assert program.symbol("sym") % 4 == 0
+        assert len(program.data) == 8
+
+    def test_ascii(self):
+        program = assemble('.data\n.ascii "ab\\n"\n')
+        assert program.data == b"ab\n"
+
+    def test_equ(self):
+        program = assemble(".equ N, 10\n.data\n.word N+1\n")
+        assert program.data == b"\x00\x00\x00\x0b"
+
+    def test_equ_with_multiplication(self):
+        program = assemble(".equ N, 4\n.data\n.word N*3+1\n")
+        assert program.data == (13).to_bytes(4, "big")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblyError, match="unknown directive"):
+            assemble(".data\n.bogus 1\n")
+
+
+class TestSymbols:
+    def test_label_addresses(self):
+        program = assemble(".text\na: nop\nb: nop\n")
+        assert program.symbol("b") - program.symbol("a") == 4
+
+    def test_data_label_base(self):
+        program = assemble(".data\nx: .word 0\n", )
+        assert program.symbol("x") == program.data_base
+
+    def test_forward_reference(self):
+        program = assemble(".text\nb target\nnop\ntarget: nop\n")
+        instr = decode(program.text[0])
+        assert instr.disp == 2
+
+    def test_unknown_symbol(self):
+        with pytest.raises(AssemblyError, match="cannot evaluate"):
+            assemble(".text\nset missing, %g1\n")
+
+    def test_missing_entry(self):
+        with pytest.raises(KeyError):
+            assemble(".text\nnop\n", entry="nowhere")
+
+    def test_hi_lo(self):
+        program = assemble(
+            ".text\nsethi %hi(0xdeadbeef), %g1\nor %g1, %lo(0xdeadbeef), %g1\n"
+        )
+        hi = decode(program.text[0])
+        lo = decode(program.text[1])
+        assert (hi.imm << 10) | lo.imm == 0xDEADBEEF
+
+
+class TestInstructions:
+    def test_add_immediate(self):
+        instr = first_instr("add %o0, -5, %o1")
+        assert instr.opcode == Op3.ADD and instr.imm == -5
+
+    def test_add_register(self):
+        instr = first_instr("add %o0, %o2, %o1")
+        assert instr.rs2 == 10 and not instr.use_imm
+
+    def test_memory_operand_forms(self):
+        assert first_instr("ld [%g1 + 8], %o0").imm == 8
+        assert first_instr("ld [%g1 - 8], %o0").imm == -8
+        assert first_instr("ld [%g1 + %g2], %o0").rs2 == 2
+        assert first_instr("ld [%g1], %o0").imm == 0
+
+    def test_store_operand_order(self):
+        instr = first_instr("st %o3, [%g1 + 4]")
+        assert instr.opcode == Op3Mem.ST and instr.rd == 11
+
+    def test_branch_annul_suffix(self):
+        program = assemble(".text\ntarget: bne,a target\nnop\n")
+        instr = decode(program.text[0])
+        assert instr.annul and instr.cond == Cond.BNE
+
+    def test_ba_synonym(self):
+        program = assemble(".text\ntarget: b target\nnop\n")
+        assert decode(program.text[0]).cond == Cond.BA
+
+    def test_call(self):
+        program = assemble(".text\nstart: call func\nnop\nfunc: nop\n")
+        instr = decode(program.text[0])
+        assert instr.op == Op.CALL and instr.disp == 2
+
+    def test_ret_is_jmpl_i7_8(self):
+        instr = first_instr("ret")
+        assert instr.opcode == Op3.JMPL and instr.rs1 == 31 and instr.imm == 8
+
+    def test_retl_is_jmpl_o7_8(self):
+        instr = first_instr("retl")
+        assert instr.rs1 == 15
+
+    def test_ta_encodes_condition(self):
+        instr = first_instr("ta 0")
+        assert instr.opcode == Op3.TICC and instr.cond == Cond.BA
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="needs 3 operands"):
+            assemble(".text\nadd %o0, %o1\n")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble(".text\nfrobnicate %o0\n")
+
+    def test_instruction_in_data_section_rejected(self):
+        with pytest.raises(AssemblyError, match="outside .text"):
+            assemble(".data\nnop\n")
+
+
+class TestPseudoOps:
+    def test_set_splits_into_sethi_or(self):
+        program = assemble(".text\nset 0x12345678, %g1\n")
+        assert len(program.text) == 2
+
+    def test_mov_immediate(self):
+        instr = first_instr("mov 5, %o0")
+        assert instr.opcode == Op3.OR and instr.rs1 == 0 and instr.imm == 5
+
+    def test_cmp_is_subcc_to_g0(self):
+        instr = first_instr("cmp %o0, 1")
+        assert instr.opcode == Op3.SUBCC and instr.rd == 0
+
+    def test_clr(self):
+        instr = first_instr("clr %l0")
+        assert instr.opcode == Op3.OR and instr.rs1 == 0
+
+    def test_inc_dec(self):
+        assert first_instr("inc %o0").imm == 1
+        assert first_instr("dec 4, %o0").imm == 4
+
+    def test_not_is_xnor_with_g0(self):
+        instr = first_instr("not %o0, %o1")
+        assert instr.opcode == Op3.XNOR
+
+    def test_neg(self):
+        instr = first_instr("neg %o0, %o1")
+        assert instr.opcode == Op3.SUB and instr.rs1 == 0
+
+    def test_nop_class(self):
+        assert first_instr("nop").instr_class == InstrClass.NOP
+
+    def test_wr_rd_y(self):
+        assert first_instr("wr %g0, %y").opcode == Op3.WRY
+        assert first_instr("rd %y, %o0").opcode == Op3.RDY
+
+    def test_mov_to_y(self):
+        assert first_instr("mov %o1, %y").opcode == Op3.WRY
+
+
+class TestFlexOps:
+    def test_fxtagr(self):
+        instr = first_instr("fxtagr %o0")
+        assert instr.opcode == Op3.FLEXOP
+        assert instr.opf == FlexOpf.TAG_SET_REG
+        assert instr.rd == 8
+
+    def test_fxtagm_two_registers(self):
+        instr = first_instr("fxtagm %g1, %g2")
+        assert instr.opf == FlexOpf.TAG_SET_MEM
+        assert (instr.rs1, instr.rs2) == (1, 2)
+
+    def test_fxstatus_uses_rd(self):
+        instr = first_instr("fxstatus %o0")
+        assert instr.opf == FlexOpf.READ_STATUS and instr.rd == 8
+
+    def test_generic_flex(self):
+        instr = first_instr("flex 0x15, %g1, %g2, %o0")
+        assert instr.opf == 0x15 and instr.rd == 8
+
+    def test_flex_operand_count_checked(self):
+        with pytest.raises(AssemblyError, match="needs 2 operand"):
+            assemble(".text\nfxtagm %g1\n")
+
+    def test_class_is_flex(self):
+        assert first_instr("fxnop").instr_class == InstrClass.FLEX
+
+
+class TestComments:
+    def test_bang_and_semicolon_comments(self):
+        program = assemble(
+            ".text\nnop ! comment\nnop ; another\n"
+        )
+        assert len(program.text) == 2
+
+    def test_multiple_labels_one_line(self):
+        program = assemble(".text\na: b: nop\n")
+        assert program.symbol("a") == program.symbol("b")

@@ -1,0 +1,182 @@
+"""BC extension: colour algebra, bound-violation detection."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.extensions import ArrayBoundCheck
+from repro.flexcore import run_program
+from repro.isa import assemble
+
+HEAP = 0x30000
+
+
+def run_bc(source, **kwargs):
+    program = assemble(source, entry="start")
+    extension = ArrayBoundCheck()
+    result = run_program(program, extension, **kwargs)
+    return result, extension
+
+
+def colored_array_prologue(color: int, base: int = HEAP, words: int = 4):
+    """malloc-like: colour `words` memory words and the pointer %o0."""
+    lines = [f"        set     {base:#x}, %o0",
+             f"        mov     {color}, %g1",
+             "        fxval   %g1"]
+    for i in range(words):
+        lines.append(f"        set     {base + 4 * i:#x}, %g2")
+        lines.append("        fxcolorm %g2, %g0")
+    lines.append("        fxcolorp %o0")
+    return "\n".join(lines)
+
+
+class TestDetection:
+    def test_in_bounds_access_clean(self):
+        result, _ = run_bc(f"""
+        .text
+start:
+{colored_array_prologue(5)}
+        ld      [%o0 + 8], %o1      ! inside the 4-word array
+        st      %o1, [%o0 + 12]
+        ta      0
+        nop
+""")
+        assert result.trap is None
+
+    def test_out_of_bounds_read_traps(self):
+        result, _ = run_bc(f"""
+        .text
+start:
+{colored_array_prologue(5)}
+        ld      [%o0 + 16], %o1     ! one past the end
+        ta      0
+        nop
+""")
+        assert result.trap is not None
+        assert result.trap.kind == "out-of-bounds-read"
+        assert result.trap.addr == HEAP + 16
+
+    def test_out_of_bounds_write_traps(self):
+        result, _ = run_bc(f"""
+        .text
+start:
+{colored_array_prologue(3)}
+        st      %o1, [%o0 + 20]
+        ta      0
+        nop
+""")
+        assert result.trap is not None
+        assert result.trap.kind == "out-of-bounds-write"
+
+    def test_pointer_arithmetic_keeps_colour(self):
+        result, _ = run_bc(f"""
+        .text
+start:
+{colored_array_prologue(7)}
+        add     %o0, 4, %o2         ! p + 1 keeps the colour
+        ld      [%o2], %o1          ! fine
+        ld      [%o2 + 16], %o3     ! p + 5: out of bounds
+        ta      0
+        nop
+""")
+        assert result.trap is not None
+        assert result.trap.addr == HEAP + 20
+
+    def test_wildcard_pointer_unchecked(self):
+        result, _ = run_bc(f"""
+        .text
+start:
+{colored_array_prologue(7)}
+        set     {HEAP:#x}, %g3      ! a fresh colour-0 pointer
+        ld      [%g3], %o1          ! wildcard: never traps
+        ta      0
+        nop
+""")
+        assert result.trap is None
+
+    def test_two_distinct_arrays(self):
+        result, _ = run_bc(f"""
+        .text
+start:
+{colored_array_prologue(5, base=HEAP, words=2)}
+        mov     %o0, %o4
+{colored_array_prologue(9, base=HEAP + 0x100, words=2)}
+        ld      [%o4], %o1          ! array A via its own pointer: ok
+        ld      [%o0], %o2          ! array B via its pointer: ok
+        ld      [%o0 - 0x100], %o3  ! array A via B's pointer: trap
+        ta      0
+        nop
+""")
+        assert result.trap is not None
+
+    def test_mov_copies_colour(self):
+        """Register copies are `or` — the colour must survive them."""
+        result, _ = run_bc(f"""
+        .text
+start:
+{colored_array_prologue(6)}
+        mov     %o0, %o5
+        ld      [%o5 + 16], %o1     ! copied pointer, still checked
+        ta      0
+        nop
+""")
+        assert result.trap is not None
+
+    def test_pointer_difference_cancels_colour(self):
+        result, ext = run_bc(f"""
+        .text
+start:
+{colored_array_prologue(6)}
+        add     %o0, 8, %o2
+        sub     %o2, %o0, %o3       ! ptr - ptr = plain integer
+        ta      0
+        nop
+""")
+        # %o3 holds 8 with colour 0.
+        phys = 8 + 3  # %o3 arch index 11... use extension state instead
+
+    def test_deallocation_clears_tags(self):
+        result, _ = run_bc(f"""
+        .text
+start:
+{colored_array_prologue(4, words=1)}
+        set     {HEAP:#x}, %g2
+        fxuntagm %g2, %g0           ! free(): clear the 8-bit tag
+        ld      [%o0], %o1          ! coloured ptr vs colour-0 memory
+        ta      0
+        nop
+""")
+        assert result.trap is not None
+
+
+class TestColourAlgebra:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_property_add_then_sub_restores(self, ptr_color, int_color):
+        """(p + i) - i has p's colour in the additive algebra."""
+        forward = (ptr_color + int_color) & 0xF
+        back = (forward - int_color) & 0xF
+        assert back == ptr_color
+
+    @given(st.integers(1, 15))
+    def test_property_pointer_difference_is_wildcard(self, color):
+        assert (color - color) & 0xF == 0
+
+
+class TestStoreCost:
+    def test_store_takes_two_fabric_cycles(self):
+        """BC stores read-check then write the tag: II = 2."""
+        from repro.extensions.base import PacketOutcome
+        from repro.flexcore.packet import TracePacket
+        from repro.core.executor import CommitRecord
+        from repro.isa.instruction import Instruction
+        from repro.isa.opcodes import Op, Op3Mem
+
+        extension = ArrayBoundCheck()
+        extension.attach(136)
+        instr = Instruction(op=Op.FORMAT3_MEM, opcode=Op3Mem.ST,
+                            rd=8, rs1=9, use_imm=True, imm=0)
+        record = CommitRecord(pc=0x1000, word=0, instr=instr,
+                              instr_class=instr.instr_class, addr=HEAP)
+        outcome = extension.process(TracePacket.from_commit(record))
+        assert outcome.fabric_cycles == 2
+        kinds = [a.kind for a in outcome.meta_accesses]
+        assert kinds == ["read", "write"]

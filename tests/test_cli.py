@@ -1,0 +1,84 @@
+"""The `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+PROGRAM = """
+        .text
+start:  mov     5, %o0
+        set     result, %o1
+        st      %o0, [%o1]
+        ta      0
+        nop
+        .data
+result: .word   0
+"""
+
+TRAPPING = """
+        .text
+start:  set     0x90000, %g1
+        ld      [%g1], %o0
+        ta      0
+        nop
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestRun:
+    def test_baseline_run(self, source_file, capsys):
+        assert main(["run", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "halted       : True" in out
+
+    def test_with_extension(self, source_file, capsys):
+        assert main(["run", source_file, "--extension", "umc"]) == 0
+        out = capsys.readouterr().out
+        assert "forwarded" in out
+
+    def test_trap_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.s"
+        path.write_text(TRAPPING)
+        assert main(["run", str(path), "--extension", "umc"]) == 2
+        assert "TRAP" in capsys.readouterr().out
+
+    def test_ratio_and_fifo_flags(self, source_file, capsys):
+        assert main(["run", source_file, "--extension", "sec",
+                     "--ratio", "0.25", "--fifo", "16"]) == 0
+
+
+class TestDisasm:
+    def test_listing(self, source_file, capsys):
+        assert main(["disasm", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "ta 0" in out
+        assert "00001000" in out
+
+
+class TestReports:
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Baseline" in out and "paper" in out
+
+    def test_table3_no_compare(self, capsys):
+        assert main(["table3", "--no-compare"]) == 0
+        assert "paper" not in capsys.readouterr().out
+
+    def test_synth(self, capsys):
+        assert main(["synth", "dift"]) == 0
+        out = capsys.readouterr().out
+        assert "LUTs" in out and "ASIC" in out
+
+    def test_synth_extra_extension(self, capsys):
+        assert main(["synth", "shadowstack"]) == 0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

@@ -1,0 +1,199 @@
+"""DIFT extension: taint propagation, checks, policies."""
+
+from repro.extensions import (
+    POLICY_CHECK_JUMP,
+    POLICY_CHECK_LOAD_ADDR,
+    DynamicInformationFlowTracking,
+)
+from repro.flexcore import run_program
+from repro.isa import assemble
+
+
+def run_dift(source, **kwargs):
+    program = assemble(source, entry="start")
+    extension = DynamicInformationFlowTracking()
+    result = run_program(program, extension, **kwargs)
+    return result, extension
+
+
+class TestPropagation:
+    def test_alu_propagates_taint(self):
+        result, ext = run_dift("""
+        .text
+start:  fxtagr  %o0                 ! taint %o0 (tagval defaults to 1)
+        add     %o0, %o1, %o2       ! %o2 inherits the taint
+        set     0x20000, %g1
+        st      %o2, [%g1]          ! taint flows to memory
+        ta      0
+        nop
+""")
+        assert ext.mem_tags.read(0x20000) == 1
+
+    def test_untainted_sources_give_untainted_dest(self):
+        result, ext = run_dift("""
+        .text
+start:  add     %o0, %o1, %o2
+        set     0x20000, %g1
+        st      %o2, [%g1]
+        ta      0
+        nop
+""")
+        assert ext.mem_tags.read(0x20000) == 0
+
+    def test_load_propagates_memory_taint_to_register(self):
+        result, ext = run_dift("""
+        .text
+start:  set     0x20000, %g1
+        fxtagr  %o0
+        st      %o0, [%g1]          ! tainted store
+        ld      [%g1], %o5          ! load picks the taint up
+        set     0x20010, %g2
+        st      %o5, [%g2]
+        ta      0
+        nop
+""")
+        assert ext.mem_tags.read(0x20010) == 1
+
+    def test_sethi_clears_taint(self):
+        result, ext = run_dift("""
+        .text
+start:  fxtagr  %o0
+        sethi   0x1234, %o0         ! immediate load: taint cleared
+        set     0x20000, %g1
+        st      %o0, [%g1]
+        ta      0
+        nop
+""")
+        assert ext.mem_tags.read(0x20000) == 0
+
+    def test_explicit_untag(self):
+        result, ext = run_dift("""
+        .text
+start:  fxtagr  %o0
+        fxuntagr %o0                ! declassification
+        set     0x20000, %g1
+        st      %o0, [%g1]
+        ta      0
+        nop
+""")
+        assert ext.mem_tags.read(0x20000) == 0
+
+    def test_taint_or_of_both_sources(self):
+        result, ext = run_dift("""
+        .text
+start:  fxtagr  %o1
+        add     %o0, %o1, %o2       ! only src2 tainted
+        set     0x20000, %g1
+        st      %o2, [%g1]
+        ta      0
+        nop
+""")
+        assert ext.mem_tags.read(0x20000) == 1
+
+
+class TestChecks:
+    def test_tainted_indirect_jump_traps(self):
+        result, _ = run_dift("""
+        .text
+start:  set     target, %o0
+        fxtagr  %o0                 ! attacker-controlled jump target
+        jmpl    %o0, %g0
+        nop
+target: ta      0
+        nop
+""")
+        assert result.trap is not None
+        assert result.trap.kind == "tainted-jump"
+
+    def test_clean_indirect_jump_is_fine(self):
+        result, _ = run_dift("""
+        .text
+start:  set     target, %o0
+        jmpl    %o0, %g0
+        nop
+target: ta      0
+        nop
+""")
+        assert result.trap is None
+
+    def test_policy_register_disables_check(self):
+        result, _ = run_dift("""
+        .text
+start:  clr     %g1
+        fxpolicy %g1                ! all checks off
+        set     target, %o0
+        fxtagr  %o0
+        jmpl    %o0, %g0
+        nop
+target: ta      0
+        nop
+""")
+        assert result.trap is None
+
+    def test_load_address_check_policy(self):
+        result, _ = run_dift(f"""
+        .text
+start:  mov     {POLICY_CHECK_JUMP | POLICY_CHECK_LOAD_ADDR}, %g1
+        fxpolicy %g1
+        set     0x20000, %o0
+        fxtagr  %o0                 ! tainted pointer
+        ld      [%o0], %o1
+        ta      0
+        nop
+""")
+        assert result.trap is not None
+        assert result.trap.kind == "tainted-load-pointer"
+
+    def test_default_policy_checks_jumps_only(self):
+        extension = DynamicInformationFlowTracking()
+        assert extension.policy == POLICY_CHECK_JUMP
+
+
+class TestWindowsAndTaint:
+    def test_taint_follows_physical_registers_across_save(self):
+        """%o0 tainted in the caller is %i0 in the callee — the shadow
+        file is indexed by physical number, so no copying is needed."""
+        result, ext = run_dift("""
+        .text
+start:  fxtagr  %o0
+        call    func
+        nop
+        ta      0
+        nop
+func:   save    %sp, -96, %sp
+        set     0x20000, %g1
+        st      %i0, [%g1]          ! callee's %i0 == caller's %o0
+        ret
+        restore
+""")
+        assert ext.mem_tags.read(0x20000) == 1
+
+    def test_locals_not_falsely_tainted(self):
+        result, ext = run_dift("""
+        .text
+start:  fxtagr  %l0
+        call    func
+        nop
+        ta      0
+        nop
+func:   save    %sp, -96, %sp
+        set     0x20000, %g1
+        st      %l0, [%g1]          ! callee %l0 is a different register
+        ret
+        restore
+""")
+        assert ext.mem_tags.read(0x20000) == 0
+
+
+class TestForwarding:
+    def test_forwarded_classes(self):
+        from repro.flexcore import ForwardPolicy
+        from repro.isa import InstrClass
+        config = DynamicInformationFlowTracking().forward_config()
+        for cls in (InstrClass.LOAD_WORD, InstrClass.STORE_WORD,
+                    InstrClass.ARITH_ADD, InstrClass.LOGIC,
+                    InstrClass.SHIFT, InstrClass.JMPL, InstrClass.FLEX,
+                    InstrClass.SETHI):
+            assert config.policy(cls) == ForwardPolicy.ALWAYS
+        for cls in (InstrClass.BRANCH, InstrClass.CALL, InstrClass.NOP):
+            assert config.policy(cls) == ForwardPolicy.IGNORE

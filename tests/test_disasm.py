@@ -1,0 +1,98 @@
+"""Disassembler: known renderings plus assemble/disassemble round
+trips over random instructions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.disasm import disassemble, disassemble_program
+from repro.isa.encoding import decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op, Op3, Op3Mem
+
+
+class TestKnownRenderings:
+    def check(self, line, expected=None, pc=0x1000):
+        program = assemble(f".text\nstart: {line}\n", entry="start")
+        text = disassemble(program.text[0], pc=pc)
+        assert text == (expected or line)
+
+    def test_alu(self):
+        self.check("add %o0, %o1, %o2")
+        self.check("subcc %l0, -5, %g0")
+        self.check("xor %i1, 100, %i2")
+
+    def test_memory(self):
+        self.check("ld [%g1 + 8], %o0")
+        self.check("st %o0, [%g1 - 4]")
+        self.check("ldub [%g1 + %g2], %l0")
+        self.check("ld [%g1], %o0")
+
+    def test_nop(self):
+        self.check("nop")
+
+    def test_ret_retl(self):
+        self.check("ret")
+        self.check("retl")
+
+    def test_ta(self):
+        self.check("ta 0")
+
+    def test_rd_wr_y(self):
+        self.check("rd %y, %o0")
+        self.check("wr %g0, %y")
+
+    def test_branch_target_is_absolute(self):
+        program = assemble(".text\nstart: ba start\nnop\n",
+                           entry="start")
+        assert disassemble(program.text[0], pc=0x1000) == "ba 0x1000"
+
+    def test_call_target(self):
+        program = assemble(".text\nstart: call start\nnop\n",
+                           entry="start")
+        assert disassemble(program.text[0], pc=0x1000) == "call 0x1000"
+
+    def test_flex_ops(self):
+        self.check("fxtagr %o0")
+        self.check("fxtagm %g1, %g2")
+        self.check("fxstatus %o3")
+        self.check("fxnop")
+
+    def test_program_listing(self):
+        program = assemble(".text\nstart: nop\nta 0\nnop\n",
+                           entry="start")
+        listing = disassemble_program(program)
+        assert "00001000" in listing
+        assert "nop" in listing and "ta 0" in listing
+
+
+_REG = st.integers(0, 31)
+
+alu_ops = st.sampled_from([
+    op for op in Op3 if op not in (Op3.TICC, Op3.FLEXOP, Op3.RETT,
+                                   Op3.JMPL, Op3.RDY, Op3.WRY)
+])
+
+
+@settings(max_examples=200)
+@given(alu_ops, _REG, _REG, st.integers(-4096, 4095), st.booleans())
+def test_property_alu_reassembles_identically(op3, rd, rs1, imm, use_imm):
+    instr = Instruction(op=Op.FORMAT3_ALU, opcode=op3, rd=rd, rs1=rs1,
+                        rs2=(imm & 31), use_imm=use_imm,
+                        imm=imm if use_imm else 0)
+    word = encode(instr)
+    text = disassemble(word)
+    program = assemble(f".text\n{text}\n")
+    assert program.text[0] == word
+
+
+@settings(max_examples=200)
+@given(st.sampled_from(list(Op3Mem)), _REG, _REG,
+       st.integers(-4096, 4095))
+def test_property_memory_reassembles_identically(op3, rd, rs1, imm):
+    instr = Instruction(op=Op.FORMAT3_MEM, opcode=op3, rd=rd, rs1=rs1,
+                        use_imm=True, imm=imm)
+    word = encode(instr)
+    text = disassemble(word)
+    program = assemble(f".text\n{text}\n")
+    assert program.text[0] == word

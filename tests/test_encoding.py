@@ -1,0 +1,156 @@
+"""Binary encoder/decoder: exact encodings plus round-trip properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Cond, FlexOpf, Op, Op2, Op3, Op3Mem
+
+
+class TestExactEncodings:
+    def test_call(self):
+        instr = Instruction(op=Op.CALL, rd=15, disp=4)
+        assert encode(instr) == 0x40000004
+
+    def test_sethi(self):
+        instr = Instruction(op=Op.FORMAT2, opcode=Op2.SETHI, rd=1,
+                            imm=0x3FFFFF)
+        assert encode(instr) == (1 << 25) | (4 << 22) | 0x3FFFFF
+
+    def test_nop_is_sethi_zero(self):
+        instr = Instruction(op=Op.FORMAT2, opcode=Op2.SETHI, rd=0, imm=0)
+        assert encode(instr) == 0x01000000
+
+    def test_add_register_form(self):
+        instr = Instruction(op=Op.FORMAT3_ALU, opcode=Op3.ADD,
+                            rd=3, rs1=1, rs2=2)
+        word = encode(instr)
+        assert (word >> 30) == 2
+        assert (word >> 25) & 0x1F == 3
+        assert (word >> 14) & 0x1F == 1
+        assert word & 0x1F == 2
+        assert (word >> 13) & 1 == 0
+
+    def test_add_immediate_form_negative(self):
+        instr = Instruction(op=Op.FORMAT3_ALU, opcode=Op3.ADD,
+                            rd=3, rs1=1, use_imm=True, imm=-1)
+        word = encode(instr)
+        assert (word >> 13) & 1 == 1
+        assert word & 0x1FFF == 0x1FFF
+
+    def test_load_word(self):
+        instr = Instruction(op=Op.FORMAT3_MEM, opcode=Op3Mem.LD,
+                            rd=8, rs1=9, use_imm=True, imm=64)
+        assert (encode(instr) >> 30) == 3
+
+    def test_branch_with_annul(self):
+        instr = Instruction(op=Op.FORMAT2, opcode=Op2.BICC,
+                            cond=Cond.BNE, annul=True, disp=-2)
+        word = encode(instr)
+        assert (word >> 29) & 1 == 1
+        assert (word >> 25) & 0xF == int(Cond.BNE)
+
+    def test_flexop_opf_field(self):
+        instr = Instruction(op=Op.FORMAT3_ALU, opcode=Op3.FLEXOP,
+                            rd=4, rs1=5, rs2=6,
+                            opf=int(FlexOpf.TAG_SET_MEM))
+        word = encode(instr)
+        assert (word >> 5) & 0x1FF == int(FlexOpf.TAG_SET_MEM)
+        assert decode(word).opf == int(FlexOpf.TAG_SET_MEM)
+
+    def test_ticc_condition_survives(self):
+        instr = Instruction(op=Op.FORMAT3_ALU, opcode=Op3.TICC,
+                            cond=Cond.BA, use_imm=True, imm=0)
+        decoded = decode(encode(instr))
+        assert decoded.opcode == Op3.TICC
+        assert decoded.cond == Cond.BA
+
+
+class TestErrors:
+    def test_disp30_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(op=Op.CALL, disp=1 << 30))
+
+    def test_simm13_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(op=Op.FORMAT3_ALU, opcode=Op3.ADD,
+                               use_imm=True, imm=5000))
+
+    def test_decode_rejects_big_word(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+
+    def test_decode_unknown_alu_op3(self):
+        with pytest.raises(EncodingError):
+            decode((2 << 30) | (0x2B << 19))  # unused op3
+
+    def test_decode_unknown_mem_op3(self):
+        with pytest.raises(EncodingError):
+            decode((3 << 30) | (0x3F << 19))
+
+    def test_decode_unimp_format2(self):
+        with pytest.raises(EncodingError):
+            decode(0)  # UNIMP
+
+
+# ---------------------------------------------------------------------------
+# Round-trip properties.
+
+_REG = st.integers(0, 31)
+_SIMM = st.integers(-4096, 4095)
+
+alu_ops = st.sampled_from([
+    op for op in Op3
+    if op not in (Op3.TICC, Op3.FLEXOP, Op3.RETT)
+])
+mem_ops = st.sampled_from(list(Op3Mem))
+
+
+@given(alu_ops, _REG, _REG, _REG)
+def test_roundtrip_alu_register(op3, rd, rs1, rs2):
+    instr = Instruction(op=Op.FORMAT3_ALU, opcode=op3, rd=rd, rs1=rs1,
+                        rs2=rs2)
+    assert decode(encode(instr)) == instr
+
+
+@given(alu_ops, _REG, _REG, _SIMM)
+def test_roundtrip_alu_immediate(op3, rd, rs1, imm):
+    instr = Instruction(op=Op.FORMAT3_ALU, opcode=op3, rd=rd, rs1=rs1,
+                        use_imm=True, imm=imm)
+    assert decode(encode(instr)) == instr
+
+
+@given(mem_ops, _REG, _REG, _SIMM)
+def test_roundtrip_memory(op3, rd, rs1, imm):
+    instr = Instruction(op=Op.FORMAT3_MEM, opcode=op3, rd=rd, rs1=rs1,
+                        use_imm=True, imm=imm)
+    assert decode(encode(instr)) == instr
+
+
+@given(st.sampled_from(list(Cond)), st.booleans(),
+       st.integers(-(1 << 21), (1 << 21) - 1))
+def test_roundtrip_branch(cond, annul, disp):
+    instr = Instruction(op=Op.FORMAT2, opcode=Op2.BICC, cond=cond,
+                        annul=annul, disp=disp)
+    assert decode(encode(instr)) == instr
+
+
+@given(st.integers(-(1 << 29), (1 << 29) - 1))
+def test_roundtrip_call(disp):
+    instr = Instruction(op=Op.CALL, rd=15, disp=disp)
+    assert decode(encode(instr)) == instr
+
+
+@given(st.integers(0, 511), _REG, _REG, _REG)
+def test_roundtrip_flexop(opf, rd, rs1, rs2):
+    instr = Instruction(op=Op.FORMAT3_ALU, opcode=Op3.FLEXOP, rd=rd,
+                        rs1=rs1, rs2=rs2, opf=opf)
+    assert decode(encode(instr)) == instr
+
+
+@given(st.integers(0, 0x3FFFFF), _REG)
+def test_roundtrip_sethi(imm, rd):
+    instr = Instruction(op=Op.FORMAT2, opcode=Op2.SETHI, rd=rd, imm=imm)
+    assert decode(encode(instr)) == instr

@@ -1,0 +1,109 @@
+"""Evaluation configuration and formatting helpers."""
+
+import pytest
+
+from repro.evaluation import (
+    CLOCK_RATIOS,
+    DEFAULT_FIFO_DEPTH,
+    FIFO_SWEEP,
+    FLEXCORE_RATIOS,
+    MEMORY_SCALE,
+    experiment_system_config,
+    geomean,
+)
+from repro.evaluation.paper import (
+    TABLE3_FABRIC,
+    TABLE4,
+    TABLE4_GEOMEAN,
+)
+from repro.extensions import EXTENSION_NAMES, create_extension
+
+
+class TestConfig:
+    def test_clock_ratios_match_table4_columns(self):
+        assert CLOCK_RATIOS == (1.0, 0.5, 0.25)
+
+    def test_flexcore_ratios_match_paper(self):
+        assert FLEXCORE_RATIOS == {"umc": 0.5, "dift": 0.5,
+                                   "bc": 0.5, "sec": 0.25}
+
+    def test_default_fifo_is_64(self):
+        assert DEFAULT_FIFO_DEPTH == 64
+        assert 64 in FIFO_SWEEP
+
+    def test_scaled_memory_preserves_ratios(self):
+        config = experiment_system_config(scaled_memory=True)
+        full = experiment_system_config(scaled_memory=False)
+        assert (full.core.dcache.size_bytes
+                == config.core.dcache.size_bytes * MEMORY_SCALE)
+        assert (full.interface.meta_cache.size_bytes
+                == config.interface.meta_cache.size_bytes * MEMORY_SCALE)
+        # line size is preserved — it sets the meta-per-line ratios
+        assert (full.interface.meta_cache.line_bytes
+                == config.interface.meta_cache.line_bytes)
+
+    def test_full_scale_matches_paper_sizes(self):
+        config = experiment_system_config(scaled_memory=False)
+        assert config.core.icache.size_bytes == 32 * 1024
+        assert config.interface.meta_cache.size_bytes == 4 * 1024
+
+    def test_ratio_and_fifo_plumbed_through(self):
+        config = experiment_system_config(clock_ratio=0.25, fifo_depth=16)
+        assert config.interface.clock_ratio == 0.25
+        assert config.interface.fifo_depth == 16
+
+
+class TestGeomean:
+    def test_single_value(self):
+        assert geomean([2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+
+class TestPaperData:
+    def test_table4_complete(self):
+        """Every benchmark x extension x ratio cell is transcribed."""
+        benches = {"sha", "gmac", "stringsearch", "fft", "basicmath",
+                   "bitcount"}
+        assert set(TABLE4) == benches
+        for bench, per_ext in TABLE4.items():
+            assert set(per_ext) == set(EXTENSION_NAMES)
+            for ratios in per_ext.values():
+                assert set(ratios) == {1.0, 0.5, 0.25}
+
+    def test_geomean_consistent_with_cells(self):
+        """The transcribed geomean row agrees with the transcribed
+        cells to rounding (sanity check on transcription)."""
+        for ext in EXTENSION_NAMES:
+            for ratio in (1.0, 0.5, 0.25):
+                computed = geomean(
+                    TABLE4[b][ext][ratio] for b in TABLE4
+                )
+                assert computed == pytest.approx(
+                    TABLE4_GEOMEAN[ext][ratio], abs=0.02
+                )
+
+    def test_fabric_anchor_luts(self):
+        """The fabric areas are the published LUT counts x 807."""
+        for name, ref in TABLE3_FABRIC.items():
+            luts = ref["area_um2"] / 807.0
+            assert 100 < luts < 500
+
+
+class TestRegistry:
+    def test_all_extensions_instantiable(self):
+        for name in EXTENSION_NAMES:
+            extension = create_extension(name)
+            assert extension.name == name
+            assert extension.description
+
+    def test_unknown_extension(self):
+        with pytest.raises(ValueError, match="unknown extension"):
+            create_extension("rowhammer")
+
+    def test_fresh_instance_each_call(self):
+        assert create_extension("umc") is not create_extension("umc")

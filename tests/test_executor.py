@@ -1,0 +1,316 @@
+"""Functional executor: control flow, delay slots, memory, traps."""
+
+import pytest
+
+from repro.core.alu import ConditionCodes
+from repro.core.executor import SimulationError, evaluate_condition
+from repro.isa.opcodes import Cond, InstrClass
+from tests.conftest import run_source
+
+
+def run_and_read(source, symbol="result", entry="start"):
+    cpu, memory, program = run_source(source, entry=entry)
+    return memory.read_word(program.symbol(symbol))
+
+
+class TestBasics:
+    def test_halt(self, tiny_loop_source):
+        cpu, memory, program = run_source(tiny_loop_source)
+        assert cpu.halted
+        assert memory.read_word(program.symbol("result")) == 42
+
+    def test_instret_counts(self, tiny_loop_source):
+        cpu, _, _ = run_source(tiny_loop_source)
+        assert cpu.instret == 5  # mov + set(2) + st + ta
+
+    def test_step_after_halt_raises(self, tiny_loop_source):
+        cpu, _, _ = run_source(tiny_loop_source)
+        with pytest.raises(SimulationError):
+            cpu.step()
+
+
+class TestControlFlow:
+    def test_taken_branch_executes_delay_slot(self):
+        assert run_and_read("""
+        .text
+start:  mov     1, %o0
+        ba      skip
+        add     %o0, 10, %o0        ! delay slot executes
+        add     %o0, 100, %o0       ! skipped
+skip:   set     result, %o1
+        st      %o0, [%o1]
+        ta      0
+        nop
+        .data
+result: .word   0
+""") == 11
+
+    def test_untaken_annulled_delay_slot_skipped(self):
+        assert run_and_read("""
+        .text
+start:  mov     1, %o0
+        cmp     %o0, 1
+        bne,a   skip                ! not taken, annul -> slot skipped
+        add     %o0, 10, %o0
+skip:   set     result, %o1
+        st      %o0, [%o1]
+        ta      0
+        nop
+        .data
+result: .word   0
+""") == 1
+
+    def test_untaken_plain_branch_executes_slot(self):
+        assert run_and_read("""
+        .text
+start:  mov     1, %o0
+        cmp     %o0, 1
+        bne     skip                ! not taken, no annul -> slot runs
+        add     %o0, 10, %o0
+skip:   set     result, %o1
+        st      %o0, [%o1]
+        ta      0
+        nop
+        .data
+result: .word   0
+""") == 11
+
+    def test_ba_annul_skips_slot(self):
+        assert run_and_read("""
+        .text
+start:  mov     1, %o0
+        ba,a    skip
+        add     %o0, 10, %o0        ! annulled even though taken
+skip:   set     result, %o1
+        st      %o0, [%o1]
+        ta      0
+        nop
+        .data
+result: .word   0
+""") == 1
+
+    def test_conditional_loop(self):
+        assert run_and_read("""
+        .text
+start:  clr     %o0
+        mov     5, %o1
+loop:   add     %o0, %o1, %o0
+        subcc   %o1, 1, %o1
+        bne     loop
+        nop
+        set     result, %o2
+        st      %o0, [%o2]
+        ta      0
+        nop
+        .data
+result: .word   0
+""") == 15
+
+    def test_call_links_o7(self):
+        assert run_and_read("""
+        .text
+start:  call    func
+        nop
+        set     result, %o1
+        st      %o0, [%o1]
+        ta      0
+        nop
+func:   retl
+        mov     7, %o0
+        .data
+result: .word   0
+""") == 7
+
+    def test_save_restore_window_round_trip(self):
+        assert run_and_read("""
+        .text
+start:  mov     20, %o0
+        call    double
+        nop
+        set     result, %o1
+        st      %o0, [%o1]
+        ta      0
+        nop
+double: save    %sp, -96, %sp
+        add     %i0, %i0, %i0
+        ret
+        restore %i0, 2, %o0
+        .data
+result: .word   0
+""") == 42
+
+    def test_misaligned_jmpl_raises(self):
+        with pytest.raises(SimulationError, match="misaligned"):
+            run_source("""
+        .text
+start:  mov     3, %o0
+        jmpl    %o0 + 0, %g0
+        nop
+""")
+
+    def test_nonzero_trap_raises(self):
+        with pytest.raises(SimulationError, match="software trap 5"):
+            run_source(".text\nstart: ta 5\nnop\n")
+
+
+class TestMemoryAccess:
+    def test_byte_halfword_word(self):
+        assert run_and_read("""
+        .text
+start:  set     data, %g1
+        ldub    [%g1], %o0          ! 0xf0
+        ldsb    [%g1], %o1          ! sign-extended
+        add     %o0, %o1, %o2       ! 0xf0 + (-16) = 224 - 16 = 208
+        lduh    [%g1], %o3          ! 0xf012
+        add     %o2, %o3, %o2
+        set     result, %o4
+        st      %o2, [%o4]
+        ta      0
+        nop
+        .data
+data:   .word   0xf0123456
+result: .word   0
+""") == 0xF0 + (0xF0 - 0x100) + 0xF012
+
+    def test_store_byte_preserves_neighbours(self):
+        assert run_and_read("""
+        .text
+start:  set     data, %g1
+        mov     0xaa, %o0
+        stb     %o0, [%g1 + 1]
+        ld      [%g1], %o1
+        set     result, %o2
+        st      %o1, [%o2]
+        ta      0
+        nop
+        .data
+data:   .word   0x11223344
+result: .word   0
+""") == 0x11AA3344
+
+    def test_ldd_std_pair(self):
+        assert run_and_read("""
+        .text
+start:  set     data, %g1
+        ldd     [%g1], %o2          ! %o2, %o3 <- two words
+        add     %o2, %o3, %o4
+        set     result, %g2
+        st      %o4, [%g2]
+        ta      0
+        nop
+        .data
+data:   .word   3, 4
+result: .word   0
+""") == 7
+
+    def test_misaligned_word_load_raises(self):
+        with pytest.raises(Exception, match="misaligned"):
+            run_source("""
+        .text
+start:  set     0x10001, %g1
+        ld      [%g1], %o0
+        ta      0
+        nop
+""")
+
+
+class TestYRegister:
+    def test_umul_rdy(self):
+        assert run_and_read("""
+        .text
+start:  set     0x10000, %o0
+        umul    %o0, %o0, %o1       ! product = 1 << 32
+        rd      %y, %o2
+        set     result, %o3
+        st      %o2, [%o3]
+        ta      0
+        nop
+        .data
+result: .word   0
+""") == 1
+
+    def test_udiv_with_y(self):
+        assert run_and_read("""
+        .text
+start:  wr      %g0, %y
+        mov     100, %o0
+        udiv    %o0, 7, %o1
+        set     result, %o2
+        st      %o1, [%o2]
+        ta      0
+        nop
+        .data
+result: .word   0
+""") == 14
+
+
+class TestCommitRecords:
+    def test_load_record_fields(self):
+        from repro.core.executor import CpuState
+        from repro.isa.assembler import assemble
+        from repro.memory.backing import SparseMemory
+
+        program = assemble("""
+        .text
+start:  set     data, %g1
+        ld      [%g1 + 4], %o0
+        ta      0
+        nop
+        .data
+data:   .word   1, 0xabcd
+""", entry="start")
+        memory = SparseMemory()
+        memory.load_program(program)
+        cpu = CpuState(memory, program.entry)
+        cpu.step()
+        cpu.step()
+        record = cpu.step()  # the load
+        assert record.instr_class == InstrClass.LOAD_WORD
+        assert record.addr == program.symbol("data") + 4
+        assert record.result == 0xABCD
+        assert record.dest_phys == cpu.regs.physical_index(8)
+
+    def test_branch_record(self):
+        from repro.core.executor import CpuState
+        from repro.isa.assembler import assemble
+        from repro.memory.backing import SparseMemory
+
+        program = assemble("""
+        .text
+start:  cmp     %g0, %g0
+        be      target
+        nop
+target: ta      0
+        nop
+""", entry="start")
+        memory = SparseMemory()
+        memory.load_program(program)
+        cpu = CpuState(memory, program.entry)
+        cpu.step()
+        record = cpu.step()
+        assert record.instr_class == InstrClass.BRANCH
+        assert record.branch_taken
+        assert record.addr == program.symbol("target")
+
+
+class TestEvaluateCondition:
+    @pytest.mark.parametrize("cond,codes,expected", [
+        (Cond.BA, ConditionCodes(), True),
+        (Cond.BN, ConditionCodes(), False),
+        (Cond.BE, ConditionCodes(z=True), True),
+        (Cond.BNE, ConditionCodes(z=True), False),
+        (Cond.BG, ConditionCodes(), True),
+        (Cond.BG, ConditionCodes(z=True), False),
+        (Cond.BL, ConditionCodes(n=True), True),
+        (Cond.BL, ConditionCodes(n=True, v=True), False),
+        (Cond.BGU, ConditionCodes(c=True), False),
+        (Cond.BLEU, ConditionCodes(c=True), True),
+        (Cond.BCC, ConditionCodes(), True),
+        (Cond.BCS, ConditionCodes(c=True), True),
+        (Cond.BPOS, ConditionCodes(n=True), False),
+        (Cond.BNEG, ConditionCodes(n=True), True),
+        (Cond.BVS, ConditionCodes(v=True), True),
+        (Cond.BVC, ConditionCodes(v=True), False),
+    ])
+    def test_conditions(self, cond, codes, expected):
+        assert evaluate_condition(cond, codes) == expected

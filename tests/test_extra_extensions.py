@@ -1,0 +1,179 @@
+"""Extra extensions beyond the paper's four: shadow stack, watchpoints."""
+
+import pytest
+
+from repro.extensions import ShadowStack, Watchpoints, create_extension
+from repro.fabric import synthesize_fabric
+from repro.flexcore import run_program
+from repro.isa import assemble
+
+
+def run_shadow(source, **kwargs):
+    program = assemble(source, entry="start")
+    extension = ShadowStack()
+    return run_program(program, extension, **kwargs), extension
+
+
+class TestShadowStack:
+    def test_clean_call_return(self):
+        result, ext = run_shadow("""
+        .text
+start:  call    f1
+        nop
+        ta      0
+        nop
+f1:     save    %sp, -96, %sp
+        call    f2
+        nop
+        ret
+        restore
+f2:     retl
+        nop
+""")
+        assert result.trap is None
+        assert ext.status_word() == 0  # fully unwound
+
+    def test_smashed_return_address_detected(self):
+        result, _ = run_shadow("""
+        .text
+start:  call    victim
+        nop
+        ta      0
+        nop
+victim: save    %sp, -96, %sp
+        set     evil, %i7               ! overwrite the return address
+        sub     %i7, 8, %i7             ! (ret jumps to %i7 + 8)
+        ret
+        restore
+evil:   ta      0
+        nop
+""")
+        assert result.trap is not None
+        assert result.trap.kind == "return-address-mismatch"
+
+    def test_indirect_call_through_pointer_checked(self):
+        result, _ = run_shadow("""
+        .text
+start:  set     f1, %l0
+        jmpl    %l0, %o7                ! indirect call: pushes
+        nop
+        ta      0
+        nop
+f1:     retl                            ! pops and matches
+        nop
+""")
+        assert result.trap is None
+
+    def test_overflow_is_unchecked_not_false_positive(self):
+        extension = ShadowStack(depth=2)
+        program = assemble("""
+        .text
+start:  call    f1
+        nop
+        ta      0
+        nop
+f1:     save    %sp, -96, %sp
+        call    f2
+        nop
+        ret
+        restore
+f2:     save    %sp, -96, %sp
+        call    f3
+        nop
+        ret
+        restore
+f3:     retl
+        nop
+""", entry="start")
+        result = run_program(program, extension)
+        assert result.trap is None
+        assert extension.overflowed > 0
+
+    def test_tiny_forward_fraction(self):
+        """Only calls/returns forwarded: near-free even at 0.25X."""
+        from repro.workloads import build_workload
+        workload = build_workload("bitcount", 0.125)
+        baseline = run_program(workload.build())
+        monitored = run_program(workload.build(), ShadowStack(),
+                                clock_ratio=0.25)
+        stats = monitored.interface_stats
+        assert stats.forwarded_fraction < 0.10
+        assert monitored.cycles / baseline.cycles < 1.05
+
+    def test_synthesizes_small(self):
+        report = synthesize_fabric(ShadowStack())
+        assert report.luts < 120
+        assert report.clock_ratio >= 0.5
+
+
+class TestWatchpoints:
+    SOURCE = """
+        .equ    BUF, 0x20000
+        .text
+start:  set     BUF, %g1
+        mov     3, %g2                  ! mode: read | write
+        fxval   %g2
+        set     BUF+32, %g3
+        fxtagm  %g1, %g3                ! watch [BUF, BUF+32)
+        set     BUF+64, %g4
+        mov     7, %o0
+        st      %o0, [%g4]              ! outside: fine
+        ld      [%g4], %o1              ! outside: fine
+        st      %o0, [%g1 + 16]         ! inside: trap
+        ta      0
+        nop
+"""
+
+    def test_write_hit(self):
+        program = assemble(self.SOURCE, entry="start")
+        extension = Watchpoints()
+        result = run_program(program, extension)
+        assert result.trap is not None
+        assert result.trap.kind == "watchpoint-write"
+        assert result.trap.addr == 0x20010
+        assert extension.hits == 1
+
+    def test_read_only_mode_ignores_writes(self):
+        source = self.SOURCE.replace("mov     3, %g2", "mov     1, %g2")
+        result = run_program(assemble(source, entry="start"),
+                             Watchpoints())
+        assert result.trap is None  # the inside access is a write
+
+    def test_disarm(self):
+        source = self.SOURCE.replace(
+            "        st      %o0, [%g1 + 16]         ! inside: trap",
+            "        fxuntagm %g1, %g0\n"
+            "        st      %o0, [%g1 + 16]         ! disarmed: fine",
+        )
+        result = run_program(assemble(source, entry="start"),
+                             Watchpoints())
+        assert result.trap is None
+
+    def test_slot_limit_evicts_oldest(self):
+        extension = Watchpoints(slots=1)
+        program = assemble("""
+        .text
+start:  mov     3, %g2
+        fxval   %g2
+        set     0x20000, %g1
+        set     0x20020, %g3
+        fxtagm  %g1, %g3                ! watch A
+        set     0x30000, %g4
+        set     0x30020, %g5
+        fxtagm  %g4, %g5                ! watch B evicts A
+        mov     1, %o0
+        st      %o0, [%g1]              ! A no longer watched
+        ta      0
+        nop
+""", entry="start")
+        result = run_program(program, extension)
+        assert result.trap is None
+        assert len(extension.ranges) == 1
+
+    def test_registry_access(self):
+        assert isinstance(create_extension("watchpoint"), Watchpoints)
+        assert isinstance(create_extension("shadowstack"), ShadowStack)
+
+    def test_synthesizes(self):
+        report = synthesize_fabric(Watchpoints())
+        assert 0 < report.luts < 300

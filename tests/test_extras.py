@@ -1,0 +1,105 @@
+"""Optional architecture features: precise exceptions, meta-data TLB.
+
+These are the paper's discussed-but-not-prototyped options (Section
+III-B/III-C): the conservative precise-exception commit policy and
+the meta-data TLB for virtual-memory systems.
+"""
+
+import pytest
+
+from repro.extensions import create_extension
+from repro.flexcore import FlexCoreSystem, SystemConfig
+from repro.isa import assemble
+
+PROGRAM = """
+        .text
+start:  set     0x20000, %g1
+        mov     64, %o0
+loop:   st      %o0, [%g1]
+        ld      [%g1], %o1
+        add     %g1, 4, %g1
+        subcc   %o0, 1, %o0
+        bne     loop
+        nop
+        ta      0
+        nop
+"""
+
+SCATTERED = """
+        .text
+start:  set     0x20000, %g1
+        set     0x100000, %g3           ! stride over many meta pages
+        mov     32, %o0
+loop:   st      %o0, [%g1]
+        ld      [%g1], %o1
+        add     %g1, %g3, %g1
+        subcc   %o0, 1, %o0
+        bne     loop
+        nop
+        ta      0
+        nop
+"""
+
+
+def run(source, **interface_overrides):
+    config = SystemConfig()
+    for key, value in interface_overrides.items():
+        setattr(config.interface, key, value)
+    program = assemble(source, entry="start")
+    return FlexCoreSystem(program, create_extension("umc"), config).run()
+
+
+class TestPreciseExceptions:
+    def test_precise_mode_acks_every_packet(self):
+        result = run(PROGRAM, precise_exceptions=True)
+        assert result.interface_stats.ack_stall_cycles > 0
+
+    def test_precise_mode_costs_performance(self):
+        decoupled = run(PROGRAM)
+        precise = run(PROGRAM, precise_exceptions=True)
+        assert precise.cycles > decoupled.cycles
+
+    def test_precise_mode_same_detection(self):
+        source = """
+        .text
+start:  set     0x50000, %g1
+        ld      [%g1], %o0          ! uninitialized
+        ta      0
+        nop
+"""
+        decoupled = run(source)
+        precise = run(source, precise_exceptions=True)
+        assert decoupled.trap is not None and precise.trap is not None
+        assert precise.trap.pc == decoupled.trap.pc
+
+
+class TestMetaTlb:
+    def test_disabled_by_default(self):
+        result = run(PROGRAM)
+        assert "meta-tlb-walk" not in [
+            *result.interface_stats.__dict__,  # no stat leak
+        ]
+
+    def test_tlb_walks_show_up_for_scattered_meta(self):
+        system_config = SystemConfig()
+        system_config.interface.meta_tlb_entries = 4
+        program = assemble(SCATTERED, entry="start")
+        system = FlexCoreSystem(program, create_extension("umc"),
+                                system_config)
+        result = system.run()
+        assert "meta-tlb-walk" in system.bus.stats.transactions
+
+    def test_tlb_hits_for_dense_meta(self):
+        """A sequential walk touches one meta page: one walk total."""
+        system_config = SystemConfig()
+        system_config.interface.meta_tlb_entries = 4
+        program = assemble(PROGRAM, entry="start")
+        system = FlexCoreSystem(program, create_extension("umc"),
+                                system_config)
+        system.run()
+        assert system.bus.stats.transactions["meta-tlb-walk"] == 1
+
+    def test_tlb_slower_than_no_tlb(self):
+        without = run(SCATTERED)
+        with_tlb = run(SCATTERED, meta_tlb_entries=2)
+        assert with_tlb.cycles >= without.cycles

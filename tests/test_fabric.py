@@ -1,0 +1,213 @@
+"""Fabric cost models: mapping, area, power, timing, ASIC estimates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.extensions import EXTENSION_NAMES, create_extension
+from repro.evaluation import paper
+from repro.fabric import (
+    ASIC_BASELINE_MHZ,
+    KUON_ROSE_UM2_PER_LUT,
+    LogicNetwork,
+    Prim,
+    asic_extension_estimate,
+    asic_fmax_mhz,
+    baseline_report,
+    fabric_capacity_luts,
+    fifo_area_um2,
+    flexcore_common_estimate,
+    fpga_area_um2,
+    fpga_fmax_mhz,
+    fpga_power_mw,
+    map_network,
+    network_gates,
+    supported_clock_ratio,
+    synthesize_asic,
+    synthesize_common,
+    synthesize_fabric,
+)
+from repro.flexcore.packet import PACKET_BITS
+
+
+class TestLogicNetwork:
+    def test_add_chains(self):
+        net = LogicNetwork("x").add(Prim.GATE, width=8).add(
+            Prim.ADDER, width=32
+        )
+        assert len(net.primitives) == 2
+
+    def test_totals(self):
+        net = LogicNetwork("x")
+        net.add(Prim.REGISTER, width=10, count=3)
+        assert net.flipflop_bits() == 30
+
+    def test_sram_bits(self):
+        net = LogicNetwork("x").add(Prim.SRAM, width=32, depth=64)
+        assert net.sram_bits() == 2048
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            LogicNetwork("x").add(Prim.GATE, width=0)
+
+
+class TestMapping:
+    def test_gate_packing(self):
+        net = LogicNetwork("x").add(Prim.GATE, width=32)
+        assert map_network(net).luts == 16
+
+    def test_adder_one_lut_per_bit(self):
+        net = LogicNetwork("x").add(Prim.ADDER, width=32)
+        assert map_network(net).luts == 32
+
+    def test_registers_cost_no_luts(self):
+        net = LogicNetwork("x").add(Prim.REGISTER, width=100)
+        assert map_network(net).luts == 0
+        assert map_network(net).flipflops == 100
+
+    def test_depth_spread_across_stages(self):
+        one_stage = LogicNetwork("a", pipeline_stages=1)
+        one_stage.add(Prim.ADDER, width=32).add(Prim.ADDER, width=32)
+        two_stage = LogicNetwork("b", pipeline_stages=2)
+        two_stage.add(Prim.ADDER, width=32).add(Prim.ADDER, width=32)
+        assert (map_network(two_stage).critical_stage_depth
+                < map_network(one_stage).critical_stage_depth)
+
+    @given(st.integers(1, 64), st.integers(1, 64))
+    def test_property_wider_never_cheaper(self, w1, w2):
+        lo, hi = sorted((w1, w2))
+        for kind in (Prim.GATE, Prim.ADDER, Prim.COMPARATOR_EQ):
+            small = map_network(LogicNetwork("s").add(kind, width=lo))
+            big = map_network(LogicNetwork("b").add(kind, width=hi))
+            assert small.luts <= big.luts
+
+
+class TestPaperCalibration:
+    """The models must land near the Table III anchors (within 10%
+    for LUT-derived numbers, 20% for ASIC composites)."""
+
+    @pytest.mark.parametrize("name", EXTENSION_NAMES)
+    def test_fabric_area(self, name):
+        report = synthesize_fabric(create_extension(name))
+        ref = paper.TABLE3_FABRIC[name]["area_um2"]
+        assert abs(report.area_um2 - ref) / ref < 0.10
+
+    @pytest.mark.parametrize("name", EXTENSION_NAMES)
+    def test_fabric_fmax(self, name):
+        report = synthesize_fabric(create_extension(name))
+        ref = paper.TABLE3_FABRIC[name]["fmax_mhz"]
+        assert abs(report.fmax_mhz - ref) / ref < 0.10
+
+    @pytest.mark.parametrize("name", EXTENSION_NAMES)
+    def test_fabric_power(self, name):
+        report = synthesize_fabric(create_extension(name))
+        ref = paper.TABLE3_FABRIC[name]["power_mw"]
+        assert abs(report.power_mw - ref) / ref < 0.10
+
+    @pytest.mark.parametrize("name", ["umc", "dift", "bc"])
+    def test_asic_area(self, name):
+        report = synthesize_asic(create_extension(name))
+        ref = paper.TABLE3_ASIC[name]["area_um2"]
+        assert abs(report.area_um2 - ref) / ref < 0.05
+
+    def test_sec_asic_negligible(self):
+        report = synthesize_asic(create_extension("sec"))
+        assert report.area_overhead < 0.01
+
+    def test_common_modules(self):
+        report = synthesize_common()
+        ref = paper.TABLE3_COMMON["area_um2"]
+        assert abs(report.area_um2 - ref) / ref < 0.05
+
+    def test_all_extensions_fit_dedicated_fabric(self):
+        """Paper: 'all evaluated extensions can fit in a 0.4mm^2 FPGA
+        fabric'."""
+        capacity = fabric_capacity_luts(0.4e6)
+        for name in EXTENSION_NAMES:
+            mapping = map_network(create_extension(name).hardware())
+            assert mapping.luts <= capacity
+
+
+class TestOrderings:
+    def test_fabric_area_ordering(self):
+        areas = {
+            name: synthesize_fabric(create_extension(name)).area_um2
+            for name in EXTENSION_NAMES
+        }
+        assert areas["umc"] < areas["dift"] < areas["bc"] < areas["sec"]
+
+    def test_fabric_fmax_ordering(self):
+        fmax = {
+            name: synthesize_fabric(create_extension(name)).fmax_mhz
+            for name in EXTENSION_NAMES
+        }
+        assert fmax["umc"] > fmax["dift"] > fmax["bc"] > fmax["sec"]
+
+    def test_clock_ratio_assignment_matches_paper(self):
+        """UMC/DIFT/BC sustain half the core clock; SEC only a quarter."""
+        for name, expected in (("umc", 0.5), ("dift", 0.5),
+                               ("bc", 0.5), ("sec", 0.25)):
+            report = synthesize_fabric(create_extension(name))
+            assert report.clock_ratio == expected
+
+    def test_asic_faster_than_fabric(self):
+        for name in EXTENSION_NAMES:
+            extension = create_extension(name)
+            assert (synthesize_asic(extension).fmax_mhz
+                    > synthesize_fabric(extension).fmax_mhz)
+
+
+class TestComponentModels:
+    def test_kuon_rose_area(self):
+        net = LogicNetwork("x").add(Prim.GATE, width=20)
+        mapping = map_network(net)
+        assert fpga_area_um2(mapping) == mapping.luts * KUON_ROSE_UM2_PER_LUT
+
+    def test_power_grows_with_luts_and_frequency(self):
+        small = map_network(LogicNetwork("s").add(Prim.GATE, width=8))
+        big = map_network(LogicNetwork("b").add(Prim.GATE, width=512))
+        assert fpga_power_mw(big, 200) > fpga_power_mw(small, 200)
+        assert fpga_power_mw(big, 400) > fpga_power_mw(big, 200)
+
+    def test_fifo_area_grows_10_percent_16_to_64(self):
+        """Section V-C: FIFO area grows only ~10% from 16 to 64 entries
+        because SRAM periphery dominates."""
+        small = fifo_area_um2(16, PACKET_BITS)
+        big = fifo_area_um2(64, PACKET_BITS)
+        assert 1.05 < big / small < 1.15
+
+    def test_network_gates_positive(self):
+        for name in EXTENSION_NAMES:
+            assert network_gates(create_extension(name).hardware()) > 100
+
+    def test_asic_estimate_components(self):
+        estimate = asic_extension_estimate(create_extension("dift"))
+        assert estimate.cache_um2 > 0
+        assert estimate.fifo_um2 > 0
+        assert estimate.regfile_um2 > 0
+        estimate_sec = asic_extension_estimate(create_extension("sec"))
+        assert estimate_sec.cache_um2 == 0
+        assert estimate_sec.fifo_um2 == 0
+
+    def test_common_bigger_than_any_tailored(self):
+        common = flexcore_common_estimate().total_um2
+        for name in ("umc", "dift", "bc"):
+            tailored = asic_extension_estimate(
+                create_extension(name)).total_um2
+            assert common > tailored
+
+    def test_supported_clock_ratio_thresholds(self):
+        assert supported_clock_ratio(465, 465) == 1.0
+        assert supported_clock_ratio(240, 465) == 0.5
+        assert supported_clock_ratio(220, 465) == 0.25
+        assert supported_clock_ratio(60, 465) == 0.125
+
+    def test_asic_tap_penalty(self):
+        assert asic_fmax_mhz("umc") > asic_fmax_mhz("dift")
+        assert asic_fmax_mhz("umc") < ASIC_BASELINE_MHZ
+
+    def test_baseline_report_matches_anchors(self):
+        report = baseline_report()
+        assert report.area_um2 == paper.TABLE3_BASELINE["area_um2"]
+        assert report.power_mw == paper.TABLE3_BASELINE["power_mw"]
+        assert report.fmax_mhz == paper.TABLE3_BASELINE["fmax_mhz"]

