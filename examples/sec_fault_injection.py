@@ -1,19 +1,18 @@
 #!/usr/bin/env python3
-"""Soft-error checking: injecting transient ALU faults and watching
-the SEC extension catch them.
+"""Soft-error checking: a fault-injection *campaign* against SEC.
 
 The SEC co-processor re-executes every ALU operation from the operand
-values in the trace packet (Argus-style) and compares.  We run a
-compute kernel many times, each time flipping one random result bit of
-one random dynamic ALU instruction — simulating a particle strike on
-the ALU output latch — and measure the detection rate.
+values in the trace packet (Argus-style) and compares.  Instead of the
+old hand-rolled loop, this example drives the campaign subsystem
+(`repro.faultinject`): a golden run profiles the kernel, then each
+faulted run flips one random result bit of one random dynamic ALU
+instruction — simulating a particle strike on the ALU output latch —
+under a watchdog that would classify crashes and hangs gracefully.
+The coverage report classifies every run as MASKED / DETECTED / SDC /
+CRASH / HANG.
 """
 
-import random
-
-from repro import assemble, create_extension
-from repro.flexcore import FlexCoreSystem
-from repro.isa import ALU_CLASSES
+from repro.faultinject import Campaign, CampaignConfig, Outcome
 
 SOURCE = """
         .text
@@ -28,62 +27,38 @@ loop:   xor     %o0, %o1, %o2
         subcc   %o1, 1, %o1
         bne     loop
         nop
+        set     checksum, %o1
+        st      %o0, [%o1]
         ta      0
         nop
+        .data
+checksum: .word 0
 """
 
-
-def count_alu_ops() -> int:
-    program = assemble(SOURCE, entry="start")
-    system = FlexCoreSystem(program, create_extension("sec"),
-                            config=None)
-    seen = {"n": 0}
-    system.record_hooks.append(
-        lambda r: seen.__setitem__(
-            "n", seen["n"] + (r.instr_class in ALU_CLASSES))
-    )
-    system.run()
-    return seen["n"]
-
-
-def inject_one(target_index: int, bit: int):
-    program = assemble(SOURCE, entry="start")
-    extension = create_extension("sec")
-    system = FlexCoreSystem(program, extension)
-    state = {"alu": 0}
-
-    def flip(record):
-        if record.instr_class in ALU_CLASSES:
-            state["alu"] += 1
-            if state["alu"] == target_index:
-                record.result ^= 1 << bit
-
-    system.record_hooks.append(flip)
-    return system.run(), extension
+TRIALS = 50
 
 
 def main() -> None:
-    total_alu = count_alu_ops()
-    print(f"kernel executes {total_alu} ALU instructions\n")
+    campaign = Campaign(CampaignConfig(
+        extension="sec",
+        source=SOURCE,
+        faults=TRIALS,
+        seed=42,
+        models=("alu-result",),  # single-bit ALU output strikes
+    ))
+    print(f"kernel executes {campaign.profile.alu_commits} ALU "
+          f"instructions\n")
 
-    rng = random.Random(42)
-    trials = 50
-    detected = 0
-    for _ in range(trials):
-        index = rng.randrange(1, total_alu + 1)
-        bit = rng.randrange(32)
-        result, extension = inject_one(index, bit)
-        if result.trap is not None:
-            detected += 1
+    report = campaign.run()
+    print(report.format())
 
-    print(f"injected {trials} single-bit ALU faults: "
-          f"{detected} detected ({detected / trials:.0%})")
+    detected = report.counts()[Outcome.DETECTED]
     # Bit-exact re-execution catches every single-bit fault on
     # add/sub/logic/shift; only multiply faults that happen to preserve
     # the mod-7 residue could escape, and single-bit flips never do
     # (powers of two are never multiples of 7).
-    assert detected == trials
-    print("every single-bit fault was caught — flips never preserve "
+    assert detected == TRIALS, f"only {detected}/{TRIALS} detected"
+    print("\nevery single-bit fault was caught — flips never preserve "
           "the mod-7 residue, so even the checksum-checked multiplies "
           "cannot hide them.")
 

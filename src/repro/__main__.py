@@ -3,6 +3,7 @@
 Commands
 --------
 run      assemble and simulate a .s file, optionally with a monitor
+inject   run a fault-injection campaign against a monitor
 disasm   assemble a .s file and print the disassembly listing
 table3   print the Table III area/power/frequency report
 synth    synthesize one extension for the fabric and the ASIC flow
@@ -10,6 +11,8 @@ synth    synthesize one extension for the fabric and the ASIC flow
 Examples::
 
     python -m repro run prog.s --extension dift --ratio 0.5
+    python -m repro inject --extension sec --workload crc32 \\
+        --faults 200 --seed 1
     python -m repro disasm prog.s
     python -m repro table3
     python -m repro synth umc
@@ -20,9 +23,14 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.core.executor import SimulationError
 from repro.extensions import EXTENSION_CLASSES, create_extension
 from repro.flexcore import run_program
 from repro.isa import assemble, disassemble_program
+
+#: exit codes: 0 ok, 2 monitor trap, 3 simulation error.
+EXIT_TRAP = 2
+EXIT_SIMULATION_ERROR = 3
 
 
 def _load(path: str, entry: str):
@@ -35,13 +43,19 @@ def cmd_run(args: argparse.Namespace) -> int:
     program = _load(args.source, args.entry)
     extension = (create_extension(args.extension)
                  if args.extension else None)
-    result = run_program(
-        program,
-        extension,
-        clock_ratio=args.ratio,
-        fifo_depth=args.fifo,
-        max_instructions=args.max_instructions,
-    )
+    try:
+        result = run_program(
+            program,
+            extension,
+            clock_ratio=args.ratio,
+            fifo_depth=args.fifo,
+            max_instructions=args.max_instructions,
+        )
+    except SimulationError as err:
+        # One-line triage instead of a traceback: the structured
+        # context pinpoints the faulting instruction.
+        print(f"simulation error: {err.diagnosis()}", file=sys.stderr)
+        return EXIT_SIMULATION_ERROR
     print(f"instructions : {result.instructions}")
     print(f"cycles       : {result.cycles}")
     print(f"CPI          : {result.cpi:.2f}")
@@ -54,7 +68,48 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"meta stalls  : {stats.meta_stall_cycles:.0f} cycles")
     if result.trap is not None:
         print(f"TRAP         : {result.trap}")
-        return 2
+        return EXIT_TRAP
+    return 0
+
+
+def cmd_inject(args: argparse.Namespace) -> int:
+    from repro.faultinject import Campaign, CampaignConfig, CampaignError
+
+    source = None
+    if args.source is not None:
+        with open(args.source) as handle:
+            source = handle.read()
+    try:
+        config = CampaignConfig(
+            extension=args.extension,
+            workload=args.workload,
+            source=source,
+            entry=args.entry,
+            scale=args.scale,
+            faults=args.faults,
+            seed=args.seed,
+            models=tuple(args.models.split(",")) if args.models else None,
+            clock_ratio=args.ratio,
+            fifo_depth=args.fifo,
+            jobs=args.jobs,
+        )
+        campaign = Campaign(config)
+    except (CampaignError, ValueError) as err:
+        print(f"campaign error: {err}", file=sys.stderr)
+        return 1
+    progress = None
+    if args.progress:
+        def progress(done: int, total: int) -> None:
+            print(f"\r  {done}/{total} runs", end="", file=sys.stderr,
+                  flush=True)
+    report = campaign.run(progress=progress)
+    if args.progress:
+        print(file=sys.stderr)
+    print(report.format(details=args.details))
+    if args.json is not None:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"\nJSON report written to {args.json}")
     return 0
 
 
@@ -105,6 +160,50 @@ def build_parser() -> argparse.ArgumentParser:
                          help="forward FIFO depth")
     run_cmd.add_argument("--max-instructions", type=int, default=None)
     run_cmd.set_defaults(handler=cmd_run)
+
+    inject_cmd = commands.add_parser(
+        "inject",
+        help="run a fault-injection campaign against a monitor",
+    )
+    inject_cmd.add_argument(
+        "--extension", required=True, choices=sorted(EXTENSION_CLASSES),
+        help="monitoring extension under evaluation",
+    )
+    target = inject_cmd.add_mutually_exclusive_group(required=True)
+    target.add_argument(
+        "--workload", default=None,
+        help="registered workload kernel to run (e.g. crc32, sha)",
+    )
+    target.add_argument(
+        "--source", default=None,
+        help="assembly source file to run instead of a workload",
+    )
+    inject_cmd.add_argument("--entry", default="start")
+    inject_cmd.add_argument(
+        "--scale", type=float, default=0.125,
+        help="workload scale (default: the fast test variant)",
+    )
+    inject_cmd.add_argument("--faults", type=int, default=100,
+                            help="number of faulted runs")
+    inject_cmd.add_argument("--seed", type=int, default=1,
+                            help="campaign seed (bit-reproducible)")
+    inject_cmd.add_argument(
+        "--models", default=None,
+        help="comma-separated fault models (default: all applicable)",
+    )
+    inject_cmd.add_argument("--ratio", type=float, default=0.5,
+                            help="fabric:core clock ratio")
+    inject_cmd.add_argument("--fifo", type=int, default=64,
+                            help="forward FIFO depth")
+    inject_cmd.add_argument("--jobs", type=int, default=1,
+                            help="worker processes")
+    inject_cmd.add_argument("--json", default=None, metavar="PATH",
+                            help="also write the JSON report here")
+    inject_cmd.add_argument("--details", action="store_true",
+                            help="list every run in the report")
+    inject_cmd.add_argument("--progress", action="store_true",
+                            help="show run progress on stderr")
+    inject_cmd.set_defaults(handler=cmd_inject)
 
     disasm_cmd = commands.add_parser("disasm",
                                      help="disassemble a .s program")

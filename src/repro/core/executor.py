@@ -17,14 +17,68 @@ from repro.core.alu import ConditionCodes, execute_alu
 from repro.isa.encoding import decode
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Cond, FlexOpf, InstrClass, Op, Op2, Op3, Op3Mem
-from repro.isa.registers import RegisterFile
-from repro.memory.backing import SparseMemory
+from repro.isa.registers import (
+    RegisterFile,
+    WindowOverflow,
+    WindowUnderflow,
+)
+from repro.memory.backing import MemoryFault, SparseMemory
 
 MASK32 = 0xFFFFFFFF
 
 
 class SimulationError(Exception):
-    """Fatal error in the simulated program (bad opcode, trap, ...)."""
+    """Fatal error in the simulated program (bad opcode, trap, ...).
+
+    Carries structured context for crash triage: the PC and
+    disassembled instruction that faulted, the dynamic instruction
+    count (``instret``) and, once the timing model has seen the error,
+    the cycle count.  Fields are ``None`` when unknown.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pc: int | None = None,
+        instruction: str | None = None,
+        instret: int | None = None,
+        cycle: int | None = None,
+    ):
+        super().__init__(message)
+        self.pc = pc
+        self.instruction = instruction
+        self.instret = instret
+        self.cycle = cycle
+
+    def diagnosis(self) -> str:
+        """One-line human summary for CLI error paths and reports."""
+        parts = [str(self)]
+        if self.pc is not None:
+            parts.append(f"pc={self.pc:#x}")
+        if self.instruction is not None:
+            parts.append(f"instr='{self.instruction}'")
+        if self.instret is not None:
+            parts.append(f"instret={self.instret}")
+        if self.cycle is not None:
+            parts.append(f"cycle={self.cycle}")
+        return " | ".join(parts)
+
+    def __reduce__(self):
+        # Preserve the structured context across pickling (the
+        # fault-injection campaign ships errors between processes).
+        return (
+            _rebuild_simulation_error,
+            (self.args[0] if self.args else "", self.pc,
+             self.instruction, self.instret, self.cycle),
+        )
+
+
+def _rebuild_simulation_error(message, pc, instruction, instret, cycle):
+    return SimulationError(
+        message, pc=pc, instruction=instruction, instret=instret,
+        cycle=cycle,
+    )
 
 
 @dataclass
@@ -112,30 +166,61 @@ class CpuState:
     # ------------------------------------------------------------------
 
     def step(self) -> CommitRecord:
-        """Execute the instruction at PC and return its commit record."""
+        """Execute the instruction at PC and return its commit record.
+
+        Any fatal error — a bad opcode, a misaligned access, a window
+        overflow — surfaces as a :class:`SimulationError` annotated
+        with the faulting PC, its disassembly and the instruction
+        count, so callers can triage crashes without a traceback.
+        """
         if self.halted:
-            raise SimulationError("stepping a halted CPU")
-        pc = self.pc
-        word = self.memory.read_word(pc)
-        instr = self._decode_cache.get(word)
-        if instr is None:
-            instr = decode(word)
-            self._decode_cache[word] = instr
-
-        if self._annul_next:
-            self._annul_next = False
-            record = CommitRecord(
-                pc=pc, word=word, instr=instr,
-                instr_class=instr.instr_class, annulled=True,
-                cond=self.codes.pack(),
+            raise SimulationError(
+                "stepping a halted CPU", pc=self.pc, instret=self.instret
             )
-            self._advance(self.npc + 4)
-            self.instret += 1
-            return record
+        pc = self.pc
+        try:
+            word = self.memory.read_word(pc)
+            instr = self._decode_cache.get(word)
+            if instr is None:
+                instr = decode(word)
+                self._decode_cache[word] = instr
 
-        record = self._execute(pc, word, instr)
+            if self._annul_next:
+                self._annul_next = False
+                record = CommitRecord(
+                    pc=pc, word=word, instr=instr,
+                    instr_class=instr.instr_class, annulled=True,
+                    cond=self.codes.pack(),
+                )
+                self._advance(self.npc + 4)
+                self.instret += 1
+                return record
+
+            record = self._execute(pc, word, instr)
+        except SimulationError as err:
+            self._attach_context(err, pc)
+            raise
+        except (MemoryFault, WindowOverflow, WindowUnderflow) as err:
+            wrapped = SimulationError(str(err))
+            self._attach_context(wrapped, pc)
+            raise wrapped from err
         self.instret += 1
         return record
+
+    def _attach_context(self, err: SimulationError, pc: int) -> None:
+        """Fill in crash-triage fields an error site left unset."""
+        if err.pc is None:
+            err.pc = pc
+        if err.instret is None:
+            err.instret = self.instret
+        if err.instruction is None:
+            try:
+                from repro.isa.disasm import disassemble
+                err.instruction = disassemble(
+                    self.memory.read_word(err.pc), err.pc
+                )
+            except Exception:
+                err.instruction = "<undecodable>"
 
     def _advance(self, new_npc: int) -> None:
         self.pc = self.npc

@@ -69,6 +69,11 @@ class SoftErrorCheck(MonitorExtension):
             )
         except DivisionByZero:
             return outcome
+        except ValueError:
+            # Not a re-executable ALU op (e.g. a CFGR upset forwarded
+            # a ticc/jmpl packet SEC never asked for): nothing to
+            # check — the hardware checker would simply pass it by.
+            return outcome
 
         expected = check.value
         actual = packet.res

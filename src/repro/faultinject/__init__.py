@@ -1,0 +1,70 @@
+"""Fault-injection campaigns and dependability evaluation.
+
+Measures how well the FlexCore monitoring extensions (UMC, DIFT, BC,
+SEC, ...) actually *detect* run-time faults: deterministic DAVOS-style
+campaigns inject faults drawn from composable fault models into
+sandboxed, watchdog-guarded simulations and classify every run as
+MASKED / DETECTED / SDC / CRASH / HANG.
+
+Quick start::
+
+    from repro.faultinject import Campaign, CampaignConfig
+
+    report = Campaign(CampaignConfig(
+        extension="sec", workload="crc32", faults=200, seed=1,
+    )).run()
+    print(report.format())
+
+or, from the shell::
+
+    python -m repro inject --extension sec --workload crc32 \\
+        --faults 200 --seed 1
+"""
+
+from repro.faultinject.campaign import (
+    OUTCOME_ORDER,
+    Campaign,
+    CampaignConfig,
+    CampaignError,
+    FaultResult,
+    Outcome,
+    run_campaign,
+)
+from repro.faultinject.models import (
+    MODEL_CLASSES,
+    AluResultBitFlip,
+    FaultModel,
+    FaultSpec,
+    FifoDrop,
+    GoldenProfile,
+    LutConfigUpset,
+    MemoryBitFlip,
+    MetaBitFlip,
+    PacketFieldCorruption,
+    RegisterBitFlip,
+    create_model,
+)
+from repro.faultinject.report import CoverageReport
+
+__all__ = [
+    "AluResultBitFlip",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignError",
+    "CoverageReport",
+    "FaultModel",
+    "FaultResult",
+    "FaultSpec",
+    "FifoDrop",
+    "GoldenProfile",
+    "LutConfigUpset",
+    "MODEL_CLASSES",
+    "MemoryBitFlip",
+    "MetaBitFlip",
+    "OUTCOME_ORDER",
+    "Outcome",
+    "PacketFieldCorruption",
+    "RegisterBitFlip",
+    "create_model",
+    "run_campaign",
+]

@@ -1,0 +1,448 @@
+"""Deterministic fault-injection campaigns over FlexCore systems.
+
+A :class:`Campaign` measures a monitor's detection coverage the way
+simulation-based fault injection tools (DAVOS SBFI, MEFISTO) do:
+
+1. run the workload once fault-free (the *golden run*), profiling the
+   dynamic stream and recording the output signature;
+2. for each of N faults, derive an independent per-run rng from
+   ``(seed, run index)``, draw a fault model and a concrete
+   :class:`~repro.faultinject.models.FaultSpec`, arm it in a fresh
+   system, and execute under a watchdog (instruction budget, cycle
+   budget and a wall-clock deadline) so hangs and crashes become
+   *results* instead of killing the campaign;
+3. classify each run — MASKED, DETECTED (monitor trap), SDC (silent
+   data corruption: clean exit, wrong output), CRASH, or HANG — and
+   aggregate everything into a :class:`~repro.faultinject.report.
+   CoverageReport`.
+
+Runs are independent, so the campaign optionally fans out over a
+``multiprocessing`` pool; results are identical (and bit-reproducible
+for a given seed) regardless of ``jobs``.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import multiprocessing
+import random
+import time
+from dataclasses import dataclass, replace
+
+from repro.core.executor import SimulationError
+from repro.extensions import EXTENSION_CLASSES, create_extension
+from repro.faultinject.models import (
+    MAX_PROFILE_ADDRESSES,
+    MODEL_CLASSES,
+    FaultModel,
+    FaultSpec,
+    GoldenProfile,
+    create_model,
+)
+from repro.flexcore.interface import InterfaceConfig
+from repro.flexcore.system import (
+    WATCHDOG_TERMINATIONS,
+    FlexCoreSystem,
+    RunResult,
+    SystemConfig,
+    Termination,
+)
+from repro.isa.assembler import Program, assemble
+from repro.isa.opcodes import ALU_CLASSES
+from repro.workloads import build_workload
+
+
+class CampaignError(Exception):
+    """The campaign itself (not a faulted run) is broken — e.g. the
+    golden run crashes or no fault model applies."""
+
+
+class Outcome(str, enum.Enum):
+    """DAVOS-style failure-mode dictionary for one faulted run."""
+
+    MASKED = "masked"  # clean exit, output matches the golden run
+    DETECTED = "detected"  # the monitoring extension raised TRAP
+    SDC = "sdc"  # clean exit, silently corrupted output
+    CRASH = "crash"  # the simulated program crashed
+    HANG = "hang"  # a watchdog budget tripped
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: report order (fixed, so reports are stable).
+OUTCOME_ORDER = (Outcome.DETECTED, Outcome.MASKED, Outcome.SDC,
+                 Outcome.CRASH, Outcome.HANG)
+
+
+@dataclass(frozen=True)
+class FaultResult:
+    """Classification of one faulted run (picklable, JSON-able)."""
+
+    index: int
+    spec: FaultSpec
+    outcome: Outcome
+    termination: str
+    trap: str | None
+    detail: str  # crash diagnosis / watchdog note, "" otherwise
+    instructions: int
+    cycles: int
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "fault": self.spec.as_dict(),
+            "outcome": self.outcome.value,
+            "termination": self.termination,
+            "trap": self.trap,
+            "detail": self.detail,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything needed to reproduce a campaign bit-for-bit."""
+
+    extension: str
+    #: exactly one of ``workload`` (a registered kernel name) or
+    #: ``source`` (raw assembly text) selects the program.
+    workload: str | None = None
+    source: str | None = None
+    entry: str = "start"
+    scale: float = 0.125
+    faults: int = 100
+    seed: int = 1
+    #: fault-model names to draw from; ``None`` = every model that
+    #: applies to this extension/workload pair.
+    models: tuple[str, ...] | None = None
+    clock_ratio: float = 0.5
+    fifo_depth: int = 64
+    #: watchdog: a faulted run may use at most ``hang_multiplier`` x
+    #: the golden run's instructions/cycles plus ``hang_slack`` before
+    #: it is declared hung.
+    hang_multiplier: float = 4.0
+    hang_slack: int = 10_000
+    #: wall-clock backstop per faulted run, seconds (``None`` = off);
+    #: only fires if the *simulator* wedges, so results stay
+    #: deterministic in practice.
+    wallclock_limit: float | None = 60.0
+    #: worker processes (1 = in-process serial).
+    jobs: int = 1
+    #: instruction budget for the golden run (None = system default).
+    max_instructions: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.extension not in EXTENSION_CLASSES:
+            known = ", ".join(sorted(EXTENSION_CLASSES))
+            raise ValueError(
+                f"unknown extension {self.extension!r} (known: {known})"
+            )
+        if (self.workload is None) == (self.source is None):
+            raise ValueError(
+                "specify exactly one of workload= or source="
+            )
+        if self.faults < 1:
+            raise ValueError(f"faults must be >= 1, got {self.faults}")
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.hang_multiplier <= 1:
+            raise ValueError("hang_multiplier must be > 1")
+        if self.hang_slack < 0:
+            raise ValueError("hang_slack must be >= 0")
+        if self.models is not None:
+            for name in self.models:
+                if name not in MODEL_CLASSES:
+                    known = ", ".join(MODEL_CLASSES)
+                    raise ValueError(
+                        f"unknown fault model {name!r} (known: {known})"
+                    )
+
+
+class Campaign:
+    """One fault-injection campaign: golden run + N faulted runs."""
+
+    def __init__(self, config: CampaignConfig):
+        self.config = config
+        self.program = self._build_program()
+        self.golden, self.profile = self._golden_run()
+        self.models = self._select_models()
+        budget = config.hang_multiplier
+        self._instr_budget = (
+            int(self.profile.instructions * budget) + config.hang_slack
+        )
+        self._cycle_budget = (
+            int(self.profile.cycles * budget) + 4 * config.hang_slack
+        )
+
+    # -- setup --------------------------------------------------------------
+
+    def _build_program(self) -> Program:
+        config = self.config
+        if config.workload is not None:
+            return build_workload(config.workload, config.scale).build()
+        return assemble(config.source, entry=config.entry)
+
+    def _system_config(self) -> SystemConfig:
+        return SystemConfig(
+            interface=InterfaceConfig(
+                clock_ratio=self.config.clock_ratio,
+                fifo_depth=self.config.fifo_depth,
+            ),
+        )
+
+    def _build_system(self) -> FlexCoreSystem:
+        return FlexCoreSystem(
+            self.program,
+            create_extension(self.config.extension),
+            self._system_config(),
+        )
+
+    def _golden_run(self) -> tuple[RunResult, GoldenProfile]:
+        system = self._build_system()
+        counts = {"alu": 0, "load": 0, "store": 0}
+        addresses: dict[int, None] = {}  # insertion-ordered set
+
+        def profile_hook(record):
+            if record.annulled:
+                return
+            if record.instr_class in ALU_CLASSES:
+                counts["alu"] += 1
+            if record.is_load:
+                counts["load"] += 1
+            if record.is_store:
+                counts["store"] += 1
+                addr = record.addr & ~3
+                if len(addresses) < MAX_PROFILE_ADDRESSES:
+                    addresses[addr] = None
+
+        system.record_hooks.append(profile_hook)
+        deadline = None
+        if self.config.wallclock_limit is not None:
+            deadline = time.monotonic() + self.config.wallclock_limit
+        result = system.run_bounded(
+            max_instructions=self.config.max_instructions,
+            deadline=deadline,
+        )
+        if result.termination != Termination.HALTED:
+            raise CampaignError(
+                f"golden run did not halt cleanly "
+                f"(termination={result.termination}, "
+                f"trap={result.trap}, error={result.error})"
+            )
+
+        extension = system.extension
+        program = self.program
+        profile = GoldenProfile(
+            instructions=result.instructions,
+            cycles=result.cycles,
+            alu_commits=counts["alu"],
+            load_commits=counts["load"],
+            store_commits=counts["store"],
+            forwarded=result.interface_stats.forwarded,
+            store_addresses=tuple(addresses),
+            text_base=program.text_base,
+            text_size=4 * len(program.text),
+            data_base=program.data_base,
+            data_size=len(program.data),
+            has_memory_tags=extension.mem_tags is not None,
+            has_shadow_tags=extension.shadow is not None,
+            memory_tag_bits=extension.memory_tag_bits,
+            register_tag_bits=extension.register_tag_bits,
+            num_physical_registers=system.cpu.regs.num_physical,
+            output=self._signature(result),
+        )
+        return result, profile
+
+    def _select_models(self) -> tuple[FaultModel, ...]:
+        if self.config.models is not None:
+            models = tuple(
+                create_model(name) for name in self.config.models
+            )
+            inapplicable = [
+                model.name for model in models
+                if not model.applicable(self.profile)
+            ]
+            if inapplicable:
+                raise CampaignError(
+                    f"fault model(s) {', '.join(inapplicable)} do not "
+                    f"apply to {self.config.extension} on this workload"
+                )
+            return models
+        models = tuple(
+            cls() for cls in MODEL_CLASSES.values()
+            if cls().applicable(self.profile)
+        )
+        if not models:
+            raise CampaignError("no applicable fault models")
+        return models
+
+    # -- per-run machinery --------------------------------------------------
+
+    def _signature(self, result: RunResult) -> str:
+        """Output signature used for the golden-run SDC diff: a digest
+        of the program's whole data section after the run."""
+        program = self.program
+        if not program.data:
+            return "no-data"
+        data = result.memory.read_bytes(program.data_base,
+                                        len(program.data))
+        return hashlib.sha256(data).hexdigest()[:16]
+
+    def rng_for(self, index: int) -> random.Random:
+        """Independent, platform-stable rng for run ``index``."""
+        return random.Random(f"{self.config.seed}/{index}")
+
+    def plan(self, index: int) -> tuple[FaultModel, FaultSpec]:
+        """Deterministically choose the fault for run ``index``."""
+        rng = self.rng_for(index)
+        model = rng.choice(self.models)
+        return model, model.plan(rng, self.profile)
+
+    def run_spec(
+        self, spec: FaultSpec, model: FaultModel | None = None
+    ) -> RunResult:
+        """Execute one faulted run under the watchdog (never raises
+        for in-simulation failures)."""
+        if model is None:
+            model = create_model(spec.model)
+        system = self._build_system()
+        model.arm(system, spec)
+        deadline = None
+        if self.config.wallclock_limit is not None:
+            deadline = time.monotonic() + self.config.wallclock_limit
+        try:
+            return system.run_bounded(
+                max_instructions=self._instr_budget,
+                max_cycles=self._cycle_budget,
+                deadline=deadline,
+            )
+        except Exception as err:  # noqa: BLE001 — sandbox boundary
+            # An injected fault can violate invariants far beyond the
+            # simulated program (e.g. a config upset wedging the
+            # fabric model).  The sandbox turns *any* escape into a
+            # structured crash result instead of killing the campaign.
+            error = SimulationError(
+                f"simulator fault escaped the run: "
+                f"{type(err).__name__}: {err}",
+                pc=system.cpu.pc, instret=system.cpu.instret,
+            )
+            return RunResult(
+                cycles=0,
+                instructions=system.cpu.instret,
+                halted=False,
+                trap=None,
+                core_stats=system.core_timing.stats,
+                interface_stats=(
+                    system.interface.stats if system.interface else None
+                ),
+                memory=system.memory,
+                program=self.program,
+                termination=Termination.ERROR,
+                error=error,
+            )
+
+    def classify(self, spec: FaultSpec, index: int,
+                 result: RunResult) -> FaultResult:
+        """Map one run's termination + output onto the outcome
+        dictionary."""
+        detail = ""
+        if result.termination == Termination.ERROR:
+            outcome = Outcome.CRASH
+            error = result.error or SimulationError("unknown crash")
+            detail = error.diagnosis()
+        elif result.termination in WATCHDOG_TERMINATIONS:
+            outcome = Outcome.HANG
+            detail = (
+                f"watchdog: {result.termination} after "
+                f"{result.instructions} instructions"
+            )
+        elif result.trap is not None:
+            outcome = Outcome.DETECTED
+        elif self._signature(result) != self.profile.output:
+            outcome = Outcome.SDC
+        else:
+            outcome = Outcome.MASKED
+        return FaultResult(
+            index=index,
+            spec=spec,
+            outcome=outcome,
+            termination=str(result.termination),
+            trap=str(result.trap) if result.trap is not None else None,
+            detail=detail,
+            instructions=result.instructions,
+            cycles=result.cycles,
+        )
+
+    def run_one(self, index: int) -> FaultResult:
+        """Plan, arm, execute and classify run ``index``."""
+        model, spec = self.plan(index)
+        result = self.run_spec(spec, model)
+        return self.classify(spec, index, result)
+
+    # -- the campaign -------------------------------------------------------
+
+    def run(self, progress=None):
+        """Execute every faulted run and build the coverage report.
+
+        ``progress`` is an optional callable ``(done, total)`` invoked
+        after each completed run (serial mode) or batch (parallel).
+        """
+        from repro.faultinject.report import CoverageReport
+
+        total = self.config.faults
+        if self.config.jobs == 1:
+            results = []
+            for index in range(total):
+                results.append(self.run_one(index))
+                if progress is not None:
+                    progress(len(results), total)
+        else:
+            results = self._run_parallel(progress)
+        results.sort(key=lambda r: r.index)
+        return CoverageReport.build(self.config, self.profile,
+                                    tuple(results))
+
+    def _run_parallel(self, progress=None) -> list[FaultResult]:
+        """Fan the runs out over a process pool.
+
+        Each worker rebuilds the campaign once (fork keeps this cheap)
+        and runs a slice of the indices; per-index seeding makes the
+        result independent of the scheduling.
+        """
+        config = self.config
+        ctx = multiprocessing.get_context()
+        indices = range(config.faults)
+        results: list[FaultResult] = []
+        worker_config = replace(config, jobs=1)
+        with ctx.Pool(
+            processes=config.jobs,
+            initializer=_init_worker,
+            initargs=(worker_config,),
+        ) as pool:
+            for result in pool.imap_unordered(_worker_run, indices,
+                                              chunksize=8):
+                results.append(result)
+                if progress is not None:
+                    progress(len(results), config.faults)
+        return results
+
+
+#: per-process campaign instance for pool workers.
+_WORKER_CAMPAIGN: Campaign | None = None
+
+
+def _init_worker(config: CampaignConfig) -> None:
+    global _WORKER_CAMPAIGN
+    _WORKER_CAMPAIGN = Campaign(config)
+
+
+def _worker_run(index: int) -> FaultResult:
+    return _WORKER_CAMPAIGN.run_one(index)
+
+
+def run_campaign(config: CampaignConfig, progress=None):
+    """Convenience one-call entry point."""
+    return Campaign(config).run(progress=progress)

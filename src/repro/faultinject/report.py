@@ -1,0 +1,159 @@
+"""Coverage reports for fault-injection campaigns.
+
+The report is deliberately free of wall-clock timestamps and other
+environment-dependent fields: re-running a campaign with the same
+seed must produce a bit-identical console report and JSON document,
+which is what makes campaigns diffable across commits and usable as
+regression artifacts in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.faultinject.campaign import (
+    OUTCOME_ORDER,
+    CampaignConfig,
+    FaultResult,
+    Outcome,
+)
+from repro.faultinject.models import GoldenProfile
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Aggregated outcome of one campaign."""
+
+    config: CampaignConfig
+    profile: GoldenProfile
+    results: tuple[FaultResult, ...]
+
+    # -- aggregation --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        config: CampaignConfig,
+        profile: GoldenProfile,
+        results: tuple[FaultResult, ...],
+    ) -> "CoverageReport":
+        return cls(config=config, profile=profile, results=results)
+
+    def counts(self) -> dict[Outcome, int]:
+        """Total runs per outcome (every outcome present, maybe 0)."""
+        counts = {outcome: 0 for outcome in OUTCOME_ORDER}
+        for result in self.results:
+            counts[result.outcome] += 1
+        return counts
+
+    def by_model(self) -> dict[str, dict[Outcome, int]]:
+        """Outcome counts per fault model, in first-seen order."""
+        table: dict[str, dict[Outcome, int]] = {}
+        for result in self.results:
+            row = table.setdefault(
+                result.spec.model,
+                {outcome: 0 for outcome in OUTCOME_ORDER},
+            )
+            row[result.outcome] += 1
+        return table
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def detection_coverage(self) -> float:
+        """Detected / (all runs whose fault was *not* masked) — the
+        dependability metric: of the faults that mattered, how many
+        did the monitor catch before they became SDC/crash/hang?"""
+        counts = self.counts()
+        effective = self.total - counts[Outcome.MASKED]
+        if effective == 0:
+            return 1.0
+        return counts[Outcome.DETECTED] / effective
+
+    # -- rendering ----------------------------------------------------------
+
+    def format(self, details: bool = False) -> str:
+        """Deterministic console rendering."""
+        config = self.config
+        target = config.workload or "<inline source>"
+        lines = [
+            f"fault-injection campaign: extension={config.extension} "
+            f"workload={target} faults={config.faults} "
+            f"seed={config.seed}",
+            f"golden run: {self.profile.instructions} instructions, "
+            f"{self.profile.cycles} cycles, output {self.profile.output}",
+            "",
+            f"{'outcome':<10} {'count':>6} {'fraction':>9}",
+        ]
+        counts = self.counts()
+        for outcome in OUTCOME_ORDER:
+            n = counts[outcome]
+            lines.append(
+                f"{outcome.value:<10} {n:>6} {n / self.total:>8.1%}"
+            )
+        lines.append(f"{'total':<10} {self.total:>6}")
+        lines.append("")
+
+        by_model = self.by_model()
+        header = f"{'model':<12} {'runs':>5}" + "".join(
+            f" {outcome.value:>9}" for outcome in OUTCOME_ORDER
+        )
+        lines.append(header)
+        for model, row in by_model.items():
+            runs = sum(row.values())
+            lines.append(
+                f"{model:<12} {runs:>5}" + "".join(
+                    f" {row[outcome]:>9}" for outcome in OUTCOME_ORDER
+                )
+            )
+        lines.append("")
+        lines.append(
+            f"detection coverage (non-masked faults detected): "
+            f"{self.detection_coverage:.1%}"
+        )
+        if details:
+            lines.append("")
+            for result in self.results:
+                note = result.trap or result.detail or ""
+                lines.append(
+                    f"  #{result.index:<4} {result.outcome.value:<9} "
+                    f"{result.spec}  {note}"
+                )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        config = self.config
+        return {
+            "campaign": {
+                "extension": config.extension,
+                "workload": config.workload,
+                "entry": config.entry,
+                "scale": config.scale,
+                "faults": config.faults,
+                "seed": config.seed,
+                "models": sorted(self.by_model()),
+                "clock_ratio": config.clock_ratio,
+                "fifo_depth": config.fifo_depth,
+            },
+            "golden": {
+                "instructions": self.profile.instructions,
+                "cycles": self.profile.cycles,
+                "output": self.profile.output,
+            },
+            "counts": {
+                outcome.value: n for outcome, n in self.counts().items()
+            },
+            "by_model": {
+                model: {outcome.value: n for outcome, n in row.items()}
+                for model, row in sorted(self.by_model().items())
+            },
+            "detection_coverage": round(self.detection_coverage, 6),
+            "results": [result.as_dict() for result in self.results],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Bit-reproducible JSON document for the whole campaign."""
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)

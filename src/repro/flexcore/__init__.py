@@ -11,9 +11,11 @@ from repro.flexcore.interface import (
 from repro.flexcore.packet import PACKET_BITS, PACKET_FIELD_BITS, TracePacket
 from repro.flexcore.shadow import ShadowRegisterFile, TagStore
 from repro.flexcore.system import (
+    WATCHDOG_TERMINATIONS,
     FlexCoreSystem,
     RunResult,
     SystemConfig,
+    Termination,
     run_program,
 )
 
@@ -32,6 +34,8 @@ __all__ = [
     "ShadowRegisterFile",
     "SystemConfig",
     "TagStore",
+    "Termination",
     "TracePacket",
+    "WATCHDOG_TERMINATIONS",
     "run_program",
 ]

@@ -70,6 +70,22 @@ class InterfaceConfig:
     meta_tlb_entries: int = 0
     meta_tlb_walk_cycles: int = 12
 
+    def __post_init__(self) -> None:
+        if not 0 < self.clock_ratio <= 1:
+            raise ValueError(
+                f"clock ratio must be in (0, 1], got {self.clock_ratio}"
+            )
+        if self.fifo_depth < 1:
+            raise ValueError(
+                f"FIFO depth must be positive, got {self.fifo_depth}"
+            )
+        if self.sync_fabric_cycles < 0:
+            raise ValueError("sync_fabric_cycles must be >= 0")
+        if self.decode_penalty < 0:
+            raise ValueError("decode_penalty must be >= 0")
+        if self.meta_tlb_entries < 0:
+            raise ValueError("meta_tlb_entries must be >= 0")
+
     @property
     def fabric_period(self) -> float:
         """Fabric clock period, in core-clock cycles."""
@@ -219,6 +235,7 @@ class CoreFabricInterface:
         if self.fifo.is_full(now):
             if policy == ForwardPolicy.BEST_EFFORT:
                 stats.dropped += 1
+                self.fifo.stats.dropped += 1
                 return now
             wait = self.fifo.time_until_space(now)
             stats.fifo_stall_cycles += wait

@@ -10,6 +10,8 @@ of Table IV (the extension keeps up with the core clock);
 
 from __future__ import annotations
 
+import enum
+import time
 from dataclasses import dataclass, field
 
 from repro.core.executor import CommitRecord, CpuState, SimulationError
@@ -32,6 +34,27 @@ DEFAULT_STACK_TOP = 0x7FFFF0
 DEFAULT_MAX_INSTRUCTIONS = 50_000_000
 
 
+class Termination(str, enum.Enum):
+    """Why a (bounded) run ended."""
+
+    HALTED = "halted"  # the program executed `ta 0`
+    TRAP = "trap"  # the monitoring extension raised TRAP
+    INSTRUCTION_LIMIT = "instruction-limit"  # watchdog: instret budget
+    CYCLE_LIMIT = "cycle-limit"  # watchdog: cycle budget
+    DEADLINE = "deadline"  # watchdog: wall-clock timeout
+    ERROR = "error"  # the simulated program crashed
+
+    def __str__(self) -> str:  # report-friendly ("halted", not enum repr)
+        return self.value
+
+
+#: Termination reasons the fault-injection watchdog treats as a hang.
+WATCHDOG_TERMINATIONS = frozenset(
+    {Termination.INSTRUCTION_LIMIT, Termination.CYCLE_LIMIT,
+     Termination.DEADLINE}
+)
+
+
 @dataclass
 class RunResult:
     """Everything a run produces."""
@@ -44,6 +67,11 @@ class RunResult:
     interface_stats: InterfaceStats | None
     memory: SparseMemory
     program: Program
+    #: why the run ended (always set; ``HALTED`` for a clean exit).
+    termination: Termination = Termination.HALTED
+    #: the structured crash, when ``termination`` is ``ERROR`` or
+    #: ``INSTRUCTION_LIMIT`` (bounded runs never raise).
+    error: SimulationError | None = None
 
     @property
     def cpi(self) -> float:
@@ -56,7 +84,11 @@ class RunResult:
 
 @dataclass
 class SystemConfig:
-    """Configuration for one simulated system."""
+    """Configuration for one simulated system.
+
+    Parameters are validated at construction so a bad value fails
+    with a clear ``ValueError`` instead of a downstream mystery.
+    """
 
     core: CoreTimingConfig = field(default_factory=CoreTimingConfig)
     interface: InterfaceConfig = field(default_factory=InterfaceConfig)
@@ -66,6 +98,22 @@ class SystemConfig:
     #: stop the simulation when the extension raises TRAP (the paper's
     #: extensions terminate the program); if False, record and continue.
     stop_on_trap: bool = True
+
+    def __post_init__(self) -> None:
+        if self.nwindows < 2:
+            raise ValueError(
+                f"nwindows must be >= 2, got {self.nwindows}"
+            )
+        if self.stack_top <= 0 or self.stack_top & 3:
+            raise ValueError(
+                f"stack_top must be positive and word-aligned, "
+                f"got {self.stack_top:#x}"
+            )
+        if self.max_instructions <= 0:
+            raise ValueError(
+                f"max_instructions must be positive, "
+                f"got {self.max_instructions}"
+            )
 
 
 class FlexCoreSystem:
@@ -103,7 +151,36 @@ class FlexCoreSystem:
         self.record_hooks: list = []
 
     def run(self, max_instructions: int | None = None) -> RunResult:
-        """Run to completion (ta 0), trap, or the instruction limit."""
+        """Run to completion (ta 0), trap, or the instruction limit.
+
+        Raises :class:`SimulationError` on a crash or when the
+        instruction limit trips; :meth:`run_bounded` is the
+        non-raising variant.
+        """
+        result = self.run_bounded(max_instructions=max_instructions)
+        if result.error is not None:
+            raise result.error
+        return result
+
+    #: check the wall-clock deadline every this many instructions.
+    DEADLINE_STRIDE = 4096
+
+    def run_bounded(
+        self,
+        max_instructions: int | None = None,
+        max_cycles: int | None = None,
+        deadline: float | None = None,
+    ) -> RunResult:
+        """Run under a watchdog; never raise for in-simulation faults.
+
+        The result's ``termination`` records why the run ended:
+        ``HALTED``/``TRAP`` for clean exits, ``INSTRUCTION_LIMIT`` /
+        ``CYCLE_LIMIT`` / ``DEADLINE`` when a watchdog budget trips
+        (the fault-injection campaign classifies these as hangs), and
+        ``ERROR`` with the structured :class:`SimulationError` when
+        the simulated program crashes.  ``deadline`` is an absolute
+        ``time.monotonic()`` timestamp, checked periodically.
+        """
         limit = max_instructions or self.config.max_instructions
         cpu = self.cpu
         core_timing = self.core_timing
@@ -112,29 +189,53 @@ class FlexCoreSystem:
         stop_on_trap = self.config.stop_on_trap
         now: float = 0.0
         trap: MonitorTrap | None = None
+        termination = Termination.HALTED
+        error: SimulationError | None = None
+        next_deadline_check = self.DEADLINE_STRIDE
 
         while not cpu.halted:
             if cpu.instret >= limit:
-                raise SimulationError(
+                termination = Termination.INSTRUCTION_LIMIT
+                error = SimulationError(
                     f"instruction limit {limit} exceeded at "
-                    f"pc={cpu.pc:#x} — runaway program?"
+                    f"pc={cpu.pc:#x} — runaway program?",
+                    pc=cpu.pc, instret=cpu.instret, cycle=int(now),
                 )
-            record: CommitRecord = cpu.step()
-            now = core_timing.advance(record, int(now))
-            if interface is not None:
-                for hook in hooks:
-                    hook(record)
-                now = interface.on_commit(record, now)
-                if interface.pending_trap is not None and stop_on_trap:
-                    trap = interface.pending_trap
-                    now = max(now, interface.trap_time)
+                break
+            if max_cycles is not None and now >= max_cycles:
+                termination = Termination.CYCLE_LIMIT
+                break
+            if deadline is not None and cpu.instret >= next_deadline_check:
+                next_deadline_check = cpu.instret + self.DEADLINE_STRIDE
+                if time.monotonic() >= deadline:
+                    termination = Termination.DEADLINE
                     break
+            try:
+                record: CommitRecord = cpu.step()
+                now = core_timing.advance(record, int(now))
+                if interface is not None:
+                    for hook in hooks:
+                        hook(record)
+                    now = interface.on_commit(record, now)
+                    if interface.pending_trap is not None and stop_on_trap:
+                        trap = interface.pending_trap
+                        now = max(now, interface.trap_time)
+                        termination = Termination.TRAP
+                        break
+            except SimulationError as err:
+                if err.cycle is None:
+                    err.cycle = int(now)
+                termination = Termination.ERROR
+                error = err
+                break
 
         # Wait for the co-processor to drain (the EMPTY signal) and
         # the store buffer to flush before declaring the run over.
         if interface is not None:
             if trap is None and interface.pending_trap is not None:
                 trap = interface.pending_trap
+                if termination == Termination.HALTED:
+                    termination = Termination.TRAP
             now = max(now, interface.drain_time())
         now = max(now, core_timing.store_buffer.drain_time())
 
@@ -147,6 +248,8 @@ class FlexCoreSystem:
             interface_stats=interface.stats if interface else None,
             memory=self.memory,
             program=self.program,
+            termination=termination,
+            error=error,
         )
 
 

@@ -82,3 +82,77 @@ class TestReports:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+
+CRASHING = """
+        .text
+start:  set     0x1001, %o0
+        ld      [%o0], %o1
+        ta      0
+        nop
+"""
+
+RUNAWAY = """
+        .text
+start:  ba      start
+        nop
+"""
+
+
+class TestRunErrorPath:
+    def test_simulation_error_is_one_line_diagnosis(self, tmp_path,
+                                                    capsys):
+        path = tmp_path / "crash.s"
+        path.write_text(CRASHING)
+        assert main(["run", str(path)]) == 3
+        captured = capsys.readouterr()
+        assert "simulation error:" in captured.err
+        assert "misaligned" in captured.err
+        assert "pc=" in captured.err and "instr=" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_instruction_limit_diagnosed(self, tmp_path, capsys):
+        path = tmp_path / "spin.s"
+        path.write_text(RUNAWAY)
+        assert main(["run", str(path), "--max-instructions", "100"]) == 3
+        assert "limit" in capsys.readouterr().err
+
+
+class TestInject:
+    def test_campaign_report(self, source_file, capsys):
+        assert main(["inject", "--extension", "umc",
+                     "--source", source_file,
+                     "--faults", "6", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fault-injection campaign" in out
+        assert "detection coverage" in out
+        assert "total           6" in out
+
+    def test_repeat_is_bit_identical(self, source_file, capsys):
+        args = ["inject", "--extension", "umc", "--source", source_file,
+                "--faults", "5", "--seed", "9", "--details"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_json_report(self, source_file, capsys, tmp_path):
+        json_path = tmp_path / "report.json"
+        assert main(["inject", "--extension", "umc",
+                     "--source", source_file,
+                     "--faults", "4", "--json", str(json_path)]) == 0
+        import json
+        doc = json.loads(json_path.read_text())
+        assert sum(doc["counts"].values()) == 4
+
+    def test_workload_and_source_exclusive(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["inject", "--extension", "sec",
+                  "--workload", "crc32", "--source", source_file])
+
+    def test_bad_model_reports_campaign_error(self, source_file,
+                                              capsys):
+        assert main(["inject", "--extension", "sec",
+                     "--source", source_file,
+                     "--models", "meta", "--faults", "2"]) == 1
+        assert "campaign error" in capsys.readouterr().err

@@ -41,3 +41,22 @@ def test_example_runs(path, capsys):
     module.main()  # each example asserts its own scenario internally
     out = capsys.readouterr().out
     assert out.strip(), "examples narrate what they demonstrate"
+
+
+def test_sec_campaign_detects_every_alu_result_flip():
+    """Single-bit ALU-result flips never survive SEC's re-execute-and-
+    compare check: a campaign over the example kernel must report a
+    100% detection rate (the example's own headline claim)."""
+    from repro.faultinject import Campaign, CampaignConfig, Outcome
+
+    example = load_example(EXAMPLES_DIR / "sec_fault_injection.py")
+    report = Campaign(CampaignConfig(
+        extension="sec",
+        source=example.SOURCE,
+        faults=25,
+        seed=123,  # independent of the example's own seed
+        models=("alu-result",),
+    )).run()
+    counts = report.counts()
+    assert counts[Outcome.DETECTED] == 25
+    assert report.detection_coverage == 1.0

@@ -1,0 +1,349 @@
+"""Fault-injection campaign subsystem: models, watchdog, outcome
+classification, determinism, parallel fan-out, crash safety."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.core.executor import SimulationError
+from repro.faultinject import (
+    Campaign,
+    CampaignConfig,
+    CampaignError,
+    FaultModel,
+    FaultSpec,
+    MODEL_CLASSES,
+    Outcome,
+    create_model,
+)
+from repro.flexcore import (
+    FlexCoreSystem,
+    InterfaceConfig,
+    SystemConfig,
+    Termination,
+)
+from repro.isa.assembler import assemble
+
+#: 8-iteration store/load loop ending in a checksum store; small
+#: enough that every campaign test runs in milliseconds.
+SOURCE = """
+        .text
+start:  mov     8, %o1
+        set     buf, %o2
+loop:   st      %o1, [%o2]
+        ld      [%o2], %o3
+        add     %o2, 4, %o2
+        subcc   %o1, 1, %o1
+        bne     loop
+        nop
+        set     checksum, %o4
+        st      %o3, [%o4]
+        ta      0
+        nop
+        .data
+buf:    .space  64
+checksum: .word 0
+"""
+
+
+def umc_campaign(**overrides) -> Campaign:
+    settings = dict(extension="umc", source=SOURCE, faults=12, seed=7)
+    settings.update(overrides)
+    return Campaign(CampaignConfig(**settings))
+
+
+class TestConfigValidation:
+    def test_unknown_extension(self):
+        with pytest.raises(ValueError, match="unknown extension"):
+            CampaignConfig(extension="nope", source=SOURCE)
+
+    def test_workload_xor_source(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            CampaignConfig(extension="sec")
+        with pytest.raises(ValueError, match="exactly one"):
+            CampaignConfig(extension="sec", workload="crc32",
+                           source=SOURCE)
+
+    def test_positive_faults_and_jobs(self):
+        with pytest.raises(ValueError, match="faults"):
+            CampaignConfig(extension="sec", source=SOURCE, faults=0)
+        with pytest.raises(ValueError, match="jobs"):
+            CampaignConfig(extension="sec", source=SOURCE, jobs=0)
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown fault model"):
+            CampaignConfig(extension="sec", source=SOURCE,
+                           models=("cosmic-ray",))
+
+    def test_system_config_validation(self):
+        with pytest.raises(ValueError, match="nwindows"):
+            SystemConfig(nwindows=1)
+        with pytest.raises(ValueError, match="stack_top"):
+            SystemConfig(stack_top=0x1002)
+        with pytest.raises(ValueError, match="max_instructions"):
+            SystemConfig(max_instructions=0)
+
+    def test_interface_config_validation(self):
+        with pytest.raises(ValueError, match="clock ratio"):
+            InterfaceConfig(clock_ratio=0)
+        with pytest.raises(ValueError, match="clock ratio"):
+            InterfaceConfig(clock_ratio=1.5)
+        with pytest.raises(ValueError, match="FIFO depth"):
+            InterfaceConfig(fifo_depth=0)
+
+
+class TestGoldenRun:
+    def test_profile_counts(self):
+        campaign = umc_campaign()
+        profile = campaign.profile
+        assert profile.instructions > 0
+        assert profile.store_commits == 9  # 8 loop stores + checksum
+        assert profile.load_commits == 8
+        assert profile.forwarded > 0
+        assert profile.store_addresses  # stores were profiled
+        assert profile.has_memory_tags and not profile.has_shadow_tags
+
+    def test_golden_must_halt(self):
+        hang = """
+        .text
+start:  ba      start
+        nop
+"""
+        with pytest.raises(CampaignError, match="golden run"):
+            Campaign(CampaignConfig(
+                extension="umc", source=hang, faults=1,
+                max_instructions=1000,
+            ))
+
+    def test_inapplicable_model_rejected(self):
+        # SEC keeps no meta-data, so the meta model has no fault space.
+        with pytest.raises(CampaignError, match="meta"):
+            Campaign(CampaignConfig(
+                extension="sec", source=SOURCE, faults=1,
+                models=("meta",),
+            ))
+
+
+class TestOutcomeClassification:
+    """Targeted specs driving each outcome class deterministically."""
+
+    def test_corrupted_load_detected_by_umc(self):
+        # Flip a high address bit of the first load's trace packet:
+        # UMC checks the tag of an address nobody initialised.
+        campaign = umc_campaign()
+        spec = FaultSpec.make("packet", index=5, field="addr", bit=20)
+        result = campaign.classify(spec, 0, campaign.run_spec(spec))
+        assert result.outcome == Outcome.DETECTED
+        assert "uninitialized" in result.trap
+
+    def test_misaligned_pointer_is_crash(self):
+        # Flip bit 0 of the buffer pointer: the next store faults.
+        campaign = umc_campaign()
+        spec = FaultSpec.make("register", index=3, reg=10, bit=0)
+        result = campaign.classify(spec, 0, campaign.run_spec(spec))
+        assert result.outcome == Outcome.CRASH
+        assert result.termination == "error"
+        assert "misaligned" in result.detail
+        assert "pc=" in result.detail  # structured triage context
+
+    def test_corrupted_checksum_is_sdc(self):
+        # Flip the register holding the final checksum value just
+        # before it is stored: clean halt, wrong output.
+        campaign = umc_campaign()
+        index = campaign.profile.instructions - 2  # before final st
+        spec = FaultSpec.make("register", index=index, reg=11, bit=4)
+        result = campaign.classify(spec, 0, campaign.run_spec(spec))
+        assert result.outcome == Outcome.SDC
+
+    def test_dead_register_flip_is_masked(self):
+        campaign = umc_campaign()
+        spec = FaultSpec.make("register", index=2, reg=13, bit=7)
+        result = campaign.classify(spec, 0, campaign.run_spec(spec))
+        assert result.outcome == Outcome.MASKED
+
+    def test_infinite_loop_is_hang(self):
+        """The watchdog converts a wedged program into a HANG result
+        instead of stalling the campaign."""
+
+        class InfiniteLoop(FaultModel):
+            name = "infinite-loop"
+
+            def plan(self, rng, profile):
+                return FaultSpec.make(self.name, index=5)
+
+            def arm(self, system, spec):
+                def wedge(record):
+                    # overwrite the next instruction with `ba .`
+                    system.memory.write_word(record.pc + 8, 0x10800000)
+
+                self.at_commit(system, spec.get("index"), wedge)
+
+        campaign = umc_campaign()
+        spec = FaultSpec.make("infinite-loop", index=5)
+        result = campaign.classify(
+            spec, 0, campaign.run_spec(spec, InfiniteLoop())
+        )
+        assert result.outcome == Outcome.HANG
+        assert "watchdog" in result.detail
+
+    def test_simulator_exception_becomes_crash(self):
+        """Crash safety: a fault that breaks the *simulator* (not just
+        the simulated program) still degrades into a CRASH result."""
+
+        class Saboteur(FaultModel):
+            name = "saboteur"
+
+            def plan(self, rng, profile):
+                return FaultSpec.make(self.name)
+
+            def arm(self, system, spec):
+                def boom(packet):
+                    raise RuntimeError("fabric model wedged")
+
+                system.extension.process = boom
+
+        campaign = umc_campaign()
+        spec = FaultSpec.make("saboteur")
+        result = campaign.classify(
+            spec, 0, campaign.run_spec(spec, Saboteur())
+        )
+        assert result.outcome == Outcome.CRASH
+        assert "fabric model wedged" in result.detail
+
+
+class TestCampaignRuns:
+    def test_counts_sum_and_every_model_plans(self):
+        campaign = umc_campaign(faults=16)
+        report = campaign.run()
+        assert report.total == 16
+        assert sum(report.counts().values()) == 16
+        assert sum(
+            sum(row.values()) for row in report.by_model().values()
+        ) == 16
+
+    def test_same_seed_is_bit_identical(self):
+        first = umc_campaign().run()
+        second = umc_campaign().run()
+        assert first.to_json() == second.to_json()
+        assert first.format(details=True) == second.format(details=True)
+
+    def test_different_seed_differs(self):
+        first = umc_campaign().run()
+        second = umc_campaign(seed=8).run()
+        assert first.to_json() != second.to_json()
+
+    def test_parallel_matches_serial(self):
+        serial = umc_campaign(faults=6).run()
+        parallel = umc_campaign(faults=6, jobs=2).run()
+        assert serial.to_json() == parallel.to_json()
+
+    def test_json_round_trips(self):
+        report = umc_campaign(faults=4).run()
+        doc = json.loads(report.to_json())
+        assert doc["campaign"]["extension"] == "umc"
+        assert sum(doc["counts"].values()) == 4
+        assert len(doc["results"]) == 4
+
+    def test_plan_is_deterministic_per_index(self):
+        campaign = umc_campaign()
+        for index in range(5):
+            model_a, spec_a = campaign.plan(index)
+            model_b, spec_b = campaign.plan(index)
+            assert spec_a == spec_b
+            assert model_a.name == model_b.name
+
+    def test_every_builtin_model_arms(self):
+        """Each applicable built-in model plans and survives a run."""
+        campaign = umc_campaign()
+        for model in campaign.models:
+            spec = model.plan(campaign.rng_for(99), campaign.profile)
+            result = campaign.classify(
+                spec, 0, campaign.run_spec(spec, model)
+            )
+            assert result.outcome in Outcome
+
+    def test_model_registry(self):
+        assert set(MODEL_CLASSES) >= {
+            "register", "memory", "meta", "packet", "alu-result",
+            "fifo-drop", "lut-config",
+        }
+        with pytest.raises(ValueError, match="unknown fault model"):
+            create_model("nope")
+
+
+class TestBoundedRun:
+    def build(self, source=SOURCE):
+        from repro import create_extension
+
+        return FlexCoreSystem(
+            assemble(source, entry="start"), create_extension("umc")
+        )
+
+    def test_clean_halt(self):
+        result = self.build().run_bounded()
+        assert result.termination == Termination.HALTED
+        assert result.error is None
+
+    def test_instruction_limit_does_not_raise(self):
+        result = self.build().run_bounded(max_instructions=5)
+        assert result.termination == Termination.INSTRUCTION_LIMIT
+        assert result.error is not None
+        assert not result.halted
+
+    def test_cycle_limit(self):
+        result = self.build().run_bounded(max_cycles=10)
+        assert result.termination == Termination.CYCLE_LIMIT
+
+    def test_run_still_raises_on_limit(self):
+        with pytest.raises(SimulationError, match="limit"):
+            self.build().run(max_instructions=5)
+
+    def test_crash_is_captured_with_context(self):
+        bad = """
+        .text
+start:  set     0x1001, %o0
+        ld      [%o0], %o1
+        ta      0
+        nop
+"""
+        result = self.build(bad).run_bounded()
+        assert result.termination == Termination.ERROR
+        error = result.error
+        assert error.pc is not None
+        assert error.instret is not None
+        assert error.cycle is not None
+        assert "ld" in error.instruction
+        assert "misaligned" in str(error)
+
+    def test_trap_termination(self):
+        bad = """
+        .text
+start:  set     0x90000, %g1
+        ld      [%g1], %o0
+        ta      0
+        nop
+"""
+        result = self.build(bad).run_bounded()
+        assert result.termination == Termination.TRAP
+        assert result.trap is not None
+
+
+class TestSimulationErrorContext:
+    def test_diagnosis_line(self):
+        err = SimulationError(
+            "boom", pc=0x1000, instruction="ld [%o0], %o1",
+            instret=42, cycle=99,
+        )
+        line = err.diagnosis()
+        assert "boom" in line and "pc=0x1000" in line
+        assert "instret=42" in line and "cycle=99" in line
+        assert "\n" not in line
+
+    def test_pickle_preserves_context(self):
+        err = SimulationError("boom", pc=0x1000, instruction="nop",
+                              instret=1, cycle=2)
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.pc == 0x1000
+        assert clone.instruction == "nop"
+        assert clone.instret == 1 and clone.cycle == 2
