@@ -28,9 +28,11 @@ from repro.extensions import EXTENSION_CLASSES, create_extension
 from repro.flexcore import run_program
 from repro.isa import assemble, disassemble_program
 
-#: exit codes: 0 ok, 2 monitor trap, 3 simulation error.
+#: exit codes: 0 ok, 2 monitor trap, 3 simulation error,
+#: 130 campaign interrupted (128 + SIGINT, shell convention).
 EXIT_TRAP = 2
 EXIT_SIMULATION_ERROR = 3
+EXIT_INTERRUPTED = 130
 
 
 def _load(path: str, entry: str):
@@ -50,6 +52,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             clock_ratio=args.ratio,
             fifo_depth=args.fifo,
             max_instructions=args.max_instructions,
+            checkpoint_every=args.checkpoint_every,
+            recover=args.recover,
         )
     except SimulationError as err:
         # One-line triage instead of a traceback: the structured
@@ -60,6 +64,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"cycles       : {result.cycles}")
     print(f"CPI          : {result.cpi:.2f}")
     print(f"halted       : {result.halted}")
+    if result.recoveries:
+        print(f"recoveries   : {result.recoveries} rollback(s), "
+              f"{result.recovery_cycles} cycles")
     if result.interface_stats is not None:
         stats = result.interface_stats
         print(f"forwarded    : {stats.forwarded} "
@@ -73,12 +80,22 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_inject(args: argparse.Namespace) -> int:
-    from repro.faultinject import Campaign, CampaignConfig, CampaignError
+    from repro.checkpoint import JournalError
+    from repro.faultinject import (
+        Campaign,
+        CampaignConfig,
+        CampaignError,
+        CampaignInterrupted,
+    )
 
     source = None
     if args.source is not None:
         with open(args.source) as handle:
             source = handle.read()
+    if args.resume and args.journal is None:
+        print("campaign error: --resume requires --journal",
+              file=sys.stderr)
+        return 1
     try:
         config = CampaignConfig(
             extension=args.extension,
@@ -92,23 +109,53 @@ def cmd_inject(args: argparse.Namespace) -> int:
             clock_ratio=args.ratio,
             fifo_depth=args.fifo,
             jobs=args.jobs,
+            checkpoint_every=args.checkpoint_every,
+            recover=args.recover,
+            cache_dir=args.cache_dir,
         )
         campaign = Campaign(config)
     except (CampaignError, ValueError) as err:
         print(f"campaign error: {err}", file=sys.stderr)
         return 1
+    if campaign.cache_diagnostic is not None:
+        print(campaign.cache_diagnostic, file=sys.stderr)
     progress = None
     if args.progress:
         def progress(done: int, total: int) -> None:
             print(f"\r  {done}/{total} runs", end="", file=sys.stderr,
                   flush=True)
-    report = campaign.run(progress=progress)
+    try:
+        report = campaign.run(progress=progress,
+                              journal_path=args.journal,
+                              resume=args.resume)
+    except JournalError as err:
+        print(f"\ncampaign error: {err}", file=sys.stderr)
+        return 1
+    except CampaignInterrupted as stop:
+        if args.progress:
+            print(file=sys.stderr)
+        partial = stop.partial_report()
+        print(partial.format(details=args.details))
+        print(
+            f"\ninterrupted after {len(stop.results)}/"
+            f"{config.faults} runs", file=sys.stderr,
+        )
+        if args.journal is not None:
+            print(
+                f"resume with: --journal {args.journal} --resume",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "(re-run with --journal PATH to make campaigns "
+                "resumable)", file=sys.stderr,
+            )
+        return EXIT_INTERRUPTED
     if args.progress:
         print(file=sys.stderr)
     print(report.format(details=args.details))
     if args.json is not None:
-        with open(args.json, "w") as handle:
-            handle.write(report.to_json() + "\n")
+        report.write_json(args.json)
         print(f"\nJSON report written to {args.json}")
     return 0
 
@@ -159,6 +206,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--fifo", type=int, default=64,
                          help="forward FIFO depth")
     run_cmd.add_argument("--max-instructions", type=int, default=None)
+    run_cmd.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="checkpoint the full system state every N instructions",
+    )
+    run_cmd.add_argument(
+        "--recover", action="store_true",
+        help="on a monitor TRAP, roll back to the last checkpoint "
+             "and re-execute instead of stopping",
+    )
     run_cmd.set_defaults(handler=cmd_run)
 
     inject_cmd = commands.add_parser(
@@ -199,6 +255,27 @@ def build_parser() -> argparse.ArgumentParser:
                             help="worker processes")
     inject_cmd.add_argument("--json", default=None, metavar="PATH",
                             help="also write the JSON report here")
+    inject_cmd.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append every result to a crash-tolerant journal",
+    )
+    inject_cmd.add_argument(
+        "--resume", action="store_true",
+        help="replay the journal and only run the missing faults",
+    )
+    inject_cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache golden-run profiles here across campaigns",
+    )
+    inject_cmd.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="periodic checkpoint interval for faulted runs",
+    )
+    inject_cmd.add_argument(
+        "--recover", action="store_true",
+        help="roll back + re-execute on monitor traps "
+             "(requires --checkpoint-every)",
+    )
     inject_cmd.add_argument("--details", action="store_true",
                             help="list every run in the report")
     inject_cmd.add_argument("--progress", action="store_true",

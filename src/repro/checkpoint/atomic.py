@@ -1,0 +1,62 @@
+"""Crash-safe file writes: temp file + fsync + rename.
+
+POSIX ``rename(2)`` is atomic within a filesystem, so a reader (or a
+process resuming after a ``kill -9``) either sees the complete old
+file, the complete new file, or no file — never a truncated hybrid.
+Every report, checkpoint and cache file in the repository goes through
+these helpers so an interrupt can never leave a half-written artifact
+on disk.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp + fsync + rename)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        # Never leave the temp file behind, even on KeyboardInterrupt.
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(directory)
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` (UTF-8) to ``path`` atomically."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def _fsync_directory(directory: str) -> None:
+    """Persist the rename itself (best-effort: not every filesystem
+    supports fsync on a directory fd)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def fsync_file(handle) -> None:
+    """Flush and fsync an open file object (journal appends)."""
+    handle.flush()
+    os.fsync(handle.fileno())

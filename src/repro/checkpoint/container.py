@@ -1,0 +1,142 @@
+"""Versioned, integrity-checked checkpoint container.
+
+On-disk layout (all integers big-endian)::
+
+    offset  size  field
+    ------  ----  -----------------------------------------
+    0       8     magic  b"FLEXCKPT"
+    8       2     schema version (u16)
+    10      4     section count (u32)
+    ...           per section:
+                    u16  name length, then name (UTF-8)
+                    u32  payload length
+                    u32  CRC32 of the payload
+                    payload bytes
+
+Every section carries its own CRC32, so corruption is pinpointed to a
+section instead of silently restoring garbage state.  Files are
+written atomically (temp + fsync + rename); a reader therefore only
+ever sees a complete container, and anything else — truncation, a bad
+magic, a flipped bit — is rejected with a specific error:
+
+* :class:`CheckpointFormatError`  — not a checkpoint / truncated
+* :class:`CheckpointVersionError` — schema version mismatch
+* :class:`CheckpointCorruptError` — CRC failure in a section
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.checkpoint.atomic import atomic_write_bytes
+
+MAGIC = b"FLEXCKPT"
+SCHEMA_VERSION = 1
+
+
+class CheckpointError(Exception):
+    """Base class for checkpoint subsystem failures."""
+
+
+class CheckpointFormatError(CheckpointError):
+    """The file is not a checkpoint container (bad magic, truncated)."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """The container uses an unsupported schema version."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A section's CRC32 does not match its payload."""
+
+
+def dump_container(
+    sections: dict[str, bytes], version: int = SCHEMA_VERSION
+) -> bytes:
+    """Serialize named sections into one container byte string."""
+    out = bytearray()
+    out += MAGIC
+    out += struct.pack(">HI", version, len(sections))
+    for name, payload in sections.items():
+        raw_name = name.encode("utf-8")
+        out += struct.pack(">H", len(raw_name))
+        out += raw_name
+        out += struct.pack(">II", len(payload), zlib.crc32(payload))
+        out += payload
+    return bytes(out)
+
+
+def load_container(
+    data: bytes, expected_version: int = SCHEMA_VERSION
+) -> dict[str, bytes]:
+    """Parse and verify a container; returns {section name: payload}."""
+    if len(data) < len(MAGIC) + 6:
+        raise CheckpointFormatError(
+            f"truncated checkpoint: {len(data)} bytes is smaller than "
+            f"the container header"
+        )
+    if data[:len(MAGIC)] != MAGIC:
+        raise CheckpointFormatError(
+            "not a checkpoint file (bad magic bytes)"
+        )
+    version, count = struct.unpack_from(">HI", data, len(MAGIC))
+    if version != expected_version:
+        raise CheckpointVersionError(
+            f"checkpoint schema version {version} is not supported "
+            f"(this build reads version {expected_version})"
+        )
+    pos = len(MAGIC) + 6
+    sections: dict[str, bytes] = {}
+    for index in range(count):
+        try:
+            (name_len,) = struct.unpack_from(">H", data, pos)
+            pos += 2
+            if len(data) < pos + name_len:
+                raise struct.error("name")
+            name = data[pos:pos + name_len].decode("utf-8")
+            pos += name_len
+            payload_len, crc = struct.unpack_from(">II", data, pos)
+            pos += 8
+            payload = data[pos:pos + payload_len]
+            if len(payload) != payload_len:
+                raise struct.error("payload")
+            pos += payload_len
+        except struct.error:
+            raise CheckpointFormatError(
+                f"truncated checkpoint: section {index} ends past the "
+                f"end of the file"
+            ) from None
+        if zlib.crc32(payload) != crc:
+            raise CheckpointCorruptError(
+                f"section {name!r} failed its CRC32 check — the "
+                f"checkpoint is corrupt"
+            )
+        sections[name] = payload
+    if pos != len(data):
+        raise CheckpointFormatError(
+            f"{len(data) - pos} trailing bytes after the last section"
+        )
+    return sections
+
+
+def write_container(
+    path: str, sections: dict[str, bytes],
+    version: int = SCHEMA_VERSION,
+) -> None:
+    """Atomically write a container file (temp + fsync + rename)."""
+    atomic_write_bytes(path, dump_container(sections, version))
+
+
+def read_container(
+    path: str, expected_version: int = SCHEMA_VERSION
+) -> dict[str, bytes]:
+    """Read and verify a container file."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as err:
+        raise CheckpointFormatError(
+            f"cannot read checkpoint {path}: {err}"
+        ) from err
+    return load_container(data, expected_version)

@@ -1,0 +1,123 @@
+"""On-disk cache of golden-run profiles for fault campaigns.
+
+The golden run is the serial prefix of every campaign: it must finish
+before any fault can be planned, and for the larger workloads it
+dominates campaign start-up — once per campaign *and once more per
+worker process*.  Its result, the
+:class:`~repro.faultinject.models.GoldenProfile`, depends only on the
+(workload, extension, simulator configuration) triple, so it is safe
+to memoise on disk.
+
+Entries are checkpoint containers (CRC-checked, atomically written)
+named ``<workload>-<extension>-<hash12>.ckpt`` where ``hash12``
+prefixes the SHA-256 of the canonical identity JSON.  Loading
+re-verifies the *full* identity stored inside the entry; any mismatch
+or corruption is reported as a human-readable invalidation diagnostic
+and treated as a miss (the profile is recomputed and the entry
+rewritten) — the cache can slow a campaign down, never poison it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.checkpoint.codec import decode_obj, encode_obj
+from repro.checkpoint.container import (
+    CheckpointError,
+    read_container,
+    write_container,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faultinject.campaign import CampaignConfig
+    from repro.faultinject.models import GoldenProfile
+
+IDENTITY_SECTION = "identity"
+PROFILE_SECTION = "profile"
+
+
+def golden_identity(config: "CampaignConfig") -> dict:
+    """The fields the golden run's outcome depends on — and nothing
+    else (``jobs``, ``faults``, ``seed`` etc. must not fragment the
+    cache)."""
+    return {
+        "workload": config.workload,
+        "source": config.source,
+        "entry": config.entry,
+        "scale": config.scale,
+        "extension": config.extension,
+        "clock_ratio": config.clock_ratio,
+        "fifo_depth": config.fifo_depth,
+        "max_instructions": config.max_instructions,
+    }
+
+
+def _identity_key(identity: dict) -> str:
+    payload = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class GoldenCache:
+    """A directory of memoised golden-run profiles."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    def path_for(self, config: "CampaignConfig") -> Path:
+        identity = golden_identity(config)
+        workload = config.workload or "inline"
+        return self.root / (
+            f"{workload}-{config.extension}-"
+            f"{_identity_key(identity)[:12]}.ckpt"
+        )
+
+    def load(
+        self, config: "CampaignConfig"
+    ) -> tuple["GoldenProfile | None", str | None]:
+        """Look the profile up: ``(profile, diagnostic)``.
+
+        Exactly one of the pair is ``None``: a hit returns the
+        profile; a miss returns a diagnostic explaining *why* the
+        entry was unusable (absent, corrupt, or stale identity).
+        """
+        from repro.faultinject.models import GoldenProfile
+
+        path = self.path_for(config)
+        if not path.exists():
+            return None, f"golden cache miss: no entry at {path}"
+        try:
+            sections = read_container(path)
+            stored = decode_obj(sections[IDENTITY_SECTION])
+            fields = decode_obj(sections[PROFILE_SECTION])
+        except (CheckpointError, KeyError) as err:
+            return None, (
+                f"golden cache entry {path} is unusable "
+                f"({type(err).__name__}: {err}); recomputing"
+            )
+        wanted = golden_identity(config)
+        if stored != wanted:
+            stale = sorted(
+                key for key in set(stored) | set(wanted)
+                if stored.get(key) != wanted.get(key)
+            )
+            return None, (
+                f"golden cache entry {path} was built for a different "
+                f"configuration (stale fields: {', '.join(stale)}); "
+                f"recomputing"
+            )
+        fields["store_addresses"] = tuple(fields["store_addresses"])
+        return GoldenProfile(**fields), None
+
+    def store(self, config: "CampaignConfig",
+              profile: "GoldenProfile") -> Path:
+        """Atomically (re)write the entry for this configuration."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(config)
+        write_container(path, {
+            IDENTITY_SECTION: encode_obj(golden_identity(config)),
+            PROFILE_SECTION: encode_obj(vars(profile).copy()),
+        })
+        return path

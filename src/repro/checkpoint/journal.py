@@ -1,0 +1,156 @@
+"""Append-only, crash-tolerant results journal (JSONL).
+
+Every fault-injection result is appended as one line *before* the
+campaign moves on, so a campaign killed at any instant can be resumed
+by replaying the journal and skipping the fault indices already done.
+
+Each line is a self-checking frame::
+
+    {"crc":<crc32>,"body":{...}}\n
+
+where ``crc`` is the CRC-32 of the canonical JSON encoding of
+``body`` (sorted keys, no whitespace).  The first frame is a header
+carrying the campaign identity; result frames follow.  On read:
+
+* a defective **final** line (missing newline, unparseable JSON, or a
+  CRC mismatch) is a torn tail from a crash mid-append — it is
+  dropped and the journal is usable;
+* a defective line **anywhere else** means real corruption and raises
+  :class:`JournalCorruptError` — resuming from a silently-mangled
+  journal would poison the final report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+
+from repro.checkpoint.atomic import fsync_file
+
+
+class JournalError(Exception):
+    """Base class for journal problems."""
+
+
+class JournalCorruptError(JournalError):
+    """A non-final journal line failed validation."""
+
+
+class JournalMismatchError(JournalError):
+    """The journal belongs to a different campaign configuration."""
+
+
+def canonical_json(obj) -> str:
+    """The byte-stable JSON encoding the CRCs are computed over."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _frame(body: dict) -> str:
+    payload = canonical_json(body)
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f'{{"crc":{crc},"body":{payload}}}\n'
+
+
+def _check_line(line: str) -> dict | None:
+    """Validate one frame; return its body, or None if defective."""
+    try:
+        wrapper = json.loads(line)
+    except ValueError:
+        return None
+    if (not isinstance(wrapper, dict)
+            or set(wrapper) != {"crc", "body"}):
+        return None
+    payload = canonical_json(wrapper["body"])
+    if zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF != wrapper["crc"]:
+        return None
+    return wrapper["body"]
+
+
+class ResultsJournal:
+    """One campaign's append-only journal file."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._handle = None
+
+    # -- reading -----------------------------------------------------------
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def read(self) -> tuple[dict, list[dict]]:
+        """Replay the journal: ``(identity, result_records)``.
+
+        Tolerates a torn final line; raises
+        :class:`JournalCorruptError` for anything else.
+        """
+        raw = self.path.read_bytes().decode("utf-8")
+        lines = raw.split("\n")
+        # split() leaves a trailing "" when the file ends in \n; a
+        # non-empty final element is a line the crash cut short.
+        complete, tail = lines[:-1], lines[-1]
+        bodies: list[dict] = []
+        for lineno, line in enumerate(complete, start=1):
+            body = _check_line(line)
+            if body is None:
+                if lineno == len(complete) and not tail:
+                    break  # torn tail that still got its newline
+                raise JournalCorruptError(
+                    f"{self.path}: line {lineno} failed CRC/parse "
+                    f"validation — journal is corrupt, not merely "
+                    f"truncated; delete it to start over"
+                )
+            bodies.append(body)
+        if not bodies or bodies[0].get("kind") != "header":
+            raise JournalCorruptError(
+                f"{self.path}: missing campaign header record"
+            )
+        header = bodies[0]
+        records = [b for b in bodies[1:] if b.get("kind") == "result"]
+        return header["identity"], records
+
+    # -- writing -----------------------------------------------------------
+
+    def start(self, identity: dict) -> None:
+        """Create a fresh journal (truncating any old one) whose first
+        frame pins the campaign identity."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._write_frame({"kind": "header", "identity": identity})
+
+    def open_append(self) -> None:
+        """Re-open an existing journal for appending (resume)."""
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def append_result(self, record: dict) -> None:
+        """Durably append one result record (flushed and fsynced —
+        once this returns, a crash cannot lose the record)."""
+        self._write_frame({"kind": "result", **record})
+
+    def _write_frame(self, body: dict) -> None:
+        if self._handle is None:
+            raise JournalError("journal is not open for writing")
+        self._handle.write(_frame(body))
+        self._handle.flush()
+        fsync_file(self._handle)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultsJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def remove(self) -> None:
+        """Delete the journal (after a campaign completes cleanly)."""
+        self.close()
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass

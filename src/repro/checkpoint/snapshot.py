@@ -1,0 +1,152 @@
+"""Whole-system snapshots and the ``.ckpt`` on-disk format.
+
+:class:`SystemSnapshot` is the user-facing object: it captures a
+:class:`~repro.flexcore.system.FlexCoreSystem`'s complete state (via
+the ``snapshot_state``/``restore_state`` protocol every stateful
+component implements), remembers enough identity to refuse a restore
+into the *wrong* system, and round-trips through the checkpoint
+container format losslessly.
+
+A snapshot is only meaningful against the program image and extension
+it was captured from — the memory section is a sparse delta against
+the program image, and the monitor state is extension-shaped.  Restore
+therefore verifies a SHA-256 digest of the program image and the
+extension name, raising :class:`CheckpointMismatchError` rather than
+silently producing a franken-machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+from repro.checkpoint.codec import decode_obj, encode_obj
+from repro.checkpoint.container import (
+    CheckpointError,
+    CheckpointFormatError,
+    read_container,
+    write_container,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.flexcore.system import FlexCoreSystem
+    from repro.isa.assembler import Program
+
+#: sections every checkpoint file must carry.
+META_SECTION = "meta"
+STATE_SECTION = "state"
+
+
+class CheckpointMismatchError(CheckpointError):
+    """Snapshot does not belong to the system it is restored into."""
+
+
+def program_digest(program: "Program") -> str:
+    """SHA-256 over the full program image (layout, text, data,
+    entry) — the identity a memory-delta snapshot is relative to."""
+    hasher = hashlib.sha256()
+    hasher.update(
+        f"{program.text_base}:{program.data_base}:{program.entry}"
+        .encode("ascii")
+    )
+    for word in program.text:
+        hasher.update(word.to_bytes(4, "big"))
+    hasher.update(b"/")
+    hasher.update(bytes(program.data))
+    return hasher.hexdigest()
+
+
+class SystemSnapshot:
+    """One captured machine state plus the identity it belongs to."""
+
+    def __init__(self, meta: dict, state: dict):
+        self.meta = meta
+        self.state = state
+
+    # -- capture / restore -------------------------------------------------
+
+    @classmethod
+    def capture(cls, system: "FlexCoreSystem") -> "SystemSnapshot":
+        """Snapshot a (possibly mid-run) system."""
+        state = system.snapshot_state()
+        extension = system.extension
+        meta = {
+            "program_sha256": program_digest(system.program),
+            "extension": extension.name if extension else None,
+            "instructions": state["cpu"]["instret"],
+            "now": state["now"],
+        }
+        return cls(meta, state)
+
+    @classmethod
+    def from_state(
+        cls, system: "FlexCoreSystem", state: dict
+    ) -> "SystemSnapshot":
+        """Wrap a state dict already captured from ``system`` (e.g. by
+        the ``on_checkpoint`` callback of ``run_bounded``)."""
+        extension = system.extension
+        meta = {
+            "program_sha256": program_digest(system.program),
+            "extension": extension.name if extension else None,
+            "instructions": state["cpu"]["instret"],
+            "now": state["now"],
+        }
+        return cls(meta, state)
+
+    def restore_into(self, system: "FlexCoreSystem") -> None:
+        """Restore this snapshot into ``system``, verifying identity."""
+        digest = program_digest(system.program)
+        if digest != self.meta["program_sha256"]:
+            raise CheckpointMismatchError(
+                "checkpoint was captured from a different program image "
+                f"(checkpoint {self.meta['program_sha256'][:12]}…, "
+                f"system {digest[:12]}…)"
+            )
+        have = system.extension.name if system.extension else None
+        want = self.meta["extension"]
+        if have != want:
+            raise CheckpointMismatchError(
+                f"checkpoint was captured with extension {want!r}, "
+                f"but the system has {have!r}"
+            )
+        system.restore_state(self.state)
+
+    # -- convenience accessors ---------------------------------------------
+
+    @property
+    def instructions(self) -> int:
+        return self.meta["instructions"]
+
+    @property
+    def now(self) -> float:
+        return self.meta["now"]
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_sections(self) -> dict[str, bytes]:
+        return {
+            META_SECTION: encode_obj(self.meta),
+            STATE_SECTION: encode_obj(self.state),
+        }
+
+    @classmethod
+    def from_sections(cls, sections: dict[str, bytes]) -> "SystemSnapshot":
+        for name in (META_SECTION, STATE_SECTION):
+            if name not in sections:
+                raise CheckpointFormatError(
+                    f"checkpoint is missing the {name!r} section"
+                )
+        return cls(
+            meta=decode_obj(sections[META_SECTION]),
+            state=decode_obj(sections[STATE_SECTION]),
+        )
+
+    def save(self, path) -> None:
+        """Write atomically: the file is either the complete previous
+        checkpoint or the complete new one, never a torn mix."""
+        write_container(path, self.to_sections())
+
+    @classmethod
+    def load(cls, path) -> "SystemSnapshot":
+        """Read and verify (magic, schema version, per-section CRC)."""
+        return cls.from_sections(read_container(path))

@@ -164,6 +164,34 @@ class CpuState:
         self._decode_cache: dict[int, Instruction] = {}
 
     # ------------------------------------------------------------------
+    # Snapshot/restore (crash-safe checkpointing).  The decode cache is
+    # pure memoisation keyed by instruction words and is deliberately
+    # not part of the architectural state.
+
+    def snapshot_state(self) -> dict:
+        """Architectural state: PC/nPC, icc, Y, windowed registers."""
+        return {
+            "pc": self.pc,
+            "npc": self.npc,
+            "cond": self.codes.pack(),
+            "y": self.y,
+            "halted": self.halted,
+            "instret": self.instret,
+            "annul": self._annul_next,
+            "regs": self.regs.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.pc = state["pc"]
+        self.npc = state["npc"]
+        self.codes = ConditionCodes.unpack(state["cond"])
+        self.y = state["y"]
+        self.halted = state["halted"]
+        self.instret = state["instret"]
+        self._annul_next = state["annul"]
+        self.regs.restore_state(state["regs"])
+
+    # ------------------------------------------------------------------
 
     def step(self) -> CommitRecord:
         """Execute the instruction at PC and return its commit record.

@@ -111,6 +111,26 @@ class CoreTiming:
         # stage, one stage after the ALU consumes operands).
         self._pending_load_dest = -1
 
+    # ------------------------------------------------------------------
+    # Snapshot/restore (crash-safe checkpointing).  The shared bus is
+    # owned by the system and snapshotted there.
+
+    def snapshot_state(self) -> dict:
+        return {
+            "stats": vars(self.stats).copy(),
+            "icache": self.icache.snapshot_state(),
+            "dcache": self.dcache.snapshot_state(),
+            "store_buffer": self.store_buffer.snapshot_state(),
+            "pending_load_dest": self._pending_load_dest,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.stats = CoreTimingStats(**state["stats"])
+        self.icache.restore_state(state["icache"])
+        self.dcache.restore_state(state["dcache"])
+        self.store_buffer.restore_state(state["store_buffer"])
+        self._pending_load_dest = state["pending_load_dest"]
+
     def advance(self, record: CommitRecord, now: int) -> int:
         """Charge one committed instruction starting at time ``now``."""
         stats = self.stats

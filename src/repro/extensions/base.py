@@ -132,6 +132,48 @@ class MonitorExtension(abc.ABC):
         Returns a :class:`repro.fabric.logic.LogicNetwork`.
         """
 
+    # -- snapshot/restore (crash-safe checkpointing) ------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture the extension's full monitor state: the base-class
+        latches, the shadow register file, the memory tag store, and
+        whatever :meth:`extra_state` the subclass keeps."""
+        return {
+            "meta_base": self.meta_base,
+            "tagval": self.tagval,
+            "policy": self.policy,
+            "traps_seen": self.traps_seen,
+            "shadow": (
+                self.shadow.snapshot_state()
+                if self.shadow is not None else None
+            ),
+            "mem_tags": (
+                self.mem_tags.snapshot_state()
+                if self.mem_tags is not None else None
+            ),
+            "extra": self.extra_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.meta_base = state["meta_base"]
+        self.tagval = state["tagval"]
+        self.policy = state["policy"]
+        self.traps_seen = state["traps_seen"]
+        if self.shadow is not None:
+            self.shadow.restore_state(state["shadow"])
+        if self.mem_tags is not None:
+            self.mem_tags.restore_state(state["mem_tags"])
+        self.load_extra_state(state["extra"])
+
+    def extra_state(self) -> dict:
+        """Subclass hook: additional monitor state to checkpoint (e.g.
+        SEC's error counter, the shadow stack's entries).  Values must
+        be plain data (ints, strs, lists, dicts, bytes)."""
+        return {}
+
+    def load_extra_state(self, state: dict) -> None:
+        """Subclass hook: restore what :meth:`extra_state` captured."""
+
     # -- software-visible operations ----------------------------------------
 
     def status_word(self) -> int:

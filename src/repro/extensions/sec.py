@@ -95,6 +95,12 @@ class SoftErrorCheck(MonitorExtension):
     def status_word(self) -> int:
         return self.errors_detected & 0xFFFFFFFF
 
+    def extra_state(self) -> dict:
+        return {"errors_detected": self.errors_detected}
+
+    def load_extra_state(self, state: dict) -> None:
+        self.errors_detected = state["errors_detected"]
+
     def hardware(self) -> LogicNetwork:
         """SEC datapath: a full 32-bit adder/subtractor, logic unit,
         barrel shifter, mod-7 folding trees for mul/div, and wide

@@ -83,6 +83,13 @@ class ShadowStack(MonitorExtension):
     def status_word(self) -> int:
         return len(self._stack) & 0xFFFFFFFF
 
+    def extra_state(self) -> dict:
+        return {"stack": list(self._stack), "overflowed": self.overflowed}
+
+    def load_extra_state(self, state: dict) -> None:
+        self._stack = list(state["stack"])
+        self.overflowed = state["overflowed"]
+
     def hardware(self) -> LogicNetwork:
         """A LUT-RAM stack, one 32-bit comparator, and a tiny FSM."""
         net = LogicNetwork(self.name, pipeline_stages=2)

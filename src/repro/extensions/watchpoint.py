@@ -95,6 +95,22 @@ class Watchpoints(MonitorExtension):
     def status_word(self) -> int:
         return self.hits & 0xFFFFFFFF
 
+    def extra_state(self) -> dict:
+        return {
+            "ranges": [
+                {"lo": r.lo, "hi": r.hi, "mode": r.mode}
+                for r in self.ranges
+            ],
+            "hits": self.hits,
+        }
+
+    def load_extra_state(self, state: dict) -> None:
+        self.ranges = [
+            WatchRange(lo=r["lo"], hi=r["hi"], mode=r["mode"])
+            for r in state["ranges"]
+        ]
+        self.hits = state["hits"]
+
     def hardware(self) -> LogicNetwork:
         """Per-slot bound registers and magnitude comparators, all in
         parallel — the kind of bit-level parallel check a LUT fabric

@@ -26,6 +26,7 @@ from repro.faultinject.campaign import (
     Campaign,
     CampaignConfig,
     CampaignError,
+    CampaignInterrupted,
     FaultResult,
     Outcome,
     run_campaign,
@@ -51,6 +52,7 @@ __all__ = [
     "Campaign",
     "CampaignConfig",
     "CampaignError",
+    "CampaignInterrupted",
     "CoverageReport",
     "FaultModel",
     "FaultResult",

@@ -27,9 +27,15 @@ import enum
 import hashlib
 import multiprocessing
 import random
+import signal
 import time
 from dataclasses import dataclass, replace
 
+from repro.checkpoint import (
+    GoldenCache,
+    JournalMismatchError,
+    ResultsJournal,
+)
 from repro.core.executor import SimulationError
 from repro.extensions import EXTENSION_CLASSES, create_extension
 from repro.faultinject.models import (
@@ -58,11 +64,35 @@ class CampaignError(Exception):
     golden run crashes or no fault model applies."""
 
 
+class CampaignInterrupted(Exception):
+    """The campaign was stopped early (SIGINT/SIGTERM) after
+    terminating its workers cleanly.  Carries everything needed to
+    render a partial report and point at the resume path."""
+
+    def __init__(self, config: "CampaignConfig", profile,
+                 results: tuple["FaultResult", ...],
+                 journal_path=None):
+        self.config = config
+        self.profile = profile
+        self.results = results
+        self.journal_path = journal_path
+        super().__init__(
+            f"campaign interrupted after {len(results)}/"
+            f"{config.faults} runs"
+        )
+
+    def partial_report(self):
+        from repro.faultinject.report import CoverageReport
+        return CoverageReport.build(self.config, self.profile,
+                                    self.results)
+
+
 class Outcome(str, enum.Enum):
     """DAVOS-style failure-mode dictionary for one faulted run."""
 
     MASKED = "masked"  # clean exit, output matches the golden run
     DETECTED = "detected"  # the monitoring extension raised TRAP
+    RECOVERED = "recovered"  # detected, rolled back, clean re-execution
     SDC = "sdc"  # clean exit, silently corrupted output
     CRASH = "crash"  # the simulated program crashed
     HANG = "hang"  # a watchdog budget tripped
@@ -72,8 +102,8 @@ class Outcome(str, enum.Enum):
 
 
 #: report order (fixed, so reports are stable).
-OUTCOME_ORDER = (Outcome.DETECTED, Outcome.MASKED, Outcome.SDC,
-                 Outcome.CRASH, Outcome.HANG)
+OUTCOME_ORDER = (Outcome.DETECTED, Outcome.RECOVERED, Outcome.MASKED,
+                 Outcome.SDC, Outcome.CRASH, Outcome.HANG)
 
 
 @dataclass(frozen=True)
@@ -88,6 +118,8 @@ class FaultResult:
     detail: str  # crash diagnosis / watchdog note, "" otherwise
     instructions: int
     cycles: int
+    recoveries: int = 0
+    recovery_cycles: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -99,7 +131,28 @@ class FaultResult:
             "detail": self.detail,
             "instructions": self.instructions,
             "cycles": self.cycles,
+            "recoveries": self.recoveries,
+            "recovery_cycles": self.recovery_cycles,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultResult":
+        """Inverse of :meth:`as_dict` — exact, so a journal replay
+        reconstructs bit-identical results."""
+        fault = dict(data["fault"])
+        model = fault.pop("model")
+        return cls(
+            index=data["index"],
+            spec=FaultSpec.make(model, **fault),
+            outcome=Outcome(data["outcome"]),
+            termination=data["termination"],
+            trap=data["trap"],
+            detail=data["detail"],
+            instructions=data["instructions"],
+            cycles=data["cycles"],
+            recoveries=data.get("recoveries", 0),
+            recovery_cycles=data.get("recovery_cycles", 0),
+        )
 
 
 @dataclass(frozen=True)
@@ -133,6 +186,14 @@ class CampaignConfig:
     jobs: int = 1
     #: instruction budget for the golden run (None = system default).
     max_instructions: int | None = None
+    #: periodic checkpoint interval (committed instructions) for the
+    #: faulted runs; required for ``recover``.
+    checkpoint_every: int | None = None
+    #: roll back to the last checkpoint on a monitor TRAP instead of
+    #: terminating — measures recovery instead of mere detection.
+    recover: bool = False
+    #: directory for the golden-run profile cache (None = no cache).
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.extension not in EXTENSION_CLASSES:
@@ -159,6 +220,40 @@ class CampaignConfig:
                     raise ValueError(
                         f"unknown fault model {name!r} (known: {known})"
                     )
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, "
+                f"got {self.checkpoint_every}"
+            )
+        if self.recover and self.checkpoint_every is None:
+            raise ValueError(
+                "recover=True requires checkpoint_every="
+            )
+
+    def journal_identity(self) -> dict:
+        """The fields a resumable journal is keyed on: everything that
+        influences per-index results.  ``jobs`` (scheduling only),
+        ``wallclock_limit`` (an environment backstop) and ``cache_dir``
+        (a pure accelerant) are deliberately excluded — a campaign may
+        be resumed with different parallelism on a different machine
+        and still produce the bit-identical report."""
+        return {
+            "extension": self.extension,
+            "workload": self.workload,
+            "source": self.source,
+            "entry": self.entry,
+            "scale": self.scale,
+            "faults": self.faults,
+            "seed": self.seed,
+            "models": list(self.models) if self.models else None,
+            "clock_ratio": self.clock_ratio,
+            "fifo_depth": self.fifo_depth,
+            "hang_multiplier": self.hang_multiplier,
+            "hang_slack": self.hang_slack,
+            "max_instructions": self.max_instructions,
+            "checkpoint_every": self.checkpoint_every,
+            "recover": self.recover,
+        }
 
 
 class Campaign:
@@ -167,7 +262,21 @@ class Campaign:
     def __init__(self, config: CampaignConfig):
         self.config = config
         self.program = self._build_program()
-        self.golden, self.profile = self._golden_run()
+        #: why the golden cache could not be used (None on a hit or
+        #: when no cache is configured) — surfaced by the CLI.
+        self.cache_diagnostic: str | None = None
+        #: the golden RunResult; None when the profile came from the
+        #: cache and the golden run was skipped entirely.
+        self.golden: RunResult | None = None
+        cache = GoldenCache(config.cache_dir) if config.cache_dir else None
+        profile = None
+        if cache is not None:
+            profile, self.cache_diagnostic = cache.load(config)
+        if profile is None:
+            self.golden, profile = self._golden_run()
+            if cache is not None:
+                cache.store(config, profile)
+        self.profile = profile
         self.models = self._select_models()
         budget = config.hang_multiplier
         self._instr_budget = (
@@ -318,6 +427,8 @@ class Campaign:
                 max_instructions=self._instr_budget,
                 max_cycles=self._cycle_budget,
                 deadline=deadline,
+                checkpoint_every=self.config.checkpoint_every,
+                recover=self.config.recover,
             )
         except Exception as err:  # noqa: BLE001 — sandbox boundary
             # An injected fault can violate invariants far beyond the
@@ -363,6 +474,15 @@ class Campaign:
             outcome = Outcome.DETECTED
         elif self._signature(result) != self.profile.output:
             outcome = Outcome.SDC
+        elif result.recoveries > 0:
+            # The monitor trapped, the system rolled back and the
+            # re-execution produced the golden output: the fault was
+            # not merely detected but survived.
+            outcome = Outcome.RECOVERED
+            detail = (
+                f"{result.recoveries} rollback(s), "
+                f"{result.recovery_cycles} recovery cycles"
+            )
         else:
             outcome = Outcome.MASKED
         return FaultResult(
@@ -374,6 +494,8 @@ class Campaign:
             detail=detail,
             instructions=result.instructions,
             cycles=result.cycles,
+            recoveries=result.recoveries,
+            recovery_cycles=result.recovery_cycles,
         )
 
     def run_one(self, index: int) -> FaultResult:
@@ -384,50 +506,116 @@ class Campaign:
 
     # -- the campaign -------------------------------------------------------
 
-    def run(self, progress=None):
+    def run(self, progress=None, journal_path=None, resume=False):
         """Execute every faulted run and build the coverage report.
 
         ``progress`` is an optional callable ``(done, total)`` invoked
         after each completed run (serial mode) or batch (parallel).
+
+        With ``journal_path`` every result is durably appended to a
+        crash-tolerant journal the moment it exists; ``resume=True``
+        replays a prior journal first and only executes the missing
+        fault indices, producing a report bit-identical to an
+        uninterrupted campaign.  SIGINT/SIGTERM terminate the workers
+        cleanly and raise :class:`CampaignInterrupted` with the
+        partial results (everything already journaled is safe).
         """
         from repro.faultinject.report import CoverageReport
 
         total = self.config.faults
-        if self.config.jobs == 1:
-            results = []
-            for index in range(total):
-                results.append(self.run_one(index))
-                if progress is not None:
-                    progress(len(results), total)
-        else:
-            results = self._run_parallel(progress)
+        results: list[FaultResult] = []
+        pending = list(range(total))
+        journal: ResultsJournal | None = None
+        if journal_path is not None:
+            journal = ResultsJournal(journal_path)
+            identity = self.config.journal_identity()
+            if resume and journal.exists():
+                stored, records = journal.read()
+                if stored != identity:
+                    raise JournalMismatchError(
+                        f"journal {journal_path} records a different "
+                        f"campaign configuration; refusing to mix "
+                        f"results (delete it to start over)"
+                    )
+                results = [FaultResult.from_dict(r) for r in records]
+                done = {r.index for r in results}
+                pending = [i for i in pending if i not in done]
+                journal.open_append()
+            else:
+                journal.start(identity)
+
+        def record(result: FaultResult) -> None:
+            results.append(result)
+            if journal is not None:
+                journal.append_result(result.as_dict())
+            if progress is not None:
+                progress(len(results), total)
+
+        interrupted = False
+        previous_sigterm = None
+        try:
+            # Make SIGTERM (the polite kill) interrupt exactly like
+            # Ctrl-C, so both paths flush the journal and report the
+            # partial results.  Only possible from the main thread.
+            previous_sigterm = signal.signal(
+                signal.SIGTERM, _raise_keyboard_interrupt
+            )
+        except ValueError:
+            pass
+        try:
+            if self.config.jobs == 1:
+                for index in pending:
+                    record(self.run_one(index))
+            else:
+                self._run_parallel(pending, record)
+        except KeyboardInterrupt:
+            interrupted = True
+        finally:
+            if previous_sigterm is not None:
+                signal.signal(signal.SIGTERM, previous_sigterm)
+            if journal is not None:
+                journal.close()
+
         results.sort(key=lambda r: r.index)
+        if interrupted:
+            raise CampaignInterrupted(
+                self.config, self.profile, tuple(results),
+                journal_path=journal_path,
+            )
         return CoverageReport.build(self.config, self.profile,
                                     tuple(results))
 
-    def _run_parallel(self, progress=None) -> list[FaultResult]:
+    def _run_parallel(self, indices, record) -> None:
         """Fan the runs out over a process pool.
 
         Each worker rebuilds the campaign once (fork keeps this cheap)
         and runs a slice of the indices; per-index seeding makes the
-        result independent of the scheduling.
+        result independent of the scheduling.  Workers ignore SIGINT:
+        on Ctrl-C only the parent reacts, terminating the pool after
+        the in-flight journal append finished.
         """
         config = self.config
         ctx = multiprocessing.get_context()
-        indices = range(config.faults)
-        results: list[FaultResult] = []
         worker_config = replace(config, jobs=1)
-        with ctx.Pool(
+        pool = ctx.Pool(
             processes=config.jobs,
             initializer=_init_worker,
             initargs=(worker_config,),
-        ) as pool:
+        )
+        try:
             for result in pool.imap_unordered(_worker_run, indices,
                                               chunksize=8):
-                results.append(result)
-                if progress is not None:
-                    progress(len(results), config.faults)
-        return results
+                record(result)
+            pool.close()
+        except BaseException:
+            pool.terminate()
+            raise
+        finally:
+            pool.join()
+
+
+def _raise_keyboard_interrupt(signum, frame):
+    raise KeyboardInterrupt
 
 
 #: per-process campaign instance for pool workers.
@@ -435,6 +623,13 @@ _WORKER_CAMPAIGN: Campaign | None = None
 
 
 def _init_worker(config: CampaignConfig) -> None:
+    # The parent owns interruption: a terminal-wide SIGINT must not
+    # kill workers mid-result while the parent is still journaling.
+    # SIGTERM reverts to the default action (the fork inherited the
+    # parent's raise-KeyboardInterrupt handler) so pool.terminate()
+    # ends workers silently instead of with a traceback.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
     global _WORKER_CAMPAIGN
     _WORKER_CAMPAIGN = Campaign(config)
 
@@ -443,6 +638,9 @@ def _worker_run(index: int) -> FaultResult:
     return _WORKER_CAMPAIGN.run_one(index)
 
 
-def run_campaign(config: CampaignConfig, progress=None):
+def run_campaign(config: CampaignConfig, progress=None,
+                 journal_path=None, resume=False):
     """Convenience one-call entry point."""
-    return Campaign(config).run(progress=progress)
+    return Campaign(config).run(progress=progress,
+                                journal_path=journal_path,
+                                resume=resume)

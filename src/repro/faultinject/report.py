@@ -64,14 +64,17 @@ class CoverageReport:
 
     @property
     def detection_coverage(self) -> float:
-        """Detected / (all runs whose fault was *not* masked) — the
-        dependability metric: of the faults that mattered, how many
-        did the monitor catch before they became SDC/crash/hang?"""
+        """(Detected + recovered) / (all runs whose fault was *not*
+        masked) — the dependability metric: of the faults that
+        mattered, how many did the monitor catch before they became
+        SDC/crash/hang?  A recovered fault was caught *and* survived,
+        so it counts as covered."""
         counts = self.counts()
         effective = self.total - counts[Outcome.MASKED]
         if effective == 0:
             return 1.0
-        return counts[Outcome.DETECTED] / effective
+        caught = counts[Outcome.DETECTED] + counts[Outcome.RECOVERED]
+        return caught / effective
 
     # -- rendering ----------------------------------------------------------
 
@@ -89,10 +92,11 @@ class CoverageReport:
             f"{'outcome':<10} {'count':>6} {'fraction':>9}",
         ]
         counts = self.counts()
-        for outcome in OUTCOME_ORDER:
+        denominator = self.total or 1  # an interrupted campaign may
+        for outcome in OUTCOME_ORDER:  # have zero completed runs
             n = counts[outcome]
             lines.append(
-                f"{outcome.value:<10} {n:>6} {n / self.total:>8.1%}"
+                f"{outcome.value:<10} {n:>6} {n / denominator:>8.1%}"
             )
         lines.append(f"{'total':<10} {self.total:>6}")
         lines.append("")
@@ -114,6 +118,14 @@ class CoverageReport:
             f"detection coverage (non-masked faults detected): "
             f"{self.detection_coverage:.1%}"
         )
+        rollbacks = sum(r.recoveries for r in self.results)
+        if rollbacks:
+            recovery_cycles = sum(r.recovery_cycles for r in self.results)
+            lines.append(
+                f"recovery: {rollbacks} rollback(s) across "
+                f"{sum(1 for r in self.results if r.recoveries)} run(s), "
+                f"{recovery_cycles} cycles spent recovering"
+            )
         if details:
             lines.append("")
             for result in self.results:
@@ -137,6 +149,8 @@ class CoverageReport:
                 "models": sorted(self.by_model()),
                 "clock_ratio": config.clock_ratio,
                 "fifo_depth": config.fifo_depth,
+                "checkpoint_every": config.checkpoint_every,
+                "recover": config.recover,
             },
             "golden": {
                 "instructions": self.profile.instructions,
@@ -157,3 +171,10 @@ class CoverageReport:
     def to_json(self, indent: int = 2) -> str:
         """Bit-reproducible JSON document for the whole campaign."""
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def write_json(self, path) -> None:
+        """Write the JSON document atomically: a crash mid-write
+        leaves either the previous report or the new one, never a
+        truncated JSON file."""
+        from repro.checkpoint import atomic_write_text
+        atomic_write_text(path, self.to_json() + "\n")

@@ -71,3 +71,18 @@ class DecouplingFifo:
     def reset(self) -> None:
         self._drains.clear()
         self.stats = FifoStats()
+
+    # ------------------------------------------------------------------
+    # Snapshot/restore (crash-safe checkpointing): in-flight packet
+    # drain times are state — a restored core must feel the same
+    # backpressure the original would have.
+
+    def snapshot_state(self) -> dict:
+        return {
+            "drains": list(self._drains),
+            "stats": vars(self.stats).copy(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._drains = deque(state["drains"])
+        self.stats = FifoStats(**state["stats"])

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.core.executor import CommitRecord
-from repro.flexcore.cfgr import ForwardPolicy
+from repro.flexcore.cfgr import ForwardConfig, ForwardPolicy
 from repro.flexcore.fifo import DecouplingFifo
 from repro.flexcore.packet import TracePacket
 from repro.isa.opcodes import FlexOpf, InstrClass
@@ -267,3 +267,76 @@ class CoreFabricInterface:
     def drain_time(self) -> float:
         """Time at which the co-processor goes EMPTY."""
         return self._fabric_free
+
+    # ------------------------------------------------------------------
+    # Snapshot/restore (crash-safe checkpointing).
+
+    def snapshot_state(self) -> dict:
+        stats = self.stats
+        trap = self.pending_trap
+        return {
+            "stats": {
+                "committed": stats.committed,
+                "forwarded": stats.forwarded,
+                "ignored": stats.ignored,
+                "dropped": stats.dropped,
+                "forwarded_by_class": {
+                    int(cls): count
+                    for cls, count in stats.forwarded_by_class.items()
+                },
+                "fifo_stall_cycles": stats.fifo_stall_cycles,
+                "ack_stall_cycles": stats.ack_stall_cycles,
+                "meta_stall_cycles": stats.meta_stall_cycles,
+                "fabric_busy_cycles": stats.fabric_busy_cycles,
+            },
+            "fifo": self.fifo.snapshot_state(),
+            "meta_cache": self.meta_cache.snapshot_state(),
+            # The CFGR is live state: a configuration upset (or a
+            # software rewrite) must survive a checkpoint round-trip.
+            "cfgr": self.cfgr.encode(),
+            "pending_trap": None if trap is None else {
+                "extension": trap.extension,
+                "kind": trap.kind,
+                "pc": trap.pc,
+                "addr": trap.addr,
+                "message": trap.message,
+            },
+            "trap_time": self.trap_time,
+            "fabric_free": self._fabric_free,
+            "bfifo": self.bfifo_value,
+            "tlb": list(self._tlb),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.extensions.base import MonitorTrap
+
+        saved = state["stats"]
+        self.stats = InterfaceStats(
+            committed=saved["committed"],
+            forwarded=saved["forwarded"],
+            ignored=saved["ignored"],
+            dropped=saved["dropped"],
+            forwarded_by_class={
+                InstrClass(int(cls)): count
+                for cls, count in saved["forwarded_by_class"].items()
+            },
+            fifo_stall_cycles=saved["fifo_stall_cycles"],
+            ack_stall_cycles=saved["ack_stall_cycles"],
+            meta_stall_cycles=saved["meta_stall_cycles"],
+            fabric_busy_cycles=saved["fabric_busy_cycles"],
+        )
+        self.fifo.restore_state(state["fifo"])
+        self.meta_cache.restore_state(state["meta_cache"])
+        self.cfgr = ForwardConfig.decode(state["cfgr"])
+        trap = state["pending_trap"]
+        self.pending_trap = None if trap is None else MonitorTrap(
+            extension=trap["extension"],
+            kind=trap["kind"],
+            pc=trap["pc"],
+            addr=trap["addr"],
+            message=trap["message"],
+        )
+        self.trap_time = state["trap_time"]
+        self._fabric_free = state["fabric_free"]
+        self.bfifo_value = state["bfifo"]
+        self._tlb = list(state["tlb"])

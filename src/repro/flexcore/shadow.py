@@ -43,6 +43,18 @@ class ShadowRegisterFile:
     def nonzero_count(self) -> int:
         return sum(1 for tag in self._tags if tag)
 
+    def snapshot_state(self) -> dict:
+        return {"tags": list(self._tags)}
+
+    def restore_state(self, state: dict) -> None:
+        tags = state["tags"]
+        if len(tags) != self.num_registers:
+            raise ValueError(
+                f"shadow snapshot holds {len(tags)} registers, this "
+                f"file has {self.num_registers}"
+            )
+        self._tags[:] = tags
+
 
 class TagStore:
     """Functional memory meta-data: one tag per 32-bit word.
@@ -97,3 +109,12 @@ class TagStore:
 
     def nonzero_count(self) -> int:
         return len(self._tags)
+
+    def snapshot_state(self) -> dict:
+        return {"base": self.base, "tags": dict(self._tags)}
+
+    def restore_state(self, state: dict) -> None:
+        self.base = state["base"]
+        self._tags = {
+            int(word): tag for word, tag in state["tags"].items()
+        }

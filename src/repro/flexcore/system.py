@@ -33,6 +33,17 @@ if TYPE_CHECKING:
 DEFAULT_STACK_TOP = 0x7FFFF0
 DEFAULT_MAX_INSTRUCTIONS = 50_000_000
 
+#: Default cost, in core cycles, of one monitor-triggered rollback:
+#: flush the pipeline and FIFO, reload the architectural state from
+#: the last on-chip checkpoint.  This extends the paper's exception
+#: model (Section III-C) from terminate-on-TRAP to recover-on-TRAP.
+DEFAULT_RECOVERY_LATENCY = 128
+
+#: Give up after this many rollbacks of one run: a persistent fault
+#: (e.g. a configuration upset captured *inside* the checkpoint)
+#: re-traps forever, and recovery must degrade into detection.
+DEFAULT_RECOVERY_LIMIT = 3
+
 
 class Termination(str, enum.Enum):
     """Why a (bounded) run ended."""
@@ -72,6 +83,10 @@ class RunResult:
     #: the structured crash, when ``termination`` is ``ERROR`` or
     #: ``INSTRUCTION_LIMIT`` (bounded runs never raise).
     error: SimulationError | None = None
+    #: monitor-triggered rollbacks performed (``--recover`` mode).
+    recoveries: int = 0
+    #: total cycles spent detecting, rolling back and re-executing.
+    recovery_cycles: int = 0
 
     @property
     def cpi(self) -> float:
@@ -149,15 +164,93 @@ class FlexCoreSystem:
         #: hooks applied to every commit record before forwarding —
         #: used for fault injection in the SEC example/tests.
         self.record_hooks: list = []
+        #: simulation time (core cycles, fractional while the fabric
+        #: clock divides them).  Promoted to system state so snapshots
+        #: can freeze and resume a run mid-flight.
+        self.now: float = 0.0
+        # Pristine program image, built lazily for memory-delta
+        # snapshots (shared baseline for every checkpoint of this run).
+        self._baseline_memory_cache: SparseMemory | None = None
 
-    def run(self, max_instructions: int | None = None) -> RunResult:
+    # ------------------------------------------------------------------
+    # Snapshot/restore (crash-safe checkpointing).
+
+    def _baseline_memory(self) -> SparseMemory:
+        if self._baseline_memory_cache is None:
+            baseline = SparseMemory()
+            baseline.load_program(self.program)
+            self._baseline_memory_cache = baseline
+        return self._baseline_memory_cache
+
+    def snapshot_state(self) -> dict:
+        """Capture the *complete* system state as plain data.
+
+        Covers architectural state (PC/nPC, windowed registers, icc),
+        pipeline timing state, both L1s and the meta-data cache,
+        backing memory (as a sparse delta against the program image),
+        the decoupling FIFO, the CFGR, and the attached monitor's
+        meta-data.  ``restore_state`` of this dict is bit-exact: a run
+        restored at cycle N and run to completion produces a
+        :class:`RunResult` identical to the uninterrupted run.
+
+        ``record_hooks`` are deliberately *not* state: they model
+        external stimuli (fault injectors, profilers), not machine
+        state, so a transient fault does not re-fire after a rollback.
+        """
+        return {
+            "now": self.now,
+            "cpu": self.cpu.snapshot_state(),
+            "memory": self.memory.snapshot_state(self._baseline_memory()),
+            "bus": self.bus.snapshot_state(),
+            "core_timing": self.core_timing.snapshot_state(),
+            "interface": (
+                self.interface.snapshot_state()
+                if self.interface is not None else None
+            ),
+            "extension": (
+                self.extension.snapshot_state()
+                if self.extension is not None else None
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot in place (objects are mutated, never
+        replaced, so aliases held by callers stay valid).  The same
+        snapshot may be restored repeatedly (rollback retries)."""
+        self.now = state["now"]
+        self.cpu.restore_state(state["cpu"])
+        self.memory.restore_state(state["memory"], self._baseline_memory())
+        self.bus.restore_state(state["bus"])
+        self.core_timing.restore_state(state["core_timing"])
+        if self.interface is not None:
+            if state["interface"] is None:
+                raise ValueError(
+                    "snapshot was taken without a monitoring extension"
+                )
+            self.interface.restore_state(state["interface"])
+            self.extension.restore_state(state["extension"])
+        elif state["interface"] is not None:
+            raise ValueError(
+                "snapshot was taken with a monitoring extension attached"
+            )
+
+    def run(
+        self,
+        max_instructions: int | None = None,
+        checkpoint_every: int | None = None,
+        recover: bool = False,
+    ) -> RunResult:
         """Run to completion (ta 0), trap, or the instruction limit.
 
         Raises :class:`SimulationError` on a crash or when the
         instruction limit trips; :meth:`run_bounded` is the
         non-raising variant.
         """
-        result = self.run_bounded(max_instructions=max_instructions)
+        result = self.run_bounded(
+            max_instructions=max_instructions,
+            checkpoint_every=checkpoint_every,
+            recover=recover,
+        )
         if result.error is not None:
             raise result.error
         return result
@@ -170,6 +263,11 @@ class FlexCoreSystem:
         max_instructions: int | None = None,
         max_cycles: int | None = None,
         deadline: float | None = None,
+        checkpoint_every: int | None = None,
+        on_checkpoint=None,
+        recover: bool = False,
+        recovery_limit: int = DEFAULT_RECOVERY_LIMIT,
+        recovery_latency: int = DEFAULT_RECOVERY_LATENCY,
     ) -> RunResult:
         """Run under a watchdog; never raise for in-simulation faults.
 
@@ -180,6 +278,19 @@ class FlexCoreSystem:
         ``ERROR`` with the structured :class:`SimulationError` when
         the simulated program crashes.  ``deadline`` is an absolute
         ``time.monotonic()`` timestamp, checked periodically.
+
+        ``checkpoint_every=N`` captures a full system snapshot every N
+        committed instructions; each one is handed to ``on_checkpoint
+        (system, state)`` if given.  With ``recover=True``, a monitor
+        TRAP no longer terminates the run: the system rolls back to
+        the last checkpoint (or the run's initial state), charges the
+        wasted cycles plus ``recovery_latency``, and re-executes —
+        the paper's exception model extended to recovery.  After
+        ``recovery_limit`` rollbacks the trap is delivered normally.
+
+        The run resumes from ``self.now`` (zero for a fresh system, a
+        restored timestamp after ``restore_state``), so a snapshot
+        restored at cycle N continues bit-exactly.
         """
         limit = max_instructions or self.config.max_instructions
         cpu = self.cpu
@@ -187,11 +298,34 @@ class FlexCoreSystem:
         interface = self.interface
         hooks = self.record_hooks
         stop_on_trap = self.config.stop_on_trap
-        now: float = 0.0
+        now: float = self.now
         trap: MonitorTrap | None = None
         termination = Termination.HALTED
         error: SimulationError | None = None
-        next_deadline_check = self.DEADLINE_STRIDE
+        next_deadline_check = cpu.instret + self.DEADLINE_STRIDE
+        recoveries = 0
+        recovery_cycles = 0.0
+
+        checkpoint: dict | None = None
+        next_checkpoint: int | None = None
+        #: when the current attempt from `checkpoint` started — equals
+        #: the capture time until a rollback, then the resume time.
+        #: Wasted work is measured from here, not from the capture
+        #: time, so repeated rollbacks to one checkpoint never charge
+        #: an earlier attempt twice.
+        replay_from = now
+        if recover:
+            # The rollback target before the first periodic checkpoint
+            # is the run's entry state.
+            self.now = now
+            checkpoint = self.snapshot_state()
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError(
+                    f"checkpoint_every must be >= 1, "
+                    f"got {checkpoint_every}"
+                )
+            next_checkpoint = cpu.instret + checkpoint_every
 
         while not cpu.halted:
             if cpu.instret >= limit:
@@ -210,6 +344,14 @@ class FlexCoreSystem:
                 if time.monotonic() >= deadline:
                     termination = Termination.DEADLINE
                     break
+            if (next_checkpoint is not None
+                    and cpu.instret >= next_checkpoint):
+                next_checkpoint = cpu.instret + checkpoint_every
+                self.now = now
+                checkpoint = self.snapshot_state()
+                replay_from = now
+                if on_checkpoint is not None:
+                    on_checkpoint(self, checkpoint)
             try:
                 record: CommitRecord = cpu.step()
                 now = core_timing.advance(record, int(now))
@@ -218,6 +360,24 @@ class FlexCoreSystem:
                         hook(record)
                     now = interface.on_commit(record, now)
                     if interface.pending_trap is not None and stop_on_trap:
+                        if (recover and checkpoint is not None
+                                and recoveries < recovery_limit):
+                            # Roll back and re-execute.  The restored
+                            # state predates the trap, so pending_trap
+                            # comes back clear; time keeps moving
+                            # forward — detection, rollback and replay
+                            # all cost real cycles.
+                            trap_at = max(now, interface.trap_time)
+                            wasted = (trap_at - replay_from
+                                      + recovery_latency)
+                            self.restore_state(checkpoint)
+                            now = replay_from = trap_at + recovery_latency
+                            recoveries += 1
+                            recovery_cycles += wasted
+                            if next_checkpoint is not None:
+                                next_checkpoint = (cpu.instret
+                                                   + checkpoint_every)
+                            continue
                         trap = interface.pending_trap
                         now = max(now, interface.trap_time)
                         termination = Termination.TRAP
@@ -238,6 +398,7 @@ class FlexCoreSystem:
                     termination = Termination.TRAP
             now = max(now, interface.drain_time())
         now = max(now, core_timing.store_buffer.drain_time())
+        self.now = now
 
         return RunResult(
             cycles=int(now),
@@ -250,6 +411,8 @@ class FlexCoreSystem:
             program=self.program,
             termination=termination,
             error=error,
+            recoveries=recoveries,
+            recovery_cycles=int(recovery_cycles),
         )
 
 
@@ -260,6 +423,8 @@ def run_program(
     fifo_depth: int = 64,
     config: SystemConfig | None = None,
     max_instructions: int | None = None,
+    checkpoint_every: int | None = None,
+    recover: bool = False,
 ) -> RunResult:
     """Convenience entry point: build a system and run it.
 
@@ -274,4 +439,8 @@ def run_program(
         config.interface.clock_ratio = clock_ratio
         config.interface.fifo_depth = fifo_depth
     system = FlexCoreSystem(program, extension, config)
-    return system.run(max_instructions)
+    return system.run(
+        max_instructions,
+        checkpoint_every=checkpoint_every,
+        recover=recover,
+    )

@@ -132,3 +132,25 @@ class RegisterFile:
     def snapshot(self) -> list[int]:
         """Copy of the current architectural registers 0..31."""
         return [self.read(i) for i in range(32)]
+
+    # ------------------------------------------------------------------
+    # Snapshot/restore (crash-safe checkpointing).
+
+    def snapshot_state(self) -> dict:
+        """Full physical state: window pointer, save depth, bank."""
+        return {
+            "cwp": self.cwp,
+            "depth": self._depth,
+            "phys": list(self._phys),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        phys = state["phys"]
+        if len(phys) != len(self._phys):
+            raise ValueError(
+                f"register snapshot holds {len(phys)} physical "
+                f"registers, this file has {len(self._phys)}"
+            )
+        self.cwp = state["cwp"]
+        self._depth = state["depth"]
+        self._phys[:] = phys

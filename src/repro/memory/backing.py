@@ -78,3 +78,36 @@ class SparseMemory:
         for i, word in enumerate(program.text):
             self.write_word(program.text_base + 4 * i, word)
         self.write_bytes(program.data_base, program.data)
+
+    # ------------------------------------------------------------------
+    # Snapshot/restore (crash-safe checkpointing).
+
+    _ZERO_PAGE = bytes(PAGE_SIZE)
+
+    def snapshot_state(self, baseline: "SparseMemory | None" = None) -> dict:
+        """Capture memory as a sparse delta against ``baseline``.
+
+        Only pages that differ from the baseline image (typically the
+        freshly loaded program) are stored, which keeps checkpoints of
+        a 4-GB address space at the size of the working set actually
+        written.  With no baseline, every non-zero page is stored.
+        """
+        base_pages = baseline._pages if baseline is not None else {}
+        pages: dict[int, bytes] = {}
+        for index, page in self._pages.items():
+            reference = base_pages.get(index, self._ZERO_PAGE)
+            if page != reference:
+                pages[index] = bytes(page)
+        return {"pages": pages}
+
+    def restore_state(
+        self, state: dict, baseline: "SparseMemory | None" = None
+    ) -> None:
+        """Restore from a delta snapshot: reset to the baseline image,
+        then overlay the changed pages.  Mutates in place."""
+        self._pages.clear()
+        if baseline is not None:
+            for index, page in baseline._pages.items():
+                self._pages[index] = bytearray(page)
+        for index, page in state["pages"].items():
+            self._pages[int(index)] = bytearray(page)

@@ -87,6 +87,25 @@ class SharedBus:
         self.busy_until = 0
         self.stats = BusStats()
 
+    # ------------------------------------------------------------------
+    # Snapshot/restore (crash-safe checkpointing).
+
+    def snapshot_state(self) -> dict:
+        return {
+            "busy_until": self.busy_until,
+            "transactions": dict(self.stats.transactions),
+            "busy_cycles": dict(self.stats.busy_cycles),
+            "wait_cycles": dict(self.stats.wait_cycles),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.busy_until = state["busy_until"]
+        self.stats = BusStats(
+            transactions=dict(state["transactions"]),
+            busy_cycles=dict(state["busy_cycles"]),
+            wait_cycles=dict(state["wait_cycles"]),
+        )
+
 
 class StoreBuffer:
     """Write buffer between a write-through cache and the bus.
@@ -124,3 +143,13 @@ class StoreBuffer:
     def reset(self) -> None:
         self._drain_times = []
         self.stall_cycles = 0
+
+    def snapshot_state(self) -> dict:
+        return {
+            "drains": list(self._drain_times),
+            "stall_cycles": self.stall_cycles,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._drain_times = list(state["drains"])
+        self.stall_cycles = state["stall_cycles"]

@@ -111,6 +111,28 @@ class Cache:
         for ways in self._sets:
             ways.clear()
 
+    # ------------------------------------------------------------------
+    # Snapshot/restore (crash-safe checkpointing): resident tags *and*
+    # LRU order are state — a restored run must hit and miss exactly
+    # like the uninterrupted one.
+
+    def snapshot_state(self) -> dict:
+        return {
+            "sets": [list(ways) for ways in self._sets],
+            "stats": vars(self.stats).copy(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        sets = state["sets"]
+        if len(sets) != len(self._sets):
+            raise ValueError(
+                f"cache snapshot has {len(sets)} sets, this cache "
+                f"has {len(self._sets)}"
+            )
+        for ways, saved in zip(self._sets, sets):
+            ways[:] = saved
+        self.stats = CacheStats(**state["stats"])
+
 
 #: Default meta-data cache geometry from the paper's evaluation:
 #: "a 4-KB meta-data cache with 32-B lines".
@@ -140,3 +162,12 @@ class MetadataCache(Cache):
         if mask != 0xFFFFFFFF:
             self.bit_writes += 1
         return self.write(addr)
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["bit_writes"] = self.bit_writes
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self.bit_writes = state["bit_writes"]

@@ -1,0 +1,338 @@
+"""Resumable campaigns: journals, golden cache, interruption,
+rollback-recovery outcomes, and the kill -9 chaos path."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.checkpoint import (
+    GoldenCache,
+    JournalCorruptError,
+    JournalMismatchError,
+    ResultsJournal,
+)
+from repro.faultinject import (
+    Campaign,
+    CampaignConfig,
+    CampaignInterrupted,
+    FaultResult,
+    Outcome,
+)
+
+SOURCE = """
+        .text
+start:  mov     8, %o1
+        set     buf, %o2
+loop:   st      %o1, [%o2]
+        ld      [%o2], %o3
+        add     %o2, 4, %o2
+        subcc   %o1, 1, %o1
+        bne     loop
+        nop
+        set     checksum, %o4
+        st      %o3, [%o4]
+        ta      0
+        nop
+        .data
+buf:    .space  64
+checksum: .word 0
+"""
+
+
+def sec_config(**overrides) -> CampaignConfig:
+    settings = dict(extension="sec", source=SOURCE, faults=12, seed=7)
+    settings.update(overrides)
+    return CampaignConfig(**settings)
+
+
+class TestJournal:
+    IDENTITY = {"campaign": "x", "seed": 1}
+
+    def test_round_trip(self, tmp_path):
+        journal = ResultsJournal(tmp_path / "j.jsonl")
+        journal.start(self.IDENTITY)
+        journal.append_result({"index": 0, "outcome": "masked"})
+        journal.append_result({"index": 1, "outcome": "sdc"})
+        journal.close()
+        identity, records = journal.read()
+        assert identity == self.IDENTITY
+        assert [r["index"] for r in records] == [0, 1]
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = ResultsJournal(path)
+        journal.start(self.IDENTITY)
+        journal.append_result({"index": 0})
+        journal.append_result({"index": 1})
+        journal.close()
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-9])  # cut into the final record
+        identity, records = ResultsJournal(path).read()
+        assert identity == self.IDENTITY
+        assert [r["index"] for r in records] == [0]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = ResultsJournal(path)
+        journal.start(self.IDENTITY)
+        journal.append_result({"index": 0})
+        journal.append_result({"index": 1})
+        journal.close()
+        lines = path.read_bytes().split(b"\n")
+        lines[1] = lines[1].replace(b'"index":0', b'"index":5')
+        path.write_bytes(b"\n".join(lines))
+        with pytest.raises(JournalCorruptError, match="line 2"):
+            ResultsJournal(path).read()
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("")
+        with pytest.raises(JournalCorruptError, match="header"):
+            ResultsJournal(path).read()
+
+    def test_append_after_resume(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = ResultsJournal(path)
+        journal.start(self.IDENTITY)
+        journal.append_result({"index": 0})
+        journal.close()
+        journal = ResultsJournal(path)
+        journal.open_append()
+        journal.append_result({"index": 1})
+        journal.close()
+        _, records = ResultsJournal(path).read()
+        assert [r["index"] for r in records] == [0, 1]
+
+
+class TestFaultResultRoundTrip:
+    def test_dict_round_trip_is_exact(self):
+        campaign = Campaign(sec_config(faults=4))
+        report = campaign.run()
+        for result in report.results:
+            clone = FaultResult.from_dict(
+                json.loads(json.dumps(result.as_dict()))
+            )
+            assert clone == result
+
+
+class TestCampaignResume:
+    def test_resume_completes_partial_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        config = sec_config()
+        reference = Campaign(config).run()
+
+        # simulate a crash: keep only the first 5 journaled results
+        Campaign(config).run(journal_path=path)
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:6]))  # header + 5 results
+
+        resumed = Campaign(config).run(journal_path=path, resume=True)
+        assert resumed.to_json() == reference.to_json()
+
+    def test_resume_with_different_jobs_is_identical(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        config = sec_config()
+        reference = Campaign(config).run()
+        Campaign(config).run(journal_path=path)
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:4]))
+        resumed = Campaign(sec_config(jobs=2)).run(
+            journal_path=path, resume=True
+        )
+        assert resumed.to_json() == reference.to_json()
+
+    def test_resume_rejects_other_campaign(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        Campaign(sec_config()).run(journal_path=path)
+        other = Campaign(sec_config(seed=8))
+        with pytest.raises(JournalMismatchError, match="different"):
+            other.run(journal_path=path, resume=True)
+
+    def test_resume_of_complete_journal_runs_nothing(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        config = sec_config()
+        reference = Campaign(config).run(journal_path=path)
+        campaign = Campaign(config)
+        campaign.run_one = None  # would raise if any run executed
+        resumed = campaign.run(journal_path=path, resume=True)
+        assert resumed.to_json() == reference.to_json()
+
+
+class TestInterruption:
+    def test_interrupt_raises_with_partial_results(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        config = sec_config()
+
+        def progress(done, total):
+            if done == 5:
+                raise KeyboardInterrupt
+
+        with pytest.raises(CampaignInterrupted) as info:
+            Campaign(config).run(progress=progress, journal_path=path)
+        stop = info.value
+        assert len(stop.results) == 5
+        partial = stop.partial_report()
+        assert partial.total == 5
+        assert partial.format()  # renders without crashing
+
+        # everything reported as done is already durable on disk
+        _, records = ResultsJournal(path).read()
+        assert len(records) == 5
+
+        resumed = Campaign(config).run(journal_path=path, resume=True)
+        assert resumed.to_json() == Campaign(config).run().to_json()
+
+    def test_empty_partial_report_renders(self):
+        config = sec_config()
+
+        def progress(done, total):
+            raise KeyboardInterrupt
+
+        with pytest.raises(CampaignInterrupted) as info:
+            Campaign(config).run(progress=progress)
+        assert "0.0%" in info.value.partial_report().format()
+
+
+class TestGoldenCache:
+    def test_miss_then_hit(self, tmp_path):
+        config = sec_config(cache_dir=str(tmp_path))
+        first = Campaign(config)
+        assert first.cache_diagnostic is not None  # cold cache: a miss
+        assert "miss" in first.cache_diagnostic
+        assert first.golden is not None
+
+        second = Campaign(config)
+        assert second.cache_diagnostic is None  # hit
+        assert second.golden is None  # golden run skipped entirely
+        assert second.profile == first.profile
+
+    def test_hit_produces_identical_report(self, tmp_path):
+        config = sec_config(cache_dir=str(tmp_path))
+        uncached = Campaign(sec_config()).run()
+        Campaign(config)  # warm the cache
+        cached = Campaign(config).run()
+        assert cached.to_json() == uncached.to_json()
+
+    def test_stale_identity_diagnosed(self, tmp_path):
+        cache = GoldenCache(tmp_path)
+        config = sec_config(cache_dir=str(tmp_path))
+        campaign = Campaign(config)
+        # forge an entry whose *file name* matches another config but
+        # whose stored identity differs (truncated-hash collision)
+        other = sec_config(scale=0.25, cache_dir=str(tmp_path))
+        forged = cache.path_for(other)
+        cache.path_for(config).rename(forged)
+        profile, diagnostic = cache.load(other)
+        assert profile is None
+        assert "stale fields" in diagnostic
+        assert "scale" in diagnostic
+
+    def test_corrupt_entry_diagnosed_and_recomputed(self, tmp_path):
+        cache = GoldenCache(tmp_path)
+        config = sec_config(cache_dir=str(tmp_path))
+        Campaign(config)
+        entry = cache.path_for(config)
+        raw = bytearray(entry.read_bytes())
+        raw[-1] ^= 0xFF
+        entry.write_bytes(bytes(raw))
+        rebuilt = Campaign(config)
+        assert "unusable" in rebuilt.cache_diagnostic
+        assert rebuilt.golden is not None  # recomputed
+        # and the entry was rewritten to a good state
+        assert Campaign(config).cache_diagnostic is None
+
+
+class TestRecoveredOutcome:
+    def test_recover_mode_turns_detections_into_recoveries(self):
+        plain = Campaign(sec_config(faults=20)).run()
+        recovered = Campaign(sec_config(
+            faults=20, checkpoint_every=10, recover=True,
+        )).run()
+        plain_counts = plain.counts()
+        rec_counts = recovered.counts()
+        assert plain_counts[Outcome.DETECTED] > 0
+        assert rec_counts[Outcome.RECOVERED] > 0
+        # recovered runs count as covered
+        assert recovered.detection_coverage >= plain.detection_coverage
+        for result in recovered.results:
+            if result.outcome is Outcome.RECOVERED:
+                assert result.recoveries > 0
+                assert result.trap is None
+                assert "rollback" in result.detail
+        assert "recovery:" in recovered.format()
+
+    def test_recover_requires_checkpoint_every(self):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            sec_config(recover=True)
+
+    def test_recover_report_fields(self):
+        report = Campaign(sec_config(
+            faults=6, checkpoint_every=10, recover=True,
+        )).run()
+        data = report.as_dict()
+        assert data["campaign"]["recover"] is True
+        assert data["campaign"]["checkpoint_every"] == 10
+        assert "recovered" in data["counts"]
+
+
+@pytest.mark.slow
+class TestChaosKill:
+    """The CI chaos scenario in miniature: SIGKILL a journaled
+    campaign mid-run, resume it, and demand the final report be
+    bit-identical to an uninterrupted reference."""
+
+    def test_sigkill_then_resume_is_bit_identical(self, tmp_path):
+        source = tmp_path / "prog.s"
+        source.write_text(SOURCE)
+        journal = tmp_path / "campaign.jsonl"
+        ref_json = tmp_path / "ref.json"
+        resumed_json = tmp_path / "resumed.json"
+        base = [
+            sys.executable, "-m", "repro", "inject",
+            "--extension", "sec", "--source", str(source),
+            "--faults", "40", "--seed", "7",
+        ]
+        env = dict(os.environ)
+        root = Path(__file__).resolve().parent.parent
+        env["PYTHONPATH"] = str(root / "src")
+
+        # uninterrupted reference
+        subprocess.run(
+            base + ["--json", str(ref_json)],
+            env=env, check=True, capture_output=True, timeout=300,
+        )
+
+        # SIGKILL once a few results are durably journaled
+        victim = subprocess.Popen(
+            base + ["--journal", str(journal)],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + 120
+        killed = False
+        while time.monotonic() < deadline:
+            if victim.poll() is not None:
+                break  # finished before we could kill it — still fine
+            if (journal.exists()
+                    and journal.read_text().count('"result"') >= 3):
+                victim.send_signal(signal.SIGKILL)
+                killed = True
+                break
+            time.sleep(0.05)
+        victim.wait(timeout=60)
+        assert killed or victim.returncode == 0
+
+        completed = subprocess.run(
+            base + ["--journal", str(journal), "--resume",
+                    "--json", str(resumed_json)],
+            env=env, check=True, capture_output=True, timeout=300,
+        )
+        assert resumed_json.read_bytes() == ref_json.read_bytes()
+        assert b"detection coverage" in completed.stdout
