@@ -3,6 +3,7 @@
 Commands
 --------
 run      assemble and simulate a .s file, optionally with a monitor
+trace    simulate with full telemetry; export a Perfetto trace
 inject   run a fault-injection campaign against a monitor
 disasm   assemble a .s file and print the disassembly listing
 table3   print the Table III area/power/frequency report
@@ -10,9 +11,12 @@ synth    synthesize one extension for the fabric and the ASIC flow
 
 Examples::
 
-    python -m repro run prog.s --extension dift --ratio 0.5
+    python -m repro run prog.s --extension dift --ratio 0.5 --stats
+    python -m repro trace prog.s --extension dift --perfetto out.json
+    python -m repro trace --workload crc32 --extension sec \\
+        --perfetto crc32.json
     python -m repro inject --extension sec --workload crc32 \\
-        --faults 200 --seed 1
+        --faults 200 --seed 1 --metrics
     python -m repro disasm prog.s
     python -m repro table3
     python -m repro synth umc
@@ -42,9 +46,24 @@ def _load(path: str, entry: str):
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    program = _load(args.source, args.entry)
+    from repro.telemetry import (
+        Telemetry,
+        format_run_summary,
+        run_digest,
+    )
+
+    if (args.source is None) == (args.workload is None):
+        print("run error: give exactly one of SOURCE or --workload",
+              file=sys.stderr)
+        return 1
+    if args.workload is not None:
+        from repro.workloads import build_workload
+        program = build_workload(args.workload, args.scale).build()
+    else:
+        program = _load(args.source, args.entry)
     extension = (create_extension(args.extension)
                  if args.extension else None)
+    telemetry = Telemetry.enabled() if args.metrics else None
     try:
         result = run_program(
             program,
@@ -54,25 +73,97 @@ def cmd_run(args: argparse.Namespace) -> int:
             max_instructions=args.max_instructions,
             checkpoint_every=args.checkpoint_every,
             recover=args.recover,
+            telemetry=telemetry,
         )
     except SimulationError as err:
         # One-line triage instead of a traceback: the structured
         # context pinpoints the faulting instruction.
         print(f"simulation error: {err.diagnosis()}", file=sys.stderr)
         return EXIT_SIMULATION_ERROR
-    print(f"instructions : {result.instructions}")
-    print(f"cycles       : {result.cycles}")
-    print(f"CPI          : {result.cpi:.2f}")
-    print(f"halted       : {result.halted}")
-    if result.recoveries:
-        print(f"recoveries   : {result.recoveries} rollback(s), "
-              f"{result.recovery_cycles} cycles")
-    if result.interface_stats is not None:
-        stats = result.interface_stats
-        print(f"forwarded    : {stats.forwarded} "
-              f"({stats.forwarded_fraction:.1%} of commits)")
-        print(f"fifo stalls  : {stats.fifo_stall_cycles} cycles")
-        print(f"meta stalls  : {stats.meta_stall_cycles:.0f} cycles")
+    if args.stats:
+        print(format_run_summary(result))
+    else:
+        print(f"instructions : {result.instructions}")
+        print(f"cycles       : {result.cycles}")
+        print(f"CPI          : {result.cpi:.2f}")
+        print(f"halted       : {result.halted}")
+        if result.recoveries:
+            print(f"recoveries   : {result.recoveries} rollback(s), "
+                  f"{result.recovery_cycles} cycles")
+        if result.interface_stats is not None:
+            stats = result.interface_stats
+            print(f"forwarded    : {stats.forwarded} "
+                  f"({stats.forwarded_fraction:.1%} of commits)")
+            print(f"fifo stalls  : {stats.fifo_stall_cycles} cycles")
+            print(f"meta stalls  : {stats.meta_stall_cycles:.0f} cycles")
+    if telemetry is not None:
+        dump = telemetry.metrics.format()
+        if dump:
+            print()
+            print(dump)
+    if args.digest:
+        print(f"digest       : {run_digest(result)}")
+    if result.trap is not None:
+        print(f"TRAP         : {result.trap}")
+        return EXIT_TRAP
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Fully-telemetered run: metrics + cycle trace + exports."""
+    from repro.telemetry import (
+        Telemetry,
+        format_run_summary,
+        run_digest,
+    )
+    from repro.workloads import build_workload
+
+    if (args.source is None) == (args.workload is None):
+        print("trace error: give exactly one of SOURCE or --workload",
+              file=sys.stderr)
+        return 1
+    telemetry = Telemetry.enabled(trace=True, capacity=args.buffer)
+    with telemetry.profiler.phase("assemble"):
+        if args.workload is not None:
+            program = build_workload(args.workload, args.scale).build()
+        else:
+            program = _load(args.source, args.entry)
+    extension = (create_extension(args.extension)
+                 if args.extension else None)
+    try:
+        with telemetry.profiler.phase("run"):
+            result = run_program(
+                program,
+                extension,
+                clock_ratio=args.ratio,
+                fifo_depth=args.fifo,
+                max_instructions=args.max_instructions,
+                telemetry=telemetry,
+            )
+    except SimulationError as err:
+        print(f"simulation error: {err.diagnosis()}", file=sys.stderr)
+        return EXIT_SIMULATION_ERROR
+
+    tracer = telemetry.tracer
+    with telemetry.profiler.phase("export"):
+        if args.perfetto is not None:
+            tracer.write_perfetto(args.perfetto)
+        if args.jsonl is not None:
+            tracer.write_jsonl(args.jsonl)
+
+    if args.stats:
+        print(format_run_summary(result))
+        print()
+    note = (f" ({tracer.overwritten} older events overwritten)"
+            if tracer.overwritten else "")
+    print(f"trace        : {len(tracer)} events{note}")
+    if args.perfetto is not None:
+        print(f"perfetto     : {args.perfetto} "
+              f"(open in ui.perfetto.dev)")
+    if args.jsonl is not None:
+        print(f"jsonl        : {args.jsonl}")
+    print(f"digest       : {run_digest(result)}")
+    print(telemetry.profiler.format(), file=sys.stderr)
     if result.trap is not None:
         print(f"TRAP         : {result.trap}")
         return EXIT_TRAP
@@ -135,7 +226,8 @@ def cmd_inject(args: argparse.Namespace) -> int:
         if args.progress:
             print(file=sys.stderr)
         partial = stop.partial_report()
-        print(partial.format(details=args.details))
+        print(partial.format(details=args.details,
+                             metrics=args.metrics))
         print(
             f"\ninterrupted after {len(stop.results)}/"
             f"{config.faults} runs", file=sys.stderr,
@@ -153,7 +245,9 @@ def cmd_inject(args: argparse.Namespace) -> int:
         return EXIT_INTERRUPTED
     if args.progress:
         print(file=sys.stderr)
-    print(report.format(details=args.details))
+    print(report.format(details=args.details, metrics=args.metrics))
+    if args.metrics:
+        print(campaign.profiler.format(), file=sys.stderr)
     if args.json is not None:
         report.write_json(args.json)
         print(f"\nJSON report written to {args.json}")
@@ -195,7 +289,18 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     run_cmd = commands.add_parser("run", help="simulate a .s program")
-    run_cmd.add_argument("source", help="assembly source file")
+    run_cmd.add_argument(
+        "source", nargs="?", default=None,
+        help="assembly source file (or use --workload)",
+    )
+    run_cmd.add_argument(
+        "--workload", default=None,
+        help="registered workload kernel to run (e.g. crc32, sha)",
+    )
+    run_cmd.add_argument(
+        "--scale", type=float, default=0.125,
+        help="workload scale (default: the fast test variant)",
+    )
     run_cmd.add_argument("--entry", default="start")
     run_cmd.add_argument(
         "--extension", choices=sorted(EXTENSION_CLASSES), default=None,
@@ -215,7 +320,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="on a monitor TRAP, roll back to the last checkpoint "
              "and re-execute instead of stopping",
     )
+    run_cmd.add_argument(
+        "--stats", action="store_true",
+        help="print the one-screen metrics summary (CPI, stall "
+             "breakdown, cache hit rates, FIFO high-water mark)",
+    )
+    run_cmd.add_argument(
+        "--metrics", action="store_true",
+        help="run with the metrics registry enabled and dump it",
+    )
+    run_cmd.add_argument(
+        "--digest", action="store_true",
+        help="print the canonical RunResult digest (CI golden check)",
+    )
     run_cmd.set_defaults(handler=cmd_run)
+
+    trace_cmd = commands.add_parser(
+        "trace",
+        help="simulate with full telemetry and export a cycle trace",
+    )
+    trace_cmd.add_argument(
+        "source", nargs="?", default=None,
+        help="assembly source file (or use --workload)",
+    )
+    trace_cmd.add_argument(
+        "--workload", default=None,
+        help="registered workload kernel to trace (e.g. crc32, sha)",
+    )
+    trace_cmd.add_argument(
+        "--scale", type=float, default=0.125,
+        help="workload scale (default: the fast test variant)",
+    )
+    trace_cmd.add_argument("--entry", default="start")
+    trace_cmd.add_argument(
+        "--extension", choices=sorted(EXTENSION_CLASSES), default=None,
+        help="monitoring extension to attach",
+    )
+    trace_cmd.add_argument("--ratio", type=float, default=0.5,
+                           help="fabric:core clock ratio")
+    trace_cmd.add_argument("--fifo", type=int, default=64,
+                           help="forward FIFO depth")
+    trace_cmd.add_argument("--max-instructions", type=int, default=None)
+    trace_cmd.add_argument(
+        "--buffer", type=int, default=65_536, metavar="N",
+        help="trace ring-buffer capacity in events (oldest events "
+             "are overwritten when full)",
+    )
+    trace_cmd.add_argument(
+        "--perfetto", default=None, metavar="PATH",
+        help="write a Chrome/Perfetto trace_event JSON here",
+    )
+    trace_cmd.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="write one JSON event per line here",
+    )
+    trace_cmd.add_argument(
+        "--stats", action="store_true",
+        help="also print the one-screen metrics summary",
+    )
+    trace_cmd.set_defaults(handler=cmd_trace)
 
     inject_cmd = commands.add_parser(
         "inject",
@@ -275,6 +438,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--recover", action="store_true",
         help="roll back + re-execute on monitor traps "
              "(requires --checkpoint-every)",
+    )
+    inject_cmd.add_argument(
+        "--metrics", action="store_true",
+        help="print the per-outcome metric aggregation and the "
+             "campaign's wall-clock phase profile",
     )
     inject_cmd.add_argument("--details", action="store_true",
                             help="list every run in the report")

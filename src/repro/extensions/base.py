@@ -23,6 +23,7 @@ from repro.flexcore.cfgr import ForwardConfig
 from repro.flexcore.packet import TracePacket
 from repro.flexcore.shadow import ShadowRegisterFile, TagStore
 from repro.isa.opcodes import FlexOpf
+from repro.telemetry.metrics import NULL_METRICS
 
 #: Default base address of the meta-data region.  It is disjoint from
 #: program text/data/stack, which is what lets the architecture skip
@@ -97,6 +98,10 @@ class MonitorExtension(abc.ABC):
         self.tagval = 1  # latch written by FlexOpf.SET_TAGVAL
         self.policy = self.default_policy()
         self.traps_seen = 0
+        #: metrics sink (the system swaps in a live registry when a
+        #: telemetry bundle is attached); not monitor state, so it is
+        #: never part of a snapshot.
+        self.metrics = NULL_METRICS
 
     # -- construction hooks -------------------------------------------------
 
@@ -203,6 +208,7 @@ class MonitorExtension(abc.ABC):
     ) -> MonitorTrap:
         """Record and return a monitor trap for this packet."""
         self.traps_seen += 1
+        self.metrics.counter(f"monitor.{self.name}.traps.{kind}").inc()
         return MonitorTrap(
             extension=self.name,
             kind=kind,

@@ -56,6 +56,7 @@ from repro.flexcore.system import (
 )
 from repro.isa.assembler import Program, assemble
 from repro.isa.opcodes import ALU_CLASSES
+from repro.telemetry.profiler import PhaseProfiler
 from repro.workloads import build_workload
 
 
@@ -261,7 +262,12 @@ class Campaign:
 
     def __init__(self, config: CampaignConfig):
         self.config = config
-        self.program = self._build_program()
+        #: wall-clock phase timers for the campaign pipeline
+        #: (assemble / golden-run / faulted-runs / report).  Purely
+        #: diagnostic: never written into the bit-reproducible report.
+        self.profiler = PhaseProfiler()
+        with self.profiler.phase("assemble"):
+            self.program = self._build_program()
         #: why the golden cache could not be used (None on a hit or
         #: when no cache is configured) — surfaced by the CLI.
         self.cache_diagnostic: str | None = None
@@ -273,7 +279,8 @@ class Campaign:
         if cache is not None:
             profile, self.cache_diagnostic = cache.load(config)
         if profile is None:
-            self.golden, profile = self._golden_run()
+            with self.profiler.phase("golden-run"):
+                self.golden, profile = self._golden_run()
             if cache is not None:
                 cache.store(config, profile)
         self.profile = profile
@@ -563,11 +570,12 @@ class Campaign:
         except ValueError:
             pass
         try:
-            if self.config.jobs == 1:
-                for index in pending:
-                    record(self.run_one(index))
-            else:
-                self._run_parallel(pending, record)
+            with self.profiler.phase("faulted-runs"):
+                if self.config.jobs == 1:
+                    for index in pending:
+                        record(self.run_one(index))
+                else:
+                    self._run_parallel(pending, record)
         except KeyboardInterrupt:
             interrupted = True
         finally:
@@ -582,8 +590,9 @@ class Campaign:
                 self.config, self.profile, tuple(results),
                 journal_path=journal_path,
             )
-        return CoverageReport.build(self.config, self.profile,
-                                    tuple(results))
+        with self.profiler.phase("report"):
+            return CoverageReport.build(self.config, self.profile,
+                                        tuple(results))
 
     def _run_parallel(self, indices, record) -> None:
         """Fan the runs out over a process pool.

@@ -19,6 +19,13 @@ from repro.faultinject.campaign import (
     Outcome,
 )
 from repro.faultinject.models import GoldenProfile
+from repro.telemetry.metrics import Histogram
+
+#: Histogram bounds for per-run cycle counts, as multiples of the
+#: golden run's cycles.  Relative bounds keep the aggregation
+#: meaningful across workloads of very different sizes while staying
+#: deterministic (the golden cycle count is part of the profile).
+RELATIVE_CYCLE_BUCKETS = (0.25, 0.5, 1.0, 2.0, 4.0)
 
 
 @dataclass(frozen=True)
@@ -76,9 +83,52 @@ class CoverageReport:
         caught = counts[Outcome.DETECTED] + counts[Outcome.RECOVERED]
         return caught / effective
 
+    def metrics(self) -> dict:
+        """Deterministic per-fault metric aggregation.
+
+        Everything here is computed from the (index-sorted) result
+        records, never from live run state, so a campaign resumed from
+        a journal aggregates to the bit-identical document an
+        uninterrupted campaign produces.
+        """
+        golden_cycles = self.profile.cycles or 1
+        per_outcome: dict[str, dict] = {}
+        for outcome in OUTCOME_ORDER:
+            rows = [r for r in self.results if r.outcome is outcome]
+            histogram = Histogram(
+                f"cycles_vs_golden.{outcome.value}",
+                RELATIVE_CYCLE_BUCKETS,
+            )
+            for row in rows:
+                histogram.observe(row.cycles / golden_cycles)
+            cycles = sum(r.cycles for r in rows)
+            per_outcome[outcome.value] = {
+                "runs": len(rows),
+                "instructions": sum(r.instructions for r in rows),
+                "cycles": cycles,
+                "mean_cycles": (round(cycles / len(rows), 2)
+                                if rows else 0.0),
+                "cycles_vs_golden": histogram.snapshot()["buckets"],
+            }
+        return {
+            "per_outcome": per_outcome,
+            "totals": {
+                "runs": self.total,
+                "instructions": sum(
+                    r.instructions for r in self.results
+                ),
+                "cycles": sum(r.cycles for r in self.results),
+                "recoveries": sum(r.recoveries for r in self.results),
+                "recovery_cycles": sum(
+                    r.recovery_cycles for r in self.results
+                ),
+            },
+        }
+
     # -- rendering ----------------------------------------------------------
 
-    def format(self, details: bool = False) -> str:
+    def format(self, details: bool = False,
+               metrics: bool = False) -> str:
         """Deterministic console rendering."""
         config = self.config
         target = config.workload or "<inline source>"
@@ -126,6 +176,29 @@ class CoverageReport:
                 f"{sum(1 for r in self.results if r.recoveries)} run(s), "
                 f"{recovery_cycles} cycles spent recovering"
             )
+        if metrics:
+            aggregated = self.metrics()
+            lines.append("")
+            lines.append(
+                f"{'outcome':<10} {'runs':>5} {'mean cycles':>12} "
+                f"{'vs golden':>10}"
+            )
+            golden_cycles = self.profile.cycles or 1
+            for outcome in OUTCOME_ORDER:
+                row = aggregated["per_outcome"][outcome.value]
+                if not row["runs"]:
+                    continue
+                ratio = row["mean_cycles"] / golden_cycles
+                lines.append(
+                    f"{outcome.value:<10} {row['runs']:>5} "
+                    f"{row['mean_cycles']:>12.1f} {ratio:>9.2f}x"
+                )
+            totals = aggregated["totals"]
+            lines.append(
+                f"simulated: {totals['instructions']} instructions, "
+                f"{totals['cycles']} cycles across "
+                f"{totals['runs']} faulted runs"
+            )
         if details:
             lines.append("")
             for result in self.results:
@@ -165,6 +238,7 @@ class CoverageReport:
                 for model, row in sorted(self.by_model().items())
             },
             "detection_coverage": round(self.detection_coverage, 6),
+            "metrics": self.metrics(),
             "results": [result.as_dict() for result in self.results],
         }
 

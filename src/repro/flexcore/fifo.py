@@ -33,6 +33,24 @@ class DecouplingFifo:
         self.depth = depth
         self._drains: deque[int] = deque()
         self.stats = FifoStats()
+        # Telemetry sinks (None = disabled, the zero-overhead default).
+        self._tracer = None
+        self._h_occupancy = None
+        self._g_high_water = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire a :class:`repro.telemetry.Telemetry` bundle in."""
+        self._tracer = telemetry.tracer
+        if telemetry.metrics.enabled:
+            occupancy_buckets = tuple(
+                1 << i for i in range(max(1, self.depth.bit_length()))
+            )
+            self._h_occupancy = telemetry.metrics.histogram(
+                "fifo.occupancy", buckets=occupancy_buckets
+            )
+            self._g_high_water = telemetry.metrics.gauge(
+                "fifo.high_water"
+            )
 
     def occupancy(self, now: int) -> int:
         """Entries still resident at time ``now``."""
@@ -63,6 +81,17 @@ class DecouplingFifo:
         occupancy = len(self._drains)
         if occupancy > self.stats.max_occupancy:
             self.stats.max_occupancy = occupancy
+        tracer = self._tracer
+        if tracer is not None:
+            # The pop is known at push time (discrete-event model):
+            # emit it at the drain timestamp so the occupancy timeline
+            # in the trace is exact.
+            tracer.instant(now, "fifo", "fifo.push", drain=drain_time)
+            tracer.instant(drain_time, "fifo", "fifo.pop")
+            tracer.counter(now, "fifo", "fifo.occupancy", occupancy)
+        if self._h_occupancy is not None:
+            self._h_occupancy.observe(occupancy)
+            self._g_high_water.track_max(occupancy)
 
     def drained_by(self) -> int:
         """Time at which the FIFO is empty (EMPTY signal asserts)."""

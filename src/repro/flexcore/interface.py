@@ -121,6 +121,7 @@ class CoreFabricInterface:
         extension: MonitorExtension,
         bus: SharedBus,
         config: InterfaceConfig | None = None,
+        telemetry=None,
     ):
         self.extension = extension
         self.bus = bus
@@ -136,6 +137,36 @@ class CoreFabricInterface:
         self.bfifo_value = 0
         # Meta-data TLB: fully-associative over 4-KB meta pages.
         self._tlb: list[int] = []
+        # Telemetry sinks, resolved once; every use sits inside a
+        # branch the interface takes anyway (forward/drop/stall), so
+        # the disabled default costs one None check per event at most.
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        metrics = (telemetry.metrics
+                   if telemetry is not None and telemetry.metrics.enabled
+                   else None)
+        if telemetry is not None:
+            self.fifo.attach_telemetry(telemetry)
+        if metrics is not None:
+            self._m_forwarded = metrics.counter("iface.forwarded")
+            self._m_ignored = metrics.counter("iface.ignored")
+            self._m_dropped = metrics.counter("iface.dropped")
+            self._m_fifo_stall = metrics.counter(
+                "iface.fifo_stall_cycles"
+            )
+            self._m_ack_stall = metrics.counter("iface.ack_stall_cycles")
+            self._m_meta_refill = metrics.counter("mcache.refill_cycles")
+            self._h_service = metrics.histogram(
+                "fabric.packet_latency",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+            )
+        else:
+            self._m_forwarded = None
+            self._m_ignored = None
+            self._m_dropped = None
+            self._m_fifo_stall = None
+            self._m_ack_stall = None
+            self._m_meta_refill = None
+            self._h_service = None
 
     # ------------------------------------------------------------------
 
@@ -172,6 +203,12 @@ class CoreFabricInterface:
                 if not self.meta_cache.read(access.addr):
                     done = self.bus.line_refill(int(time), "meta-refill")
                     self.stats.meta_stall_cycles += done - time
+                    if self._tracer is not None:
+                        self._tracer.span(time, done - time, "mcache",
+                                          "mcache.refill",
+                                          addr=access.addr)
+                    if self._m_meta_refill is not None:
+                        self._m_meta_refill.inc(done - time)
                     time = done
             else:
                 self.meta_cache.write_bits(access.addr, access.mask)
@@ -183,6 +220,10 @@ class CoreFabricInterface:
         if outcome.trap is not None and self.pending_trap is None:
             self.pending_trap = outcome.trap
             self.trap_time = time
+            if self._tracer is not None:
+                self._tracer.instant(time, "monitor", "monitor.trap",
+                                     kind=outcome.trap.kind,
+                                     pc=outcome.trap.pc)
         return time
 
     def _tlb_lookup(self, addr: int, time: float) -> float:
@@ -220,6 +261,8 @@ class CoreFabricInterface:
         policy = self.cfgr.policy(instr_class)
         if policy == ForwardPolicy.IGNORE:
             stats.ignored += 1
+            if self._m_ignored is not None:
+                self._m_ignored.inc()
             return now
 
         # The "read from co-processor" instruction always needs the
@@ -236,10 +279,20 @@ class CoreFabricInterface:
             if policy == ForwardPolicy.BEST_EFFORT:
                 stats.dropped += 1
                 self.fifo.stats.dropped += 1
+                if self._tracer is not None:
+                    self._tracer.instant(now, "fifo", "fifo.drop",
+                                         pc=record.pc)
+                if self._m_dropped is not None:
+                    self._m_dropped.inc()
                 return now
             wait = self.fifo.time_until_space(now)
             stats.fifo_stall_cycles += wait
             self.fifo.stats.full_stall_cycles += wait
+            if self._tracer is not None:
+                self._tracer.span(now, wait, "core", "stall.fifo_full",
+                                  pc=record.pc)
+            if self._m_fifo_stall is not None:
+                self._m_fifo_stall.inc(wait)
             now += wait
 
         packet = TracePacket.from_commit(record)
@@ -249,11 +302,24 @@ class CoreFabricInterface:
         )
         drain = self._service(packet, now)
         self.fifo.push(now, drain)
+        if self._m_forwarded is not None:
+            self._m_forwarded.inc()
+            self._h_service.observe(drain - now)
+        if self._tracer is not None:
+            # Packet lifecycle: enqueue at commit, serviced at drain.
+            self._tracer.span(now, drain - now, "fabric",
+                              f"packet.{instr_class.name.lower()}",
+                              pc=record.pc)
 
         if needs_ack:
             # CACK comes back through a synchroniser as well.
             ack_at = drain + self.config.sync_fabric_cycles
             stats.ack_stall_cycles += ack_at - now
+            if self._tracer is not None:
+                self._tracer.span(now, ack_at - now, "core",
+                                  "stall.ack", pc=record.pc)
+            if self._m_ack_stall is not None:
+                self._m_ack_stall.inc(ack_at - now)
             now = ack_at
         return now
 

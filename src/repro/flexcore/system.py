@@ -18,6 +18,7 @@ from repro.core.executor import CommitRecord, CpuState, SimulationError
 from typing import TYPE_CHECKING
 
 from repro.core.timing import CoreTiming, CoreTimingConfig, CoreTimingStats
+from repro.flexcore.fifo import FifoStats
 from repro.flexcore.interface import (
     CoreFabricInterface,
     InterfaceConfig,
@@ -25,10 +26,12 @@ from repro.flexcore.interface import (
 )
 from repro.isa.assembler import Program
 from repro.memory.backing import SparseMemory
-from repro.memory.bus import SharedBus
+from repro.memory.bus import BusStats, SharedBus
+from repro.memory.cache import CacheStats
 
 if TYPE_CHECKING:
     from repro.extensions.base import MonitorExtension, MonitorTrap
+    from repro.telemetry import Telemetry
 
 DEFAULT_STACK_TOP = 0x7FFFF0
 DEFAULT_MAX_INSTRUCTIONS = 50_000_000
@@ -87,6 +90,15 @@ class RunResult:
     recoveries: int = 0
     #: total cycles spent detecting, rolling back and re-executing.
     recovery_cycles: int = 0
+    #: decoupling-FIFO accounting (peak occupancy, full-stall cycles,
+    #: drops); ``None`` when no monitoring extension is attached.
+    fifo_stats: FifoStats | None = None
+    #: configured forward-FIFO depth, for high-water-vs-depth reports.
+    fifo_depth: int | None = None
+    #: hit/miss accounting per cache ("icache", "dcache", "mcache").
+    cache_stats: dict[str, CacheStats] = field(default_factory=dict)
+    #: shared-bus accounting per requester.
+    bus_stats: BusStats | None = None
 
     @property
     def cpi(self) -> float:
@@ -139,26 +151,40 @@ class FlexCoreSystem:
         program: Program,
         extension: MonitorExtension | None = None,
         config: SystemConfig | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.program = program
         self.config = config or SystemConfig()
+        #: observability bundle; ``None`` (the default) is the
+        #: zero-overhead path — no component emits anything, and the
+        #: timing result is bit-identical either way (telemetry only
+        #: ever observes).
+        self.telemetry = telemetry
         self.memory = SparseMemory()
         self.memory.load_program(program)
         self.bus = SharedBus(self.config.core.bus)
+        if telemetry is not None:
+            self.bus.attach_telemetry(telemetry)
         self.cpu = CpuState(
             self.memory,
             entry=program.entry,
             nwindows=self.config.nwindows,
             stack_top=self.config.stack_top,
         )
-        self.core_timing = CoreTiming(self.config.core, self.bus)
+        if telemetry is not None:
+            self.cpu.attach_telemetry(telemetry)
+        self.core_timing = CoreTiming(self.config.core, self.bus,
+                                      telemetry=telemetry)
         self.extension = extension
         self.interface: CoreFabricInterface | None = None
         if extension is not None:
             extension.attach(self.cpu.regs.num_physical)
             extension.on_program_load(program, self.config.stack_top)
+            if telemetry is not None and telemetry.metrics.enabled:
+                extension.metrics = telemetry.metrics
             self.interface = CoreFabricInterface(
-                extension, self.bus, self.config.interface
+                extension, self.bus, self.config.interface,
+                telemetry=telemetry,
             )
             self.cpu.coprocessor_read = self.interface.read_status
         #: hooks applied to every commit record before forwarding —
@@ -370,6 +396,13 @@ class FlexCoreSystem:
                             trap_at = max(now, interface.trap_time)
                             wasted = (trap_at - replay_from
                                       + recovery_latency)
+                            if (self.telemetry is not None
+                                    and self.telemetry.tracer is not None):
+                                self.telemetry.tracer.span(
+                                    trap_at, recovery_latency,
+                                    "monitor", "monitor.rollback",
+                                    wasted=wasted,
+                                )
                             self.restore_state(checkpoint)
                             now = replay_from = trap_at + recovery_latency
                             recoveries += 1
@@ -400,6 +433,19 @@ class FlexCoreSystem:
         now = max(now, core_timing.store_buffer.drain_time())
         self.now = now
 
+        cache_stats = {
+            "icache": core_timing.icache.stats,
+            "dcache": core_timing.dcache.stats,
+        }
+        if interface is not None:
+            cache_stats["mcache"] = interface.meta_cache.stats
+        if (self.telemetry is not None
+                and self.telemetry.metrics.enabled):
+            metrics = self.telemetry.metrics
+            metrics.gauge("system.cycles").set(int(now))
+            metrics.gauge("system.instructions").set(cpu.instret)
+            metrics.counter("system.rollbacks").inc(recoveries)
+
         return RunResult(
             cycles=int(now),
             instructions=cpu.instret,
@@ -413,6 +459,11 @@ class FlexCoreSystem:
             error=error,
             recoveries=recoveries,
             recovery_cycles=int(recovery_cycles),
+            fifo_stats=interface.fifo.stats if interface else None,
+            fifo_depth=(self.config.interface.fifo_depth
+                        if interface else None),
+            cache_stats=cache_stats,
+            bus_stats=self.bus.stats,
         )
 
 
@@ -425,6 +476,7 @@ def run_program(
     max_instructions: int | None = None,
     checkpoint_every: int | None = None,
     recover: bool = False,
+    telemetry: Telemetry | None = None,
 ) -> RunResult:
     """Convenience entry point: build a system and run it.
 
@@ -438,7 +490,8 @@ def run_program(
         config = SystemConfig()
         config.interface.clock_ratio = clock_ratio
         config.interface.fifo_depth = fifo_depth
-    system = FlexCoreSystem(program, extension, config)
+    system = FlexCoreSystem(program, extension, config,
+                            telemetry=telemetry)
     return system.run(
         max_instructions,
         checkpoint_every=checkpoint_every,

@@ -58,6 +58,11 @@ class CacheStats:
         total = self.accesses
         return self.misses / total if total else 0.0
 
+    @property
+    def hit_rate(self) -> float:
+        """Complement of :attr:`miss_rate` (1.0 when never accessed)."""
+        return 1.0 - self.miss_rate
+
 
 class Cache:
     """Set-associative, LRU, write-through, no-allocate timing cache."""

@@ -1,0 +1,97 @@
+"""Unified telemetry: metrics, cycle-accurate tracing, profiling.
+
+This package is the simulator's observability layer (the counterpart
+of the paper's Table IV / Fig. 4-5 analyses): one instrumentation API
+used by the core timing model, the memory system, the decoupling FIFO
+and fabric interface, the extensions, and the fault-injection
+campaigns.
+
+Telemetry is **off by default** and *observational* by contract: a
+run with a :class:`Telemetry` bundle attached produces a bit-identical
+:class:`~repro.flexcore.system.RunResult` to one without (the CI
+smoke job compares digests to enforce it).
+
+Usage::
+
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry.enabled(trace=True)
+    result = run_program(program, extension, telemetry=telemetry)
+    print(telemetry.metrics.format())
+    telemetry.tracer.write_perfetto("out.json")   # ui.perfetto.dev
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.telemetry.profiler import PhaseProfiler
+from repro.telemetry.summary import (
+    cycle_attribution,
+    format_run_summary,
+    result_fingerprint,
+    run_digest,
+)
+from repro.telemetry.trace import (
+    COUNTER,
+    DEFAULT_CAPACITY,
+    INSTANT,
+    SPAN,
+    EventTracer,
+    TraceEvent,
+)
+
+__all__ = [
+    "Telemetry",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "EventTracer",
+    "TraceEvent",
+    "SPAN",
+    "INSTANT",
+    "COUNTER",
+    "DEFAULT_CAPACITY",
+    "PhaseProfiler",
+    "cycle_attribution",
+    "format_run_summary",
+    "result_fingerprint",
+    "run_digest",
+]
+
+
+@dataclass
+class Telemetry:
+    """One run's telemetry sinks, handed to the system at build time.
+
+    ``metrics`` is always present (possibly the null registry);
+    ``tracer`` is optional because tracing has a real cost per event
+    while counters are nearly free.
+    """
+
+    metrics: MetricsRegistry | NullMetrics
+    tracer: EventTracer | None = None
+    profiler: PhaseProfiler | None = None
+
+    @classmethod
+    def enabled(cls, trace: bool = False,
+                capacity: int = DEFAULT_CAPACITY) -> "Telemetry":
+        """A live bundle: metrics on, tracing if asked."""
+        return cls(
+            metrics=MetricsRegistry(),
+            tracer=EventTracer(capacity) if trace else None,
+            profiler=PhaseProfiler(),
+        )

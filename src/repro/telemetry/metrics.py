@@ -1,0 +1,244 @@
+"""Near-zero-overhead metrics registry.
+
+One instrumentation API for every layer of the simulator: counters,
+gauges and fixed-bucket histograms, keyed by hierarchical dotted names
+(``fifo.occupancy``, ``bus.wait.core-dcache``, ``mcache.refill_cycles``).
+
+The design goal is that *disabled* telemetry costs nothing measurable:
+
+* components are wired with ``telemetry=None`` by default and guard
+  every instrumentation site with a single ``is not None`` check that
+  lives inside branches the timing model already takes (miss paths,
+  stall paths), never on the per-instruction fast path;
+* for code that wants to hold an instrument unconditionally,
+  :data:`NULL_METRICS` hands out shared no-op instruments, so the call
+  site stays branch-free and the no-op method is the only cost.
+
+Instruments are interned by name: asking the registry twice for
+``fifo.pushes`` returns the same :class:`Counter`, which is what lets
+hot paths resolve instruments once at construction time and then touch
+only plain attribute increments.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+
+class Counter:
+    """A monotonically increasing count (events, cycles, bytes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (occupancy, high-water mark)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def track_max(self, value) -> None:
+        """Retain the largest value ever seen (high-water marks)."""
+        if value > self.value:
+            self.value = value
+
+    def snapshot(self):
+        return self.value
+
+
+#: Default histogram buckets: powers of two up to 64 Ki.  Good enough
+#: for latencies and occupancies; pass explicit buckets for anything
+#: with a known range.
+DEFAULT_BUCKETS = tuple(1 << i for i in range(17))
+
+
+class Histogram:
+    """Fixed-bucket histogram (upper bounds, plus an overflow bucket).
+
+    ``counts[i]`` is the number of observations ``<= buckets[i]``;
+    ``counts[-1]`` collects everything larger than the last bound.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "total", "count")
+
+    def __init__(self, name: str, buckets=DEFAULT_BUCKETS):
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        bounds = tuple(buckets)
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram buckets must be ascending")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0
+        self.count = 0
+
+    def observe(self, value) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "buckets": {
+                **{
+                    str(bound): self.counts[i]
+                    for i, bound in enumerate(self.buckets)
+                },
+                "+inf": self.counts[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Interning factory and store for every instrument of one run."""
+
+    enabled = True
+
+    def __init__(self):
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _intern(self, name: str, kind, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} is a "
+                f"{type(instrument).__name__}, not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._intern(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._intern(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS) -> Histogram:
+        return self._intern(
+            name, Histogram, lambda: Histogram(name, buckets)
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __getitem__(self, name: str):
+        return self._instruments[name]
+
+    def snapshot(self) -> dict:
+        """Plain-data dump of every instrument, sorted by name."""
+        return {
+            name: instrument.snapshot()
+            for name, instrument in sorted(self._instruments.items())
+        }
+
+    def format(self) -> str:
+        """Human rendering grouped by the first name segment."""
+        lines: list[str] = []
+        group = None
+        for name, instrument in sorted(self._instruments.items()):
+            prefix = name.split(".", 1)[0]
+            if prefix != group:
+                if group is not None:
+                    lines.append("")
+                group = prefix
+            if isinstance(instrument, Histogram):
+                lines.append(
+                    f"{name:<32} count={instrument.count} "
+                    f"mean={instrument.mean:.1f}"
+                )
+                for bound, n in instrument.snapshot()["buckets"].items():
+                    if n:
+                        lines.append(f"{'':<34}<= {bound}: {n}")
+            else:
+                value = instrument.value
+                shown = (f"{value:.1f}" if isinstance(value, float)
+                         else str(value))
+                lines.append(f"{name:<32} {shown}")
+        return "\n".join(lines)
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+    count = 0
+    total = 0
+    mean = 0.0
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def track_max(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+    def snapshot(self):
+        return 0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The off switch: hands out shared no-op instruments.
+
+    ``enabled`` is False so callers can skip whole instrumentation
+    blocks; callers that don't bother still pay only a no-op call.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS):
+        return _NULL_INSTRUMENT
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def format(self) -> str:
+        return ""
+
+
+#: Process-wide disabled registry; safe to share (it holds no state).
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,55 @@
+"""Wall-clock phase profiling for the simulator itself.
+
+Where the *trace* measures simulated cycles, the profiler measures
+real seconds: how long assembling, the golden run, the faulted runs
+or the export actually took on the host.  Phases nest and repeat;
+durations accumulate per name, so ``profile.phase("faulted-runs")``
+wrapped around every run of a campaign yields one total.
+
+Wall-clock numbers are environment-dependent by nature, so they are
+*never* written into bit-reproducible artifacts (campaign JSON
+reports, golden digests) — they go to stderr and to the overhead
+benchmark's own output file only.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class PhaseProfiler:
+    """Accumulating named wall-clock timers."""
+
+    def __init__(self):
+        #: name -> accumulated seconds, in first-seen order.
+        self.seconds: dict[str, float] = {}
+        #: name -> number of times the phase ran.
+        self.calls: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def format(self) -> str:
+        """Aligned phase table, longest-first ordering preserved as
+        recorded (phases read as a pipeline, not a leaderboard)."""
+        total = self.total or 1.0
+        lines = [f"{'phase':<16} {'calls':>6} {'seconds':>9} {'share':>7}"]
+        for name, seconds in self.seconds.items():
+            lines.append(
+                f"{name:<16} {self.calls[name]:>6} {seconds:>9.3f} "
+                f"{seconds / total:>6.1%}"
+            )
+        lines.append(f"{'total':<16} {'':>6} {self.total:>9.3f}")
+        return "\n".join(lines)

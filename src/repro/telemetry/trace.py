@@ -1,0 +1,206 @@
+"""Cycle-accurate event tracing with Perfetto export.
+
+The tracer collects structured events — pipeline stalls with their
+cause, FIFO push/pop/full, bus grants, cache refills, monitor packet
+lifecycle, traps and rollbacks — into a bounded ring buffer.  The
+timestamp domain is *simulated core-clock cycles* (fractional while
+the fabric clock divides them), so a trace lines up exactly with the
+cycle counts in :class:`~repro.flexcore.system.RunResult`.
+
+Two exporters:
+
+* :meth:`EventTracer.write_jsonl` — one JSON object per line, for
+  ad-hoc grep/jq analysis;
+* :meth:`EventTracer.to_perfetto` / :meth:`write_perfetto` — the
+  Chrome ``trace_event`` JSON format, loadable in ``ui.perfetto.dev``
+  (one fake process, one "thread" per track, cycles rendered as
+  microseconds).
+
+The ring buffer keeps the *newest* events when full (the interesting
+part of a run is usually its end — the trap, the stall storm), and
+counts what it overwrote so exports can say so instead of silently
+truncating.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Default ring capacity: enough for ~10k instructions of a monitored
+#: run at a handful of events per instruction, small enough to stay
+#: cheap to export.
+DEFAULT_CAPACITY = 65_536
+
+#: Event kinds, mirroring the Chrome trace_event phases they map to.
+SPAN = "span"  # something with a duration ("X")
+INSTANT = "instant"  # a point event ("i")
+COUNTER = "counter"  # a sampled value ("C")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace event."""
+
+    ts: float  # simulated core-clock cycles
+    track: str  # "core" | "bus" | "fabric" | "fifo" | "mcache" | ...
+    name: str  # event name ("stall.fifo_full", "bus.core-dcache", ...)
+    kind: str = INSTANT
+    dur: float = 0.0  # span duration, in cycles
+    value: float | None = None  # counter sample
+    args: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        data = {
+            "ts": self.ts,
+            "track": self.track,
+            "name": self.name,
+            "kind": self.kind,
+        }
+        if self.kind == SPAN:
+            data["dur"] = self.dur
+        if self.value is not None:
+            data["value"] = self.value
+        if self.args:
+            data["args"] = self.args
+        return data
+
+
+class EventTracer:
+    """Bounded ring buffer of :class:`TraceEvent`."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(
+                f"tracer capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self._ring: list[TraceEvent | None] = [None] * capacity
+        self._head = 0  # next write slot
+        self._count = 0  # live events (<= capacity)
+        self.overwritten = 0  # events lost to wrap-around
+
+    # -- recording ----------------------------------------------------------
+
+    def emit(self, event: TraceEvent) -> None:
+        ring = self._ring
+        head = self._head
+        if ring[head] is not None:
+            self.overwritten += 1
+        else:
+            self._count += 1
+        ring[head] = event
+        self._head = (head + 1) % self.capacity
+
+    def span(self, ts: float, dur: float, track: str, name: str,
+             **args) -> None:
+        """A durationful event (a stall, a bus grant, a refill)."""
+        self.emit(TraceEvent(ts=ts, track=track, name=name, kind=SPAN,
+                             dur=dur, args=args))
+
+    def instant(self, ts: float, track: str, name: str, **args) -> None:
+        """A point event (a push, a drop, a trap)."""
+        self.emit(TraceEvent(ts=ts, track=track, name=name, args=args))
+
+    def counter(self, ts: float, track: str, name: str,
+                value: float) -> None:
+        """A sampled value (FIFO occupancy) rendered as a counter
+        track in Perfetto."""
+        self.emit(TraceEvent(ts=ts, track=track, name=name,
+                             kind=COUNTER, value=value))
+
+    # -- reading ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def events(self) -> list[TraceEvent]:
+        """Live events, oldest first."""
+        if self._count < self.capacity:
+            return [e for e in self._ring[: self._count]]
+        head = self._head
+        return [
+            e for e in self._ring[head:] + self._ring[:head]
+            if e is not None
+        ]
+
+    def clear(self) -> None:
+        self._ring = [None] * self.capacity
+        self._head = 0
+        self._count = 0
+        self.overwritten = 0
+
+    # -- exporters ----------------------------------------------------------
+
+    def write_jsonl(self, path) -> None:
+        """One compact JSON object per line, oldest event first."""
+        with open(path, "w") as handle:
+            for event in self.events():
+                handle.write(json.dumps(event.as_dict(),
+                                        sort_keys=True) + "\n")
+
+    def to_perfetto(self) -> dict:
+        """Chrome ``trace_event`` document (the JSON object form).
+
+        Every track becomes a "thread" of one fake process; simulated
+        cycles map 1:1 onto the format's microsecond timestamps.
+        Events are sorted by timestamp, so ``ts`` is monotonically
+        non-decreasing globally (and therefore within every track).
+        """
+        events = sorted(self.events(), key=lambda e: e.ts)
+        tids: dict[str, int] = {}
+        trace_events: list[dict] = []
+        for event in events:
+            tid = tids.get(event.track)
+            if tid is None:
+                tid = len(tids) + 1
+                tids[event.track] = tid
+            entry: dict = {
+                "name": event.name,
+                "pid": 1,
+                "tid": tid,
+                "ts": event.ts,
+                "cat": event.track,
+            }
+            if event.kind == SPAN:
+                entry["ph"] = "X"
+                entry["dur"] = event.dur
+            elif event.kind == COUNTER:
+                entry["ph"] = "C"
+                entry["args"] = {"value": event.value}
+            else:
+                entry["ph"] = "i"
+                entry["s"] = "t"  # thread-scoped instant
+            if event.args:
+                entry.setdefault("args", {}).update(event.args)
+            trace_events.append(entry)
+        metadata = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "args": {"name": "flexcore-sim"},
+            }
+        ] + [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": track},
+            }
+            for track, tid in tids.items()
+        ]
+        return {
+            "traceEvents": metadata + trace_events,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "time_unit": "simulated core-clock cycles (as us)",
+                "overwritten_events": self.overwritten,
+            },
+        }
+
+    def write_perfetto(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_perfetto(), handle, sort_keys=True)
+            handle.write("\n")

@@ -156,3 +156,102 @@ class TestInject:
                      "--source", source_file,
                      "--models", "meta", "--faults", "2"]) == 1
         assert "campaign error" in capsys.readouterr().err
+
+
+class TestRunTelemetryFlags:
+    def test_stats_summary(self, source_file, capsys):
+        assert main(["run", source_file, "--extension", "sec",
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle attribution" in out
+        assert "cache hit rates" in out
+        assert "high-water mark" in out
+
+    def test_metrics_dump(self, source_file, capsys):
+        assert main(["run", source_file, "--extension", "umc",
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "core.instructions" in out
+        assert "iface.forwarded" in out
+
+    def test_digest_stable_and_telemetry_invariant(self, source_file,
+                                                   capsys):
+        assert main(["run", source_file, "--digest"]) == 0
+        bare = capsys.readouterr().out
+        assert main(["run", source_file, "--digest", "--metrics",
+                     "--stats"]) == 0
+        metered = capsys.readouterr().out
+        digest = [line for line in bare.splitlines()
+                  if line.startswith("digest")]
+        assert digest and digest[0].split(":")[1].strip()
+        assert digest[0] in metered
+
+    def test_run_workload_digest_matches_trace(self, tmp_path, capsys):
+        assert main(["run", "--workload", "crc32",
+                     "--extension", "sec", "--ratio", "0.25",
+                     "--digest"]) == 0
+        golden = capsys.readouterr().out
+        assert main(["trace", "--workload", "crc32",
+                     "--extension", "sec", "--ratio", "0.25",
+                     "--perfetto", str(tmp_path / "t.json")]) == 0
+        traced = capsys.readouterr().out
+        digest = [line for line in golden.splitlines()
+                  if line.startswith("digest")]
+        assert digest and digest[0] in traced
+
+    def test_run_needs_exactly_one_target(self, source_file, capsys):
+        assert main(["run"]) == 1
+        assert main(["run", source_file,
+                     "--workload", "crc32"]) == 1
+        assert "exactly one" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_trace_source_exports_perfetto_and_jsonl(self, source_file,
+                                                     tmp_path, capsys):
+        import json
+        perfetto = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        assert main(["trace", source_file, "--extension", "umc",
+                     "--perfetto", str(perfetto),
+                     "--jsonl", str(jsonl), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "trace        :" in out and "digest       :" in out
+        doc = json.loads(perfetto.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        assert jsonl.read_text().strip()
+
+    def test_trace_workload(self, tmp_path, capsys):
+        import json
+        perfetto = tmp_path / "crc32.json"
+        assert main(["trace", "--workload", "crc32",
+                     "--extension", "sec", "--ratio", "0.25",
+                     "--fifo", "16",
+                     "--perfetto", str(perfetto)]) == 0
+        doc = json.loads(perfetto.read_text())
+        stalls = [e for e in doc["traceEvents"]
+                  if e.get("name") == "stall.fifo_full"]
+        assert stalls  # a 16-deep FIFO at 0.25x must stall
+
+    def test_trace_needs_exactly_one_target(self, source_file, capsys):
+        assert main(["trace"]) == 1
+        assert main(["trace", source_file, "--workload", "crc32"]) == 1
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_trace_small_buffer_reports_overwrites(self, tmp_path,
+                                                   capsys):
+        assert main(["trace", "--workload", "crc32",
+                     "--extension", "umc", "--buffer", "64"]) == 0
+        assert "overwritten" in capsys.readouterr().out
+
+
+class TestInjectMetrics:
+    def test_metrics_table_and_phase_profile(self, source_file,
+                                             capsys):
+        assert main(["inject", "--extension", "umc",
+                     "--source", source_file,
+                     "--faults", "4", "--metrics"]) == 0
+        captured = capsys.readouterr()
+        assert "mean cycles" in captured.out
+        assert "simulated:" in captured.out
+        assert "faulted-runs" in captured.err
