@@ -5,18 +5,27 @@ Commands
 run      assemble and simulate a .s file, optionally with a monitor
 trace    simulate with full telemetry; export a Perfetto trace
 inject   run a fault-injection campaign against a monitor
+compile  compile an MDL monitor spec; synthesize or run it
 disasm   assemble a .s file and print the disassembly listing
 table3   print the Table III area/power/frequency report
 synth    synthesize one extension for the fabric and the ASIC flow
 
+``run``/``trace``/``inject``/``synth`` accept ``--mdl SPEC.mdl``
+(repeatable): each spec is compiled and registered, making its
+monitor a valid ``--extension`` name for that invocation.
+
 Examples::
 
     python -m repro run prog.s --extension dift --ratio 0.5 --stats
+    python -m repro run prog.s --mdl examples/redzone.mdl \\
+        --extension redzone
     python -m repro trace prog.s --extension dift --perfetto out.json
     python -m repro trace --workload crc32 --extension sec \\
         --perfetto crc32.json
     python -m repro inject --extension sec --workload crc32 \\
         --faults 200 --seed 1 --metrics
+    python -m repro compile examples/redzone.mdl --table3
+    python -m repro compile umc --run sha --scale 0.125
     python -m repro disasm prog.s
     python -m repro table3
     python -m repro synth umc
@@ -28,21 +37,59 @@ import argparse
 import sys
 
 from repro.core.executor import SimulationError
-from repro.extensions import EXTENSION_CLASSES, create_extension
+from repro.extensions import create_extension
 from repro.flexcore import run_program
 from repro.isa import assemble, disassemble_program
 
-#: exit codes: 0 ok, 2 monitor trap, 3 simulation error,
-#: 130 campaign interrupted (128 + SIGINT, shell convention).
+#: exit codes: 0 ok, 2 monitor trap / usage error (argparse's own
+#: convention), 3 simulation error, 130 campaign interrupted
+#: (128 + SIGINT, shell convention).
 EXIT_TRAP = 2
+EXIT_USAGE = 2
 EXIT_SIMULATION_ERROR = 3
 EXIT_INTERRUPTED = 130
+
+
+class _UsageError(Exception):
+    """A CLI-level mistake (unknown extension, bad spec path).  The
+    message is printed to stderr and the process exits 2 — never a
+    raw traceback."""
 
 
 def _load(path: str, entry: str):
     with open(path) as handle:
         source = handle.read()
     return assemble(source, entry=entry)
+
+
+def _register_mdl(paths) -> None:
+    """Compile and register every ``--mdl`` spec for this invocation.
+
+    Diagnostics (syntax errors, unknown fields, width mismatches) are
+    rendered with source locations; a bad spec exits 2."""
+    if not paths:
+        return
+    from repro.mdl import MdlError, load_spec, register_program
+
+    for path in paths:
+        try:
+            register_program(load_spec(path), replace=True)
+        except OSError as err:
+            raise _UsageError(f"mdl error: {err}") from None
+        except MdlError as err:
+            raise _UsageError(str(err)) from None
+
+
+def _make_extension(name: str | None):
+    """``create_extension`` under the CLI contract: an unknown name
+    prints the known-name list (including any monitors registered via
+    ``--mdl``) and exits 2."""
+    if name is None:
+        return None
+    try:
+        return create_extension(name)
+    except ValueError as err:
+        raise _UsageError(f"error: {err}") from None
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -61,8 +108,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         program = build_workload(args.workload, args.scale).build()
     else:
         program = _load(args.source, args.entry)
-    extension = (create_extension(args.extension)
-                 if args.extension else None)
+    _register_mdl(args.mdl)
+    extension = _make_extension(args.extension)
     telemetry = Telemetry.enabled() if args.metrics else None
     try:
         result = run_program(
@@ -128,8 +175,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
             program = build_workload(args.workload, args.scale).build()
         else:
             program = _load(args.source, args.entry)
-    extension = (create_extension(args.extension)
-                 if args.extension else None)
+    _register_mdl(args.mdl)
+    extension = _make_extension(args.extension)
     try:
         with telemetry.profiler.phase("run"):
             result = run_program(
@@ -187,6 +234,17 @@ def cmd_inject(args: argparse.Namespace) -> int:
         print("campaign error: --resume requires --journal",
               file=sys.stderr)
         return 1
+    # MDL specs travel into the config as (filename, source) pairs so
+    # worker processes and journal replays see the same monitors.
+    mdl_pairs = []
+    for path in args.mdl or ():
+        try:
+            with open(path) as handle:
+                mdl_pairs.append((path, handle.read()))
+        except OSError as err:
+            raise _UsageError(f"mdl error: {err}") from None
+    _register_mdl(args.mdl)
+    _make_extension(args.extension)  # unknown names exit 2 with the list
     try:
         config = CampaignConfig(
             extension=args.extension,
@@ -203,6 +261,7 @@ def cmd_inject(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             recover=args.recover,
             cache_dir=args.cache_dir,
+            mdl=tuple(mdl_pairs),
         )
         campaign = Campaign(config)
     except (CampaignError, ValueError) as err:
@@ -268,7 +327,8 @@ def cmd_table3(args: argparse.Namespace) -> int:
 
 def cmd_synth(args: argparse.Namespace) -> int:
     from repro.fabric import synthesize_asic, synthesize_fabric
-    extension = create_extension(args.extension)
+    _register_mdl(args.mdl)
+    extension = _make_extension(args.extension)
     fabric = synthesize_fabric(extension)
     asic = synthesize_asic(extension)
     print(f"{extension.name}: {extension.description}")
@@ -278,6 +338,95 @@ def cmd_synth(args: argparse.Namespace) -> int:
     print(f"  ASIC:   {asic.area_um2 - 835_525:,.0f} um^2 over the "
           f"baseline, {asic.power_mw:.0f} mW total, "
           f"{asic.fmax_mhz:.0f} MHz")
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """Compile an MDL spec; report its hardware cost; optionally run
+    it on a workload or print its Table-III rows."""
+    from pathlib import Path
+
+    from repro.fabric.mapping import map_network
+    from repro.mdl import (
+        MdlError,
+        compile_spec,
+        register_program,
+        shipped_specs,
+    )
+
+    path = Path(args.spec)
+    if not path.exists():
+        shipped = shipped_specs()
+        if args.spec in shipped:
+            path = shipped[args.spec]
+        else:
+            names = ", ".join(sorted(shipped))
+            raise _UsageError(
+                f"compile error: {args.spec!r} is neither a file nor "
+                f"a shipped spec (shipped: {names})"
+            )
+    try:
+        source = path.read_text()
+    except OSError as err:
+        raise _UsageError(f"compile error: {err}") from None
+    try:
+        program = compile_spec(source, str(path))
+    except MdlError as err:
+        print(err, file=sys.stderr)
+        return EXIT_USAGE
+
+    monitor = program.ir
+    mapping = map_network(program.hardware())
+    flex_rules = sum(1 for r in monitor.rules if r.flex_opfs)
+    class_rules = len(monitor.rules) - flex_rules
+    meta = []
+    if monitor.register_tag_bits:
+        meta.append(f"{monitor.register_tag_bits}-bit register tags")
+    if monitor.memory_tag_bits:
+        meta.append(f"{monitor.memory_tag_bits}-bit memory tags")
+    print(f"{program.name}: {monitor.description}")
+    print(f"  meta    : {', '.join(meta) if meta else 'none'}")
+    print(f"  rules   : {len(monitor.rules)} "
+          f"({class_rules} instruction-class, {flex_rules} flex-op)")
+    print(f"  forward : "
+          f"{', '.join(sorted(c.name for c in monitor.forward_classes))}")
+    print(f"  mapping : {mapping.luts} LUTs, {mapping.flipflops} FFs, "
+          f"{mapping.pipeline_stages} pipeline stages")
+
+    if args.table3:
+        from repro.evaluation import format_table3, run_table3
+        register_program(program, replace=True)
+        print()
+        print(format_table3(run_table3(extensions=(program.name,)),
+                            compare=not args.no_compare))
+
+    if args.run is not None:
+        from repro.telemetry import run_digest
+        from repro.workloads import build_workload
+        try:
+            workload = build_workload(args.run, args.scale).build()
+        except (KeyError, ValueError) as err:
+            raise _UsageError(f"compile error: {err}") from None
+        try:
+            result = run_program(
+                workload,
+                program.create(),
+                clock_ratio=args.ratio,
+                fifo_depth=args.fifo,
+            )
+        except SimulationError as err:
+            print(f"simulation error: {err.diagnosis()}",
+                  file=sys.stderr)
+            return EXIT_SIMULATION_ERROR
+        print()
+        print(f"run {args.run}:")
+        print(f"  instructions : {result.instructions}")
+        print(f"  cycles       : {result.cycles}")
+        print(f"  CPI          : {result.cpi:.2f}")
+        print(f"  digest       : {run_digest(result)}")
+        if result.trap is not None:
+            print(f"  TRAP         : {result.trap}")
+            return EXIT_TRAP
     return 0
 
 
@@ -303,8 +452,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_cmd.add_argument("--entry", default="start")
     run_cmd.add_argument(
-        "--extension", choices=sorted(EXTENSION_CLASSES), default=None,
-        help="monitoring extension to attach",
+        "--extension", default=None,
+        help="monitoring extension to attach (built-in or --mdl name)",
+    )
+    run_cmd.add_argument(
+        "--mdl", action="append", default=[], metavar="SPEC",
+        help="compile and register an MDL monitor spec (repeatable)",
     )
     run_cmd.add_argument("--ratio", type=float, default=0.5,
                          help="fabric:core clock ratio")
@@ -353,8 +506,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_cmd.add_argument("--entry", default="start")
     trace_cmd.add_argument(
-        "--extension", choices=sorted(EXTENSION_CLASSES), default=None,
-        help="monitoring extension to attach",
+        "--extension", default=None,
+        help="monitoring extension to attach (built-in or --mdl name)",
+    )
+    trace_cmd.add_argument(
+        "--mdl", action="append", default=[], metavar="SPEC",
+        help="compile and register an MDL monitor spec (repeatable)",
     )
     trace_cmd.add_argument("--ratio", type=float, default=0.5,
                            help="fabric:core clock ratio")
@@ -385,8 +542,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a fault-injection campaign against a monitor",
     )
     inject_cmd.add_argument(
-        "--extension", required=True, choices=sorted(EXTENSION_CLASSES),
-        help="monitoring extension under evaluation",
+        "--extension", required=True,
+        help="monitoring extension under evaluation "
+             "(built-in or --mdl name)",
+    )
+    inject_cmd.add_argument(
+        "--mdl", action="append", default=[], metavar="SPEC",
+        help="compile and register an MDL monitor spec (repeatable)",
     )
     target = inject_cmd.add_mutually_exclusive_group(required=True)
     target.add_argument(
@@ -465,15 +627,55 @@ def build_parser() -> argparse.ArgumentParser:
     synth_cmd = commands.add_parser(
         "synth", help="synthesize one extension (fabric + ASIC)"
     )
-    synth_cmd.add_argument("extension",
-                           choices=sorted(EXTENSION_CLASSES))
+    synth_cmd.add_argument(
+        "extension",
+        help="extension to synthesize (built-in or --mdl name)",
+    )
+    synth_cmd.add_argument(
+        "--mdl", action="append", default=[], metavar="SPEC",
+        help="compile and register an MDL monitor spec (repeatable)",
+    )
     synth_cmd.set_defaults(handler=cmd_synth)
+
+    compile_cmd = commands.add_parser(
+        "compile",
+        help="compile an MDL monitor spec; synthesize or run it",
+    )
+    compile_cmd.add_argument(
+        "spec",
+        help="an .mdl file, or a shipped spec name (umc, bc)",
+    )
+    compile_cmd.add_argument(
+        "--table3", action="store_true",
+        help="print the monitor's Table-III rows (ASIC + fabric)",
+    )
+    compile_cmd.add_argument(
+        "--no-compare", action="store_true",
+        help="omit the paper's reference numbers from --table3",
+    )
+    compile_cmd.add_argument(
+        "--run", default=None, metavar="WORKLOAD",
+        help="run the compiled monitor on a registered workload",
+    )
+    compile_cmd.add_argument(
+        "--scale", type=float, default=0.125,
+        help="workload scale for --run (default: fast test variant)",
+    )
+    compile_cmd.add_argument("--ratio", type=float, default=0.5,
+                             help="fabric:core clock ratio for --run")
+    compile_cmd.add_argument("--fifo", type=int, default=64,
+                             help="forward FIFO depth for --run")
+    compile_cmd.set_defaults(handler=cmd_compile)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except _UsageError as err:
+        print(err, file=sys.stderr)
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":

@@ -76,12 +76,19 @@ class Table3Result:
     asic: dict[str, SynthesisReport]
     common: SynthesisReport
     fabric: dict[str, SynthesisReport]
+    #: row order; defaults to the paper's four prototypes.
+    extensions: tuple[str, ...] = EXTENSION_NAMES
 
 
-def run_table3() -> Table3Result:
-    """Area, power, and frequency of every implementation target."""
+def run_table3(extensions=EXTENSION_NAMES) -> Table3Result:
+    """Area, power, and frequency of every implementation target.
+
+    ``extensions`` defaults to the paper's four prototypes but accepts
+    any registered extension names — including MDL-compiled monitors —
+    so ``repro compile --table3`` can price a single new monitor.
+    """
     asic, fabric = {}, {}
-    for name in EXTENSION_NAMES:
+    for name in extensions:
         extension = create_extension(name)
         asic[name] = synthesize_asic(extension)
         fabric[name] = synthesize_fabric(extension)
@@ -90,6 +97,7 @@ def run_table3() -> Table3Result:
         asic=asic,
         common=synthesize_common(),
         fabric=fabric,
+        extensions=tuple(extensions),
     )
 
 

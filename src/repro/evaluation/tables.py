@@ -36,19 +36,20 @@ def format_table3(result: Table3Result, compare: bool = True) -> str:
 
     lines.append(row("Baseline", "-", result.baseline,
                      paper.TABLE3_BASELINE if compare else None))
-    for name in EXTENSION_NAMES:
+    for name in result.extensions:
         lines.append(row("ASIC", name, result.asic[name],
                          paper.TABLE3_ASIC.get(name) if compare else None))
     lines.append(row("FlexCore", "common", result.common,
                      paper.TABLE3_COMMON if compare else None))
-    for name in EXTENSION_NAMES:
+    for name in result.extensions:
         report = result.fabric[name]
         text = (f"{'FlexCore':10s}{name + ' (fab)':11s}"
                 f"{report.fmax_mhz:6.0f}{report.area_um2:12,.0f}"
                 f"{report.area_overhead:8.1%}{report.power_mw:7.0f}"
                 f"{report.power_overhead:7.1%}")
-        if compare:
-            ref = paper.TABLE3_FABRIC[name]
+        # .get(): MDL-compiled monitors have no paper reference row.
+        ref = paper.TABLE3_FABRIC.get(name) if compare else None
+        if ref:
             text += (f"   {ref['fmax_mhz']} / {ref['area_um2']:,}"
                      f" / {ref['power_mw']}")
         lines.append(text)

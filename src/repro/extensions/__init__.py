@@ -22,6 +22,9 @@ from repro.extensions.registry import (
     EXTENSION_NAMES,
     EXTRA_EXTENSION_NAMES,
     create_extension,
+    extension_names,
+    register_extension,
+    unregister_extension,
 )
 from repro.extensions.sec import SoftErrorCheck
 from repro.extensions.shadow_stack import ShadowStack
@@ -49,4 +52,7 @@ __all__ = [
     "UninitializedMemoryCheck",
     "Watchpoints",
     "create_extension",
+    "extension_names",
+    "register_extension",
+    "unregister_extension",
 ]

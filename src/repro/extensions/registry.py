@@ -1,6 +1,16 @@
-"""Registry of the built-in monitoring extensions."""
+"""Registry of monitoring extensions.
+
+Besides the built-in classes, the registry accepts runtime
+registrations via :func:`register_extension` — the hook the MDL
+compiler uses to make compiled monitors available to every consumer
+of :func:`create_extension` (the CLI's ``run``/``trace``/``inject``,
+fault-injection campaigns, the evaluation tables).  Lookup is
+case-insensitive.
+"""
 
 from __future__ import annotations
+
+from typing import Callable
 
 from repro.extensions.base import MonitorExtension
 from repro.extensions.bc import ArrayBoundCheck
@@ -26,11 +36,61 @@ EXTENSION_NAMES = ("umc", "dift", "bc", "sec")
 #: Extensions this repository adds beyond the paper's prototypes.
 EXTRA_EXTENSION_NAMES = ("shadowstack", "watchpoint")
 
+#: The live factory table: built-ins plus runtime registrations, keyed
+#: by lowercase name.
+_FACTORIES: dict[str, Callable[[], MonitorExtension]] = dict(
+    EXTENSION_CLASSES
+)
+
+
+def register_extension(
+    name: str,
+    factory: Callable[[], MonitorExtension],
+    *,
+    replace: bool = False,
+) -> Callable[[], MonitorExtension]:
+    """Register ``factory`` under ``name`` (case-insensitive).
+
+    ``factory`` is any zero-argument callable returning a
+    :class:`MonitorExtension` — a subclass, or a compiled MDL
+    program's ``create``.  Registering an existing name raises unless
+    ``replace=True``.  Returns the factory, so it can be used as a
+    class decorator.
+    """
+    key = name.lower()
+    if not key:
+        raise ValueError("extension name must be non-empty")
+    if not replace and key in _FACTORIES:
+        raise ValueError(
+            f"extension {key!r} is already registered "
+            f"(pass replace=True to override)"
+        )
+    _FACTORIES[key] = factory
+    return factory
+
+
+def unregister_extension(name: str) -> None:
+    """Remove a runtime registration; built-in names revert to their
+    built-in class instead of disappearing."""
+    key = name.lower()
+    if key in EXTENSION_CLASSES:
+        _FACTORIES[key] = EXTENSION_CLASSES[key]
+    else:
+        _FACTORIES.pop(key, None)
+
+
+def extension_names() -> tuple[str, ...]:
+    """Every currently creatable extension name, sorted."""
+    return tuple(sorted(_FACTORIES))
+
 
 def create_extension(name: str) -> MonitorExtension:
-    """Instantiate a built-in extension by name."""
+    """Instantiate a registered extension by (case-insensitive) name."""
     try:
-        return EXTENSION_CLASSES[name]()
+        factory = _FACTORIES[name.lower()]
     except KeyError:
-        known = ", ".join(sorted(EXTENSION_CLASSES))
-        raise ValueError(f"unknown extension {name!r} (known: {known})")
+        known = ", ".join(sorted(_FACTORIES))
+        raise ValueError(
+            f"unknown extension {name!r} (known: {known})"
+        ) from None
+    return factory()

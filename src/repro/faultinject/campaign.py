@@ -37,7 +37,7 @@ from repro.checkpoint import (
     ResultsJournal,
 )
 from repro.core.executor import SimulationError
-from repro.extensions import EXTENSION_CLASSES, create_extension
+from repro.extensions import create_extension
 from repro.faultinject.models import (
     MAX_PROFILE_ADDRESSES,
     MODEL_CLASSES,
@@ -195,10 +195,28 @@ class CampaignConfig:
     recover: bool = False
     #: directory for the golden-run profile cache (None = no cache).
     cache_dir: str | None = None
+    #: MDL monitor specs as ``(filename, source)`` pairs.  The sources
+    #: ride along *inside* the config (not as paths) so a pickled
+    #: config rebuilt in a worker process — or replayed from a journal
+    #: on another machine — compiles and registers the exact same
+    #: monitors.
+    mdl: tuple[tuple[str, str], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.extension not in EXTENSION_CLASSES:
-            known = ", ".join(sorted(EXTENSION_CLASSES))
+        from repro.extensions import extension_names
+        mdl_names = set()
+        if self.mdl:
+            from repro.mdl import MdlError, compile_spec
+            for filename, spec_source in self.mdl:
+                try:
+                    mdl_names.add(
+                        compile_spec(spec_source, filename).name.lower()
+                    )
+                except MdlError as err:
+                    raise ValueError(str(err)) from None
+        known_names = set(extension_names()) | mdl_names
+        if self.extension.lower() not in known_names:
+            known = ", ".join(sorted(known_names))
             raise ValueError(
                 f"unknown extension {self.extension!r} (known: {known})"
             )
@@ -238,7 +256,7 @@ class CampaignConfig:
         (a pure accelerant) are deliberately excluded — a campaign may
         be resumed with different parallelism on a different machine
         and still produce the bit-identical report."""
-        return {
+        identity = {
             "extension": self.extension,
             "workload": self.workload,
             "source": self.source,
@@ -255,6 +273,11 @@ class CampaignConfig:
             "checkpoint_every": self.checkpoint_every,
             "recover": self.recover,
         }
+        # Only campaigns that actually carry MDL specs key on them —
+        # journals written before the field existed keep replaying.
+        if self.mdl:
+            identity["mdl"] = [list(pair) for pair in self.mdl]
+        return identity
 
 
 class Campaign:
@@ -262,6 +285,16 @@ class Campaign:
 
     def __init__(self, config: CampaignConfig):
         self.config = config
+        # Registration lives here, not in the config's __post_init__:
+        # unpickling a dataclass skips __init__ entirely, but every
+        # worker process rebuilds ``Campaign(config)`` in
+        # ``_init_worker``, so this is the one place guaranteed to run
+        # wherever ``create_extension`` is about to be called.
+        if config.mdl:
+            from repro.mdl import compile_spec, register_program
+            for filename, spec_source in config.mdl:
+                register_program(compile_spec(spec_source, filename),
+                                 replace=True)
         #: wall-clock phase timers for the campaign pipeline
         #: (assemble / golden-run / faulted-runs / report).  Purely
         #: diagnostic: never written into the bit-reproducible report.

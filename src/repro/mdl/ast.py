@@ -1,0 +1,173 @@
+"""Untyped syntax tree for the monitor description language.
+
+The parser builds these nodes directly from the token stream; every
+node keeps the :class:`~repro.mdl.diagnostics.SourceLocation` of its
+first token so the checker can anchor diagnostics.  Width/type
+information only appears one layer down, in :mod:`repro.mdl.ir`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mdl.diagnostics import SourceLocation
+
+# -- expressions -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    ident: str
+
+
+@dataclass(frozen=True)
+class MemRef(Expr):
+    """``mem[addr]`` or ``mem[addr].field`` — the per-word memory tag
+    (or one named bit-field of it)."""
+
+    address: Expr
+    field_name: str | None = None
+    field_location: SourceLocation | None = None
+
+
+@dataclass(frozen=True)
+class RegRef(Expr):
+    """``reg[index]`` — a shadow register file entry."""
+
+    index: Expr
+
+
+@dataclass(frozen=True)
+class FieldAccess(Expr):
+    """``<expr>.field`` on a let-bound tag value."""
+
+    base: Expr
+    field_name: str
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # "-" | "~" | "not"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    func: str
+    args: tuple[Expr, ...]
+
+
+# -- statements ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt:
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class Let(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``mem[e] = v``, ``mem[e].field = v`` or ``reg[e] = v``."""
+
+    target: Expr  # MemRef or RegRef
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Trap(Stmt):
+    """``trap "kind" when <cond> [at <addr>]: "message {expr}"``."""
+
+    kind: str
+    condition: Expr
+    address: Expr | None
+    template: str
+    template_location: SourceLocation
+
+
+@dataclass(frozen=True)
+class Cycles(Stmt):
+    value: Expr
+
+
+# -- rules and the spec ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Selector:
+    """One event in a rule header: ``load``, ``store``, an instruction
+    class name, or ``flex OPF_NAME``."""
+
+    kind: str  # "load" | "store" | "class" | "flex"
+    name: str  # class name or flex opf name ("" for load/store)
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class Rule:
+    selectors: tuple[Selector, ...]
+    foreach_word: bool
+    body: tuple[Stmt, ...]
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class MetaItem:
+    name: str
+    value: int
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class FieldDecl:
+    """``name = hi:lo`` inside a ``fields`` block."""
+
+    name: str
+    hi: int
+    lo: int
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class InitItem:
+    """``text = v`` / ``data = v`` inside an ``init`` block."""
+
+    section: str
+    value: int
+    location: SourceLocation
+
+
+@dataclass
+class Spec:
+    """A whole parsed monitor description."""
+
+    name: str
+    description: str
+    location: SourceLocation
+    meta: list[MetaItem] = field(default_factory=list)
+    fields: list[FieldDecl] = field(default_factory=list)
+    init: list[InitItem] = field(default_factory=list)
+    forward: list[Selector] | None = None
+    rules: list[Rule] = field(default_factory=list)

@@ -1,0 +1,109 @@
+"""Source locations and diagnostics for the monitor description
+language.
+
+Every token the lexer produces carries a :class:`SourceLocation`; the
+parser and the checker attach those locations to the errors they
+report, so a bad spec fails with a caret pointing at the offending
+text instead of a Python traceback:
+
+.. code-block:: text
+
+    redzone.mdl:9:21: error: unknown field 'lo' on an 8-bit tag
+        trap "oob" when t.lo != 0: "..."
+                          ^
+    hint: did you mean 'loc'?
+
+The checker collects *all* diagnostics before failing, so one compile
+round-trips every problem in the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A 1-based (line, column) position in a spec file."""
+
+    filename: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One compile error, anchored to a source location."""
+
+    location: SourceLocation
+    message: str
+    hint: str = ""
+
+    def render(self, source: str | None = None) -> str:
+        """Human-readable rendering with the source line and a caret."""
+        lines = [f"{self.location}: error: {self.message}"]
+        if source is not None:
+            raw = source.splitlines()
+            if 1 <= self.location.line <= len(raw):
+                text = raw[self.location.line - 1]
+                lines.append(f"    {text}")
+                lines.append(f"    {' ' * (self.location.column - 1)}^")
+        if self.hint:
+            lines.append(f"hint: {self.hint}")
+        return "\n".join(lines)
+
+
+class MdlError(Exception):
+    """Raised when a spec fails to parse or validate.
+
+    Carries every collected :class:`Diagnostic` plus the source text,
+    so ``str(err)`` renders the full caret-annotated report.
+    """
+
+    def __init__(self, diagnostics: list[Diagnostic],
+                 source: str | None = None):
+        self.diagnostics = list(diagnostics)
+        self.source = source
+        super().__init__(self.render())
+
+    def render(self) -> str:
+        return "\n".join(
+            diag.render(self.source) for diag in self.diagnostics
+        )
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class DiagnosticSink:
+    """Collector the checker funnels problems into: validation keeps
+    going after the first error so a spec's problems surface in one
+    compile instead of one-at-a-time."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def error(self, location: SourceLocation, message: str,
+              hint: str = "") -> None:
+        self.diagnostics.append(Diagnostic(location, message, hint))
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    def raise_if_errors(self, source: str | None = None) -> None:
+        if self.diagnostics:
+            raise MdlError(self.diagnostics, source)
+
+
+def suggest(name: str, candidates) -> str:
+    """'did you mean ...?' hint text, or '' if nothing is close."""
+    import difflib
+
+    matches = difflib.get_close_matches(name, list(candidates), n=1,
+                                        cutoff=0.6)
+    if matches:
+        return f"did you mean '{matches[0]}'?"
+    return ""

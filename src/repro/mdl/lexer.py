@@ -1,0 +1,169 @@
+"""Tokenizer for the monitor description language.
+
+The language is whitespace-insensitive (statements are delimited by
+their leading keyword, blocks by braces), so the lexer emits a flat
+token stream: identifiers, integer literals (decimal / hex / binary),
+double-quoted strings, and punctuation.  ``#`` starts a comment that
+runs to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mdl.diagnostics import Diagnostic, MdlError, SourceLocation
+
+#: Multi-character operators first so maximal munch works.
+_PUNCT = (
+    "<<", ">>", "==", "!=", "<=", ">=",
+    "{", "}", "[", "]", "(", ")", ",", ":", ".", "=", "!",
+    "<", ">", "&", "|", "^", "+", "-", "*", "/", "~",
+)
+
+#: Words with grammatical meaning; they cannot name ``let`` bindings.
+KEYWORDS = frozenset({
+    "monitor", "meta", "fields", "init", "forward", "on", "flex",
+    "foreach", "let", "trap", "when", "at", "cycles", "mem", "reg",
+    "and", "or", "not",
+})
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "int" | "string" | "punct" | "eof"
+    text: str
+    value: int | str | None
+    location: SourceLocation
+
+
+class Lexer:
+    def __init__(self, source: str, filename: str = "<spec>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self.filename, self.line, self.column)
+
+    def _error(self, message: str) -> MdlError:
+        return MdlError([Diagnostic(self._location(), message)],
+                        self.source)
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        source = self.source
+        while self.pos < len(source):
+            char = source[self.pos]
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "#":
+                while (self.pos < len(source)
+                       and source[self.pos] != "\n"):
+                    self._advance()
+            else:
+                return
+
+    def _lex_string(self) -> Token:
+        loc = self._location()
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise MdlError(
+                    [Diagnostic(loc, "unterminated string literal")],
+                    self.source)
+            char = self.source[self.pos]
+            if char == "\n":
+                raise MdlError(
+                    [Diagnostic(loc, "unterminated string literal")],
+                    self.source)
+            if char == '"':
+                self._advance()
+                break
+            if char == "\\":
+                self._advance()
+                if self.pos >= len(self.source):
+                    raise self._error("dangling escape in string")
+                escape = self.source[self.pos]
+                mapped = {"n": "\n", "t": "\t", '"': '"',
+                          "\\": "\\"}.get(escape)
+                if mapped is None:
+                    raise self._error(f"unknown escape '\\{escape}'")
+                chars.append(mapped)
+                self._advance()
+            else:
+                chars.append(char)
+                self._advance()
+        return Token("string", "".join(chars), "".join(chars), loc)
+
+    def _lex_number(self) -> Token:
+        loc = self._location()
+        start = self.pos
+        source = self.source
+        if source.startswith(("0x", "0X"), self.pos):
+            self._advance(2)
+            while (self.pos < len(source)
+                   and source[self.pos] in "0123456789abcdefABCDEF_"):
+                self._advance()
+        elif source.startswith(("0b", "0B"), self.pos):
+            self._advance(2)
+            while self.pos < len(source) and source[self.pos] in "01_":
+                self._advance()
+        else:
+            while self.pos < len(source) and source[self.pos].isdigit():
+                self._advance()
+        text = source[start:self.pos]
+        try:
+            value = int(text.replace("_", ""), 0)
+        except ValueError:
+            raise MdlError(
+                [Diagnostic(loc, f"malformed number '{text}'")],
+                self.source) from None
+        return Token("int", text, value, loc)
+
+    def tokens(self) -> list[Token]:
+        out: list[Token] = []
+        source = self.source
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(source):
+                out.append(Token("eof", "", None, self._location()))
+                return out
+            char = source[self.pos]
+            if char == '"':
+                out.append(self._lex_string())
+            elif char.isdigit():
+                out.append(self._lex_number())
+            elif char.isalpha() or char == "_":
+                loc = self._location()
+                start = self.pos
+                while (self.pos < len(source)
+                       and (source[self.pos].isalnum()
+                            or source[self.pos] == "_")):
+                    self._advance()
+                text = source[start:self.pos]
+                out.append(Token("ident", text, text, loc))
+            else:
+                loc = self._location()
+                for punct in _PUNCT:
+                    if source.startswith(punct, self.pos):
+                        self._advance(len(punct))
+                        out.append(Token("punct", punct, punct, loc))
+                        break
+                else:
+                    raise self._error(f"unexpected character {char!r}")
+
+
+def tokenize(source: str, filename: str = "<spec>") -> list[Token]:
+    return Lexer(source, filename).tokens()

@@ -1,0 +1,410 @@
+"""Recursive-descent parser for the monitor description language.
+
+Grammar (EBNF, ``#`` comments and whitespace are trivia)::
+
+    spec      = "monitor" IDENT [STRING] { section } ;
+    section   = meta | fields | init | forward | rule ;
+    meta      = "meta"    "{" { IDENT "=" INT } "}" ;
+    fields    = "fields"  "{" { IDENT "=" INT ":" INT } "}" ;
+    init      = "init"    "{" { IDENT "=" INT } "}" ;
+    forward   = "forward" "{" selector { "," selector } "}" ;
+    rule      = "on" selector { "," selector }
+                ["foreach" "word"] "{" { stmt } "}" ;
+    selector  = "load" | "store" | "flex" [IDENT] | IDENT ;
+    stmt      = "let" IDENT "=" expr
+              | "trap" STRING "when" expr ["at" expr] ":" STRING
+              | "cycles" expr
+              | ("mem" | "reg") "[" expr "]" ["." IDENT] "=" expr ;
+
+Expressions use conventional precedence (``or`` < ``and`` < ``not`` <
+comparisons < ``|`` < ``^`` < ``&`` < shifts < ``+ -`` < ``* /`` <
+unary < postfix ``.field``); comparisons do not chain.  Trap message
+templates embed ``{expr}`` / ``{expr:#x}`` fragments that are parsed
+with this same expression grammar by the checker.
+
+Syntax errors are fail-fast (one :class:`MdlError` with a caret);
+semantic errors are collected by :mod:`repro.mdl.check`.
+"""
+
+from __future__ import annotations
+
+from repro.mdl import ast
+from repro.mdl.diagnostics import Diagnostic, MdlError, SourceLocation
+from repro.mdl.lexer import KEYWORDS, Lexer, Token
+
+_COMPARISONS = ("==", "!=", "<=", ">=", "<", ">")
+
+
+class Parser:
+    def __init__(self, source: str, filename: str = "<spec>"):
+        self.source = source
+        self.filename = filename
+        self.toks = Lexer(source, filename).tokens()
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.toks[self.pos]
+
+    def next(self) -> Token:
+        tok = self.toks[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, text: str) -> bool:
+        return self.peek().text == text and self.peek().kind != "string"
+
+    def accept(self, text: str) -> Token | None:
+        if self.at(text):
+            return self.next()
+        return None
+
+    def expect(self, text: str, what: str = "") -> Token:
+        tok = self.peek()
+        if tok.text == text and tok.kind != "string":
+            return self.next()
+        want = what or f"'{text}'"
+        self._fail(tok, f"expected {want}, found {self._describe(tok)}")
+
+    def expect_kind(self, kind: str, what: str) -> Token:
+        tok = self.peek()
+        if tok.kind == kind:
+            return self.next()
+        self._fail(tok, f"expected {what}, found {self._describe(tok)}")
+
+    @staticmethod
+    def _describe(tok: Token) -> str:
+        if tok.kind == "eof":
+            return "end of file"
+        if tok.kind == "string":
+            return "string literal"
+        return f"'{tok.text}'"
+
+    def _fail(self, tok: Token, message: str) -> None:
+        raise MdlError([Diagnostic(tok.location, message)], self.source)
+
+    def _ident(self, what: str = "identifier") -> Token:
+        tok = self.peek()
+        if tok.kind != "ident":
+            self._fail(tok, f"expected {what}, "
+                            f"found {self._describe(tok)}")
+        if tok.text in KEYWORDS:
+            self._fail(tok, f"'{tok.text}' is a reserved word and "
+                            f"cannot be used as {what}")
+        return self.next()
+
+    # -- top level --------------------------------------------------------
+
+    def parse_spec(self) -> ast.Spec:
+        head = self.expect("monitor", "'monitor' at the top of the spec")
+        name = self._ident("the monitor name")
+        description = ""
+        if self.peek().kind == "string":
+            description = self.next().text
+        spec = ast.Spec(name=name.text, description=description,
+                        location=head.location)
+        while self.peek().kind != "eof":
+            tok = self.peek()
+            if self.at("meta"):
+                self._parse_meta(spec)
+            elif self.at("fields"):
+                self._parse_fields(spec)
+            elif self.at("init"):
+                self._parse_init(spec)
+            elif self.at("forward"):
+                self._parse_forward(spec)
+            elif self.at("on"):
+                spec.rules.append(self._parse_rule())
+            else:
+                self._fail(tok, "expected a 'meta', 'fields', 'init', "
+                                "'forward' or 'on' section, found "
+                                f"{self._describe(tok)}")
+        return spec
+
+    def _parse_meta(self, spec: ast.Spec) -> None:
+        self.next()
+        self.expect("{")
+        while not self.accept("}"):
+            name = self.expect_kind("ident", "a meta attribute name")
+            self.expect("=")
+            value = self.expect_kind("int", "an integer value")
+            spec.meta.append(ast.MetaItem(name.text, value.value,
+                                          name.location))
+
+    def _parse_fields(self, spec: ast.Spec) -> None:
+        self.next()
+        self.expect("{")
+        while not self.accept("}"):
+            name = self._ident("a field name")
+            self.expect("=")
+            hi = self.expect_kind("int", "the field's high bit")
+            self.expect(":")
+            lo = self.expect_kind("int", "the field's low bit")
+            spec.fields.append(ast.FieldDecl(name.text, hi.value,
+                                             lo.value, name.location))
+
+    def _parse_init(self, spec: ast.Spec) -> None:
+        self.next()
+        self.expect("{")
+        while not self.accept("}"):
+            section = self.expect_kind("ident",
+                                       "'text' or 'data'")
+            self.expect("=")
+            value = self.expect_kind("int", "an integer tag value")
+            spec.init.append(ast.InitItem(section.text, value.value,
+                                          section.location))
+
+    def _parse_forward(self, spec: ast.Spec) -> None:
+        self.next()
+        self.expect("{")
+        selectors = [self._parse_selector()]
+        while self.accept(","):
+            selectors.append(self._parse_selector())
+        self.expect("}")
+        spec.forward = selectors
+
+    def _parse_selector(self) -> ast.Selector:
+        tok = self.peek()
+        if self.at("flex"):
+            self.next()
+            name = ""
+            nxt = self.peek()
+            if (nxt.kind == "ident" and nxt.text not in KEYWORDS
+                    and not self.at("load") and not self.at("store")):
+                name = self.next().text
+            return ast.Selector("flex", name, tok.location)
+        ident = self.expect_kind(
+            "ident", "an instruction selector "
+                     "('load', 'store', 'flex' or a class name)")
+        if ident.text in ("load", "store"):
+            return ast.Selector(ident.text, "", ident.location)
+        if ident.text in KEYWORDS:
+            self._fail(ident, f"'{ident.text}' cannot start an "
+                              "instruction selector")
+        return ast.Selector("class", ident.text, ident.location)
+
+    def _parse_rule(self) -> ast.Rule:
+        head = self.next()  # "on"
+        selectors = [self._parse_selector()]
+        while self.accept(","):
+            selectors.append(self._parse_selector())
+        foreach = False
+        if self.at("foreach"):
+            self.next()
+            word = self.expect_kind("ident", "'word' after 'foreach'")
+            if word.text != "word":
+                self._fail(word, "only 'foreach word' iteration is "
+                                 "supported")
+            foreach = True
+        self.expect("{")
+        body: list[ast.Stmt] = []
+        while not self.accept("}"):
+            body.append(self._parse_stmt())
+        return ast.Rule(tuple(selectors), foreach, tuple(body),
+                        head.location)
+
+    # -- statements -------------------------------------------------------
+
+    def _parse_stmt(self) -> ast.Stmt:
+        tok = self.peek()
+        if self.at("let"):
+            self.next()
+            name = self._ident("a let-binding name")
+            self.expect("=")
+            value = self.parse_expr()
+            return ast.Let(tok.location, name.text, value)
+        if self.at("trap"):
+            return self._parse_trap()
+        if self.at("cycles"):
+            self.next()
+            return ast.Cycles(tok.location, self.parse_expr())
+        if self.at("mem") or self.at("reg"):
+            target = self._parse_postfix()
+            self.expect("=")
+            value = self.parse_expr()
+            return ast.Assign(tok.location, target, value)
+        self._fail(tok, "expected a statement ('let', 'trap', "
+                        "'cycles', or a 'mem'/'reg' assignment), "
+                        f"found {self._describe(tok)}")
+
+    def _parse_trap(self) -> ast.Trap:
+        head = self.next()  # "trap"
+        kind = self.expect_kind("string",
+                                "the trap kind as a string literal")
+        self.expect("when")
+        condition = self.parse_expr()
+        address = None
+        if self.at("at"):
+            self.next()
+            address = self.parse_expr()
+        self.expect(":")
+        template = self.expect_kind("string", "the trap message "
+                                              "template string")
+        return ast.Trap(head.location, kind.text, condition, address,
+                        template.text, template.location)
+
+    # -- expressions ------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self.at("or"):
+            op = self.next()
+            right = self._parse_and()
+            left = ast.Binary(op.location, "or", left, right)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self.at("and"):
+            op = self.next()
+            right = self._parse_not()
+            left = ast.Binary(op.location, "and", left, right)
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self.at("not"):
+            op = self.next()
+            return ast.Unary(op.location, "not", self._parse_not())
+        return self._parse_cmp()
+
+    def _parse_cmp(self) -> ast.Expr:
+        left = self._parse_bitor()
+        for cmp_op in _COMPARISONS:
+            if self.at(cmp_op):
+                op = self.next()
+                right = self._parse_bitor()
+                return ast.Binary(op.location, cmp_op, left, right)
+        return left
+
+    def _parse_bitor(self) -> ast.Expr:
+        left = self._parse_bitxor()
+        while self.at("|"):
+            op = self.next()
+            left = ast.Binary(op.location, "|", left,
+                              self._parse_bitxor())
+        return left
+
+    def _parse_bitxor(self) -> ast.Expr:
+        left = self._parse_bitand()
+        while self.at("^"):
+            op = self.next()
+            left = ast.Binary(op.location, "^", left,
+                              self._parse_bitand())
+        return left
+
+    def _parse_bitand(self) -> ast.Expr:
+        left = self._parse_shift()
+        while self.at("&"):
+            op = self.next()
+            left = ast.Binary(op.location, "&", left,
+                              self._parse_shift())
+        return left
+
+    def _parse_shift(self) -> ast.Expr:
+        left = self._parse_add()
+        while self.at("<<") or self.at(">>"):
+            op = self.next()
+            left = ast.Binary(op.location, op.text, left,
+                              self._parse_add())
+        return left
+
+    def _parse_add(self) -> ast.Expr:
+        left = self._parse_mul()
+        while self.at("+") or self.at("-"):
+            op = self.next()
+            left = ast.Binary(op.location, op.text, left,
+                              self._parse_mul())
+        return left
+
+    def _parse_mul(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self.at("*") or self.at("/"):
+            op = self.next()
+            left = ast.Binary(op.location, op.text, left,
+                              self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self.at("-") or self.at("~"):
+            op = self.next()
+            return ast.Unary(op.location, op.text, self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while self.at("."):
+            self.next()
+            name = self._ident("a field name after '.'")
+            if isinstance(expr, ast.MemRef) and expr.field_name is None:
+                expr = ast.MemRef(expr.location, expr.address,
+                                  name.text, name.location)
+            else:
+                expr = ast.FieldAccess(name.location, expr, name.text)
+        return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "int":
+            self.next()
+            return ast.Number(tok.location, tok.value)
+        if self.at("("):
+            self.next()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if self.at("mem") or self.at("reg"):
+            self.next()
+            self.expect("[")
+            index = self.parse_expr()
+            self.expect("]")
+            if tok.text == "mem":
+                return ast.MemRef(tok.location, index)
+            return ast.RegRef(tok.location, index)
+        if tok.kind == "ident" and tok.text not in KEYWORDS:
+            self.next()
+            if self.at("("):
+                self.next()
+                args = []
+                if not self.at(")"):
+                    args.append(self.parse_expr())
+                    while self.accept(","):
+                        args.append(self.parse_expr())
+                self.expect(")")
+                return ast.Call(tok.location, tok.text, tuple(args))
+            return ast.Name(tok.location, tok.text)
+        self._fail(tok, f"expected an expression, "
+                        f"found {self._describe(tok)}")
+
+
+def parse_spec(source: str, filename: str = "<spec>") -> ast.Spec:
+    """Parse a spec's source text into an untyped syntax tree."""
+    return Parser(source, filename).parse_spec()
+
+
+def parse_embedded_expr(text: str, filename: str,
+                        location: SourceLocation) -> ast.Expr:
+    """Parse one ``{expr}`` fragment from a trap message template.
+
+    Diagnostics inside the fragment are anchored to the template
+    string's token (the fragment has no precise column of its own).
+    """
+    parser = Parser(text, filename)
+    # Re-anchor every token to the template's location so caret
+    # diagnostics point at the enclosing string literal.
+    parser.toks = [
+        Token(t.kind, t.text, t.value, location) for t in parser.toks
+    ]
+    expr = parser.parse_expr()
+    trailing = parser.peek()
+    if trailing.kind != "eof":
+        raise MdlError(
+            [Diagnostic(location,
+                        f"trailing '{trailing.text}' after the "
+                        f"embedded expression '{text}'")],
+            text)
+    return expr

@@ -255,3 +255,125 @@ class TestInjectMetrics:
         assert "mean cycles" in captured.out
         assert "simulated:" in captured.out
         assert "faulted-runs" in captured.err
+
+
+REDZONE_SPEC = "examples/redzone.mdl"
+
+
+@pytest.fixture(autouse=True)
+def _clean_mdl_registrations():
+    """CLI --mdl registrations are process-global; keep tests isolated."""
+    yield
+    from repro.extensions import unregister_extension
+    for name in ("redzone", "umc", "bc"):
+        unregister_extension(name)
+
+
+class TestUnknownExtension:
+    """Unknown --extension names exit 2 with the known-name list, not
+    a raw traceback (and the list includes --mdl registrations)."""
+
+    def test_run_unknown_extension(self, source_file, capsys):
+        assert main(["run", source_file,
+                     "--extension", "nosuch"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown extension 'nosuch'" in err
+        assert "known:" in err and "umc" in err
+
+    def test_trace_unknown_extension(self, source_file, capsys):
+        assert main(["trace", source_file,
+                     "--extension", "nosuch"]) == 2
+        assert "known:" in capsys.readouterr().err
+
+    def test_inject_unknown_extension(self, source_file, capsys):
+        assert main(["inject", "--extension", "nosuch",
+                     "--source", source_file, "--faults", "2"]) == 2
+        assert "known:" in capsys.readouterr().err
+
+    def test_synth_unknown_extension(self, capsys):
+        assert main(["synth", "nosuch"]) == 2
+        assert "known:" in capsys.readouterr().err
+
+    def test_known_list_includes_mdl_monitors(self, source_file,
+                                              capsys):
+        assert main(["run", source_file, "--mdl", REDZONE_SPEC,
+                     "--extension", "nosuch"]) == 2
+        assert "redzone" in capsys.readouterr().err
+
+
+class TestMdlOption:
+    def test_run_with_mdl_monitor(self, source_file, capsys):
+        assert main(["run", source_file, "--mdl", REDZONE_SPEC,
+                     "--extension", "redzone"]) == 0
+        assert "halted       : True" in capsys.readouterr().out
+
+    def test_missing_spec_file_exits_2(self, source_file, capsys):
+        assert main(["run", source_file,
+                     "--mdl", "nosuch.mdl"]) == 2
+        assert "mdl error" in capsys.readouterr().err
+
+    def test_bad_spec_renders_diagnostics(self, source_file, tmp_path,
+                                          capsys):
+        bad = tmp_path / "bad.mdl"
+        bad.write_text('monitor b "d"\n'
+                       'meta { memory_tag_bits = 1 }\n'
+                       'on load {\n'
+                       '    mem[addrr] = 1\n'
+                       '}\n')
+        assert main(["run", source_file, "--mdl", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "bad.mdl:4" in err and "addrr" in err
+
+    def test_synth_with_mdl_monitor(self, capsys):
+        assert main(["synth", "redzone",
+                     "--mdl", REDZONE_SPEC]) == 0
+        out = capsys.readouterr().out
+        assert "redzone:" in out and "LUTs" in out
+
+    def test_inject_with_mdl_monitor(self, source_file, capsys):
+        assert main(["inject", "--extension", "redzone",
+                     "--mdl", REDZONE_SPEC,
+                     "--source", source_file, "--faults", "3"]) == 0
+        assert "outcome" in capsys.readouterr().out
+
+
+class TestCompile:
+    def test_compile_shipped_spec_by_name(self, capsys):
+        assert main(["compile", "umc"]) == 0
+        out = capsys.readouterr().out
+        assert "umc: uninitialized memory read checking" in out
+        assert "LUTs" in out and "pipeline stages" in out
+
+    def test_compile_spec_file(self, capsys):
+        assert main(["compile", REDZONE_SPEC]) == 0
+        out = capsys.readouterr().out
+        assert "redzone:" in out
+        assert "forward : FLEX, STORE_BYTE" in out
+
+    def test_compile_table3(self, capsys):
+        assert main(["compile", REDZONE_SPEC, "--table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Baseline" in out
+        assert "redzone (fab)" in out
+
+    def test_compile_run_workload(self, capsys):
+        assert main(["compile", "umc", "--run", "bitcount",
+                     "--scale", "0.125"]) == 0
+        out = capsys.readouterr().out
+        assert "run bitcount:" in out
+        assert "digest" in out
+
+    def test_compile_unknown_spec_lists_shipped(self, capsys):
+        assert main(["compile", "nosuch"]) == 2
+        err = capsys.readouterr().err
+        assert "shipped: bc, umc" in err
+
+    def test_compile_bad_spec_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.mdl"
+        bad.write_text('monitor b "d"\non load {')
+        assert main(["compile", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_compile_unknown_workload_exits_2(self, capsys):
+        assert main(["compile", "umc", "--run", "nosuch"]) == 2
+        assert "compile error" in capsys.readouterr().err

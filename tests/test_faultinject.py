@@ -347,3 +347,64 @@ class TestSimulationErrorContext:
         assert clone.pc == 0x1000
         assert clone.instruction == "nop"
         assert clone.instret == 1 and clone.cycle == 2
+
+
+class TestMdlMonitors:
+    """Compiled MDL monitors ride inside the config as (filename,
+    source) pairs so every worker process can rebuild them."""
+
+    REDZONE = open("examples/redzone.mdl").read()
+
+    def _config(self, **overrides):
+        from repro.extensions import unregister_extension
+        unregister_extension("redzone")  # config must self-register
+        defaults = dict(
+            extension="redzone",
+            source=SOURCE,
+            faults=3,
+            seed=7,
+            mdl=(("redzone.mdl", self.REDZONE),),
+        )
+        defaults.update(overrides)
+        return CampaignConfig(**defaults)
+
+    def test_config_accepts_mdl_extension(self):
+        assert self._config().extension == "redzone"
+
+    def test_unknown_extension_message_lists_mdl_names(self):
+        with pytest.raises(ValueError, match="redzone"):
+            self._config(extension="nosuch")
+
+    def test_bad_spec_is_a_value_error(self):
+        with pytest.raises(ValueError, match="bad.mdl"):
+            self._config(
+                mdl=(("bad.mdl", 'monitor x "d"\non load {'),)
+            )
+
+    def test_journal_identity_keys_on_specs(self):
+        with_mdl = self._config().journal_identity()
+        assert with_mdl["mdl"] == [["redzone.mdl", self.REDZONE]]
+        without = CampaignConfig(
+            extension="umc", source=SOURCE, faults=3,
+        ).journal_identity()
+        assert "mdl" not in without
+
+    def test_campaign_runs_serial(self):
+        report = Campaign(self._config()).run()
+        assert len(report.results) == 3
+
+    def test_campaign_runs_parallel_and_matches_serial(self):
+        serial = Campaign(self._config()).run()
+        parallel = Campaign(self._config(jobs=2)).run()
+        assert ([r.as_dict() for r in serial.results]
+                == [r.as_dict() for r in parallel.results])
+
+    def test_config_pickles_with_specs(self):
+        config = self._config()
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone.mdl == config.mdl
+        # Rebuilding the campaign from the clone must re-register.
+        from repro.extensions import unregister_extension
+        unregister_extension("redzone")
+        report = Campaign(clone).run()
+        assert len(report.results) == 3

@@ -1,0 +1,90 @@
+"""LogicNetwork validation and technology-mapping properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.logic import LogicNetwork, Prim, Primitive
+from repro.fabric.mapping import map_network
+
+
+class TestPrimitiveValidation:
+    @pytest.mark.parametrize("width", [0, -1, -32])
+    def test_nonpositive_width_rejected(self, width):
+        with pytest.raises(ValueError, match="must be positive"):
+            Primitive(kind=Prim.GATE, width=width)
+
+    @pytest.mark.parametrize("count", [0, -1])
+    def test_nonpositive_count_rejected(self, count):
+        with pytest.raises(ValueError, match="must be positive"):
+            Primitive(kind=Prim.ADDER, width=8, count=count)
+
+    def test_network_add_validates_too(self):
+        net = LogicNetwork("n")
+        with pytest.raises(ValueError):
+            net.add(Prim.REGISTER, width=0)
+
+
+class TestBitAccounting:
+    def test_flipflop_bits_sums_registers_only(self):
+        net = LogicNetwork("n")
+        net.add(Prim.REGISTER, width=32, count=4)
+        net.add(Prim.REGISTER, width=5)
+        net.add(Prim.GATE, width=64)  # not storage
+        net.add(Prim.SRAM, width=8, depth=1024)  # not flip-flops
+        assert net.flipflop_bits() == 32 * 4 + 5
+
+    def test_sram_bits_sums_macros_only(self):
+        net = LogicNetwork("n")
+        net.add(Prim.SRAM, width=8, depth=1024, count=2)
+        net.add(Prim.LUTRAM, width=4, depth=64)  # distributed, not SRAM
+        net.add(Prim.REGISTER, width=32)
+        assert net.sram_bits() == 8 * 1024 * 2
+
+    def test_empty_network_has_no_storage(self):
+        net = LogicNetwork("n")
+        assert net.flipflop_bits() == 0
+        assert net.sram_bits() == 0
+        assert net.total(Prim.GATE) == 0
+
+
+_MAPPABLE = st.sampled_from([
+    Prim.GATE, Prim.REDUCE, Prim.MUX, Prim.ADDER, Prim.COMPARATOR_EQ,
+    Prim.COMPARATOR_MAG, Prim.SHIFTER, Prim.REGISTER, Prim.LUTRAM,
+])
+
+
+@st.composite
+def networks(draw):
+    net = LogicNetwork("random", pipeline_stages=draw(
+        st.integers(min_value=1, max_value=6)))
+    for _ in range(draw(st.integers(min_value=1, max_value=12))):
+        net.add(
+            draw(_MAPPABLE),
+            width=draw(st.integers(min_value=1, max_value=64)),
+            count=draw(st.integers(min_value=1, max_value=4)),
+            ways=draw(st.integers(min_value=2, max_value=16)),
+            depth=draw(st.sampled_from([0, 16, 64, 256])),
+        )
+    return net
+
+
+class TestMappingDeterminism:
+    @settings(max_examples=50, deadline=None)
+    @given(networks())
+    def test_mapping_is_deterministic(self, net):
+        """Technology mapping is a pure function of the network: two
+        mappings of the same primitives agree bit-for-bit."""
+        first = map_network(net)
+        second = map_network(net)
+        assert first == second
+        assert first.luts >= 0
+        assert first.flipflops == net.flipflop_bits()
+
+    @settings(max_examples=30, deadline=None)
+    @given(networks(), st.integers(min_value=1, max_value=8))
+    def test_mapping_is_monotonic_in_count(self, net, extra):
+        """Adding instances never shrinks the LUT footprint."""
+        before = map_network(net).luts
+        net.add(Prim.ADDER, width=32, count=extra)
+        assert map_network(net).luts >= before

@@ -1,0 +1,96 @@
+"""Extension registry: runtime registration, case-insensitive lookup,
+and clean error reporting."""
+
+import pytest
+
+from repro.extensions import (
+    EXTENSION_CLASSES,
+    MonitorExtension,
+    UninitializedMemoryCheck,
+    create_extension,
+    extension_names,
+    register_extension,
+    unregister_extension,
+)
+
+
+class _Dummy(UninitializedMemoryCheck):
+    pass
+
+
+class TestLookup:
+    def test_builtins_present(self):
+        assert set(EXTENSION_CLASSES) <= set(extension_names())
+
+    @pytest.mark.parametrize("name", ["umc", "UMC", "Umc"])
+    def test_case_insensitive(self, name):
+        assert isinstance(create_extension(name),
+                          UninitializedMemoryCheck)
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="known:.*umc"):
+            create_extension("nosuch")
+
+    def test_unknown_name_suppresses_keyerror_chain(self):
+        """``raise ... from None``: the CLI prints this error, and a
+        chained KeyError would drag a traceback context along."""
+        with pytest.raises(ValueError) as exc:
+            create_extension("nosuch")
+        assert exc.value.__cause__ is None
+        assert exc.value.__suppress_context__
+
+
+class TestRegistration:
+    def test_register_and_create(self):
+        register_extension("dummy", _Dummy)
+        try:
+            assert isinstance(create_extension("DUMMY"), _Dummy)
+            assert "dummy" in extension_names()
+        finally:
+            unregister_extension("dummy")
+        assert "dummy" not in extension_names()
+
+    def test_duplicate_requires_replace(self):
+        register_extension("dummy", _Dummy)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_extension("dummy", _Dummy)
+            register_extension("dummy", _Dummy, replace=True)
+        finally:
+            unregister_extension("dummy")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            register_extension("", _Dummy)
+
+    def test_factory_returned_for_decorator_use(self):
+        try:
+            returned = register_extension("dummy", _Dummy)
+            assert returned is _Dummy
+        finally:
+            unregister_extension("dummy")
+
+    def test_shadowing_builtin_reverts_on_unregister(self):
+        register_extension("umc", _Dummy, replace=True)
+        try:
+            assert isinstance(create_extension("umc"), _Dummy)
+        finally:
+            unregister_extension("umc")
+        ext = create_extension("umc")
+        assert isinstance(ext, UninitializedMemoryCheck)
+        assert not isinstance(ext, _Dummy)
+
+    def test_factory_may_be_any_callable(self):
+        register_extension("lambda-made", lambda: _Dummy())
+        try:
+            assert isinstance(create_extension("lambda-made"), _Dummy)
+        finally:
+            unregister_extension("lambda-made")
+
+    def test_registered_factory_produces_monitor_extension(self):
+        register_extension("dummy", _Dummy)
+        try:
+            assert isinstance(create_extension("dummy"),
+                              MonitorExtension)
+        finally:
+            unregister_extension("dummy")
