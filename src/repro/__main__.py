@@ -5,6 +5,7 @@ Commands
 run      assemble and simulate a .s file, optionally with a monitor
 trace    simulate with full telemetry; export a Perfetto trace
 inject   run a fault-injection campaign against a monitor
+bench    time the fast engine against the reference loop
 compile  compile an MDL monitor spec; synthesize or run it
 disasm   assemble a .s file and print the disassembly listing
 table3   print the Table III area/power/frequency report
@@ -24,6 +25,7 @@ Examples::
         --perfetto crc32.json
     python -m repro inject --extension sec --workload crc32 \\
         --faults 200 --seed 1 --metrics
+    python -m repro bench --quick --json BENCH_perf.json
     python -m repro compile examples/redzone.mdl --table3
     python -m repro compile umc --run sha --scale 0.125
     python -m repro disasm prog.s
@@ -92,6 +94,18 @@ def _make_extension(name: str | None):
         raise _UsageError(f"error: {err}") from None
 
 
+def _build_workload(name: str, scale: float):
+    """``build_workload`` under the same CLI contract as
+    ``--extension``: an unknown name prints the known-name list and
+    exits 2 instead of raising a traceback."""
+    from repro.workloads import build_workload
+
+    try:
+        return build_workload(name, scale)
+    except ValueError as err:
+        raise _UsageError(f"error: {err}") from None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.telemetry import (
         Telemetry,
@@ -104,8 +118,7 @@ def cmd_run(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     if args.workload is not None:
-        from repro.workloads import build_workload
-        program = build_workload(args.workload, args.scale).build()
+        program = _build_workload(args.workload, args.scale).build()
     else:
         program = _load(args.source, args.entry)
     _register_mdl(args.mdl)
@@ -121,6 +134,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             recover=args.recover,
             telemetry=telemetry,
+            engine=args.engine,
         )
     except SimulationError as err:
         # One-line triage instead of a traceback: the structured
@@ -163,7 +177,6 @@ def cmd_trace(args: argparse.Namespace) -> int:
         format_run_summary,
         run_digest,
     )
-    from repro.workloads import build_workload
 
     if (args.source is None) == (args.workload is None):
         print("trace error: give exactly one of SOURCE or --workload",
@@ -172,7 +185,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     telemetry = Telemetry.enabled(trace=True, capacity=args.buffer)
     with telemetry.profiler.phase("assemble"):
         if args.workload is not None:
-            program = build_workload(args.workload, args.scale).build()
+            program = _build_workload(args.workload, args.scale).build()
         else:
             program = _load(args.source, args.entry)
     _register_mdl(args.mdl)
@@ -186,6 +199,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 fifo_depth=args.fifo,
                 max_instructions=args.max_instructions,
                 telemetry=telemetry,
+                engine=args.engine,
             )
     except SimulationError as err:
         print(f"simulation error: {err.diagnosis()}", file=sys.stderr)
@@ -311,6 +325,30 @@ def cmd_inject(args: argparse.Namespace) -> int:
         report.write_json(args.json)
         print(f"\nJSON report written to {args.json}")
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Time the fast engine against the reference loop and verify
+    their digests are bit-identical; nonzero exit on divergence."""
+    import json
+
+    from repro.engine.bench import format_bench, run_bench
+
+    scale = args.scale
+    if scale is None:
+        scale = 0.125 if args.quick else 1.0
+    benchmarks = (
+        tuple(args.benchmarks.split(",")) if args.benchmarks else None
+    )
+    payload = run_bench(scale=scale, quick=args.quick, jobs=args.jobs,
+                        benchmarks=benchmarks)
+    print(format_bench(payload))
+    if args.json is not None:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"payload      : {args.json}")
+    return 0 if payload["digests_match"] else 1
 
 
 def cmd_disasm(args: argparse.Namespace) -> int:
@@ -486,6 +524,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--digest", action="store_true",
         help="print the canonical RunResult digest (CI golden check)",
     )
+    run_cmd.add_argument(
+        "--engine", choices=("fast", "reference"), default=None,
+        help="execution engine (default fast; both are bit-identical)",
+    )
     run_cmd.set_defaults(handler=cmd_run)
 
     trace_cmd = commands.add_parser(
@@ -534,6 +576,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument(
         "--stats", action="store_true",
         help="also print the one-screen metrics summary",
+    )
+    trace_cmd.add_argument(
+        "--engine", choices=("fast", "reference"), default=None,
+        help="execution engine (tracing forces the reference loop)",
     )
     trace_cmd.set_defaults(handler=cmd_trace)
 
@@ -611,6 +657,31 @@ def build_parser() -> argparse.ArgumentParser:
     inject_cmd.add_argument("--progress", action="store_true",
                             help="show run progress on stderr")
     inject_cmd.set_defaults(handler=cmd_inject)
+
+    bench_cmd = commands.add_parser(
+        "bench",
+        help="time the fast engine against the reference loop",
+    )
+    bench_cmd.add_argument(
+        "--quick", action="store_true",
+        help="smoke matrix: baseline + each extension at its paper "
+             "fabric clock, scale 0.125 (the CI perf-smoke job)",
+    )
+    bench_cmd.add_argument(
+        "--scale", type=float, default=None,
+        help="workload scale (default: 1.0, or 0.125 with --quick)",
+    )
+    bench_cmd.add_argument(
+        "--benchmarks", default=None,
+        help="comma-separated workload subset (default: all six)",
+    )
+    bench_cmd.add_argument("--jobs", type=int, default=1,
+                           help="worker processes per sweep")
+    bench_cmd.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the BENCH_perf.json payload here",
+    )
+    bench_cmd.set_defaults(handler=cmd_bench)
 
     disasm_cmd = commands.add_parser("disasm",
                                      help="disassemble a .s program")

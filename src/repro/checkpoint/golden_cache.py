@@ -1,20 +1,23 @@
-"""On-disk cache of golden-run profiles for fault campaigns.
+"""On-disk identity-keyed caches (golden-run profiles, sweep results).
 
-The golden run is the serial prefix of every campaign: it must finish
-before any fault can be planned, and for the larger workloads it
-dominates campaign start-up — once per campaign *and once more per
-worker process*.  Its result, the
+:class:`IdentityCache` is the generic machinery: entries are
+checkpoint containers (CRC-checked, atomically written) named
+``<stem>-<hash12>.ckpt`` where ``hash12`` prefixes the SHA-256 of the
+canonical identity JSON.  Loading re-verifies the *full* identity
+stored inside the entry; any mismatch or corruption is reported as a
+human-readable invalidation diagnostic and treated as a miss (the
+payload is recomputed and the entry rewritten) — a cache can slow a
+run down, never poison it.
+
+:class:`GoldenCache` specialises it for fault campaigns.  The golden
+run is the serial prefix of every campaign: it must finish before any
+fault can be planned, and for the larger workloads it dominates
+campaign start-up — once per campaign *and once more per worker
+process*.  Its result, the
 :class:`~repro.faultinject.models.GoldenProfile`, depends only on the
 (workload, extension, simulator configuration) triple, so it is safe
-to memoise on disk.
-
-Entries are checkpoint containers (CRC-checked, atomically written)
-named ``<workload>-<extension>-<hash12>.ckpt`` where ``hash12``
-prefixes the SHA-256 of the canonical identity JSON.  Loading
-re-verifies the *full* identity stored inside the entry; any mismatch
-or corruption is reported as a human-readable invalidation diagnostic
-and treated as a miss (the profile is recomputed and the entry
-rewritten) — the cache can slow a campaign down, never poison it.
+to memoise on disk.  :class:`repro.engine.sweep.SweepRunner` reuses
+the same machinery for table/figure sweep points.
 """
 
 from __future__ import annotations
@@ -60,19 +63,86 @@ def _identity_key(identity: dict) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+class IdentityCache:
+    """A directory of identity-keyed, CRC-checked cache entries.
+
+    ``label`` names the cache in diagnostics ("golden cache", "sweep
+    cache"); ``section`` names the payload section inside each
+    container.  Payloads are plain JSON-able dicts.
+    """
+
+    def __init__(self, root, *, label: str, section: str):
+        self.root = Path(root)
+        self.label = label
+        self.section = section
+
+    def path_for(self, identity: dict, stem: str) -> Path:
+        return self.root / (
+            f"{stem}-{_identity_key(identity)[:12]}.ckpt"
+        )
+
+    def load(self, identity: dict, stem: str
+             ) -> tuple[dict | None, str | None]:
+        """Look a payload up: ``(payload, diagnostic)``.
+
+        Exactly one of the pair is ``None``: a hit returns the stored
+        payload; a miss returns a diagnostic explaining *why* the
+        entry was unusable (absent, corrupt, or stale identity).
+        """
+        path = self.path_for(identity, stem)
+        if not path.exists():
+            return None, f"{self.label} miss: no entry at {path}"
+        try:
+            sections = read_container(path)
+            stored = decode_obj(sections[IDENTITY_SECTION])
+            payload = decode_obj(sections[self.section])
+        except (CheckpointError, KeyError) as err:
+            return None, (
+                f"{self.label} entry {path} is unusable "
+                f"({type(err).__name__}: {err}); recomputing"
+            )
+        if stored != identity:
+            stale = sorted(
+                key for key in set(stored) | set(identity)
+                if stored.get(key) != identity.get(key)
+            )
+            return None, (
+                f"{self.label} entry {path} was built for a different "
+                f"configuration (stale fields: {', '.join(stale)}); "
+                f"recomputing"
+            )
+        return payload, None
+
+    def store(self, identity: dict, stem: str, payload: dict) -> Path:
+        """Atomically (re)write the entry for this identity."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(identity, stem)
+        write_container(path, {
+            IDENTITY_SECTION: encode_obj(identity),
+            self.section: encode_obj(payload),
+        })
+        return path
+
+
 class GoldenCache:
     """A directory of memoised golden-run profiles."""
 
     def __init__(self, root):
-        self.root = Path(root)
+        self._cache = IdentityCache(
+            root, label="golden cache", section=PROFILE_SECTION
+        )
+
+    @property
+    def root(self) -> Path:
+        return self._cache.root
+
+    def _stem(self, config: "CampaignConfig") -> str:
+        workload = config.workload or "inline"
+        return f"{workload}-{config.extension}"
 
     def path_for(self, config: "CampaignConfig") -> Path:
-        identity = golden_identity(config)
-        workload = config.workload or "inline"
-        return self.root / (
-            f"{workload}-{config.extension}-"
-            f"{_identity_key(identity)[:12]}.ckpt"
-        )
+        return self._cache.path_for(golden_identity(config),
+                                    self._stem(config))
 
     def load(
         self, config: "CampaignConfig"
@@ -85,39 +155,16 @@ class GoldenCache:
         """
         from repro.faultinject.models import GoldenProfile
 
-        path = self.path_for(config)
-        if not path.exists():
-            return None, f"golden cache miss: no entry at {path}"
-        try:
-            sections = read_container(path)
-            stored = decode_obj(sections[IDENTITY_SECTION])
-            fields = decode_obj(sections[PROFILE_SECTION])
-        except (CheckpointError, KeyError) as err:
-            return None, (
-                f"golden cache entry {path} is unusable "
-                f"({type(err).__name__}: {err}); recomputing"
-            )
-        wanted = golden_identity(config)
-        if stored != wanted:
-            stale = sorted(
-                key for key in set(stored) | set(wanted)
-                if stored.get(key) != wanted.get(key)
-            )
-            return None, (
-                f"golden cache entry {path} was built for a different "
-                f"configuration (stale fields: {', '.join(stale)}); "
-                f"recomputing"
-            )
+        fields, diagnostic = self._cache.load(golden_identity(config),
+                                              self._stem(config))
+        if fields is None:
+            return None, diagnostic
         fields["store_addresses"] = tuple(fields["store_addresses"])
         return GoldenProfile(**fields), None
 
     def store(self, config: "CampaignConfig",
               profile: "GoldenProfile") -> Path:
         """Atomically (re)write the entry for this configuration."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(config)
-        write_container(path, {
-            IDENTITY_SECTION: encode_obj(golden_identity(config)),
-            PROFILE_SECTION: encode_obj(vars(profile).copy()),
-        })
-        return path
+        return self._cache.store(golden_identity(config),
+                                 self._stem(config),
+                                 vars(profile).copy())

@@ -1,0 +1,47 @@
+"""Fast execution engine: predecoded step loop + parallel sweeps.
+
+Three pieces:
+
+* :mod:`repro.engine.predecode` / :mod:`repro.engine.fastloop` — the
+  per-PC fused handler closures and the flattened hot loop behind
+  ``engine="fast"`` (selected via ``SystemConfig.engine`` or the
+  ``engine=`` argument of ``run_program``/``run``/``run_bounded``).
+* :mod:`repro.engine.pool` — the shared process-pool fan-out used by
+  fault-injection campaigns and sweeps alike.
+* :mod:`repro.engine.sweep` — :class:`SweepRunner`, which fans the
+  workload × extension × clock-ratio × FIFO-depth matrix of the
+  paper's tables/figures across the pool, with an identity-checked
+  on-disk cache.
+
+The fast engine's contract is *observational invariance*: for any
+program, extension and watchdog configuration, the
+:class:`~repro.flexcore.system.RunResult` digest is bit-identical to
+the reference loop's (``tests/test_engine_differential.py`` and the
+pinned golden digests enforce this).
+"""
+
+from repro.engine.predecode import HandlerTable
+
+__all__ = [
+    "HandlerTable",
+    "SweepOutcome",
+    "SweepPoint",
+    "SweepRunner",
+    "table4_points",
+]
+
+_SWEEP_EXPORTS = ("SweepOutcome", "SweepPoint", "SweepRunner",
+                  "table4_points")
+
+
+def __getattr__(name):
+    # Lazy re-export: the sweep module imports the evaluation package
+    # (whose experiment runners import the sweep module back), so an
+    # eager import here would turn the fast loop's ``import
+    # repro.engine.fastloop`` into a circular-import error.
+    if name in _SWEEP_EXPORTS:
+        from repro.engine import sweep
+        return getattr(sweep, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

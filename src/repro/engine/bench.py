@@ -1,0 +1,136 @@
+"""The ``repro bench`` harness: fast vs reference, timed and checked.
+
+Runs the Table-IV evaluation matrix twice — once under the reference
+loop, once under the fast engine — comparing wall clock and asserting
+the per-point run digests are bit-identical.  The result is a JSON
+payload (``BENCH_perf.json`` by convention) that CI archives so
+engine-performance regressions and silent divergences both show up in
+the artifact history.
+
+The sweep runner's on-disk cache is deliberately not used here: the
+whole point is to measure cold simulation time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine.sweep import SweepPoint, SweepRunner, table4_points
+from repro.evaluation.config import FLEXCORE_RATIOS
+from repro.workloads import workload_names
+
+#: default payload filename (what CI uploads).
+BENCH_FILENAME = "BENCH_perf.json"
+
+
+def bench_points(scale: float, quick: bool,
+                 benchmarks=None) -> list[SweepPoint]:
+    """The measured grid.
+
+    Full mode is exactly the Table-IV matrix.  ``quick`` trims it to
+    one unmonitored baseline plus each extension at its paper fabric
+    clock — the smoke matrix CI can afford on every push.
+    """
+    benchmarks = benchmarks or workload_names()
+    if not quick:
+        return table4_points(scale, benchmarks)
+    points = []
+    for bench in benchmarks:
+        points.append(SweepPoint(workload=bench, scale=scale))
+        for extension, ratio in FLEXCORE_RATIOS.items():
+            points.append(SweepPoint(workload=bench,
+                                     extension=extension,
+                                     clock_ratio=ratio, scale=scale))
+    return points
+
+
+def _timed_sweep(points, engine: str, jobs: int) -> tuple[list, dict]:
+    runner = SweepRunner(jobs=jobs, engine=engine)
+    start = time.perf_counter()
+    outcomes = runner.run(points)
+    seconds = time.perf_counter() - start
+    instructions = sum(o.instructions for o in outcomes)
+    return outcomes, {
+        "seconds": seconds,
+        "instructions": instructions,
+        "instr_per_sec": instructions / seconds if seconds > 0 else 0.0,
+    }
+
+
+def run_bench(scale: float = 1.0, quick: bool = False, jobs: int = 1,
+              benchmarks=None) -> dict:
+    """Measure both engines over the matrix; return the JSON payload.
+
+    ``payload["digests_match"]`` is the correctness verdict: True iff
+    every point's fast digest equals its reference digest.
+    """
+    points = bench_points(scale, quick, benchmarks)
+    reference, ref_timing = _timed_sweep(points, "reference", jobs)
+    fast, fast_timing = _timed_sweep(points, "fast", jobs)
+
+    rows = []
+    digests_match = True
+    for ref, quickened in zip(reference, fast):
+        match = ref.digest == quickened.digest
+        digests_match = digests_match and match
+        point = ref.point
+        rows.append({
+            "workload": point.workload,
+            "extension": point.extension,
+            "clock_ratio": point.clock_ratio,
+            "fifo_depth": point.fifo_depth,
+            "cycles": ref.cycles,
+            "instructions": ref.instructions,
+            "reference_digest": ref.digest,
+            "fast_digest": quickened.digest,
+            "fast_engine": quickened.engine,
+            "match": match,
+        })
+
+    ref_seconds = ref_timing["seconds"]
+    fast_seconds = fast_timing["seconds"]
+    return {
+        "quick": quick,
+        "scale": scale,
+        "jobs": jobs,
+        "points": rows,
+        "reference": ref_timing,
+        "fast": fast_timing,
+        "speedup": (ref_seconds / fast_seconds
+                    if fast_seconds > 0 else 0.0),
+        "digests_match": digests_match,
+    }
+
+
+def format_bench(payload: dict) -> str:
+    """One-screen human summary of a bench payload."""
+    lines = []
+    mode = "quick" if payload["quick"] else "full table-IV"
+    lines.append(
+        f"bench ({mode} matrix, scale {payload['scale']}, "
+        f"{len(payload['points'])} points, jobs {payload['jobs']})"
+    )
+    for engine in ("reference", "fast"):
+        timing = payload[engine]
+        lines.append(
+            f"  {engine:9s}: {timing['seconds']:8.2f}s  "
+            f"{timing['instr_per_sec']:12,.0f} instr/s"
+        )
+    lines.append(f"  speedup  : {payload['speedup']:.2f}x")
+    mismatches = [row for row in payload["points"] if not row["match"]]
+    if mismatches:
+        lines.append(f"  DIGEST MISMATCH on {len(mismatches)} point(s):")
+        for row in mismatches:
+            lines.append(
+                f"    {row['workload']} / "
+                f"{row['extension'] or 'baseline'} "
+                f"@ {row['clock_ratio']}: "
+                f"ref {row['reference_digest'][:12]} != "
+                f"fast {row['fast_digest'][:12]}"
+            )
+    else:
+        lines.append(
+            f"  digests  : all {len(payload['points'])} points "
+            f"bit-identical"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Shared process-pool fan-out.
+
+One implementation of the "initialize each worker once, stream items
+through ``imap_unordered``, terminate cleanly on interrupt" pattern,
+used by both fault-injection campaigns
+(:meth:`repro.faultinject.campaign.Campaign._run_parallel`) and the
+evaluation sweeps (:class:`repro.engine.sweep.SweepRunner`).
+
+The interruption contract matches the campaign's original behaviour:
+workers ignore SIGINT (only the parent reacts to Ctrl-C, after the
+in-flight ``record`` call finished) and revert SIGTERM to the default
+action so ``pool.terminate()`` ends them silently.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+
+
+def worker_signals() -> None:
+    """Standard worker-process signal setup; call first in every pool
+    initializer.  The parent owns interruption: a terminal-wide SIGINT
+    must not kill workers mid-result while the parent is still
+    recording, and SIGTERM reverts to the default action (the fork
+    inherited the parent's handler) so ``pool.terminate()`` ends
+    workers without tracebacks."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+
+
+def fan_out(
+    items,
+    worker,
+    record,
+    *,
+    jobs: int,
+    initializer=None,
+    initargs: tuple = (),
+    chunksize: int = 8,
+) -> None:
+    """Stream ``worker(item)`` results for every item to ``record``.
+
+    Results arrive in completion order (callers that need item order
+    must carry an index through the worker).  ``initializer`` runs
+    once per worker process — it should call :func:`worker_signals`
+    before any real setup.  Any exception in the parent (including
+    KeyboardInterrupt) terminates the pool before re-raising, so no
+    orphan workers outlive the caller.
+    """
+    ctx = multiprocessing.get_context()
+    pool = ctx.Pool(
+        processes=jobs,
+        initializer=initializer,
+        initargs=initargs,
+    )
+    try:
+        for result in pool.imap_unordered(worker, items,
+                                          chunksize=chunksize):
+            record(result)
+        pool.close()
+    except BaseException:
+        pool.terminate()
+        raise
+    finally:
+        pool.join()

@@ -1,0 +1,1047 @@
+"""Per-PC predecoded handler closures for the fast engine.
+
+The reference loop pays, for every committed instruction: a word
+fetch assembled byte-by-byte, a decode-cache lookup, a
+:class:`~repro.core.executor.CommitRecord` allocation, a chain of
+``isinstance``/opcode dispatch branches, a CFGR policy lookup, and an
+:meth:`~repro.flexcore.interface.CoreFabricInterface.on_commit` call
+— even when the instruction's class is configured IGNORE and the
+packet is never built.
+
+A :class:`HandlerTable` resolves everything that is *static per PC*
+exactly once — the instruction word, its decode, its CFGR class and
+forwarding policy, its base latency — into one closure per program
+counter.  Calling the closure executes the instruction functionally,
+charges the timing model, and updates the interface counters, in
+precisely the order the reference path does, so the resulting
+:class:`~repro.flexcore.system.RunResult` is bit-identical (the
+differential and golden tests enforce this).
+
+Fidelity rules the closures follow:
+
+* Ignored-class common instructions are fully fused: no record is
+  allocated; the interface bookkeeping reduces to the two counters
+  ``on_commit`` would have bumped.
+* *Forwarded* common instructions (policy != IGNORE) fuse the
+  functional work and the timing charge, build a fresh
+  ``CommitRecord`` per call — field-for-field what ``_execute`` would
+  have produced, fresh because trace packets retain their record —
+  and hand it to the original ``on_commit``, which owns every
+  dynamic decision (FIFO occupancy, fabric service, traps).
+* The rare opcodes (FLEX, JMPL, TICC, SAVE/RESTORE, RDY/WRY, RETT,
+  LDD/STD) run through the original ``CpuState._execute`` /
+  ``CoreTiming.advance`` / ``on_commit`` machinery — only the fetch
+  and decode are skipped.
+* ``now`` is truncated with ``int()`` before timing, errors propagate
+  with the same types and messages, ``instret`` only increments after
+  the fallible functional work, and mutable collaborators that
+  ``restore_state`` *replaces* (``timing.stats``, ``iface.stats``,
+  ``cpu.codes``) are re-read through their stable owner on every call.
+* Stores into the text section invalidate the handler for the written
+  word, so self-modifying code re-predecodes on next execution.
+
+Handlers are built lazily (on first execution of each PC), so a table
+never describes memory it has not read.
+"""
+
+from __future__ import annotations
+
+from repro.core.alu import execute_alu
+from repro.core.executor import CommitRecord
+from repro.flexcore.cfgr import ForwardPolicy
+from repro.flexcore.packet import TracePacket
+from repro.isa.encoding import decode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Cond, Op, Op2, Op3, Op3Mem
+from repro.memory.backing import PAGE_MASK, PAGE_SIZE, MemoryFault
+
+MASK32 = 0xFFFFFFFF
+
+#: Process-wide word -> Instruction memo.  Instructions are frozen and
+#: decoding is pure, so the memo is shared by every table.
+_DECODE_CACHE: dict[int, Instruction] = {}
+
+#: Branch condition evaluators, one closure per Cond (the reference
+#: ``evaluate_condition`` rebuilds a 16-entry dict per call).
+_COND_EVAL = {
+    Cond.BA: lambda codes: True,
+    Cond.BN: lambda codes: False,
+    Cond.BE: lambda codes: codes.z,
+    Cond.BNE: lambda codes: not codes.z,
+    Cond.BG: lambda codes: not (codes.z or (codes.n != codes.v)),
+    Cond.BLE: lambda codes: codes.z or (codes.n != codes.v),
+    Cond.BGE: lambda codes: codes.n == codes.v,
+    Cond.BL: lambda codes: codes.n != codes.v,
+    Cond.BGU: lambda codes: not (codes.c or codes.z),
+    Cond.BLEU: lambda codes: codes.c or codes.z,
+    Cond.BCC: lambda codes: not codes.c,
+    Cond.BCS: lambda codes: codes.c,
+    Cond.BPOS: lambda codes: not codes.n,
+    Cond.BNEG: lambda codes: codes.n,
+    Cond.BVC: lambda codes: not codes.v,
+    Cond.BVS: lambda codes: codes.v,
+}
+
+
+def _sra(a, b):
+    return (((a & MASK32) - ((a & 0x80000000) << 1)) >> (b & 31)) & MASK32
+
+
+#: Non-cc ALU ops whose value the closure computes inline; every
+#: formula mirrors :func:`repro.core.alu.execute_alu` bit for bit.
+#: Anything cc-setting, carry-consuming or Y-touching calls
+#: ``execute_alu`` itself (see ``_make_alu_full``).
+_SIMPLE_ALU = {
+    Op3.ADD: lambda a, b: (a + b) & MASK32,
+    Op3.SUB: lambda a, b: (a - b) & MASK32,
+    Op3.AND: lambda a, b: a & b & MASK32,
+    Op3.ANDN: lambda a, b: a & ~b & MASK32,
+    Op3.OR: lambda a, b: (a | b) & MASK32,
+    Op3.ORN: lambda a, b: (a | ~b) & MASK32,
+    Op3.XOR: lambda a, b: (a ^ b) & MASK32,
+    Op3.XNOR: lambda a, b: ~(a ^ b) & MASK32,
+    Op3.SLL: lambda a, b: (a << (b & 31)) & MASK32,
+    Op3.SRL: lambda a, b: (a >> (b & 31)) & MASK32,
+    Op3.SRA: _sra,
+}
+
+#: FORMAT3_ALU opcodes with side effects beyond regs/codes/Y writes
+#: (window rotation, control transfer, traps, co-processor I/O); these
+#: always run through ``CpuState._execute``.
+_SPECIAL_ALU = frozenset({
+    Op3.FLEXOP, Op3.JMPL, Op3.TICC, Op3.SAVE, Op3.RESTORE,
+    Op3.RDY, Op3.WRY, Op3.RETT,
+})
+
+#: Loads/stores with fully fused closures; LDD/STD (two accesses,
+#: even-rd checks) take the generic path.
+_FUSED_LOADS = (Op3Mem.LD, Op3Mem.LDUB, Op3Mem.LDSB,
+                Op3Mem.LDUH, Op3Mem.LDSH)
+_FUSED_STORES = (Op3Mem.ST, Op3Mem.STB, Op3Mem.STH)
+
+
+def _word_accessors(memory):
+    """Fast big-endian word read/write over ``memory``'s page dict.
+
+    Bit-compatible with :class:`SparseMemory`'s accessors, including
+    the misaligned-fault message and zero-page allocation; an aligned
+    word never straddles a page.
+    """
+    pages = memory._pages
+
+    def read_word(addr):
+        if addr & 3:
+            raise MemoryFault(f"misaligned word read at {addr:#x}")
+        addr &= MASK32
+        page = pages.get(addr >> 12)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            pages[addr >> 12] = page
+        o = addr & PAGE_MASK
+        return ((page[o] << 24) | (page[o + 1] << 16)
+                | (page[o + 2] << 8) | page[o + 3])
+
+    def write_word(addr, value):
+        if addr & 3:
+            raise MemoryFault(f"misaligned word write at {addr:#x}")
+        addr &= MASK32
+        page = pages.get(addr >> 12)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            pages[addr >> 12] = page
+        o = addr & PAGE_MASK
+        value &= MASK32
+        page[o] = value >> 24
+        page[o + 1] = (value >> 16) & 0xFF
+        page[o + 2] = (value >> 8) & 0xFF
+        page[o + 3] = value & 0xFF
+
+    return read_word, write_word
+
+
+class HandlerTable:
+    """Lazily-built map of PC -> fused step closure for one system.
+
+    A table is built fresh for each ``run_bounded`` invocation (and
+    after every rollback restore), so it can never describe stale
+    text.  Within a run, store closures invalidate overwritten words.
+    """
+
+    def __init__(self, system):
+        self.system = system
+        self.handlers: dict[int, object] = {}
+        program = system.program
+        self.text_lo = program.text_base
+        self.text_hi = program.text_base + 4 * len(program.text)
+        self._read_word, self._write_word = _word_accessors(system.memory)
+
+    # ------------------------------------------------------------------
+
+    def build(self, pc: int):
+        """Decode the word at ``pc`` and install its handler.
+
+        Raises exactly what the reference fetch/decode would raise
+        (``MemoryFault`` on unmapped/misaligned PCs, the decoder's
+        ``SimulationError`` on bad words); callers wrap errors the
+        same way ``CpuState.step`` does.
+        """
+        system = self.system
+        word = system.memory.read_word(pc)
+        instr = _DECODE_CACHE.get(word)
+        if instr is None:
+            instr = decode(word)
+            _DECODE_CACHE[word] = instr
+        instr_class = instr.instr_class
+        latency = system.core_timing.config.base_latency(instr_class)
+        iface = system.interface
+        policy = (iface.cfgr.policy(instr_class)
+                  if iface is not None else ForwardPolicy.IGNORE)
+
+        handler = None
+        if policy == ForwardPolicy.IGNORE:
+            op = instr.op
+            if op == Op.FORMAT3_ALU and instr.opcode not in _SPECIAL_ALU:
+                valfn = _SIMPLE_ALU.get(instr.opcode)
+                if valfn is not None:
+                    handler = self._make_alu_simple(pc, instr, valfn,
+                                                    latency)
+                else:
+                    handler = self._make_alu_full(pc, instr, latency)
+            elif op == Op.FORMAT3_MEM:
+                if instr.opcode in _FUSED_LOADS:
+                    handler = self._make_load(pc, instr, latency)
+                elif instr.opcode in _FUSED_STORES:
+                    handler = self._make_store(pc, instr, latency)
+            elif op == Op.CALL:
+                handler = self._make_call(pc, instr, latency)
+            elif op == Op.FORMAT2:
+                if instr.opcode == Op2.SETHI:
+                    handler = self._make_sethi(pc, instr, latency)
+                elif instr.opcode == Op2.BICC:
+                    handler = self._make_branch(pc, instr, latency)
+        else:
+            op = instr.op
+            if op == Op.FORMAT3_ALU and instr.opcode not in _SPECIAL_ALU:
+                valfn = _SIMPLE_ALU.get(instr.opcode)
+                if valfn is not None:
+                    handler = self._make_alu_simple_fwd(pc, word, instr,
+                                                        valfn, latency)
+                else:
+                    handler = self._make_alu_full_fwd(pc, word, instr,
+                                                      latency)
+            elif op == Op.FORMAT3_MEM:
+                if instr.opcode in _FUSED_LOADS:
+                    handler = self._make_load_fwd(pc, word, instr,
+                                                  latency)
+                elif instr.opcode in _FUSED_STORES:
+                    handler = self._make_store_fwd(pc, word, instr,
+                                                   latency)
+            elif op == Op.CALL:
+                handler = self._make_call_fwd(pc, word, instr, latency)
+            elif op == Op.FORMAT2:
+                if instr.opcode == Op2.SETHI:
+                    handler = self._make_sethi_fwd(pc, word, instr,
+                                                   latency)
+                elif instr.opcode == Op2.BICC:
+                    handler = self._make_branch_fwd(pc, word, instr,
+                                                    latency)
+        if handler is None:
+            handler = self._make_generic(pc, word, instr)
+        self.handlers[pc] = handler
+        return handler
+
+    # ------------------------------------------------------------------
+    # Closure factories.  Each captures only objects that are stable
+    # across restore_state (the cpu/timing/interface *owners*, bound
+    # methods of in-place-mutated collaborators) plus per-PC statics.
+
+    def _context(self):
+        system = self.system
+        cpu = system.cpu
+        timing = system.core_timing
+        regs = cpu.regs
+        return (cpu, timing, system.interface, regs.read, regs.write,
+                regs.physical_index, timing.icache.read,
+                system.bus.line_refill)
+
+    def _make_alu_simple(self, pc, instr, valfn, latency):
+        (cpu, timing, iface, regs_read, regs_write, phys,
+         icache_read, refill) = self._context()
+        rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+        use_imm = instr.use_imm
+        imm = instr.imm & MASK32
+
+        def handler(now):
+            a = regs_read(rs1)
+            b = imm if use_imm else regs_read(rs2)
+            regs_write(rd, valfn(a, b))
+            npc = cpu.npc
+            cpu.pc = npc
+            cpu.npc = (npc + 4) & MASK32
+            cpu.instret += 1
+            ts = timing.stats
+            ts.instructions += 1
+            now = int(now)
+            if not icache_read(pc):
+                done = refill(now, "core-ifetch")
+                ts.icache_stall += done - now
+                now = done
+            base = latency
+            dest = timing._pending_load_dest
+            if dest > 0 and (phys(rs1) == dest
+                             or (not use_imm and phys(rs2) == dest)):
+                base += 1
+                ts.interlock_stall += 1
+            timing._pending_load_dest = -1
+            ts.base_cycles += base
+            now += base
+            ts.cycles = now
+            if iface is not None:
+                s = iface.stats
+                s.committed += 1
+                s.ignored += 1
+            return now
+
+        return handler
+
+    def _make_alu_full(self, pc, instr, latency):
+        (cpu, timing, iface, regs_read, regs_write, phys,
+         icache_read, refill) = self._context()
+        rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+        use_imm = instr.use_imm
+        imm = instr.imm & MASK32
+        op3 = instr.opcode
+
+        def handler(now):
+            a = regs_read(rs1)
+            b = imm if use_imm else regs_read(rs2)
+            alu = execute_alu(op3, a, b, carry=cpu.codes.c, y=cpu.y)
+            regs_write(rd, alu.value)
+            if alu.codes is not None:
+                cpu.codes = alu.codes
+            if alu.y is not None:
+                cpu.y = alu.y
+            npc = cpu.npc
+            cpu.pc = npc
+            cpu.npc = (npc + 4) & MASK32
+            cpu.instret += 1
+            ts = timing.stats
+            ts.instructions += 1
+            now = int(now)
+            if not icache_read(pc):
+                done = refill(now, "core-ifetch")
+                ts.icache_stall += done - now
+                now = done
+            base = latency
+            dest = timing._pending_load_dest
+            if dest > 0 and (phys(rs1) == dest
+                             or (not use_imm and phys(rs2) == dest)):
+                base += 1
+                ts.interlock_stall += 1
+            timing._pending_load_dest = -1
+            ts.base_cycles += base
+            now += base
+            ts.cycles = now
+            if iface is not None:
+                s = iface.stats
+                s.committed += 1
+                s.ignored += 1
+            return now
+
+        return handler
+
+    def _make_load(self, pc, instr, latency):
+        (cpu, timing, iface, regs_read, regs_write, phys,
+         icache_read, refill) = self._context()
+        rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+        use_imm = instr.use_imm
+        imm = instr.imm & MASK32
+        op3 = instr.opcode
+        dcache_read = timing.dcache.read
+        memory = self.system.memory
+        read_word = self._read_word
+        read_byte = memory.read_byte
+        read_half = memory.read_half
+
+        if op3 == Op3Mem.LD:
+            loadfn = read_word
+        elif op3 == Op3Mem.LDUB:
+            loadfn = read_byte
+        elif op3 == Op3Mem.LDSB:
+            def loadfn(addr):
+                raw = read_byte(addr)
+                return (raw - 0x100 if raw & 0x80 else raw) & MASK32
+        elif op3 == Op3Mem.LDUH:
+            loadfn = read_half
+        else:  # LDSH
+            def loadfn(addr):
+                raw = read_half(addr)
+                return (raw - 0x10000 if raw & 0x8000 else raw) & MASK32
+
+        def handler(now):
+            a = regs_read(rs1)
+            b = imm if use_imm else regs_read(rs2)
+            addr = (a + b) & MASK32
+            value = loadfn(addr)
+            regs_write(rd, value)
+            npc = cpu.npc
+            cpu.pc = npc
+            cpu.npc = (npc + 4) & MASK32
+            cpu.instret += 1
+            ts = timing.stats
+            ts.instructions += 1
+            now = int(now)
+            if not icache_read(pc):
+                done = refill(now, "core-ifetch")
+                ts.icache_stall += done - now
+                now = done
+            base = latency
+            dest = timing._pending_load_dest
+            if dest > 0 and (phys(rs1) == dest
+                             or (not use_imm and phys(rs2) == dest)):
+                base += 1
+                ts.interlock_stall += 1
+            timing._pending_load_dest = phys(rd)
+            ts.base_cycles += base
+            now += base
+            if not dcache_read(addr):
+                done = refill(now, "core-dcache")
+                ts.dcache_stall += done - now
+                now = done
+            ts.cycles = now
+            if iface is not None:
+                s = iface.stats
+                s.committed += 1
+                s.ignored += 1
+            return now
+
+        return handler
+
+    def _make_store(self, pc, instr, latency):
+        (cpu, timing, iface, regs_read, regs_write, phys,
+         icache_read, refill) = self._context()
+        rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+        use_imm = instr.use_imm
+        imm = instr.imm & MASK32
+        op3 = instr.opcode
+        dcache_write = timing.dcache.write
+        sb_push = timing.store_buffer.push
+        memory = self.system.memory
+        if op3 == Op3Mem.ST:
+            storefn = self._write_word
+        elif op3 == Op3Mem.STB:
+            storefn = memory.write_byte
+        else:  # STH
+            storefn = memory.write_half
+        text_lo, text_hi = self.text_lo, self.text_hi
+        handlers = self.handlers
+
+        def handler(now):
+            a = regs_read(rs1)
+            b = imm if use_imm else regs_read(rs2)
+            addr = (a + b) & MASK32
+            value = regs_read(rd)
+            storefn(addr, value)
+            if text_lo <= addr < text_hi:
+                # Self-modifying code: re-predecode the touched word.
+                handlers.pop(addr & ~3, None)
+            npc = cpu.npc
+            cpu.pc = npc
+            cpu.npc = (npc + 4) & MASK32
+            cpu.instret += 1
+            ts = timing.stats
+            ts.instructions += 1
+            now = int(now)
+            if not icache_read(pc):
+                done = refill(now, "core-ifetch")
+                ts.icache_stall += done - now
+                now = done
+            base = latency
+            dest = timing._pending_load_dest
+            if dest > 0 and (phys(rs1) == dest
+                             or (not use_imm and phys(rs2) == dest)
+                             or phys(rd) == dest):
+                base += 1
+                ts.interlock_stall += 1
+            timing._pending_load_dest = -1
+            ts.base_cycles += base
+            now += base
+            dcache_write(addr)
+            proceed = sb_push(now)
+            ts.store_stall += proceed - now
+            now = proceed
+            ts.cycles = now
+            if iface is not None:
+                s = iface.stats
+                s.committed += 1
+                s.ignored += 1
+            return now
+
+        return handler
+
+    def _make_branch(self, pc, instr, latency):
+        (cpu, timing, iface, _regs_read, _regs_write, _phys,
+         icache_read, refill) = self._context()
+        cond_eval = _COND_EVAL[instr.cond]
+        target = (pc + 4 * instr.disp) & MASK32
+        annul = instr.annul
+        annul_taken = instr.annul and instr.cond == Cond.BA
+
+        def handler(now):
+            if cond_eval(cpu.codes):
+                if annul_taken:
+                    cpu._annul_next = True
+                npc = cpu.npc
+                cpu.pc = npc
+                cpu.npc = target
+            else:
+                if annul:
+                    cpu._annul_next = True
+                npc = cpu.npc
+                cpu.pc = npc
+                cpu.npc = (npc + 4) & MASK32
+            cpu.instret += 1
+            ts = timing.stats
+            ts.instructions += 1
+            now = int(now)
+            if not icache_read(pc):
+                done = refill(now, "core-ifetch")
+                ts.icache_stall += done - now
+                now = done
+            # Branches carry no source physical registers, so the
+            # load-use interlock can never fire; just clear it.
+            timing._pending_load_dest = -1
+            ts.base_cycles += latency
+            now += latency
+            ts.cycles = now
+            if iface is not None:
+                s = iface.stats
+                s.committed += 1
+                s.ignored += 1
+            return now
+
+        return handler
+
+    def _make_sethi(self, pc, instr, latency):
+        (cpu, timing, iface, _regs_read, regs_write, _phys,
+         icache_read, refill) = self._context()
+        rd = instr.rd
+        value = (instr.imm << 10) & MASK32
+
+        def handler(now):
+            regs_write(rd, value)
+            npc = cpu.npc
+            cpu.pc = npc
+            cpu.npc = (npc + 4) & MASK32
+            cpu.instret += 1
+            ts = timing.stats
+            ts.instructions += 1
+            now = int(now)
+            if not icache_read(pc):
+                done = refill(now, "core-ifetch")
+                ts.icache_stall += done - now
+                now = done
+            timing._pending_load_dest = -1
+            ts.base_cycles += latency
+            now += latency
+            ts.cycles = now
+            if iface is not None:
+                s = iface.stats
+                s.committed += 1
+                s.ignored += 1
+            return now
+
+        return handler
+
+    def _make_call(self, pc, instr, latency):
+        (cpu, timing, iface, _regs_read, regs_write, _phys,
+         icache_read, refill) = self._context()
+        target = (pc + 4 * instr.disp) & MASK32
+
+        def handler(now):
+            regs_write(15, pc)  # %o7 <- address of the call
+            npc = cpu.npc
+            cpu.pc = npc
+            cpu.npc = target
+            cpu.instret += 1
+            ts = timing.stats
+            ts.instructions += 1
+            now = int(now)
+            if not icache_read(pc):
+                done = refill(now, "core-ifetch")
+                ts.icache_stall += done - now
+                now = done
+            timing._pending_load_dest = -1
+            ts.base_cycles += latency
+            now += latency
+            ts.cycles = now
+            if iface is not None:
+                s = iface.stats
+                s.committed += 1
+                s.ignored += 1
+            return now
+
+        return handler
+
+    # ------------------------------------------------------------------
+    # Forwarded variants: same fused functional/timing work, plus a
+    # fresh CommitRecord — field-for-field what ``_execute`` builds,
+    # fresh because packets retain their record — handed to a fused
+    # commit tail (``_make_forward``) that replays ``on_commit``'s
+    # body with the policy, ack mode and static DECODE bits resolved
+    # at build time.  The dynamic machinery (FIFO occupancy,
+    # ``_service``, trap latching) stays on the original code.
+
+    def _make_forward(self, pc, word, instr, klass):
+        """Fused equivalent of ``on_commit`` + ``from_commit`` for a
+        known-forwarded, never-annulled instruction.  Telemetry sinks
+        are structurally ``None`` here: the fast loop is only entered
+        with tracing and metrics disabled."""
+        iface = self.system.interface
+        policy = iface.cfgr.policy(klass)
+        best_effort = policy == ForwardPolicy.BEST_EFFORT
+        # FLEX never takes this path (it is in ``_SPECIAL_ALU``), so
+        # the READ_STATUS clause of the reference ack rule is moot.
+        needs_ack = (policy == ForwardPolicy.ALWAYS_ACK
+                     or iface.config.precise_exceptions)
+        sync = iface.config.sync_fabric_cycles
+        fifo = iface.fifo
+        is_full = fifo.is_full
+        time_until_space = fifo.time_until_space
+        push = fifo.push
+        service = iface._service
+        base_decode = (int(instr.is_load)
+                       | (int(instr.is_store) << 1)
+                       | (int(instr.use_imm) << 2)
+                       | ((instr.opf & 0x1FF) << 3))
+        if instr.is_load or instr.is_store:
+            base_decode |= (instr.access_size() & 0xF) << 12
+
+        def forward(record, now):
+            stats = iface.stats
+            stats.committed += 1
+            if is_full(now):
+                if best_effort:
+                    stats.dropped += 1
+                    fifo.stats.dropped += 1
+                    return now
+                wait = time_until_space(now)
+                stats.fifo_stall_cycles += wait
+                fifo.stats.full_stall_cycles += wait
+                now += wait
+            packet = TracePacket(
+                pc=pc, inst=word, addr=record.addr, res=record.result,
+                srcv1=record.srcv1, srcv2=record.srcv2,
+                cond=record.cond, branch=record.branch_taken,
+                opcode=klass,
+                decode=base_decode | (int(record.carry_before) << 16),
+                extra=record.y_before, src1=record.src1_phys,
+                src2=record.src2_phys, dest=record.dest_phys,
+                record=record,
+            )
+            stats.forwarded += 1
+            by_class = stats.forwarded_by_class
+            by_class[klass] = by_class.get(klass, 0) + 1
+            drain = service(packet, now)
+            push(now, drain)
+            if needs_ack:
+                ack_at = drain + sync
+                stats.ack_stall_cycles += ack_at - now
+                now = ack_at
+            return now
+
+        return forward
+
+    def _make_alu_simple_fwd(self, pc, word, instr, valfn, latency):
+        (cpu, timing, iface, regs_read, regs_write, phys,
+         icache_read, refill) = self._context()
+        rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+        use_imm = instr.use_imm
+        imm = instr.imm & MASK32
+        klass = instr.instr_class
+        forward = self._make_forward(pc, word, instr, klass)
+
+        def handler(now):
+            a = regs_read(rs1)
+            b = imm if use_imm else regs_read(rs2)
+            value = valfn(a, b)
+            regs_write(rd, value)
+            codes = cpu.codes
+            record = CommitRecord(
+                pc=pc, word=word, instr=instr, instr_class=klass,
+                result=value, srcv1=a, srcv2=b, cond=codes.pack(),
+                src1_phys=phys(rs1),
+                src2_phys=0 if use_imm else phys(rs2),
+                dest_phys=phys(rd),
+                carry_before=codes.c, y_before=cpu.y,
+            )
+            npc = cpu.npc
+            cpu.pc = npc
+            cpu.npc = (npc + 4) & MASK32
+            cpu.instret += 1
+            ts = timing.stats
+            ts.instructions += 1
+            now = int(now)
+            if not icache_read(pc):
+                done = refill(now, "core-ifetch")
+                ts.icache_stall += done - now
+                now = done
+            base = latency
+            dest = timing._pending_load_dest
+            if dest > 0 and (phys(rs1) == dest
+                             or (not use_imm and phys(rs2) == dest)):
+                base += 1
+                ts.interlock_stall += 1
+            timing._pending_load_dest = -1
+            ts.base_cycles += base
+            now += base
+            ts.cycles = now
+            return forward(record, now)
+
+        return handler
+
+    def _make_alu_full_fwd(self, pc, word, instr, latency):
+        (cpu, timing, iface, regs_read, regs_write, phys,
+         icache_read, refill) = self._context()
+        rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+        use_imm = instr.use_imm
+        imm = instr.imm & MASK32
+        op3 = instr.opcode
+        klass = instr.instr_class
+        forward = self._make_forward(pc, word, instr, klass)
+
+        def handler(now):
+            a = regs_read(rs1)
+            b = imm if use_imm else regs_read(rs2)
+            carry_before = cpu.codes.c
+            y_before = cpu.y
+            alu = execute_alu(op3, a, b, carry=carry_before, y=y_before)
+            regs_write(rd, alu.value)
+            if alu.codes is not None:
+                cpu.codes = alu.codes
+            if alu.y is not None:
+                cpu.y = alu.y
+            record = CommitRecord(
+                pc=pc, word=word, instr=instr, instr_class=klass,
+                result=alu.value, srcv1=a, srcv2=b,
+                cond=cpu.codes.pack(),
+                src1_phys=phys(rs1),
+                src2_phys=0 if use_imm else phys(rs2),
+                dest_phys=phys(rd),
+                carry_before=carry_before, y_before=y_before,
+            )
+            npc = cpu.npc
+            cpu.pc = npc
+            cpu.npc = (npc + 4) & MASK32
+            cpu.instret += 1
+            ts = timing.stats
+            ts.instructions += 1
+            now = int(now)
+            if not icache_read(pc):
+                done = refill(now, "core-ifetch")
+                ts.icache_stall += done - now
+                now = done
+            base = latency
+            dest = timing._pending_load_dest
+            if dest > 0 and (phys(rs1) == dest
+                             or (not use_imm and phys(rs2) == dest)):
+                base += 1
+                ts.interlock_stall += 1
+            timing._pending_load_dest = -1
+            ts.base_cycles += base
+            now += base
+            ts.cycles = now
+            return forward(record, now)
+
+        return handler
+
+    def _make_load_fwd(self, pc, word, instr, latency):
+        (cpu, timing, iface, regs_read, regs_write, phys,
+         icache_read, refill) = self._context()
+        rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+        use_imm = instr.use_imm
+        imm = instr.imm & MASK32
+        op3 = instr.opcode
+        klass = instr.instr_class
+        forward = self._make_forward(pc, word, instr, klass)
+        dcache_read = timing.dcache.read
+        memory = self.system.memory
+        read_word = self._read_word
+        read_byte = memory.read_byte
+        read_half = memory.read_half
+
+        if op3 == Op3Mem.LD:
+            loadfn = read_word
+        elif op3 == Op3Mem.LDUB:
+            loadfn = read_byte
+        elif op3 == Op3Mem.LDSB:
+            def loadfn(addr):
+                raw = read_byte(addr)
+                return (raw - 0x100 if raw & 0x80 else raw) & MASK32
+        elif op3 == Op3Mem.LDUH:
+            loadfn = read_half
+        else:  # LDSH
+            def loadfn(addr):
+                raw = read_half(addr)
+                return (raw - 0x10000 if raw & 0x8000 else raw) & MASK32
+
+        def handler(now):
+            a = regs_read(rs1)
+            b = imm if use_imm else regs_read(rs2)
+            addr = (a + b) & MASK32
+            value = loadfn(addr)
+            regs_write(rd, value)
+            codes = cpu.codes
+            record = CommitRecord(
+                pc=pc, word=word, instr=instr, instr_class=klass,
+                addr=addr, result=value, srcv1=a, srcv2=b,
+                cond=codes.pack(),
+                src1_phys=phys(rs1),
+                src2_phys=0 if use_imm else phys(rs2),
+                dest_phys=phys(rd),
+                carry_before=codes.c, y_before=cpu.y,
+            )
+            npc = cpu.npc
+            cpu.pc = npc
+            cpu.npc = (npc + 4) & MASK32
+            cpu.instret += 1
+            ts = timing.stats
+            ts.instructions += 1
+            now = int(now)
+            if not icache_read(pc):
+                done = refill(now, "core-ifetch")
+                ts.icache_stall += done - now
+                now = done
+            base = latency
+            dest = timing._pending_load_dest
+            if dest > 0 and (phys(rs1) == dest
+                             or (not use_imm and phys(rs2) == dest)):
+                base += 1
+                ts.interlock_stall += 1
+            timing._pending_load_dest = phys(rd)
+            ts.base_cycles += base
+            now += base
+            if not dcache_read(addr):
+                done = refill(now, "core-dcache")
+                ts.dcache_stall += done - now
+                now = done
+            ts.cycles = now
+            return forward(record, now)
+
+        return handler
+
+    def _make_store_fwd(self, pc, word, instr, latency):
+        (cpu, timing, iface, regs_read, regs_write, phys,
+         icache_read, refill) = self._context()
+        rs1, rs2, rd = instr.rs1, instr.rs2, instr.rd
+        use_imm = instr.use_imm
+        imm = instr.imm & MASK32
+        op3 = instr.opcode
+        klass = instr.instr_class
+        forward = self._make_forward(pc, word, instr, klass)
+        dcache_write = timing.dcache.write
+        sb_push = timing.store_buffer.push
+        memory = self.system.memory
+        if op3 == Op3Mem.ST:
+            storefn = self._write_word
+        elif op3 == Op3Mem.STB:
+            storefn = memory.write_byte
+        else:  # STH
+            storefn = memory.write_half
+        text_lo, text_hi = self.text_lo, self.text_hi
+        handlers = self.handlers
+
+        def handler(now):
+            a = regs_read(rs1)
+            b = imm if use_imm else regs_read(rs2)
+            addr = (a + b) & MASK32
+            value = regs_read(rd)
+            storefn(addr, value)
+            if text_lo <= addr < text_hi:
+                # Self-modifying code: re-predecode the touched word.
+                handlers.pop(addr & ~3, None)
+            codes = cpu.codes
+            record = CommitRecord(
+                pc=pc, word=word, instr=instr, instr_class=klass,
+                addr=addr, result=value, srcv1=a, srcv2=b,
+                cond=codes.pack(),
+                src1_phys=phys(rs1),
+                src2_phys=0 if use_imm else phys(rs2),
+                dest_phys=phys(rd),
+                carry_before=codes.c, y_before=cpu.y,
+            )
+            npc = cpu.npc
+            cpu.pc = npc
+            cpu.npc = (npc + 4) & MASK32
+            cpu.instret += 1
+            ts = timing.stats
+            ts.instructions += 1
+            now = int(now)
+            if not icache_read(pc):
+                done = refill(now, "core-ifetch")
+                ts.icache_stall += done - now
+                now = done
+            base = latency
+            dest = timing._pending_load_dest
+            if dest > 0 and (phys(rs1) == dest
+                             or (not use_imm and phys(rs2) == dest)
+                             or phys(rd) == dest):
+                base += 1
+                ts.interlock_stall += 1
+            timing._pending_load_dest = -1
+            ts.base_cycles += base
+            now += base
+            dcache_write(addr)
+            proceed = sb_push(now)
+            ts.store_stall += proceed - now
+            now = proceed
+            ts.cycles = now
+            return forward(record, now)
+
+        return handler
+
+    def _make_branch_fwd(self, pc, word, instr, latency):
+        (cpu, timing, iface, _regs_read, _regs_write, _phys,
+         icache_read, refill) = self._context()
+        cond_eval = _COND_EVAL[instr.cond]
+        target = (pc + 4 * instr.disp) & MASK32
+        annul = instr.annul
+        annul_taken = instr.annul and instr.cond == Cond.BA
+        klass = instr.instr_class
+        forward = self._make_forward(pc, word, instr, klass)
+
+        def handler(now):
+            codes = cpu.codes
+            taken = cond_eval(codes)
+            record = CommitRecord(
+                pc=pc, word=word, instr=instr, instr_class=klass,
+                addr=target, branch_taken=taken, cond=codes.pack(),
+                carry_before=codes.c, y_before=cpu.y,
+            )
+            if taken:
+                if annul_taken:
+                    cpu._annul_next = True
+                npc = cpu.npc
+                cpu.pc = npc
+                cpu.npc = target
+            else:
+                if annul:
+                    cpu._annul_next = True
+                npc = cpu.npc
+                cpu.pc = npc
+                cpu.npc = (npc + 4) & MASK32
+            cpu.instret += 1
+            ts = timing.stats
+            ts.instructions += 1
+            now = int(now)
+            if not icache_read(pc):
+                done = refill(now, "core-ifetch")
+                ts.icache_stall += done - now
+                now = done
+            timing._pending_load_dest = -1
+            ts.base_cycles += latency
+            now += latency
+            ts.cycles = now
+            return forward(record, now)
+
+        return handler
+
+    def _make_sethi_fwd(self, pc, word, instr, latency):
+        (cpu, timing, iface, _regs_read, regs_write, phys,
+         icache_read, refill) = self._context()
+        rd = instr.rd
+        value = (instr.imm << 10) & MASK32
+        klass = instr.instr_class
+        forward = self._make_forward(pc, word, instr, klass)
+
+        def handler(now):
+            regs_write(rd, value)
+            codes = cpu.codes
+            record = CommitRecord(
+                pc=pc, word=word, instr=instr, instr_class=klass,
+                result=value, cond=codes.pack(), dest_phys=phys(rd),
+                carry_before=codes.c, y_before=cpu.y,
+            )
+            npc = cpu.npc
+            cpu.pc = npc
+            cpu.npc = (npc + 4) & MASK32
+            cpu.instret += 1
+            ts = timing.stats
+            ts.instructions += 1
+            now = int(now)
+            if not icache_read(pc):
+                done = refill(now, "core-ifetch")
+                ts.icache_stall += done - now
+                now = done
+            timing._pending_load_dest = -1
+            ts.base_cycles += latency
+            now += latency
+            ts.cycles = now
+            return forward(record, now)
+
+        return handler
+
+    def _make_call_fwd(self, pc, word, instr, latency):
+        (cpu, timing, iface, _regs_read, regs_write, phys,
+         icache_read, refill) = self._context()
+        target = (pc + 4 * instr.disp) & MASK32
+        klass = instr.instr_class
+        forward = self._make_forward(pc, word, instr, klass)
+
+        def handler(now):
+            regs_write(15, pc)  # %o7 <- address of the call
+            codes = cpu.codes
+            record = CommitRecord(
+                pc=pc, word=word, instr=instr, instr_class=klass,
+                addr=target, result=pc, branch_taken=True,
+                cond=codes.pack(), dest_phys=phys(15),
+                carry_before=codes.c, y_before=cpu.y,
+            )
+            npc = cpu.npc
+            cpu.pc = npc
+            cpu.npc = target
+            cpu.instret += 1
+            ts = timing.stats
+            ts.instructions += 1
+            now = int(now)
+            if not icache_read(pc):
+                done = refill(now, "core-ifetch")
+                ts.icache_stall += done - now
+                now = done
+            timing._pending_load_dest = -1
+            ts.base_cycles += latency
+            now += latency
+            ts.cycles = now
+            return forward(record, now)
+
+        return handler
+
+    def _make_generic(self, pc, word, instr):
+        """Full-fidelity path minus fetch/decode: forwarded classes,
+        rare opcodes, and anything with cross-cutting side effects."""
+        system = self.system
+        cpu = system.cpu
+        execute = cpu._execute
+        advance = system.core_timing.advance
+        iface = system.interface
+        on_commit = iface.on_commit if iface is not None else None
+        invalidate = instr.is_store
+        double = instr.opcode == Op3Mem.STD if invalidate else False
+        text_lo, text_hi = self.text_lo, self.text_hi
+        handlers = self.handlers
+
+        def handler(now):
+            record = execute(pc, word, instr)
+            cpu.instret += 1
+            if invalidate:
+                addr = record.addr
+                if text_lo <= addr < text_hi:
+                    handlers.pop(addr & ~3, None)
+                    if double:
+                        handlers.pop((addr + 4) & ~3, None)
+            now = advance(record, int(now))
+            if on_commit is not None:
+                now = on_commit(record, now)
+            return now
+
+        return handler

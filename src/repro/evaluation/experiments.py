@@ -3,12 +3,17 @@
 Every function returns plain data structures so the benchmark harness,
 the tests and the report generator can share them.  Formatting lives
 in :mod:`repro.evaluation.tables`.
+
+The simulation sweeps (Table IV, Figures 4 and 5) run through
+:class:`repro.engine.sweep.SweepRunner`, so they accept ``engine=``
+(fast by default; the engines are digest-identical) and ``jobs=`` to
+fan grid points across a process pool.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.evaluation.config import (
     CLOCK_RATIOS,
@@ -46,6 +51,7 @@ def _run(
     fifo_depth: int = DEFAULT_FIFO_DEPTH,
     scaled_memory: bool = True,
     predecode: bool = True,
+    engine: str | None = None,
 ) -> RunResult:
     config = experiment_system_config(
         clock_ratio=clock_ratio,
@@ -57,7 +63,7 @@ def _run(
         create_extension(extension_name) if extension_name else None
     )
     system = FlexCoreSystem(workload.build(), extension, config)
-    result = system.run()
+    result = system.run(engine=engine)
     if result.word(workload.checksum_symbol) != workload.expected_checksum:
         raise AssertionError(
             f"{workload.name} checksum mismatch under "
@@ -143,30 +149,39 @@ def run_table4(
     benchmarks=None,
     extensions=EXTENSION_NAMES,
     ratios=CLOCK_RATIOS,
+    engine: str | None = "fast",
+    jobs: int = 1,
 ) -> Table4Result:
     """Normalized execution time per benchmark/extension/clock ratio.
 
     Ratio 1.0 is the full-ASIC comparison point; 0.5/0.25 are the
     FlexCore fabric clocks of Table IV.
     """
+    # Imported here (not at module level): the sweep module imports
+    # this package's config, so a top-level import would be circular.
+    from repro.engine.sweep import SweepPoint, SweepRunner, table4_points
+
     benchmarks = benchmarks or workload_names()
+    points = table4_points(scale, benchmarks, extensions, ratios)
+    outcomes = SweepRunner(jobs=jobs, engine=engine).run(points)
+    by_point = {o.point: o for o in outcomes}
     result = Table4Result()
     for bench in benchmarks:
-        workload = build_workload(bench, scale)
-        baseline = _run(workload, None)
-        result.baseline_cycles[bench] = baseline.cycles
+        base = SweepPoint(workload=bench, scale=scale)
+        baseline_cycles = by_point[base].cycles
+        result.baseline_cycles[bench] = baseline_cycles
         for extension in extensions:
             for ratio in ratios:
-                run = _run(workload, extension, clock_ratio=ratio)
-                stats = run.interface_stats
+                outcome = by_point[replace(base, extension=extension,
+                                           clock_ratio=ratio)]
                 result.cells.append(Table4Cell(
                     benchmark=bench,
                     extension=extension,
                     clock_ratio=ratio,
-                    normalized_time=run.cycles / baseline.cycles,
-                    forwarded_fraction=stats.forwarded_fraction,
-                    fifo_stall_cycles=stats.fifo_stall_cycles,
-                    meta_stall_cycles=stats.meta_stall_cycles,
+                    normalized_time=outcome.cycles / baseline_cycles,
+                    forwarded_fraction=outcome.forwarded_fraction,
+                    fifo_stall_cycles=outcome.fifo_stall_cycles,
+                    meta_stall_cycles=outcome.meta_stall_cycles,
                 ))
     return result
 
@@ -175,22 +190,32 @@ def run_table4(
 # Figure 4.
 
 
-def run_figure4(scale: int = 1, benchmarks=None) -> dict[str, dict[str, float]]:
+def run_figure4(
+    scale: int = 1,
+    benchmarks=None,
+    engine: str | None = "fast",
+    jobs: int = 1,
+) -> dict[str, dict[str, float]]:
     """Fraction of committed instructions forwarded to the fabric.
 
     Returns ``{benchmark: {extension: fraction}}``.
     """
+    from repro.engine.sweep import SweepPoint, SweepRunner
+
     benchmarks = benchmarks or workload_names()
-    fractions: dict[str, dict[str, float]] = {}
-    for bench in benchmarks:
-        workload = build_workload(bench, scale)
-        fractions[bench] = {}
-        for extension in EXTENSION_NAMES:
-            run = _run(workload, extension,
-                       clock_ratio=FLEXCORE_RATIOS[extension])
-            fractions[bench][extension] = (
-                run.interface_stats.forwarded_fraction
-            )
+    points = [
+        SweepPoint(workload=bench, extension=extension,
+                   clock_ratio=FLEXCORE_RATIOS[extension], scale=scale)
+        for bench in benchmarks
+        for extension in EXTENSION_NAMES
+    ]
+    outcomes = SweepRunner(jobs=jobs, engine=engine).run(points)
+    fractions: dict[str, dict[str, float]] = {b: {} for b in benchmarks}
+    for outcome in outcomes:
+        point = outcome.point
+        fractions[point.workload][point.extension] = (
+            outcome.forwarded_fraction
+        )
     return fractions
 
 
@@ -210,22 +235,42 @@ def run_figure5(
     scale: int = 1,
     depths=FIFO_SWEEP,
     benchmarks=None,
+    engine: str | None = "fast",
+    jobs: int = 1,
 ) -> Figure5Result:
     """Average normalized execution time vs forward-FIFO size.
 
     Each extension runs at its Table IV fabric clock (0.5X; SEC 0.25X).
     """
+    from repro.engine.sweep import SweepPoint, SweepRunner
+
     benchmarks = benchmarks or workload_names()
-    workloads = {b: build_workload(b, scale) for b in benchmarks}
-    baselines = {b: _run(w, None).cycles for b, w in workloads.items()}
+    points = [SweepPoint(workload=bench, scale=scale)
+              for bench in benchmarks]
+    points += [
+        SweepPoint(workload=bench, extension=extension,
+                   clock_ratio=FLEXCORE_RATIOS[extension],
+                   fifo_depth=depth, scale=scale)
+        for extension in EXTENSION_NAMES
+        for depth in depths
+        for bench in benchmarks
+    ]
+    outcomes = SweepRunner(jobs=jobs, engine=engine).run(points)
+    by_point = {o.point: o for o in outcomes}
+    baselines = {
+        b: by_point[SweepPoint(workload=b, scale=scale)].cycles
+        for b in benchmarks
+    }
     times: dict[str, dict[int, float]] = {}
     for extension in EXTENSION_NAMES:
         ratio = FLEXCORE_RATIOS[extension]
         times[extension] = {}
         for depth in depths:
             normalized = [
-                _run(workloads[b], extension, clock_ratio=ratio,
-                     fifo_depth=depth).cycles / baselines[b]
+                by_point[SweepPoint(
+                    workload=b, extension=extension, clock_ratio=ratio,
+                    fifo_depth=depth, scale=scale,
+                )].cycles / baselines[b]
                 for b in benchmarks
             ]
             times[extension][depth] = geomean(normalized)

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import enum
 import hashlib
-import multiprocessing
 import random
 import signal
 import time
@@ -632,28 +631,15 @@ class Campaign:
 
         Each worker rebuilds the campaign once (fork keeps this cheap)
         and runs a slice of the indices; per-index seeding makes the
-        result independent of the scheduling.  Workers ignore SIGINT:
-        on Ctrl-C only the parent reacts, terminating the pool after
-        the in-flight journal append finished.
+        result independent of the scheduling.  Pool mechanics (worker
+        signal setup, terminate-on-interrupt) live in
+        :func:`repro.engine.pool.fan_out`.
         """
-        config = self.config
-        ctx = multiprocessing.get_context()
-        worker_config = replace(config, jobs=1)
-        pool = ctx.Pool(
-            processes=config.jobs,
-            initializer=_init_worker,
-            initargs=(worker_config,),
-        )
-        try:
-            for result in pool.imap_unordered(_worker_run, indices,
-                                              chunksize=8):
-                record(result)
-            pool.close()
-        except BaseException:
-            pool.terminate()
-            raise
-        finally:
-            pool.join()
+        from repro.engine.pool import fan_out
+
+        worker_config = replace(self.config, jobs=1)
+        fan_out(indices, _worker_run, record, jobs=self.config.jobs,
+                initializer=_init_worker, initargs=(worker_config,))
 
 
 def _raise_keyboard_interrupt(signum, frame):
@@ -665,13 +651,9 @@ _WORKER_CAMPAIGN: Campaign | None = None
 
 
 def _init_worker(config: CampaignConfig) -> None:
-    # The parent owns interruption: a terminal-wide SIGINT must not
-    # kill workers mid-result while the parent is still journaling.
-    # SIGTERM reverts to the default action (the fork inherited the
-    # parent's raise-KeyboardInterrupt handler) so pool.terminate()
-    # ends workers silently instead of with a traceback.
-    signal.signal(signal.SIGINT, signal.SIG_IGN)
-    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    from repro.engine.pool import worker_signals
+
+    worker_signals()
     global _WORKER_CAMPAIGN
     _WORKER_CAMPAIGN = Campaign(config)
 

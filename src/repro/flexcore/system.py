@@ -47,6 +47,14 @@ DEFAULT_RECOVERY_LATENCY = 128
 #: re-traps forever, and recovery must degrade into detection.
 DEFAULT_RECOVERY_LIMIT = 3
 
+#: Valid execution engines.  ``fast`` predecodes each PC into a fused
+#: handler closure (see :mod:`repro.engine`); ``reference`` is the
+#: original step/advance/on_commit loop.  Results are bit-identical —
+#: the differential and golden tests enforce it — and the fast engine
+#: silently falls back to the reference loop whenever record hooks or
+#: live telemetry need to observe every commit record.
+ENGINES = ("fast", "reference")
+
 
 class Termination(str, enum.Enum):
     """Why a (bounded) run ended."""
@@ -99,6 +107,10 @@ class RunResult:
     cache_stats: dict[str, CacheStats] = field(default_factory=dict)
     #: shared-bus accounting per requester.
     bus_stats: BusStats | None = None
+    #: which loop actually ran ("fast" or "reference").  Deliberately
+    #: excluded from the result fingerprint/digest: digests must be
+    #: engine-independent, that is the whole observational contract.
+    engine: str = "reference"
 
     @property
     def cpi(self) -> float:
@@ -125,8 +137,15 @@ class SystemConfig:
     #: stop the simulation when the extension raises TRAP (the paper's
     #: extensions terminate the program); if False, record and continue.
     stop_on_trap: bool = True
+    #: execution engine: "fast" (predecoded handler loop) or
+    #: "reference" (original loop).  Bit-identical results either way.
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
         if self.nwindows < 2:
             raise ValueError(
                 f"nwindows must be >= 2, got {self.nwindows}"
@@ -265,6 +284,7 @@ class FlexCoreSystem:
         max_instructions: int | None = None,
         checkpoint_every: int | None = None,
         recover: bool = False,
+        engine: str | None = None,
     ) -> RunResult:
         """Run to completion (ta 0), trap, or the instruction limit.
 
@@ -276,10 +296,27 @@ class FlexCoreSystem:
             max_instructions=max_instructions,
             checkpoint_every=checkpoint_every,
             recover=recover,
+            engine=engine,
         )
         if result.error is not None:
             raise result.error
         return result
+
+    def _fast_loop_supported(self) -> bool:
+        """Whether the fused loop can run without losing observers.
+
+        Record hooks must see every :class:`CommitRecord`, and live
+        telemetry (metrics or a tracer) counts events the fused
+        closures skip, so either forces the reference loop.  The
+        *results* are bit-identical regardless — this only preserves
+        the observers' view.
+        """
+        if self.record_hooks:
+            return False
+        telemetry = self.telemetry
+        return telemetry is None or (
+            telemetry.tracer is None and not telemetry.metrics.enabled
+        )
 
     #: check the wall-clock deadline every this many instructions.
     DEADLINE_STRIDE = 4096
@@ -294,6 +331,7 @@ class FlexCoreSystem:
         recover: bool = False,
         recovery_limit: int = DEFAULT_RECOVERY_LIMIT,
         recovery_latency: int = DEFAULT_RECOVERY_LATENCY,
+        engine: str | None = None,
     ) -> RunResult:
         """Run under a watchdog; never raise for in-simulation faults.
 
@@ -317,8 +355,104 @@ class FlexCoreSystem:
         The run resumes from ``self.now`` (zero for a fresh system, a
         restored timestamp after ``restore_state``), so a snapshot
         restored at cycle N continues bit-exactly.
+
+        ``engine`` overrides the config's engine for this run; the
+        fast engine transparently falls back to the reference loop
+        when hooks or telemetry need every commit record (see
+        :meth:`_fast_loop_supported`).
         """
+        if engine is None:
+            engine = self.config.engine
+        if engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
+            )
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         limit = max_instructions or self.config.max_instructions
+        cpu = self.cpu
+        core_timing = self.core_timing
+        interface = self.interface
+
+        use_fast = engine == "fast" and self._fast_loop_supported()
+        if use_fast:
+            from repro.engine.fastloop import run_fast_loop
+
+            (now, trap, termination, error, recoveries,
+             recovery_cycles) = run_fast_loop(
+                self, limit, max_cycles, deadline, checkpoint_every,
+                on_checkpoint, recover, recovery_limit,
+                recovery_latency,
+            )
+        else:
+            (now, trap, termination, error, recoveries,
+             recovery_cycles) = self._run_reference_loop(
+                limit, max_cycles, deadline, checkpoint_every,
+                on_checkpoint, recover, recovery_limit,
+                recovery_latency,
+            )
+
+        # Wait for the co-processor to drain (the EMPTY signal) and
+        # the store buffer to flush before declaring the run over.
+        if interface is not None:
+            if trap is None and interface.pending_trap is not None:
+                trap = interface.pending_trap
+                if termination == Termination.HALTED:
+                    termination = Termination.TRAP
+            now = max(now, interface.drain_time())
+        now = max(now, core_timing.store_buffer.drain_time())
+        self.now = now
+
+        cache_stats = {
+            "icache": core_timing.icache.stats,
+            "dcache": core_timing.dcache.stats,
+        }
+        if interface is not None:
+            cache_stats["mcache"] = interface.meta_cache.stats
+        if (self.telemetry is not None
+                and self.telemetry.metrics.enabled):
+            metrics = self.telemetry.metrics
+            metrics.gauge("system.cycles").set(int(now))
+            metrics.gauge("system.instructions").set(cpu.instret)
+            metrics.counter("system.rollbacks").inc(recoveries)
+
+        return RunResult(
+            cycles=int(now),
+            instructions=cpu.instret,
+            halted=cpu.halted,
+            trap=trap,
+            core_stats=core_timing.stats,
+            interface_stats=interface.stats if interface else None,
+            memory=self.memory,
+            program=self.program,
+            termination=termination,
+            error=error,
+            recoveries=recoveries,
+            recovery_cycles=int(recovery_cycles),
+            fifo_stats=interface.fifo.stats if interface else None,
+            fifo_depth=(self.config.interface.fifo_depth
+                        if interface else None),
+            cache_stats=cache_stats,
+            bus_stats=self.bus.stats,
+            engine="fast" if use_fast else "reference",
+        )
+
+    def _run_reference_loop(
+        self,
+        limit: int,
+        max_cycles: int | None,
+        deadline: float | None,
+        checkpoint_every: int | None,
+        on_checkpoint,
+        recover: bool,
+        recovery_limit: int,
+        recovery_latency: int,
+    ):
+        """The original step/advance/on_commit loop (``engine=
+        "reference"``); returns the loop-state tuple the shared
+        ``run_bounded`` tail turns into a :class:`RunResult`."""
         cpu = self.cpu
         core_timing = self.core_timing
         interface = self.interface
@@ -346,11 +480,6 @@ class FlexCoreSystem:
             self.now = now
             checkpoint = self.snapshot_state()
         if checkpoint_every is not None:
-            if checkpoint_every < 1:
-                raise ValueError(
-                    f"checkpoint_every must be >= 1, "
-                    f"got {checkpoint_every}"
-                )
             next_checkpoint = cpu.instret + checkpoint_every
 
         while not cpu.halted:
@@ -422,49 +551,7 @@ class FlexCoreSystem:
                 error = err
                 break
 
-        # Wait for the co-processor to drain (the EMPTY signal) and
-        # the store buffer to flush before declaring the run over.
-        if interface is not None:
-            if trap is None and interface.pending_trap is not None:
-                trap = interface.pending_trap
-                if termination == Termination.HALTED:
-                    termination = Termination.TRAP
-            now = max(now, interface.drain_time())
-        now = max(now, core_timing.store_buffer.drain_time())
-        self.now = now
-
-        cache_stats = {
-            "icache": core_timing.icache.stats,
-            "dcache": core_timing.dcache.stats,
-        }
-        if interface is not None:
-            cache_stats["mcache"] = interface.meta_cache.stats
-        if (self.telemetry is not None
-                and self.telemetry.metrics.enabled):
-            metrics = self.telemetry.metrics
-            metrics.gauge("system.cycles").set(int(now))
-            metrics.gauge("system.instructions").set(cpu.instret)
-            metrics.counter("system.rollbacks").inc(recoveries)
-
-        return RunResult(
-            cycles=int(now),
-            instructions=cpu.instret,
-            halted=cpu.halted,
-            trap=trap,
-            core_stats=core_timing.stats,
-            interface_stats=interface.stats if interface else None,
-            memory=self.memory,
-            program=self.program,
-            termination=termination,
-            error=error,
-            recoveries=recoveries,
-            recovery_cycles=int(recovery_cycles),
-            fifo_stats=interface.fifo.stats if interface else None,
-            fifo_depth=(self.config.interface.fifo_depth
-                        if interface else None),
-            cache_stats=cache_stats,
-            bus_stats=self.bus.stats,
-        )
+        return now, trap, termination, error, recoveries, recovery_cycles
 
 
 def run_program(
@@ -477,6 +564,7 @@ def run_program(
     checkpoint_every: int | None = None,
     recover: bool = False,
     telemetry: Telemetry | None = None,
+    engine: str | None = None,
 ) -> RunResult:
     """Convenience entry point: build a system and run it.
 
@@ -485,6 +573,9 @@ def run_program(
         result = run_program(program)                         # baseline
         result = run_program(program, create_extension("dift"))
         result = run_program(program, SoftErrorCheck(), clock_ratio=0.25)
+
+    ``engine`` selects the execution loop ("fast"/"reference"); the
+    default is the config's engine (``fast`` unless overridden).
     """
     if config is None:
         config = SystemConfig()
@@ -496,4 +587,5 @@ def run_program(
         max_instructions,
         checkpoint_every=checkpoint_every,
         recover=recover,
+        engine=engine,
     )

@@ -52,6 +52,38 @@ class TestRun:
         assert main(["run", source_file, "--extension", "sec",
                      "--ratio", "0.25", "--fifo", "16"]) == 0
 
+    def test_unknown_workload_exits_2_with_known_names(self, capsys):
+        assert main(["run", "--workload", "nosuch"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload 'nosuch'" in err
+        for name in ("sha", "bitcount", "basicmath"):
+            assert name in err
+
+    def test_engine_flag_digest_identical(self, source_file, capsys):
+        digests = []
+        for engine in ("reference", "fast"):
+            assert main(["run", source_file, "--extension", "dift",
+                         "--digest", "--engine", engine]) == 0
+            out = capsys.readouterr().out
+            digests.append([line for line in out.splitlines()
+                            if line.startswith("digest")])
+        assert digests[0] and digests[0] == digests[1]
+
+
+class TestBench:
+    def test_quick_bench_writes_payload(self, tmp_path, capsys):
+        payload_path = tmp_path / "BENCH_perf.json"
+        assert main(["bench", "--quick", "--benchmarks", "bitcount",
+                     "--scale", "0.0625",
+                     "--json", str(payload_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+        import json
+        payload = json.loads(payload_path.read_text())
+        assert payload["digests_match"] is True
+        assert len(payload["points"]) == 5
+        assert all(row["match"] for row in payload["points"])
+
 
 class TestDisasm:
     def test_listing(self, source_file, capsys):

@@ -1,0 +1,282 @@
+"""Differential proof of the fast engine.
+
+For any program, extension, and watchdog configuration the fused
+predecoded loop (``engine="fast"``) must be observationally identical
+to the reference loop: same ``run_digest``, same trap/error strings,
+same termination, same recovery count.  Three layers:
+
+* a hypothesis property over random programs (ALU/memory/branch mixes,
+  annulled delay slots, undecodable words) under a drawn extension;
+* the full paper matrix — six workloads under every shipped extension
+  including the MDL-compiled specs — at the experiment configuration;
+* mid-run checkpoint/restore and rollback recovery under the fast
+  engine, including restoring a fast-engine snapshot into a
+  reference-loop run.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint import SystemSnapshot
+from repro.evaluation.config import (
+    FLEXCORE_RATIOS,
+    experiment_system_config,
+)
+from repro.extensions import EXTENSION_NAMES, create_extension
+from repro.flexcore.system import FlexCoreSystem
+from repro.isa.assembler import assemble
+from repro.mdl import load_spec, shipped_specs
+from repro.telemetry.summary import result_fingerprint, run_digest
+from repro.workloads import build_workload, workload_names
+
+MASK32 = 0xFFFFFFFF
+
+OPS = {
+    "add": None, "addcc": None, "sub": None, "subcc": None,
+    "and": None, "or": None, "xor": None, "andn": None,
+    "xnor": None, "sll": None, "srl": None, "sra": None,
+    "umul": None, "smul": None,
+}
+
+# Registers the generator may clobber (avoid %g0/%sp/%fp/%o7).
+REGS = ["%g1", "%g2", "%g3", "%o0", "%o1", "%o2", "%l0", "%l1",
+        "%l2", "%l3", "%i0", "%i1"]
+
+#: extension specs; "mdl:<name>" instantiates a shipped MDL spec.
+MATRIX_EXTENSIONS = (
+    (None,) + tuple(EXTENSION_NAMES)
+    + tuple(f"mdl:{name}" for name in sorted(shipped_specs()))
+)
+
+
+def _make_extension(spec):
+    if spec is None:
+        return None
+    if spec.startswith("mdl:"):
+        return load_spec(shipped_specs()[spec[4:]]).create()
+    return create_extension(spec)
+
+
+def _fabric_ratio(spec):
+    name = spec[4:] if spec and spec.startswith("mdl:") else spec
+    return FLEXCORE_RATIOS.get(name, 0.5)
+
+
+def _run_one(program, spec, engine, **bounded_kwargs):
+    system = FlexCoreSystem(program, _make_extension(spec))
+    try:
+        return system.run_bounded(engine=engine, **bounded_kwargs)
+    except Exception as err:
+        # Some faults (e.g. an undecodable word's EncodingError)
+        # escape run_bounded uncaught; both engines must raise the
+        # same exception, so represent it comparably.
+        return ("raised", type(err).__name__, str(err))
+
+
+def _assert_identical(reference, fast):
+    if isinstance(reference, tuple) or isinstance(fast, tuple):
+        assert reference == fast
+        return
+    assert reference.engine == "reference"
+    assert result_fingerprint(fast) == result_fingerprint(reference)
+    assert run_digest(fast) == run_digest(reference)
+    assert str(fast.trap) == str(reference.trap)
+    assert str(fast.error) == str(reference.error)
+    assert fast.termination == reference.termination
+
+
+# ---------------------------------------------------------------------------
+# Layer 1: random programs.
+
+
+_REG_INDEX = st.integers(0, len(REGS) - 1)
+_BUF_OFFSET = st.integers(0, 15).map(lambda w: w * 4)
+
+_ALU = st.tuples(
+    st.just("alu"),
+    st.sampled_from(sorted(OPS)),
+    _REG_INDEX,
+    st.one_of(_REG_INDEX,
+              st.integers(-4096, 4095).map(lambda i: ("imm", i))),
+    _REG_INDEX,
+)
+_STORE = st.tuples(st.just("st"), _REG_INDEX, _BUF_OFFSET)
+_LOAD = st.tuples(st.just("ld"), _BUF_OFFSET, _REG_INDEX)
+#: compare-and-skip with an annulled delay slot: exercises the fused
+#: branch handler's annul path both taken and untaken.
+_SKIP = st.tuples(st.just("skip"), _REG_INDEX, _REG_INDEX)
+
+
+@st.composite
+def monitored_programs(draw):
+    seeds = draw(st.lists(st.integers(0, MASK32), min_size=4,
+                          max_size=4))
+    ops = draw(st.lists(st.one_of(_ALU, _STORE, _LOAD, _SKIP),
+                        min_size=1, max_size=24))
+    loops = draw(st.integers(1, 3))
+    # An undecodable word in place of the halt: both engines must
+    # raise the decoder's SimulationError identically when reached.
+    bad_tail = draw(st.sampled_from((False, False, False, True)))
+    extension = draw(st.sampled_from((None, "umc", "dift", "bc")))
+    return seeds, ops, loops, bad_tail, extension
+
+
+def _emit(seeds, ops, loops, bad_tail):
+    lines = [
+        "        .text",
+        "start:",
+        "        set     buf, %g4",
+        f"        mov     {loops}, %g5",
+    ]
+    for i, seed in enumerate(seeds):
+        lines.append(f"        set     {seed:#x}, {REGS[i]}")
+    lines.append("loop:")
+    for index, op in enumerate(ops):
+        kind = op[0]
+        if kind == "alu":
+            _, mnemonic, rs1, src2, rd = op
+            operand = (str(src2[1]) if isinstance(src2, tuple)
+                       else REGS[src2])
+            lines.append(f"        {mnemonic:7s} {REGS[rs1]}, "
+                         f"{operand}, {REGS[rd]}")
+        elif kind == "st":
+            _, rs, offset = op
+            lines.append(f"        st      {REGS[rs]}, "
+                         f"[%g4 + {offset}]")
+        elif kind == "ld":
+            _, offset, rd = op
+            lines.append(f"        ld      [%g4 + {offset}], "
+                         f"{REGS[rd]}")
+        else:
+            _, rs1, rs2 = op
+            lines.append(f"        subcc   {REGS[rs1]}, {REGS[rs2]}, "
+                         "%g0")
+            lines.append(f"        be,a    skip{index}")
+            lines.append(f"        add     {REGS[rs1]}, 1, "
+                         f"{REGS[rs2]}")
+            lines.append(f"skip{index}:")
+    lines += [
+        "        subcc   %g5, 1, %g5",
+        "        bne     loop",
+        "        nop",
+    ]
+    if bad_tail:
+        lines.append("        .word   0x00000000")
+    else:
+        lines += ["        ta      0", "        nop"]
+    lines += ["        .data", "buf:    .space  64"]
+    return assemble("\n".join(lines), entry="start")
+
+
+@settings(max_examples=50, deadline=None)
+@given(monitored_programs())
+def test_random_programs_bit_identical(case):
+    seeds, ops, loops, bad_tail, extension = case
+    program = _emit(seeds, ops, loops, bad_tail)
+    reference = _run_one(program, extension, "reference",
+                         max_instructions=20_000)
+    fast = _run_one(program, extension, "fast",
+                    max_instructions=20_000)
+    if not isinstance(fast, tuple):
+        assert fast.engine == "fast"
+    _assert_identical(reference, fast)
+
+
+# ---------------------------------------------------------------------------
+# Layer 2: the paper matrix, MDL specs included.
+
+
+@pytest.mark.parametrize(
+    "extension", MATRIX_EXTENSIONS,
+    ids=[spec or "baseline" for spec in MATRIX_EXTENSIONS],
+)
+@pytest.mark.parametrize("workload", workload_names())
+def test_paper_workloads_bit_identical(workload, extension):
+    program = build_workload(workload, 0.125).build()
+    ratio = _fabric_ratio(extension)
+    runs = {}
+    for engine in ("reference", "fast"):
+        system = FlexCoreSystem(
+            program, _make_extension(extension),
+            experiment_system_config(clock_ratio=ratio),
+        )
+        runs[engine] = system.run_bounded(engine=engine)
+    assert runs["fast"].engine == "fast"
+    assert runs["fast"].halted
+    _assert_identical(runs["reference"], runs["fast"])
+
+
+# ---------------------------------------------------------------------------
+# Layer 3: checkpoint/restore and recovery under the fast engine.
+
+
+def test_fast_engine_checkpoint_restore_round_trip():
+    program = build_workload("bitcount", 0.125).build()
+
+    captured = []
+    system = FlexCoreSystem(program, create_extension("umc"))
+    checkpointed = system.run_bounded(
+        engine="fast", checkpoint_every=2_000,
+        on_checkpoint=lambda s, state: captured.append(
+            SystemSnapshot.from_state(s, state)
+        ),
+    )
+    assert checkpointed.engine == "fast"
+    assert checkpointed.halted
+    assert captured, "run too short to checkpoint"
+
+    uninterrupted = _run_one(program, "umc", "reference")
+    assert (result_fingerprint(checkpointed)
+            == result_fingerprint(uninterrupted))
+
+    snapshot = captured[len(captured) // 2]
+    for resume_engine in ("fast", "reference"):
+        resumed_system = FlexCoreSystem(program,
+                                        create_extension("umc"))
+        snapshot.restore_into(resumed_system)
+        resumed = resumed_system.run_bounded(engine=resume_engine)
+        assert resumed.engine == resume_engine
+        assert (result_fingerprint(resumed)
+                == result_fingerprint(uninterrupted))
+
+
+_TRAPPING_SOURCE = """
+        .text
+start:
+        set     0x20000, %g1       ! outside the loaded image
+        mov     7, %g2
+        st      %g2, [%g1]
+        ld      [%g1 + 8], %g3     ! never written -> UMC trap
+        ta      0
+        nop
+"""
+
+
+def test_rollback_recovery_bit_identical():
+    program = assemble(_TRAPPING_SOURCE, entry="start")
+    kwargs = dict(checkpoint_every=2, recover=True, recovery_limit=3)
+    reference = _run_one(program, "umc", "reference", **kwargs)
+    fast = _run_one(program, "umc", "fast", **kwargs)
+    assert fast.engine == "fast"
+    assert reference.recoveries == fast.recoveries > 0
+    _assert_identical(reference, fast)
+
+
+def test_record_hooks_fall_back_to_reference_loop():
+    """A commit-record observer must see every record, so requesting
+    the fast engine silently runs the reference loop — with, still,
+    an identical digest."""
+    program = build_workload("bitcount", 0.125).build()
+
+    fast = _run_one(program, "dift", "fast")
+    assert fast.engine == "fast"
+
+    seen = []
+    system = FlexCoreSystem(program, create_extension("dift"))
+    system.record_hooks.append(lambda record: seen.append(record))
+    hooked = system.run_bounded(engine="fast")
+    assert hooked.engine == "reference"
+    assert len(seen) == hooked.instructions
+    assert result_fingerprint(hooked) == result_fingerprint(fast)
+    assert run_digest(hooked) == run_digest(fast)

@@ -1,0 +1,51 @@
+"""Golden run digests: the simulator's observable behavior is pinned.
+
+``tests/golden/digests.json`` records the ``run_digest`` of every
+(workload, extension) point of the experiment grid.  Any change to
+decode, timing, forwarding, or extension semantics shifts a digest
+and fails here — so architectural changes are always explicit diffs
+of the pinned file, never silent.  The grid definition lives in
+``tests/golden/regenerate.py`` (single source of truth for this test
+and the regeneration script).
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def _load_regenerate():
+    spec = importlib.util.spec_from_file_location(
+        "golden_regenerate", _GOLDEN_DIR / "regenerate.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_regen = _load_regenerate()
+GOLDEN = json.loads((_GOLDEN_DIR / "digests.json").read_text())
+
+
+def test_pinned_file_covers_the_grid():
+    assert set(GOLDEN) == {_regen.key(p)
+                           for p in _regen.golden_points()}
+
+
+@pytest.mark.parametrize("point", _regen.golden_points(),
+                         ids=_regen.key)
+def test_digest_matches_pinned(point):
+    from repro.engine.sweep import run_point
+
+    outcome = run_point(point, engine="fast")
+    assert outcome.engine == "fast"
+    expected = GOLDEN[_regen.key(point)]
+    assert outcome.digest == expected, (
+        f"{_regen.key(point)}: digest {outcome.digest} != pinned "
+        f"{expected}.  If this architectural change is intentional, "
+        "rerun tests/golden/regenerate.py and review the diff."
+    )
