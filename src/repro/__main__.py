@@ -5,6 +5,7 @@ Commands
 run      assemble and simulate a .s file, optionally with a monitor
 trace    simulate with full telemetry; export a Perfetto trace
 inject   run a fault-injection campaign against a monitor
+sweep    run an evaluation sweep grid across the worker pool
 bench    time the fast engine against the reference loop
 compile  compile an MDL monitor spec; synthesize or run it
 disasm   assemble a .s file and print the disassembly listing
@@ -231,6 +232,15 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_campaign_health(campaign) -> None:
+    """Surface degradation warnings and infra counters on stderr
+    (never on stdout: the report there must stay bit-reproducible)."""
+    for warning in campaign.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if campaign.pool_stats.interesting():
+        print(f"pool: {campaign.pool_stats.summary()}", file=sys.stderr)
+
+
 def cmd_inject(args: argparse.Namespace) -> int:
     from repro.checkpoint import JournalError
     from repro.faultinject import (
@@ -276,6 +286,9 @@ def cmd_inject(args: argparse.Namespace) -> int:
             recover=args.recover,
             cache_dir=args.cache_dir,
             mdl=tuple(mdl_pairs),
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
+            serial_fallback=args.serial_fallback,
         )
         campaign = Campaign(config)
     except (CampaignError, ValueError) as err:
@@ -298,6 +311,7 @@ def cmd_inject(args: argparse.Namespace) -> int:
     except CampaignInterrupted as stop:
         if args.progress:
             print(file=sys.stderr)
+        _print_campaign_health(campaign)
         partial = stop.partial_report()
         print(partial.format(details=args.details,
                              metrics=args.metrics))
@@ -318,12 +332,121 @@ def cmd_inject(args: argparse.Namespace) -> int:
         return EXIT_INTERRUPTED
     if args.progress:
         print(file=sys.stderr)
+    _print_campaign_health(campaign)
     print(report.format(details=args.details, metrics=args.metrics))
     if args.metrics:
         print(campaign.profiler.format(), file=sys.stderr)
     if args.json is not None:
         report.write_json(args.json)
         print(f"\nJSON report written to {args.json}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run an evaluation sweep grid across the supervised pool.
+
+    Prints one deterministic line per grid point — stable ordering and
+    content, so two sweeps of the same grid can be compared with
+    ``cmp``/``diff`` regardless of ``--jobs``, caching, chaos or
+    serial fallback.  Interrupts (SIGINT/SIGTERM) tear the pool down
+    cleanly and exit 130; everything already cached stays cached.
+    """
+    import signal as signal_module
+
+    from repro.engine.pool import PoolPolicy, Quarantined
+    from repro.engine.sweep import SweepRunner, table4_points
+    from repro.evaluation.config import CLOCK_RATIOS
+    from repro.extensions import EXTENSION_NAMES
+    from repro.workloads import workload_names
+
+    benchmarks = (
+        args.benchmarks.split(",") if args.benchmarks
+        else list(workload_names())
+    )
+    known_workloads = workload_names(include_extras=True)
+    for bench in benchmarks:
+        if bench not in known_workloads:
+            known = ", ".join(known_workloads)
+            raise _UsageError(
+                f"sweep error: unknown workload {bench!r} "
+                f"(known: {known})"
+            )
+    extensions = (
+        tuple(args.extensions.split(",")) if args.extensions
+        else EXTENSION_NAMES
+    )
+    for name in extensions:
+        if name not in EXTENSION_NAMES:
+            known = ", ".join(EXTENSION_NAMES)
+            raise _UsageError(
+                f"sweep error: unknown extension {name!r} "
+                f"(known: {known})"
+            )
+    ratios = (
+        tuple(float(r) for r in args.ratios.split(","))
+        if args.ratios else CLOCK_RATIOS
+    )
+    points = table4_points(scale=args.scale, benchmarks=benchmarks,
+                           extensions=extensions, ratios=ratios)
+    policy = PoolPolicy(
+        task_timeout=args.task_timeout,
+        max_retries=args.max_retries,
+        fallback=args.serial_fallback,
+    )
+    runner = SweepRunner(jobs=args.jobs, engine=args.engine,
+                         cache_dir=args.cache_dir, policy=policy)
+
+    def diagnostics(message: str) -> None:
+        if args.verbose:
+            print(message, file=sys.stderr)
+
+    on_infra = None
+    if args.skip_infra_failures:
+        def on_infra(point, error) -> None:
+            print(f"sweep: quarantined {point.stem()} "
+                  f"ratio={point.clock_ratio} — {error}",
+                  file=sys.stderr)
+
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_sigterm = None
+    try:
+        previous_sigterm = signal_module.signal(
+            signal_module.SIGTERM, _sigterm)
+    except ValueError:
+        pass
+    try:
+        outcomes = runner.run(points, diagnostics=diagnostics,
+                              on_infra_failure=on_infra)
+    except Quarantined as err:
+        print(f"sweep error: {err} (use --skip-infra-failures to "
+              f"report-and-continue)", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("\nsweep interrupted; completed points are cached — "
+              "re-run the same command to continue", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    finally:
+        if previous_sigterm is not None:
+            signal_module.signal(signal_module.SIGTERM,
+                                 previous_sigterm)
+
+    for point, outcome in zip(points, outcomes):
+        label = (f"{point.workload:<10} "
+                 f"{point.extension or 'baseline':<10} "
+                 f"ratio={point.clock_ratio:<5} "
+                 f"fifo={point.fifo_depth}")
+        if outcome is None:
+            print(f"{label} INFRA-FAILED")
+        else:
+            print(f"{label} cycles={outcome.cycles} "
+                  f"digest={outcome.digest}")
+    if runner.stats.interesting():
+        print(f"pool: {runner.stats.summary()}", file=sys.stderr)
+    for point, reason in runner.failures:
+        print(f"quarantined: {point.stem()} "
+              f"ratio={point.clock_ratio} — {reason}", file=sys.stderr)
     return 0
 
 
@@ -466,6 +589,32 @@ def cmd_compile(args: argparse.Namespace) -> int:
             print(f"  TRAP         : {result.trap}")
             return EXIT_TRAP
     return 0
+
+
+def _add_pool_robustness_args(cmd: argparse.ArgumentParser) -> None:
+    """The supervised-pool knobs shared by ``inject`` and ``sweep``.
+
+    None of these affect results (only whether/when an item completes
+    here-and-now), so they are free to vary between a run and its
+    resume."""
+    cmd.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="pool deadline per task; a worker past it is presumed "
+             "hung, killed and its task retried (default: derived "
+             "from the wall-clock watchdog, or unlimited)",
+    )
+    cmd.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="infra retries per item before quarantining it as "
+             "infra-failed (default: 2)",
+    )
+    cmd.add_argument(
+        "--serial-fallback", choices=("auto", "never", "force"),
+        default="auto",
+        help="when the pool is irrecoverably broken: 'auto' degrades "
+             "to in-process serial execution (bit-identical results), "
+             "'never' fails instead, 'force' skips the pool entirely",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -656,7 +805,50 @@ def build_parser() -> argparse.ArgumentParser:
                             help="list every run in the report")
     inject_cmd.add_argument("--progress", action="store_true",
                             help="show run progress on stderr")
+    _add_pool_robustness_args(inject_cmd)
     inject_cmd.set_defaults(handler=cmd_inject)
+
+    sweep_cmd = commands.add_parser(
+        "sweep",
+        help="run an evaluation sweep grid across the worker pool",
+    )
+    sweep_cmd.add_argument(
+        "--benchmarks", default=None,
+        help="comma-separated workload subset (default: all)",
+    )
+    sweep_cmd.add_argument(
+        "--extensions", default=None,
+        help="comma-separated extension subset (default: all)",
+    )
+    sweep_cmd.add_argument(
+        "--ratios", default=None,
+        help="comma-separated fabric clock ratios "
+             "(default: the paper's 1.0,0.5,0.25)",
+    )
+    sweep_cmd.add_argument(
+        "--scale", type=float, default=0.125,
+        help="workload scale (default: the fast test variant)",
+    )
+    sweep_cmd.add_argument("--jobs", type=int, default=1,
+                           help="worker processes")
+    sweep_cmd.add_argument(
+        "--engine", choices=("fast", "reference"), default="fast",
+        help="execution engine (both are bit-identical)",
+    )
+    sweep_cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache per-point outcomes here; an interrupted sweep "
+             "resumes from the cache on re-run",
+    )
+    sweep_cmd.add_argument(
+        "--skip-infra-failures", action="store_true",
+        help="report points whose workers keep dying as INFRA-FAILED "
+             "and continue, instead of failing the sweep",
+    )
+    sweep_cmd.add_argument("--verbose", action="store_true",
+                           help="print cache/pool diagnostics")
+    _add_pool_robustness_args(sweep_cmd)
+    sweep_cmd.set_defaults(handler=cmd_sweep)
 
     bench_cmd = commands.add_parser(
         "bench",

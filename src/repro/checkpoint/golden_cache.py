@@ -75,6 +75,13 @@ class IdentityCache:
         self.root = Path(root)
         self.label = label
         self.section = section
+        #: set the first time a write fails with an environment error
+        #: (ENOSPC, EROFS, EACCES, ...).  A cache is a pure
+        #: accelerant: once it proves unwritable, further stores
+        #: become no-ops and the run continues uncached — a full disk
+        #: must never abort a multi-hour sweep.  Callers surface this
+        #: as a one-shot structured warning.
+        self.disabled_reason: str | None = None
 
     def path_for(self, identity: dict, stem: str) -> Path:
         return self.root / (
@@ -90,13 +97,15 @@ class IdentityCache:
         entry was unusable (absent, corrupt, or stale identity).
         """
         path = self.path_for(identity, stem)
-        if not path.exists():
-            return None, f"{self.label} miss: no entry at {path}"
         try:
+            if not path.exists():
+                return None, f"{self.label} miss: no entry at {path}"
             sections = read_container(path)
             stored = decode_obj(sections[IDENTITY_SECTION])
             payload = decode_obj(sections[self.section])
-        except (CheckpointError, KeyError) as err:
+        except (CheckpointError, KeyError, OSError) as err:
+            # OSError covers unreadable entries (EACCES, EIO): a
+            # broken cache degrades to a miss, never to a crash.
             return None, (
                 f"{self.label} entry {path} is unusable "
                 f"({type(err).__name__}: {err}); recomputing"
@@ -113,14 +122,30 @@ class IdentityCache:
             )
         return payload, None
 
-    def store(self, identity: dict, stem: str, payload: dict) -> Path:
-        """Atomically (re)write the entry for this identity."""
-        self.root.mkdir(parents=True, exist_ok=True)
+    def store(self, identity: dict, stem: str,
+              payload: dict) -> Path | None:
+        """Atomically (re)write the entry for this identity.
+
+        Returns the entry path, or ``None`` when the cache directory
+        is unwritable (full disk, read-only mount, no permission) —
+        the cache disables itself with :attr:`disabled_reason` set
+        and the caller continues uncached.
+        """
+        if self.disabled_reason is not None:
+            return None
         path = self.path_for(identity, stem)
-        write_container(path, {
-            IDENTITY_SECTION: encode_obj(identity),
-            self.section: encode_obj(payload),
-        })
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            write_container(path, {
+                IDENTITY_SECTION: encode_obj(identity),
+                self.section: encode_obj(payload),
+            })
+        except OSError as err:
+            self.disabled_reason = (
+                f"{self.label} disabled: cannot write {path} "
+                f"({type(err).__name__}: {err}); continuing uncached"
+            )
+            return None
         return path
 
 
@@ -135,6 +160,11 @@ class GoldenCache:
     @property
     def root(self) -> Path:
         return self._cache.root
+
+    @property
+    def disabled_reason(self) -> str | None:
+        """Why writes are disabled (``None`` while healthy)."""
+        return self._cache.disabled_reason
 
     def _stem(self, config: "CampaignConfig") -> str:
         workload = config.workload or "inline"
@@ -163,8 +193,9 @@ class GoldenCache:
         return GoldenProfile(**fields), None
 
     def store(self, config: "CampaignConfig",
-              profile: "GoldenProfile") -> Path:
-        """Atomically (re)write the entry for this configuration."""
+              profile: "GoldenProfile") -> Path | None:
+        """Atomically (re)write the entry for this configuration
+        (``None`` when the cache directory is unwritable)."""
         return self._cache.store(golden_identity(config),
                                  self._stem(config),
                                  vars(profile).copy())

@@ -15,9 +15,19 @@ carrying the campaign identity; result frames follow.  On read:
 * a defective **final** line (missing newline, unparseable JSON, or a
   CRC mismatch) is a torn tail from a crash mid-append — it is
   dropped and the journal is usable;
+* a journal with **no** surviving frame at all (a zero-byte file, or
+  a single torn line: the very first write was cut short) reads as an
+  *empty* journal — ``(None, [])`` — so ``--resume`` restarts it
+  cleanly instead of erroring;
 * a defective line **anywhere else** means real corruption and raises
   :class:`JournalCorruptError` — resuming from a silently-mangled
   journal would poison the final report.
+
+Journal writes degrade rather than crash: the first ``OSError``
+(ENOSPC, EROFS, EACCES...) disables the journal with
+:attr:`ResultsJournal.disabled_reason` set, and the campaign keeps
+running un-journaled behind a structured warning — losing
+resumability is strictly better than losing the run.
 """
 
 from __future__ import annotations
@@ -74,17 +84,22 @@ class ResultsJournal:
     def __init__(self, path):
         self.path = Path(path)
         self._handle = None
+        #: set the first time a write fails with an environment error;
+        #: further writes become no-ops (see the module docstring).
+        self.disabled_reason: str | None = None
 
     # -- reading -----------------------------------------------------------
 
     def exists(self) -> bool:
         return self.path.exists()
 
-    def read(self) -> tuple[dict, list[dict]]:
+    def read(self) -> tuple[dict | None, list[dict]]:
         """Replay the journal: ``(identity, result_records)``.
 
-        Tolerates a torn final line; raises
-        :class:`JournalCorruptError` for anything else.
+        Tolerates a torn final line; a journal with no surviving
+        frame at all (zero bytes, or one torn line — the very first
+        append was cut short) reads as empty: ``(None, [])``.
+        Raises :class:`JournalCorruptError` for anything else.
         """
         raw = self.path.read_bytes().decode("utf-8")
         lines = raw.split("\n")
@@ -103,7 +118,11 @@ class ResultsJournal:
                     f"truncated; delete it to start over"
                 )
             bodies.append(body)
-        if not bodies or bodies[0].get("kind") != "header":
+        if not bodies:
+            # Nothing survived: a just-created file whose first write
+            # tore.  Resuming from "empty" is always safe.
+            return None, []
+        if bodies[0].get("kind") != "header":
             raise JournalCorruptError(
                 f"{self.path}: missing campaign header record"
             )
@@ -116,29 +135,52 @@ class ResultsJournal:
     def start(self, identity: dict) -> None:
         """Create a fresh journal (truncating any old one) whose first
         frame pins the campaign identity."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle = open(self.path, "w", encoding="utf-8")
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "w", encoding="utf-8")
+        except OSError as err:
+            self._disable("create", err)
+            return
         self._write_frame({"kind": "header", "identity": identity})
 
     def open_append(self) -> None:
         """Re-open an existing journal for appending (resume)."""
-        self._handle = open(self.path, "a", encoding="utf-8")
+        try:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        except OSError as err:
+            self._disable("reopen", err)
 
     def append_result(self, record: dict) -> None:
         """Durably append one result record (flushed and fsynced —
         once this returns, a crash cannot lose the record)."""
         self._write_frame({"kind": "result", **record})
 
+    def _disable(self, verb: str, err: OSError) -> None:
+        self.disabled_reason = (
+            f"journal disabled: cannot {verb} {self.path} "
+            f"({type(err).__name__}: {err}); campaign continues "
+            f"un-journaled (results will not be resumable)"
+        )
+        self.close()
+
     def _write_frame(self, body: dict) -> None:
+        if self.disabled_reason is not None:
+            return
         if self._handle is None:
             raise JournalError("journal is not open for writing")
-        self._handle.write(_frame(body))
-        self._handle.flush()
-        fsync_file(self._handle)
+        try:
+            self._handle.write(_frame(body))
+            self._handle.flush()
+            fsync_file(self._handle)
+        except OSError as err:
+            self._disable("append to", err)
 
     def close(self) -> None:
         if self._handle is not None:
-            self._handle.close()
+            try:
+                self._handle.close()
+            except OSError:
+                pass  # flush-on-close of a dead filesystem
             self._handle = None
 
     def __enter__(self) -> "ResultsJournal":

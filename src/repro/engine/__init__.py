@@ -6,8 +6,10 @@ Three pieces:
   per-PC fused handler closures and the flattened hot loop behind
   ``engine="fast"`` (selected via ``SystemConfig.engine`` or the
   ``engine=`` argument of ``run_program``/``run``/``run_bounded``).
-* :mod:`repro.engine.pool` — the shared process-pool fan-out used by
-  fault-injection campaigns and sweeps alike.
+* :mod:`repro.engine.pool` / :mod:`repro.engine.supervisor` — the
+  shared supervised process-pool fan-out used by fault-injection
+  campaigns and sweeps alike: per-task deadlines, worker-death
+  recovery, bounded retries, quarantine and serial fallback.
 * :mod:`repro.engine.sweep` — :class:`SweepRunner`, which fans the
   workload × extension × clock-ratio × FIFO-depth matrix of the
   paper's tables/figures across the pool, with an identity-checked
@@ -20,14 +22,32 @@ the reference loop's (``tests/test_engine_differential.py`` and the
 pinned golden digests enforce this).
 """
 
+from repro.engine.pool import (
+    PoolError,
+    PoolPolicy,
+    PoolStats,
+    Quarantined,
+    TaskTimeout,
+    WorkerCrash,
+    fan_out,
+    worker_signals,
+)
 from repro.engine.predecode import HandlerTable
 
 __all__ = [
     "HandlerTable",
+    "PoolError",
+    "PoolPolicy",
+    "PoolStats",
+    "Quarantined",
     "SweepOutcome",
     "SweepPoint",
     "SweepRunner",
+    "TaskTimeout",
+    "WorkerCrash",
+    "fan_out",
     "table4_points",
+    "worker_signals",
 ]
 
 _SWEEP_EXPORTS = ("SweepOutcome", "SweepPoint", "SweepRunner",

@@ -1,32 +1,110 @@
-"""Shared process-pool fan-out.
+"""Shared process-pool fan-out, now supervised.
 
 One implementation of the "initialize each worker once, stream items
-through ``imap_unordered``, terminate cleanly on interrupt" pattern,
-used by both fault-injection campaigns
+through the pool, terminate cleanly on interrupt" pattern, used by
+both fault-injection campaigns
 (:meth:`repro.faultinject.campaign.Campaign._run_parallel`) and the
 evaluation sweeps (:class:`repro.engine.sweep.SweepRunner`).
 
-The interruption contract matches the campaign's original behaviour:
-workers ignore SIGINT (only the parent reacts to Ctrl-C, after the
-in-flight ``record`` call finished) and revert SIGTERM to the default
-action so ``pool.terminate()`` ends them silently.
+:func:`fan_out` fronts :class:`repro.engine.supervisor.SupervisedPool`
+and adds **graceful degradation**: when multiprocessing is unavailable
+(no fork/pipe support, spawn failures) or the pool breaks
+irrecoverably (deterministic initializer failure, retry budget
+exhausted), the remaining items run in-process, serially, with a
+structured warning — results are bit-identical either way, because
+per-item determinism is the callers' contract.
+
+Retry granularity (the old ``chunksize=8`` bug)
+-----------------------------------------------
+The previous ``Pool.imap_unordered`` fan-out shipped items in chunks
+of 8, so one crashed worker lost up to 8 unrelated items and the only
+"retry" was aborting the run.  The supervised pool always dispatches
+exactly one item per worker: marginally more IPC (one pickled item +
+one pickled result per task, ~100 us), but every item here is a whole
+simulation (milliseconds to minutes), so the overhead is noise and in
+exchange a worker death costs exactly one in-flight attempt — the
+natural granularity for retries, deadlines and quarantine.  Callers
+that fan out truly tiny items should batch them *inside* the item
+(the lockstep fault-batching direction in ROADMAP item 2), not via a
+pool chunksize the supervisor cannot see into.
+
+The interruption contract matches the original behaviour: workers
+ignore SIGINT (only the parent reacts to Ctrl-C, after the in-flight
+``record`` call finished) and take the default SIGTERM action so
+reaping ends them silently.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import signal
+import sys
+
+from repro.engine.supervisor import (
+    PoolError,
+    PoolPolicy,
+    PoolStats,
+    Quarantined,
+    SupervisedPool,
+    TaskTimeout,
+    WorkerCrash,
+)
+
+__all__ = [
+    "PoolError",
+    "PoolPolicy",
+    "PoolStats",
+    "Quarantined",
+    "TaskTimeout",
+    "WorkerCrash",
+    "fan_out",
+    "worker_signals",
+]
 
 
 def worker_signals() -> None:
     """Standard worker-process signal setup; call first in every pool
     initializer.  The parent owns interruption: a terminal-wide SIGINT
     must not kill workers mid-result while the parent is still
-    recording, and SIGTERM reverts to the default action (the fork
-    inherited the parent's handler) so ``pool.terminate()`` ends
-    workers without tracebacks."""
+    recording, and SIGTERM reverts to the default action so reaping
+    ends workers without tracebacks.
+
+    No-op in the main process: the serial-fallback path runs pool
+    initializers in-process, and they must not clobber the parent's
+    own SIGINT/SIGTERM handling.
+    """
+    if multiprocessing.parent_process() is None:
+        return
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
+
+
+def _warn_stderr(message: str) -> None:
+    print(message, file=sys.stderr)
+
+
+def _run_serial(items, worker, record, initializer, initargs,
+                on_quarantine, stats: PoolStats) -> None:
+    """In-process execution of ``items`` (jobs=1 and fallback path).
+
+    No deadlines here — a single process cannot preempt itself — so
+    degraded mode trades hung-worker reaping for survivability, which
+    is the right trade once the pool has already proven unusable.
+    Worker exceptions are deterministic in-process: they quarantine
+    immediately (no retries) or propagate when there is no handler.
+    """
+    if initializer is not None:
+        initializer(*initargs)
+    for item in items:
+        try:
+            result = worker(item)
+        except Exception as err:  # noqa: BLE001 — quarantine boundary
+            if on_quarantine is None:
+                raise
+            stats.quarantined += 1
+            on_quarantine(item, Quarantined(item, 1, err))
+        else:
+            record(result)
 
 
 def fan_out(
@@ -37,30 +115,55 @@ def fan_out(
     jobs: int,
     initializer=None,
     initargs: tuple = (),
-    chunksize: int = 8,
-) -> None:
+    policy: PoolPolicy | None = None,
+    on_quarantine=None,
+    warn=None,
+) -> PoolStats:
     """Stream ``worker(item)`` results for every item to ``record``.
 
     Results arrive in completion order (callers that need item order
     must carry an index through the worker).  ``initializer`` runs
     once per worker process — it should call :func:`worker_signals`
     before any real setup.  Any exception in the parent (including
-    KeyboardInterrupt) terminates the pool before re-raising, so no
+    KeyboardInterrupt) kills the workers before re-raising, so no
     orphan workers outlive the caller.
+
+    Infra failures (worker deaths, hung tasks) are retried under
+    ``policy``; items that exhaust their retries go to
+    ``on_quarantine(item, error)`` — without a handler the first
+    quarantine raises :class:`Quarantined`.  When the pool is broken
+    as a unit and ``policy.fallback`` is ``"auto"``, the remaining
+    items run serially in-process after a ``warn(message)`` call.
+
+    Returns the run's :class:`PoolStats` (all zeros on a healthy run).
     """
-    ctx = multiprocessing.get_context()
-    pool = ctx.Pool(
-        processes=jobs,
-        initializer=initializer,
-        initargs=initargs,
-    )
+    policy = policy or PoolPolicy()
+    warn = warn or _warn_stderr
+    items = list(items)
+    stats = PoolStats()
+    if jobs <= 1 or len(items) <= 1 or policy.fallback == "force":
+        # Running a tiny batch in-process is an optimisation, not a
+        # degradation; only a forced fallback is worth flagging.
+        if policy.fallback == "force" and jobs > 1:
+            stats.degraded = True
+            warn("pool: serial execution forced (fallback=force)")
+        _run_serial(items, worker, record, initializer, initargs,
+                    on_quarantine, stats)
+        return stats
+    pool = SupervisedPool(jobs, policy, stats)
     try:
-        for result in pool.imap_unordered(worker, items,
-                                          chunksize=chunksize):
-            record(result)
-        pool.close()
-    except BaseException:
-        pool.terminate()
+        pool.run(items, worker, record, initializer=initializer,
+                 initargs=initargs, on_quarantine=on_quarantine)
+    except Quarantined:
         raise
-    finally:
-        pool.join()
+    except PoolError as err:
+        if policy.fallback != "auto":
+            raise
+        stats.degraded = True
+        warn(
+            f"pool: degrading to in-process serial execution for "
+            f"{len(err.pending)} remaining item(s) — {err}"
+        )
+        _run_serial(err.pending, worker, record, initializer,
+                    initargs, on_quarantine, stats)
+    return stats

@@ -22,7 +22,12 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, replace
 
 from repro.checkpoint.golden_cache import IdentityCache
-from repro.engine.pool import fan_out, worker_signals
+from repro.engine.pool import (
+    PoolPolicy,
+    PoolStats,
+    fan_out,
+    worker_signals,
+)
 from repro.evaluation.config import (
     CLOCK_RATIOS,
     DEFAULT_FIFO_DEPTH,
@@ -159,28 +164,63 @@ class SweepRunner:
     :func:`repro.engine.pool.fan_out` (each worker rebuilds workloads
     from names — points are cheap to ship, programs are not).
     ``cache_dir`` enables the on-disk outcome cache; cached entries
-    are returned without simulating.
+    are returned without simulating.  ``policy`` tunes the supervised
+    pool (task deadlines, retries, serial fallback).
+
+    Completed outcomes are cached *as they arrive*, so an interrupted
+    sweep keeps everything it finished and a re-run only simulates the
+    missing points.  After :meth:`run`, :attr:`stats` holds the pool's
+    infra counters and :attr:`failures` the quarantined points.
     """
 
     def __init__(self, jobs: int = 1, engine: str | None = "fast",
-                 cache_dir=None):
+                 cache_dir=None, policy: PoolPolicy | None = None):
         self.jobs = jobs
         self.engine = engine
+        self.policy = policy
         self.cache = (
             IdentityCache(cache_dir, label="sweep cache",
                           section=OUTCOME_SECTION)
             if cache_dir is not None else None
         )
+        #: pool telemetry from the most recent :meth:`run`.
+        self.stats = PoolStats()
+        #: quarantined points from the most recent :meth:`run`, as
+        #: ``(point, reason)`` pairs.
+        self.failures: list[tuple[SweepPoint, str]] = []
+        self._cache_warned = False
 
-    def run(self, points, diagnostics=None) -> list[SweepOutcome]:
+    def _store(self, outcome: SweepOutcome, diagnostics) -> None:
+        if self.cache is None:
+            return
+        self.cache.store(outcome.point.identity(),
+                         outcome.point.stem(), outcome.payload())
+        # A dying cache (ENOSPC, EROFS, ...) degrades to uncached
+        # execution; surface its one-shot warning.
+        if (self.cache.disabled_reason and not self._cache_warned
+                and diagnostics is not None):
+            self._cache_warned = True
+            diagnostics(self.cache.disabled_reason)
+
+    def run(self, points, diagnostics=None,
+            on_infra_failure=None) -> list[SweepOutcome | None]:
         """Return one :class:`SweepOutcome` per point, in input order.
 
         ``diagnostics`` (optional callable) receives the cache's
-        human-readable miss explanations.
+        human-readable miss explanations and any degradation
+        warnings.  ``on_infra_failure(point, error)`` opts into
+        skip-and-report semantics for quarantined points: the handler
+        is invoked, the point's slot in the returned list stays
+        ``None``, and the pair lands in :attr:`failures`.  Without a
+        handler a quarantined point raises
+        :class:`repro.engine.pool.Quarantined` — sweeps feeding the
+        paper's tables need every point.
         """
         points = list(points)
         outcomes: list[SweepOutcome | None] = [None] * len(points)
         pending: list[int] = []
+        self.stats = PoolStats()
+        self.failures = []
         for index, point in enumerate(points):
             if self.cache is not None:
                 payload, diagnostic = self.cache.load(
@@ -199,9 +239,21 @@ class SweepRunner:
             def record(result):
                 index, outcome = result
                 outcomes[index] = outcome
+                self._store(outcome, diagnostics)
 
-            fan_out(items, _run_indexed, record, jobs=self.jobs,
-                    initializer=_init_sweep_worker, chunksize=1)
+            quarantine = None
+            if on_infra_failure is not None:
+                def quarantine(item, error):
+                    _index, point, _engine = item
+                    self.failures.append((point, str(error)))
+                    on_infra_failure(point, error)
+
+            self.stats = fan_out(
+                items, _run_indexed, record, jobs=self.jobs,
+                initializer=_init_sweep_worker,
+                policy=self.policy, on_quarantine=quarantine,
+                warn=diagnostics,
+            )
         elif pending:
             workloads: dict[tuple[str, float], object] = {}
             for index in pending:
@@ -211,13 +263,7 @@ class SweepRunner:
                     workloads[key] = build_workload(*key)
                 outcomes[index] = run_point(
                     point, self.engine, workload=workloads[key])
-
-        if self.cache is not None:
-            for index in pending:
-                outcome = outcomes[index]
-                self.cache.store(outcome.point.identity(),
-                                 outcome.point.stem(),
-                                 outcome.payload())
+                self._store(outcomes[index], diagnostics)
         return outcomes
 
 

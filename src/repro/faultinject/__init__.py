@@ -4,7 +4,9 @@ Measures how well the FlexCore monitoring extensions (UMC, DIFT, BC,
 SEC, ...) actually *detect* run-time faults: deterministic DAVOS-style
 campaigns inject faults drawn from composable fault models into
 sandboxed, watchdog-guarded simulations and classify every run as
-MASKED / DETECTED / SDC / CRASH / HANG.
+MASKED / DETECTED / SDC / CRASH / HANG (plus INFRA_FAILED for
+runs quarantined by the supervised worker pool — infrastructure
+trouble, not a simulation verdict).
 
 Quick start::
 

@@ -19,6 +19,17 @@ simulation-based fault injection tools (DAVOS SBFI, MEFISTO) do:
 Runs are independent, so the campaign optionally fans out over a
 ``multiprocessing`` pool; results are identical (and bit-reproducible
 for a given seed) regardless of ``jobs``.
+
+Infrastructure failures are kept strictly apart from simulated
+failures: a *simulated* crash or hang is a result (that is the whole
+point of the campaign), while a *worker-process* death or deadline
+overrun is retried by the supervised pool
+(:mod:`repro.engine.supervisor`) and, if it keeps recurring for the
+same index, quarantined as an :attr:`Outcome.INFRA_FAILED` result
+carrying the fault spec and seed so it can be reproduced and re-run
+later.  Quarantined indices are reported — never silently dropped —
+are excluded from the detection-coverage denominator, and a
+``--resume`` re-runs them ("resume heals quarantine").
 """
 
 from __future__ import annotations
@@ -36,6 +47,7 @@ from repro.checkpoint import (
     ResultsJournal,
 )
 from repro.core.executor import SimulationError
+from repro.engine.pool import PoolPolicy, PoolStats
 from repro.extensions import create_extension
 from repro.faultinject.models import (
     MAX_PROFILE_ADDRESSES,
@@ -96,6 +108,11 @@ class Outcome(str, enum.Enum):
     SDC = "sdc"  # clean exit, silently corrupted output
     CRASH = "crash"  # the simulated program crashed
     HANG = "hang"  # a watchdog budget tripped
+    #: the *infrastructure* failed, not the simulation: the run's
+    #: worker process died or overran its deadline repeatedly and the
+    #: index was quarantined.  Reported but excluded from coverage;
+    #: ``--resume`` re-runs these indices.
+    INFRA_FAILED = "infra_failed"
 
     def __str__(self) -> str:
         return self.value
@@ -103,7 +120,8 @@ class Outcome(str, enum.Enum):
 
 #: report order (fixed, so reports are stable).
 OUTCOME_ORDER = (Outcome.DETECTED, Outcome.RECOVERED, Outcome.MASKED,
-                 Outcome.SDC, Outcome.CRASH, Outcome.HANG)
+                 Outcome.SDC, Outcome.CRASH, Outcome.HANG,
+                 Outcome.INFRA_FAILED)
 
 
 @dataclass(frozen=True)
@@ -200,6 +218,16 @@ class CampaignConfig:
     #: on another machine — compiles and registers the exact same
     #: monitors.
     mdl: tuple[tuple[str, str], ...] = ()
+    #: supervised-pool deadline per task, seconds (``None`` derives
+    #: one from ``wallclock_limit``: the pool deadline must outlast
+    #: the in-simulation watchdog or healthy slow runs get reaped).
+    task_timeout: float | None = None
+    #: infra retries per fault index before quarantine.
+    max_retries: int = 2
+    #: pool degradation policy: "auto" falls back to in-process serial
+    #: execution when the pool is irrecoverably broken, "never" raises
+    #: instead, "force" skips the pool entirely (debugging aid).
+    serial_fallback: str = "auto"
 
     def __post_init__(self) -> None:
         from repro.extensions import extension_names
@@ -247,14 +275,30 @@ class CampaignConfig:
             raise ValueError(
                 "recover=True requires checkpoint_every="
             )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be > 0, got {self.task_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.serial_fallback not in ("auto", "never", "force"):
+            raise ValueError(
+                f"serial_fallback must be auto, never or force, "
+                f"got {self.serial_fallback!r}"
+            )
 
     def journal_identity(self) -> dict:
         """The fields a resumable journal is keyed on: everything that
         influences per-index results.  ``jobs`` (scheduling only),
-        ``wallclock_limit`` (an environment backstop) and ``cache_dir``
-        (a pure accelerant) are deliberately excluded — a campaign may
-        be resumed with different parallelism on a different machine
-        and still produce the bit-identical report."""
+        ``wallclock_limit`` (an environment backstop), ``cache_dir``
+        (a pure accelerant) and the pool-robustness knobs
+        (``task_timeout``, ``max_retries``, ``serial_fallback`` — they
+        decide *whether* an index completes here-and-now, never what
+        its result is) are deliberately excluded — a campaign may be
+        resumed with different parallelism on a different machine and
+        still produce the bit-identical report."""
         identity = {
             "extension": self.extension,
             "workload": self.workload,
@@ -303,6 +347,13 @@ class Campaign:
         #: why the golden cache could not be used (None on a hit or
         #: when no cache is configured) — surfaced by the CLI.
         self.cache_diagnostic: str | None = None
+        #: infra-robustness telemetry from the most recent :meth:`run`
+        #: (retries, respawns, quarantines, degraded mode).  Purely
+        #: diagnostic: never part of the bit-reproducible report.
+        self.pool_stats = PoolStats()
+        #: structured degradation warnings (cache/journal unwritable,
+        #: pool fell back to serial, ...) — surfaced by the CLI.
+        self.warnings: list[str] = []
         #: the golden RunResult; None when the profile came from the
         #: cache and the golden run was skipped entirely.
         self.golden: RunResult | None = None
@@ -315,6 +366,8 @@ class Campaign:
                 self.golden, profile = self._golden_run()
             if cache is not None:
                 cache.store(config, profile)
+                if cache.disabled_reason is not None:
+                    self._warn(cache.disabled_reason)
         self.profile = profile
         self.models = self._select_models()
         budget = config.hang_multiplier
@@ -545,6 +598,12 @@ class Campaign:
 
     # -- the campaign -------------------------------------------------------
 
+    def _warn(self, message: str) -> None:
+        """Collect a degradation warning (deduplicated: the same
+        condition may be reported once per item by its source)."""
+        if message not in self.warnings:
+            self.warnings.append(message)
+
     def run(self, progress=None, journal_path=None, resume=False):
         """Execute every faulted run and build the coverage report.
 
@@ -555,7 +614,10 @@ class Campaign:
         crash-tolerant journal the moment it exists; ``resume=True``
         replays a prior journal first and only executes the missing
         fault indices, producing a report bit-identical to an
-        uninterrupted campaign.  SIGINT/SIGTERM terminate the workers
+        uninterrupted campaign.  Replayed indices whose *latest*
+        record is :attr:`Outcome.INFRA_FAILED` are re-run — resume
+        heals quarantine, because infra failures say nothing about
+        the fault itself.  SIGINT/SIGTERM terminate the workers
         cleanly and raise :class:`CampaignInterrupted` with the
         partial results (everything already journaled is safe).
         """
@@ -570,23 +632,51 @@ class Campaign:
             identity = self.config.journal_identity()
             if resume and journal.exists():
                 stored, records = journal.read()
-                if stored != identity:
+                if stored is None:
+                    # Zero-byte or torn-before-the-header journal (the
+                    # campaign died inside its very first write):
+                    # nothing to replay, restart it cleanly.
+                    journal.start(identity)
+                elif stored != identity:
                     raise JournalMismatchError(
                         f"journal {journal_path} records a different "
                         f"campaign configuration; refusing to mix "
                         f"results (delete it to start over)"
                     )
-                results = [FaultResult.from_dict(r) for r in records]
-                done = {r.index for r in results}
-                pending = [i for i in pending if i not in done]
-                journal.open_append()
+                else:
+                    by_index: dict[int, FaultResult] = {}
+                    for raw in records:
+                        replayed = FaultResult.from_dict(raw)
+                        by_index[replayed.index] = replayed  # last wins
+                    healing = sorted(
+                        index for index, r in by_index.items()
+                        if r.outcome is Outcome.INFRA_FAILED
+                    )
+                    if healing:
+                        self._warn(
+                            f"resume: re-running {len(healing)} "
+                            f"previously quarantined (infra_failed) "
+                            f"fault index(es): "
+                            f"{', '.join(map(str, healing))}"
+                        )
+                    results = [
+                        r for r in by_index.values()
+                        if r.outcome is not Outcome.INFRA_FAILED
+                    ]
+                    done = {r.index for r in results}
+                    pending = [i for i in pending if i not in done]
+                    journal.open_append()
             else:
                 journal.start(identity)
+            if journal.disabled_reason is not None:
+                self._warn(journal.disabled_reason)
 
         def record(result: FaultResult) -> None:
             results.append(result)
             if journal is not None:
                 journal.append_result(result.as_dict())
+                if journal.disabled_reason is not None:
+                    self._warn(journal.disabled_reason)
             if progress is not None:
                 progress(len(results), total)
 
@@ -627,19 +717,52 @@ class Campaign:
                                         tuple(results))
 
     def _run_parallel(self, indices, record) -> None:
-        """Fan the runs out over a process pool.
+        """Fan the runs out over the supervised process pool.
 
         Each worker rebuilds the campaign once (fork keeps this cheap)
-        and runs a slice of the indices; per-index seeding makes the
+        and runs indices one at a time; per-index seeding makes the
         result independent of the scheduling.  Pool mechanics (worker
-        signal setup, terminate-on-interrupt) live in
-        :func:`repro.engine.pool.fan_out`.
+        signal setup, deadlines, retries, terminate-on-interrupt) live
+        in :func:`repro.engine.pool.fan_out`; an index that keeps
+        killing its worker is quarantined here as an
+        :attr:`Outcome.INFRA_FAILED` result carrying the planned
+        fault spec, so nothing ever silently disappears from the
+        report.
         """
         from repro.engine.pool import fan_out
 
         worker_config = replace(self.config, jobs=1)
-        fan_out(indices, _worker_run, record, jobs=self.config.jobs,
-                initializer=_init_worker, initargs=(worker_config,))
+        timeout = self.config.task_timeout
+        if timeout is None and self.config.wallclock_limit is not None:
+            # The pool deadline must comfortably outlast the
+            # in-simulation watchdog (golden run + faulted run share
+            # one worker dispatch at startup), or healthy-but-slow
+            # runs would be reaped as hung.
+            timeout = 2.0 * self.config.wallclock_limit + 30.0
+        policy = PoolPolicy(
+            task_timeout=timeout,
+            max_retries=self.config.max_retries,
+            fallback=self.config.serial_fallback,
+        )
+
+        def quarantine(index, error):
+            _model, spec = self.plan(index)
+            record(FaultResult(
+                index=index,
+                spec=spec,
+                outcome=Outcome.INFRA_FAILED,
+                termination="infra-failure",
+                trap=None,
+                detail=str(error),
+                instructions=0,
+                cycles=0,
+            ))
+
+        self.pool_stats = fan_out(
+            indices, _worker_run, record, jobs=self.config.jobs,
+            initializer=_init_worker, initargs=(worker_config,),
+            policy=policy, on_quarantine=quarantine, warn=self._warn,
+        )
 
 
 def _raise_keyboard_interrupt(signum, frame):

@@ -75,9 +75,13 @@ class CoverageReport:
         masked) — the dependability metric: of the faults that
         mattered, how many did the monitor catch before they became
         SDC/crash/hang?  A recovered fault was caught *and* survived,
-        so it counts as covered."""
+        so it counts as covered.  INFRA_FAILED runs never executed to
+        a verdict, so they are excluded from the denominator — a
+        flaky machine must not be able to move the coverage number in
+        either direction (the runs stay visible in the counts)."""
         counts = self.counts()
-        effective = self.total - counts[Outcome.MASKED]
+        effective = (self.total - counts[Outcome.MASKED]
+                     - counts[Outcome.INFRA_FAILED])
         if effective == 0:
             return 1.0
         caught = counts[Outcome.DETECTED] + counts[Outcome.RECOVERED]
@@ -139,28 +143,28 @@ class CoverageReport:
             f"golden run: {self.profile.instructions} instructions, "
             f"{self.profile.cycles} cycles, output {self.profile.output}",
             "",
-            f"{'outcome':<10} {'count':>6} {'fraction':>9}",
+            f"{'outcome':<12} {'count':>6} {'fraction':>9}",
         ]
         counts = self.counts()
         denominator = self.total or 1  # an interrupted campaign may
         for outcome in OUTCOME_ORDER:  # have zero completed runs
             n = counts[outcome]
             lines.append(
-                f"{outcome.value:<10} {n:>6} {n / denominator:>8.1%}"
+                f"{outcome.value:<12} {n:>6} {n / denominator:>8.1%}"
             )
-        lines.append(f"{'total':<10} {self.total:>6}")
+        lines.append(f"{'total':<12} {self.total:>6}")
         lines.append("")
 
         by_model = self.by_model()
         header = f"{'model':<12} {'runs':>5}" + "".join(
-            f" {outcome.value:>9}" for outcome in OUTCOME_ORDER
+            f" {outcome.value:>12}" for outcome in OUTCOME_ORDER
         )
         lines.append(header)
         for model, row in by_model.items():
             runs = sum(row.values())
             lines.append(
                 f"{model:<12} {runs:>5}" + "".join(
-                    f" {row[outcome]:>9}" for outcome in OUTCOME_ORDER
+                    f" {row[outcome]:>12}" for outcome in OUTCOME_ORDER
                 )
             )
         lines.append("")
@@ -168,6 +172,13 @@ class CoverageReport:
             f"detection coverage (non-masked faults detected): "
             f"{self.detection_coverage:.1%}"
         )
+        infra = counts[Outcome.INFRA_FAILED]
+        if infra:
+            lines.append(
+                f"infra: {infra} run(s) quarantined (worker crash or "
+                f"deadline overrun) — excluded from coverage; resume "
+                f"the campaign to retry them"
+            )
         rollbacks = sum(r.recoveries for r in self.results)
         if rollbacks:
             recovery_cycles = sum(r.recovery_cycles for r in self.results)
@@ -180,7 +191,7 @@ class CoverageReport:
             aggregated = self.metrics()
             lines.append("")
             lines.append(
-                f"{'outcome':<10} {'runs':>5} {'mean cycles':>12} "
+                f"{'outcome':<12} {'runs':>5} {'mean cycles':>12} "
                 f"{'vs golden':>10}"
             )
             golden_cycles = self.profile.cycles or 1
@@ -190,7 +201,7 @@ class CoverageReport:
                     continue
                 ratio = row["mean_cycles"] / golden_cycles
                 lines.append(
-                    f"{outcome.value:<10} {row['runs']:>5} "
+                    f"{outcome.value:<12} {row['runs']:>5} "
                     f"{row['mean_cycles']:>12.1f} {ratio:>9.2f}x"
                 )
             totals = aggregated["totals"]

@@ -158,7 +158,7 @@ class TestInject:
         out = capsys.readouterr().out
         assert "fault-injection campaign" in out
         assert "detection coverage" in out
-        assert "total           6" in out
+        assert "total             6" in out
 
     def test_repeat_is_bit_identical(self, source_file, capsys):
         args = ["inject", "--extension", "umc", "--source", source_file,

@@ -90,9 +90,32 @@ class TestJournal:
         with pytest.raises(JournalCorruptError, match="line 2"):
             ResultsJournal(path).read()
 
-    def test_missing_header_raises(self, tmp_path):
+    def test_empty_journal_reads_as_empty(self, tmp_path):
+        # A zero-byte file is the very first write cut short: resume
+        # restarts cleanly instead of erroring.
         path = tmp_path / "j.jsonl"
         path.write_text("")
+        assert ResultsJournal(path).read() == (None, [])
+
+    def test_torn_first_write_reads_as_empty(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = ResultsJournal(path)
+        journal.start(self.IDENTITY)
+        journal.close()
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])  # header torn mid-line
+        assert ResultsJournal(path).read() == (None, [])
+
+    def test_missing_header_raises(self, tmp_path):
+        # A *complete* non-header first frame is corruption, not a
+        # torn write.
+        path = tmp_path / "j.jsonl"
+        journal = ResultsJournal(path)
+        journal.start(self.IDENTITY)
+        journal.append_result({"index": 0})
+        journal.close()
+        lines = path.read_bytes().split(b"\n")
+        path.write_bytes(b"\n".join(lines[1:]))  # drop the header
         with pytest.raises(JournalCorruptError, match="header"):
             ResultsJournal(path).read()
 
@@ -146,6 +169,19 @@ class TestCampaignResume:
             journal_path=path, resume=True
         )
         assert resumed.to_json() == reference.to_json()
+
+    def test_resume_of_zero_byte_journal_restarts(self, tmp_path):
+        # The campaign died creating the journal (crash inside the
+        # very first write): --resume must restart cleanly, not error.
+        path = tmp_path / "j.jsonl"
+        path.write_text("")
+        config = sec_config()
+        reference = Campaign(config).run()
+        resumed = Campaign(config).run(journal_path=path, resume=True)
+        assert resumed.to_json() == reference.to_json()
+        identity, records = ResultsJournal(path).read()
+        assert identity == config.journal_identity()
+        assert len(records) == config.faults
 
     def test_resume_rejects_other_campaign(self, tmp_path):
         path = tmp_path / "j.jsonl"

@@ -1,0 +1,102 @@
+"""SIGINT/SIGTERM mid-sweep: clean pool teardown, partial cache
+preserved, exit 130, and a re-run that completes from the cache."""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SWEEP_ARGS = [
+    "sweep", "--benchmarks", "crc32",
+    "--extensions", "sec,dift,umc,bc",
+    "--scale", "0.125", "--jobs", "2",
+]
+
+
+def sweep_command(cache_dir: Path) -> list[str]:
+    return [sys.executable, "-m", "repro", *SWEEP_ARGS,
+            "--cache-dir", str(cache_dir)]
+
+
+def repro_env() -> dict:
+    env = dict(os.environ)
+    root = Path(__file__).resolve().parent.parent
+    env["PYTHONPATH"] = str(root / "src")
+    return env
+
+
+def interrupt_mid_sweep(cache_dir: Path, sig: signal.Signals):
+    """Start a cached sweep, signal it once the first outcome is
+    durably cached, and return (proc, killed)."""
+    victim = subprocess.Popen(
+        sweep_command(cache_dir), env=repro_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 120
+    killed = False
+    while time.monotonic() < deadline:
+        if victim.poll() is not None:
+            break  # finished before we could interrupt — still fine
+        if cache_dir.exists() and list(cache_dir.glob("*.ckpt")):
+            victim.send_signal(sig)
+            killed = True
+            break
+        time.sleep(0.05)
+    victim.wait(timeout=60)
+    return victim, killed
+
+
+@pytest.mark.slow
+class TestSweepInterrupt:
+    @pytest.mark.parametrize("sig", [signal.SIGINT, signal.SIGTERM])
+    def test_interrupt_exits_130_and_rerun_completes(
+            self, tmp_path, sig):
+        cache_dir = tmp_path / "cache"
+
+        # the uninterrupted reference output (uncached)
+        reference = subprocess.run(
+            [sys.executable, "-m", "repro", *SWEEP_ARGS],
+            env=repro_env(), check=True, capture_output=True,
+            timeout=300,
+        )
+
+        victim, killed = interrupt_mid_sweep(cache_dir, sig)
+        if killed:
+            assert victim.returncode == 130
+            # whatever completed before the signal is durably cached
+            assert list(cache_dir.glob("*.ckpt"))
+        else:
+            assert victim.returncode == 0
+
+        # the re-run serves cached points and simulates the rest;
+        # stdout is deterministic, so it must match the uninterrupted
+        # reference byte for byte
+        rerun = subprocess.run(
+            sweep_command(cache_dir), env=repro_env(), check=True,
+            capture_output=True, timeout=300,
+        )
+        assert rerun.stdout == reference.stdout
+
+    def test_no_orphan_workers_after_sigterm(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        victim, killed = interrupt_mid_sweep(cache_dir,
+                                             signal.SIGTERM)
+        if not killed:
+            pytest.skip("sweep finished before the signal landed")
+        # the worker processes were the victim's children; with the
+        # parent gone, any survivor would be re-parented to init.
+        # Workers are daemonic *and* explicitly reaped on interrupt,
+        # so none should outlive the parent's exit.
+        time.sleep(0.5)
+        alive = subprocess.run(
+            ["pgrep", "-f", "from multiprocessing"],
+            capture_output=True, text=True,
+        )
+        mine = [line for line in alive.stdout.splitlines() if line]
+        assert not mine, f"orphan worker processes: {mine}"
