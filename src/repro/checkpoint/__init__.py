@@ -32,8 +32,13 @@ from repro.checkpoint.container import (
     read_container,
     write_container,
 )
-from repro.checkpoint.golden_cache import GoldenCache, golden_identity
+from repro.checkpoint.golden_cache import (
+    GoldenCache,
+    IdentityCache,
+    golden_identity,
+)
 from repro.checkpoint.journal import (
+    EventJournal,
     JournalCorruptError,
     JournalError,
     JournalMismatchError,
@@ -54,7 +59,9 @@ __all__ = [
     "CheckpointMismatchError",
     "CheckpointVersionError",
     "CodecError",
+    "EventJournal",
     "GoldenCache",
+    "IdentityCache",
     "JournalCorruptError",
     "JournalError",
     "JournalMismatchError",

@@ -1,8 +1,13 @@
-"""Append-only, crash-tolerant results journal (JSONL).
+"""Append-only, crash-tolerant journals (JSONL).
 
-Every fault-injection result is appended as one line *before* the
-campaign moves on, so a campaign killed at any instant can be resumed
-by replaying the journal and skipping the fault indices already done.
+:class:`EventJournal` is the generic machinery: a header frame pinning
+an identity, followed by arbitrary ``kind``-tagged record frames, each
+durably flushed before the caller moves on.  :class:`ResultsJournal`
+specialises it for fault-injection campaigns (``result`` and ``infra``
+records); the service layer's job-state journal
+(:class:`repro.service.jobs.JobStore`) reuses the same machinery for
+accepted jobs and their state transitions, which is what makes a
+``kill -9`` of the job server recoverable.
 
 Each line is a self-checking frame::
 
@@ -78,8 +83,13 @@ def _check_line(line: str) -> dict | None:
     return wrapper["body"]
 
 
-class ResultsJournal:
-    """One campaign's append-only journal file."""
+class EventJournal:
+    """A generic append-only journal: one header, then record frames.
+
+    Subclasses and callers tag every record with a ``kind`` field and
+    filter on read; the durability and torn-tail semantics are shared
+    (see the module docstring).
+    """
 
     def __init__(self, path):
         self.path = Path(path)
@@ -93,8 +103,9 @@ class ResultsJournal:
     def exists(self) -> bool:
         return self.path.exists()
 
-    def read(self) -> tuple[dict | None, list[dict]]:
-        """Replay the journal: ``(identity, result_records)``.
+    def read_events(self) -> tuple[dict | None, list[dict]]:
+        """Replay the journal: ``(identity, records)`` with every
+        surviving record frame, in append order.
 
         Tolerates a torn final line; a journal with no surviving
         frame at all (zero bytes, or one torn line — the very first
@@ -127,14 +138,13 @@ class ResultsJournal:
                 f"{self.path}: missing campaign header record"
             )
         header = bodies[0]
-        records = [b for b in bodies[1:] if b.get("kind") == "result"]
-        return header["identity"], records
+        return header["identity"], bodies[1:]
 
     # -- writing -----------------------------------------------------------
 
     def start(self, identity: dict) -> None:
         """Create a fresh journal (truncating any old one) whose first
-        frame pins the campaign identity."""
+        frame pins the identity."""
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = open(self.path, "w", encoding="utf-8")
@@ -150,10 +160,10 @@ class ResultsJournal:
         except OSError as err:
             self._disable("reopen", err)
 
-    def append_result(self, record: dict) -> None:
-        """Durably append one result record (flushed and fsynced —
-        once this returns, a crash cannot lose the record)."""
-        self._write_frame({"kind": "result", **record})
+    def append_event(self, kind: str, record: dict) -> None:
+        """Durably append one ``kind``-tagged record (flushed and
+        fsynced — once this returns, a crash cannot lose it)."""
+        self._write_frame({"kind": kind, **record})
 
     def _disable(self, verb: str, err: OSError) -> None:
         self.disabled_reason = (
@@ -183,7 +193,7 @@ class ResultsJournal:
                 pass  # flush-on-close of a dead filesystem
             self._handle = None
 
-    def __enter__(self) -> "ResultsJournal":
+    def __enter__(self) -> "EventJournal":
         return self
 
     def __exit__(self, *exc) -> None:
@@ -196,3 +206,34 @@ class ResultsJournal:
             os.unlink(self.path)
         except FileNotFoundError:
             pass
+
+
+class ResultsJournal(EventJournal):
+    """One campaign's append-only journal file.
+
+    Carries two record kinds: ``result`` (one classified faulted run,
+    replayed on ``--resume``) and ``infra`` (one session's supervised
+    pool counters, accumulated into the report's ``infra.*`` metrics
+    so infrastructure health survives resumes).
+    """
+
+    def read(self) -> tuple[dict | None, list[dict]]:
+        """Replay the journal: ``(identity, result_records)``."""
+        identity, records, _infra = self.read_full()
+        return identity, records
+
+    def read_full(self) -> tuple[dict | None, list[dict], list[dict]]:
+        """Replay the journal:
+        ``(identity, result_records, infra_records)``."""
+        identity, bodies = self.read_events()
+        results = [b for b in bodies if b.get("kind") == "result"]
+        infra = [b for b in bodies if b.get("kind") == "infra"]
+        return identity, results, infra
+
+    def append_result(self, record: dict) -> None:
+        """Durably append one result record."""
+        self.append_event("result", record)
+
+    def append_infra(self, counters: dict) -> None:
+        """Durably append one session's pool infra counters."""
+        self.append_event("infra", counters)

@@ -39,6 +39,7 @@ from __future__ import annotations
 import multiprocessing
 import signal
 import sys
+import threading
 
 from repro.engine.supervisor import (
     PoolError,
@@ -48,15 +49,19 @@ from repro.engine.supervisor import (
     SupervisedPool,
     TaskTimeout,
     WorkerCrash,
+    deterministic_backoff,
 )
 
 __all__ = [
+    "FleetLease",
     "PoolError",
     "PoolPolicy",
     "PoolStats",
     "Quarantined",
     "TaskTimeout",
     "WorkerCrash",
+    "WorkerFleet",
+    "deterministic_backoff",
     "fan_out",
     "worker_signals",
 ]
@@ -81,6 +86,80 @@ def worker_signals() -> None:
 
 def _warn_stderr(message: str) -> None:
     print(message, file=sys.stderr)
+
+
+class FleetLease:
+    """One granted slice of a :class:`WorkerFleet` worker budget.
+
+    Use as a context manager; :attr:`granted` is how many workers the
+    holder may actually spawn (pass it as ``jobs=``).  Releasing twice
+    is a no-op, so ``with`` plus an explicit early :meth:`release`
+    compose safely.
+    """
+
+    __slots__ = ("fleet", "granted", "_released")
+
+    def __init__(self, fleet: "WorkerFleet", granted: int):
+        self.fleet = fleet
+        self.granted = granted
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self.fleet._release(self.granted)
+
+    def __enter__(self) -> "FleetLease":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class WorkerFleet:
+    """A shared worker budget leased by concurrent pool users.
+
+    The job server runs many campaigns/sweeps at once, each of which
+    would happily spawn its own full-size pool; the fleet caps the
+    *sum* of their workers.  :meth:`lease` never blocks and always
+    grants at least one worker — a job can always run its items
+    serially in its own thread — so the fleet bounds parallelism,
+    never liveness.  Thread-safe (leases are taken from runner
+    threads).
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"fleet size must be >= 1, got {size}")
+        self.size = size
+        self._leased = 0
+        self._peak = 0
+        self._lock = threading.Lock()
+
+    def lease(self, want: int) -> FleetLease:
+        """Grant ``min(want, available)``, but never less than 1."""
+        if want < 1:
+            raise ValueError(f"lease must ask for >= 1, got {want}")
+        with self._lock:
+            available = self.size - self._leased
+            granted = max(1, min(want, available))
+            self._leased += granted
+            self._peak = max(self._peak, self._leased)
+            return FleetLease(self, granted)
+
+    def _release(self, granted: int) -> None:
+        with self._lock:
+            self._leased -= granted
+
+    @property
+    def leased(self) -> int:
+        with self._lock:
+            return self._leased
+
+    @property
+    def peak(self) -> int:
+        with self._lock:
+            return self._peak
 
 
 def _run_serial(items, worker, record, initializer, initargs,

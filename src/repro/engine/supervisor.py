@@ -45,9 +45,29 @@ import multiprocessing
 import os
 import signal
 import time
+import zlib
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
+
+
+def deterministic_backoff(base: float, cap: float, attempt: int,
+                          key: object = "") -> float:
+    """Exponential backoff with *deterministic* jitter.
+
+    ``base * 2**(attempt-1)`` capped at ``cap``, scaled by a jitter
+    factor in ``[0.5, 1.0)`` derived from ``crc32(f"{key}/{attempt}")``
+    — a pure function of its inputs, so two retries of the same (task,
+    attempt) pair wait the same everywhere: a chaos run and its resume
+    schedule identically, yet distinct tasks de-synchronise instead of
+    stampeding the machine in lockstep after a correlated failure.
+    """
+    if attempt < 1:
+        return 0.0
+    raw = min(cap, base * (2 ** (attempt - 1)))
+    token = f"{key}/{attempt}".encode("utf-8")
+    jitter = 0.5 + (zlib.crc32(token) & 0xFFFFFFFF) / 2**33
+    return raw * jitter
 
 
 class PoolError(RuntimeError):
@@ -133,14 +153,23 @@ class PoolPolicy:
             return self.retry_budget
         return max(16, items // 4)
 
+    def backoff_delay(self, attempt: int, key: object = "") -> float:
+        """The deterministic retry delay for ``(key, attempt)`` —
+        see :func:`deterministic_backoff`."""
+        return deterministic_backoff(self.backoff_base,
+                                     self.backoff_cap, attempt, key)
+
 
 @dataclass
 class PoolStats:
     """Telemetry counters for one supervised run.
 
     Environment-dependent by nature (a healthy machine reports all
-    zeros), so these are *never* folded into bit-reproducible reports
-    — they are surfaced on stderr and in metrics only.
+    zeros): the live counters are surfaced on stderr, and *journaled*
+    campaigns additionally persist each session's tallies so the
+    report's ``infra.*`` metrics are a deterministic replay of the
+    journal (see :meth:`repro.faultinject.report.CoverageReport.
+    metrics`) rather than whatever the last process held in memory.
     """
 
     retries: int = 0
@@ -154,6 +183,18 @@ class PoolStats:
         return bool(self.retries or self.respawns or self.timeouts
                     or self.crashes or self.quarantined
                     or self.degraded)
+
+    def as_dict(self) -> dict:
+        """JSON-able counters (``degraded`` as 0/1 so sums of
+        sessions count how many sessions degraded)."""
+        return {
+            "retries": self.retries,
+            "respawns": self.respawns,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "quarantined": self.quarantined,
+            "degraded": int(self.degraded),
+        }
 
     def summary(self) -> str:
         parts = [
@@ -342,10 +383,8 @@ class SupervisedPool:
                 )
             budget -= 1
             self.stats.retries += 1
-            backoff = min(
-                self.policy.backoff_cap,
-                self.policy.backoff_base * (2 ** (task.attempts - 1)),
-            )
+            backoff = self.policy.backoff_delay(task.attempts,
+                                                key=task.id)
             task.not_before = time.monotonic() + backoff
             queue.append(task)
 

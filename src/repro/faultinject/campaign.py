@@ -83,11 +83,12 @@ class CampaignInterrupted(Exception):
 
     def __init__(self, config: "CampaignConfig", profile,
                  results: tuple["FaultResult", ...],
-                 journal_path=None):
+                 journal_path=None, infra: dict | None = None):
         self.config = config
         self.profile = profile
         self.results = results
         self.journal_path = journal_path
+        self.infra = infra
         super().__init__(
             f"campaign interrupted after {len(results)}/"
             f"{config.faults} runs"
@@ -96,7 +97,7 @@ class CampaignInterrupted(Exception):
     def partial_report(self):
         from repro.faultinject.report import CoverageReport
         return CoverageReport.build(self.config, self.profile,
-                                    self.results)
+                                    self.results, infra=self.infra)
 
 
 class Outcome(str, enum.Enum):
@@ -620,18 +621,29 @@ class Campaign:
         the fault itself.  SIGINT/SIGTERM terminate the workers
         cleanly and raise :class:`CampaignInterrupted` with the
         partial results (everything already journaled is safe).
+
+        Journaled campaigns also persist their supervised-pool
+        tallies: each session appends one ``infra`` frame (only when
+        something actually went wrong), and the report's ``infra.*``
+        metrics are the deterministic sum of those frames — so a
+        resumed campaign reports the infra history it lived through,
+        while un-journaled campaigns keep live stats on stderr only
+        and report all-zero ``infra.*`` (preserving bit-identical
+        reports across jobs/chaos).
         """
-        from repro.faultinject.report import CoverageReport
+        from repro.faultinject.report import CoverageReport, sum_infra
 
         total = self.config.faults
         results: list[FaultResult] = []
         pending = list(range(total))
+        self.pool_stats = PoolStats()
+        infra_records: list[dict] = []
         journal: ResultsJournal | None = None
         if journal_path is not None:
             journal = ResultsJournal(journal_path)
             identity = self.config.journal_identity()
             if resume and journal.exists():
-                stored, records = journal.read()
+                stored, records, infra_records = journal.read_full()
                 if stored is None:
                     # Zero-byte or torn-before-the-header journal (the
                     # campaign died inside its very first write):
@@ -704,17 +716,30 @@ class Campaign:
             if previous_sigterm is not None:
                 signal.signal(signal.SIGTERM, previous_sigterm)
             if journal is not None:
+                # Persist this session's pool tallies next to its
+                # results: the report's infra.* counters are a pure
+                # replay of these frames, so they survive kill -9 the
+                # same way the results do (at worst the final,
+                # not-yet-written session frame is lost — its
+                # quarantined *results* are already journaled).
+                if self.pool_stats.interesting():
+                    journal.append_infra(self.pool_stats.as_dict())
+                    if journal.disabled_reason is None:
+                        infra_records.append(self.pool_stats.as_dict())
+                    else:
+                        self._warn(journal.disabled_reason)
                 journal.close()
 
+        infra = sum_infra(infra_records)
         results.sort(key=lambda r: r.index)
         if interrupted:
             raise CampaignInterrupted(
                 self.config, self.profile, tuple(results),
-                journal_path=journal_path,
+                journal_path=journal_path, infra=infra,
             )
         with self.profiler.phase("report"):
             return CoverageReport.build(self.config, self.profile,
-                                        tuple(results))
+                                        tuple(results), infra=infra)
 
     def _run_parallel(self, indices, record) -> None:
         """Fan the runs out over the supervised process pool.

@@ -10,7 +10,7 @@ regression artifacts in CI.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.faultinject.campaign import (
     OUTCOME_ORDER,
@@ -27,6 +27,29 @@ from repro.telemetry.metrics import Histogram
 #: deterministic (the golden cycle count is part of the profile).
 RELATIVE_CYCLE_BUCKETS = (0.25, 0.5, 1.0, 2.0, 4.0)
 
+#: the ``infra.*`` counter names, in report order.  Mirrors
+#: :meth:`repro.engine.supervisor.PoolStats.as_dict`.
+INFRA_KEYS = ("retries", "respawns", "timeouts", "crashes",
+              "quarantined", "degraded")
+
+
+def zero_infra() -> dict:
+    """The all-healthy infra block (every counter zero)."""
+    return {key: 0 for key in INFRA_KEYS}
+
+
+def sum_infra(records) -> dict:
+    """Deterministically fold journaled infra records into one block.
+
+    Unknown keys are ignored and missing keys read as zero, so old
+    journals replay cleanly.
+    """
+    total = zero_infra()
+    for record in records:
+        for key in INFRA_KEYS:
+            total[key] += int(record.get(key, 0))
+    return total
+
 
 @dataclass(frozen=True)
 class CoverageReport:
@@ -35,6 +58,12 @@ class CoverageReport:
     config: CampaignConfig
     profile: GoldenProfile
     results: tuple[FaultResult, ...]
+    #: cumulative supervised-pool counters, replayed from the
+    #: campaign journal's ``infra`` records (all zeros for
+    #: un-journaled campaigns, whose live counters stay on stderr) —
+    #: a pure function of the journal, so a resumed campaign reports
+    #: the infra history it actually lived through.
+    infra: dict = field(default_factory=zero_infra)
 
     # -- aggregation --------------------------------------------------------
 
@@ -44,8 +73,10 @@ class CoverageReport:
         config: CampaignConfig,
         profile: GoldenProfile,
         results: tuple[FaultResult, ...],
+        infra: dict | None = None,
     ) -> "CoverageReport":
-        return cls(config=config, profile=profile, results=results)
+        return cls(config=config, profile=profile, results=results,
+                   infra=dict(infra) if infra else zero_infra())
 
     def counts(self) -> dict[Outcome, int]:
         """Total runs per outcome (every outcome present, maybe 0)."""
@@ -87,6 +118,20 @@ class CoverageReport:
         caught = counts[Outcome.DETECTED] + counts[Outcome.RECOVERED]
         return caught / effective
 
+    @property
+    def no_coverage(self) -> bool:
+        """True when the coverage number is vacuous *because of the
+        infrastructure*: at least one run was quarantined and not a
+        single run reached a non-masked verdict, so the
+        detection-coverage denominator is empty.  "All faults masked
+        with a healthy pool" is a legitimate (if suspicious) result
+        and stays False; this flag exists so CI can distinguish "no
+        coverage measured" (exit 3) from "coverage OK"."""
+        counts = self.counts()
+        effective = (self.total - counts[Outcome.MASKED]
+                     - counts[Outcome.INFRA_FAILED])
+        return counts[Outcome.INFRA_FAILED] > 0 and effective == 0
+
     def metrics(self) -> dict:
         """Deterministic per-fault metric aggregation.
 
@@ -127,6 +172,11 @@ class CoverageReport:
                     r.recovery_cycles for r in self.results
                 ),
             },
+            # Deterministic infra health: a replay of the journal's
+            # ``infra`` records (zeros when un-journaled or healthy),
+            # prefixed flat so the keys read as ``infra.retries`` etc.
+            "infra": {key: self.infra.get(key, 0)
+                      for key in INFRA_KEYS},
         }
 
     # -- rendering ----------------------------------------------------------
@@ -209,6 +259,12 @@ class CoverageReport:
                 f"simulated: {totals['instructions']} instructions, "
                 f"{totals['cycles']} cycles across "
                 f"{totals['runs']} faulted runs"
+            )
+            infra = aggregated["infra"]
+            lines.append(
+                "infra: " + ", ".join(
+                    f"{key}={infra[key]}" for key in INFRA_KEYS
+                )
             )
         if details:
             lines.append("")

@@ -1,0 +1,51 @@
+"""Campaign-as-a-service: a crash-safe, backpressured job server.
+
+The service turns the one-shot CLI workflows (``repro inject``,
+``repro sweep``, ...) into jobs submitted over a tiny JSON-lines
+protocol (Unix socket or TCP) and executed on the shared supervised
+worker machinery.  The layering, bottom up:
+
+* :mod:`repro.service.protocol` — wire format, job kinds, spec
+  normalisation and content-addressed job ids;
+* :mod:`repro.service.quotas` — per-tenant admission quotas;
+* :mod:`repro.service.queue` — the bounded admission queue with an
+  explicit retry-after backpressure hint;
+* :mod:`repro.service.jobs` — the durable job store: every accepted
+  job and every state transition is a CRC-framed journal record, so
+  ``kill -9`` plus restart recovers the full queue and resumes
+  in-flight campaigns bit-identically;
+* :mod:`repro.service.runner` — executes one job synchronously in a
+  runner thread (campaign journals make inject jobs resumable);
+* :mod:`repro.service.server` — the asyncio front end: admission,
+  scheduling, progress streaming, heartbeats, graceful drain;
+* :mod:`repro.service.client` — sync and asyncio client libraries
+  with bounded retry/backoff and idempotent submission.
+"""
+
+from repro.service.client import AsyncClient, Client, parse_address
+from repro.service.jobs import JobState, JobStore
+from repro.service.protocol import (
+    JOB_KINDS,
+    ProtocolError,
+    job_id_for,
+    normalize_spec,
+)
+from repro.service.quotas import TenantQuotas
+from repro.service.queue import AdmissionQueue
+from repro.service.server import JobServer, ServerConfig
+
+__all__ = [
+    "AdmissionQueue",
+    "AsyncClient",
+    "Client",
+    "JOB_KINDS",
+    "JobServer",
+    "JobState",
+    "JobStore",
+    "ProtocolError",
+    "ServerConfig",
+    "TenantQuotas",
+    "job_id_for",
+    "normalize_spec",
+    "parse_address",
+]

@@ -1,0 +1,320 @@
+"""Client library for the job service (sync and asyncio).
+
+Both clients speak the same JSON-lines protocol and share the same
+robustness posture:
+
+* **Idempotent submission.**  The job id is computed client-side
+  (content-addressed over tenant + kind + normalised spec), so a
+  retried submit — after a timeout, a dropped connection, a server
+  restart — lands on the same job instead of duplicating work.  The
+  id travels with the request and the server cross-checks it.
+* **Bounded retry with deterministic backoff.**  Connection-level
+  failures retry up to ``max_retries`` times, paced by the same
+  :func:`~repro.engine.supervisor.deterministic_backoff` schedule the
+  worker pool uses.  A rejected submission (backpressure) honours
+  the server's ``retry_after`` hint instead.
+* **No hidden buffering.**  ``tail`` yields events as they arrive;
+  ``wait`` polls status with the same deterministic pacing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import time
+
+from repro.engine.supervisor import deterministic_backoff
+from repro.service import protocol
+from repro.service.protocol import ProtocolError, job_id_for
+
+
+class ServiceError(Exception):
+    """The server answered with a non-retryable error."""
+
+
+class ServiceRejected(ServiceError):
+    """The server rejected the request with backpressure."""
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceUnavailable(ServiceError):
+    """Could not reach the server within the retry budget."""
+
+
+def parse_address(address: str) -> tuple[str | None, int | None,
+                                         str | None]:
+    """``(host, port, unix_path)`` — mirrors the server's parser."""
+    from repro.service.server import parse_listen
+    return parse_listen(address)
+
+
+def _raise_for(response: dict) -> dict:
+    if response.get("ok"):
+        return response
+    message = response.get("error", "unknown server error")
+    if response.get("rejected"):
+        raise ServiceRejected(
+            message, float(response.get("retry_after", 1.0)))
+    raise ServiceError(message)
+
+
+class Client:
+    """Synchronous client; one connection, reconnects on demand."""
+
+    def __init__(self, address: str, *, tenant: str = "default",
+                 timeout: float = 30.0, max_retries: int = 4,
+                 backoff_base: float = 0.1, backoff_cap: float = 2.0,
+                 sleep=time.sleep):
+        self.address = address
+        self.tenant = tenant
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._sleep = sleep
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    # -- transport -----------------------------------------------------------
+
+    def _connect(self) -> None:
+        host, port, path = parse_address(self.address)
+        if path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(path)
+        else:
+            sock = socket.create_connection(
+                (host, port), timeout=self.timeout)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            self._file = None
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _roundtrip(self, message: dict) -> dict:
+        if self._sock is None:
+            self._connect()
+        self._sock.sendall(protocol.encode(message))
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    def request(self, op: str, **fields) -> dict:
+        """One request/response exchange with bounded reconnect
+        retries; raises :class:`ServiceError` on server errors."""
+        attempt = 0
+        while True:
+            try:
+                return _raise_for(
+                    self._roundtrip({"op": op, **fields}))
+            except (ConnectionError, OSError) as err:
+                self.close()
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise ServiceUnavailable(
+                        f"{op}: {self.address} unreachable after "
+                        f"{attempt} attempt(s): {err}"
+                    ) from None
+                self._sleep(deterministic_backoff(
+                    self.backoff_base, self.backoff_cap, attempt,
+                    key=op))
+
+    # -- operations ----------------------------------------------------------
+
+    def health(self) -> dict:
+        return self.request("health")
+
+    def submit(self, kind: str, spec: dict, *,
+               wait_on_backpressure: int = 0) -> dict:
+        """Submit one job; returns ``{"job_id", "state",
+        "deduplicated"}``.
+
+        With ``wait_on_backpressure=N`` a rejected submission sleeps
+        the server's ``retry_after`` hint and retries up to N times
+        before letting :class:`ServiceRejected` escape.
+        """
+        job_id = job_id_for(self.tenant, kind, spec)
+        rejections = 0
+        while True:
+            try:
+                return self.request(
+                    "submit", tenant=self.tenant, kind=kind,
+                    spec=spec, job_id=job_id)
+            except ServiceRejected as err:
+                rejections += 1
+                if rejections > wait_on_backpressure:
+                    raise
+                self._sleep(err.retry_after)
+
+    def status(self, job_id: str) -> dict:
+        return self.request("status", job_id=job_id)["job"]
+
+    def jobs(self) -> list[dict]:
+        return self.request("jobs")["jobs"]
+
+    def result(self, job_id: str) -> dict:
+        return self.request("result", job_id=job_id)
+
+    def cancel(self, job_id: str) -> dict:
+        return self.request("cancel", job_id=job_id)
+
+    def drain(self) -> dict:
+        return self.request("drain")
+
+    def tail(self, job_id: str, since: int = -1):
+        """Yield state events until the job goes terminal."""
+        if self._sock is None:
+            self._connect()
+        self._sock.sendall(protocol.encode(
+            {"op": "tail", "job_id": job_id, "since": since}))
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError(
+                    "server closed the tail stream")
+            event = _raise_for(json.loads(line.decode("utf-8")))
+            yield event
+            if event.get("event") == "end":
+                return
+
+    def wait(self, job_id: str, *, poll: float = 0.1,
+             deadline: float | None = None) -> dict:
+        """Poll until the job is terminal; returns its final status."""
+        from repro.service.jobs import TERMINAL_STATES, JobState
+        limit = (time.monotonic() + deadline
+                 if deadline is not None else None)
+        while True:
+            job = self.status(job_id)
+            if JobState(job["state"]) in TERMINAL_STATES:
+                return job
+            if limit is not None and time.monotonic() > limit:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after "
+                    f"{deadline:g}s")
+            self._sleep(poll)
+
+
+class AsyncClient:
+    """Asyncio client with the same surface as :class:`Client`."""
+
+    def __init__(self, address: str, *, tenant: str = "default",
+                 max_retries: int = 4, backoff_base: float = 0.1,
+                 backoff_cap: float = 2.0):
+        self.address = address
+        self.tenant = tenant
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _connect(self) -> None:
+        host, port, path = parse_address(self.address)
+        if path is not None:
+            self._reader, self._writer = (
+                await asyncio.open_unix_connection(path))
+        else:
+            self._reader, self._writer = (
+                await asyncio.open_connection(host, port))
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "AsyncClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def request(self, op: str, **fields) -> dict:
+        attempt = 0
+        while True:
+            try:
+                if self._writer is None:
+                    await self._connect()
+                self._writer.write(
+                    protocol.encode({"op": op, **fields}))
+                await self._writer.drain()
+                line = await self._reader.readline()
+                if not line:
+                    raise ConnectionError(
+                        "server closed the connection")
+                return _raise_for(json.loads(line.decode("utf-8")))
+            except (ConnectionError, OSError) as err:
+                await self.close()
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise ServiceUnavailable(
+                        f"{op}: {self.address} unreachable after "
+                        f"{attempt} attempt(s): {err}"
+                    ) from None
+                await asyncio.sleep(deterministic_backoff(
+                    self.backoff_base, self.backoff_cap, attempt,
+                    key=op))
+
+    async def health(self) -> dict:
+        return await self.request("health")
+
+    async def submit(self, kind: str, spec: dict, *,
+                     wait_on_backpressure: int = 0) -> dict:
+        job_id = job_id_for(self.tenant, kind, spec)
+        rejections = 0
+        while True:
+            try:
+                return await self.request(
+                    "submit", tenant=self.tenant, kind=kind,
+                    spec=spec, job_id=job_id)
+            except ServiceRejected as err:
+                rejections += 1
+                if rejections > wait_on_backpressure:
+                    raise
+                await asyncio.sleep(err.retry_after)
+
+    async def status(self, job_id: str) -> dict:
+        return (await self.request("status", job_id=job_id))["job"]
+
+    async def result(self, job_id: str) -> dict:
+        return await self.request("result", job_id=job_id)
+
+    async def cancel(self, job_id: str) -> dict:
+        return await self.request("cancel", job_id=job_id)
+
+    async def tail(self, job_id: str, since: int = -1):
+        """Async generator of state events until terminal."""
+        if self._writer is None:
+            await self._connect()
+        self._writer.write(protocol.encode(
+            {"op": "tail", "job_id": job_id, "since": since}))
+        await self._writer.drain()
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                raise ConnectionError("server closed the tail stream")
+            event = _raise_for(json.loads(line.decode("utf-8")))
+            yield event
+            if event.get("event") == "end":
+                return

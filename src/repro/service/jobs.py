@@ -1,0 +1,240 @@
+"""The durable job store: accepted jobs, state transitions, results.
+
+Crash safety is the point.  Everything the server must not forget
+goes through one :class:`~repro.checkpoint.journal.EventJournal`
+(``jobs.jsonl``) *before* the client hears "accepted":
+
+* a ``job`` frame records the submission (id, tenant, kind, spec);
+* a ``state`` frame records every transition thereafter.
+
+``kill -9`` the server at any point and :meth:`JobStore.load` replays
+the journal: terminal jobs stay terminal, everything else (queued
+*or* running — a running job's worker died with the server) is
+re-queued in original admission order.  Inject jobs additionally keep
+a per-job campaign journal under ``journals/``, so a resumed job
+re-runs only its missing fault indices and its final report is
+bit-identical to an uninterrupted run.
+
+Result documents live in an :class:`~repro.checkpoint.golden_cache.
+IdentityCache` keyed on the job's content-addressed identity — the
+same CRC-checked, atomically-written container format every other
+artifact uses, so a torn result write surfaces as a miss (job is
+re-run), never as a silently corrupt result served to a client.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.checkpoint import EventJournal, IdentityCache
+
+#: identity frame pinning the journal to this store format.
+STORE_IDENTITY = {"store": "repro-job-service", "version": 1}
+
+
+class JobState(str, enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+TERMINAL_STATES = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED}
+)
+
+
+@dataclass
+class Job:
+    """One accepted job (mutable: the server owns its lifecycle)."""
+
+    id: str
+    tenant: str
+    kind: str
+    spec: dict
+    state: JobState = JobState.QUEUED
+    #: human-readable note for the current state (failure reason,
+    #: "recovered after restart", ...).
+    detail: str = ""
+    #: admission sequence number: total order of accepted jobs,
+    #: stable across restarts (replayed from the journal).
+    seq: int = 0
+    #: monotonically increasing per-job event counter; every state
+    #: transition bumps it, which is what ``tail`` clients key on.
+    version: int = 0
+    #: state history as ``(version, state, detail)`` — served to
+    #: ``tail`` subscribers that attach after the fact.
+    events: list = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def describe(self) -> dict:
+        return {
+            "id": self.id,
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "state": self.state.value,
+            "detail": self.detail,
+            "seq": self.seq,
+            "version": self.version,
+        }
+
+    def identity(self) -> dict:
+        return {"job": self.id, "tenant": self.tenant,
+                "kind": self.kind, "spec": self.spec}
+
+
+class JobStore:
+    """Durable job state rooted at one directory.
+
+    Layout::
+
+        <root>/jobs.jsonl        the job/state journal (recovery)
+        <root>/results/          result documents (IdentityCache)
+        <root>/journals/<id>.jsonl   per-job campaign journals
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.jobs: dict[str, Job] = {}
+        self._journal = EventJournal(self.root / "jobs.jsonl")
+        self._results = IdentityCache(
+            self.root / "results",
+            label="result store", section="result",
+        )
+        self._next_seq = 0
+
+    # -- recovery ------------------------------------------------------------
+
+    def load(self) -> list[Job]:
+        """Replay the journal; returns recovered *non-terminal* jobs
+        in admission order (the server re-queues them).
+
+        A job whose last state was RUNNING died with the server; a
+        DONE job whose result document is missing or corrupt is
+        demoted and re-queued too — "done" with nothing to serve is
+        not done.
+        """
+        if not self._journal.exists():
+            self._journal.start(STORE_IDENTITY)
+            return []
+        identity, records = self._journal.read_events()
+        if identity is None:
+            # Zero-byte or torn-at-birth journal: start clean.
+            self._journal.start(STORE_IDENTITY)
+            return []
+        if identity != STORE_IDENTITY:
+            from repro.checkpoint import JournalMismatchError
+            raise JournalMismatchError(
+                f"{self._journal.path} was written by a different "
+                f"store format ({identity}); refusing to guess"
+            )
+        for record in records:
+            kind = record.get("kind")
+            if kind == "job":
+                job = Job(
+                    id=record["id"],
+                    tenant=record["tenant"],
+                    kind=record["job_kind"],
+                    spec=record["spec"],
+                    seq=record["seq"],
+                )
+                job.events.append((0, JobState.QUEUED.value, ""))
+                self.jobs[job.id] = job
+                self._next_seq = max(self._next_seq, job.seq + 1)
+            elif kind == "state":
+                job = self.jobs.get(record["id"])
+                if job is None:
+                    continue  # state for a job frame the tail lost
+                job.state = JobState(record["state"])
+                job.detail = record.get("detail", "")
+                job.version += 1
+                job.events.append(
+                    (job.version, job.state.value, job.detail)
+                )
+        self._journal.open_append()
+        recovered: list[Job] = []
+        for job in sorted(self.jobs.values(), key=lambda j: j.seq):
+            if job.state is JobState.DONE and self.result(job) is None:
+                self.transition(
+                    job, JobState.QUEUED,
+                    "re-queued: result document missing or corrupt",
+                )
+                recovered.append(job)
+            elif not job.terminal:
+                self.transition(
+                    job, JobState.QUEUED,
+                    "re-queued after server restart",
+                )
+                recovered.append(job)
+        return recovered
+
+    # -- accepted jobs -------------------------------------------------------
+
+    def accept(self, job_id: str, tenant: str, kind: str,
+               spec: dict) -> Job:
+        """Durably record one accepted submission (QUEUED)."""
+        job = Job(id=job_id, tenant=tenant, kind=kind, spec=spec,
+                  seq=self._next_seq)
+        self._next_seq += 1
+        self._journal.append_event("job", {
+            "id": job.id, "tenant": job.tenant, "job_kind": job.kind,
+            "spec": job.spec, "seq": job.seq,
+        })
+        self._check_durable()
+        job.events.append((0, JobState.QUEUED.value, ""))
+        self.jobs[job.id] = job
+        return job
+
+    def transition(self, job: Job, state: JobState,
+                   detail: str = "") -> None:
+        """Durably record one state transition."""
+        self._journal.append_event("state", {
+            "id": job.id, "state": state.value, "detail": detail,
+        })
+        self._check_durable()
+        job.state = state
+        job.detail = detail
+        job.version += 1
+        job.events.append((job.version, state.value, detail))
+
+    def _check_durable(self) -> None:
+        # A job server that cannot journal cannot promise recovery —
+        # unlike a campaign (where losing resumability beats losing
+        # the run), accepting work we may silently forget is a lie.
+        if self._journal.disabled_reason is not None:
+            raise OSError(self._journal.disabled_reason)
+
+    # -- results -------------------------------------------------------------
+
+    def store_result(self, job: Job, document: str,
+                     meta: dict | None = None) -> None:
+        """Atomically persist a job's result document."""
+        self._results.store(job.identity(), job.id, {
+            "document": document, "meta": meta or {},
+        })
+        if self._results.disabled_reason is not None:
+            raise OSError(self._results.disabled_reason)
+
+    def result(self, job: Job) -> dict | None:
+        """The stored result payload (None when absent/corrupt)."""
+        payload, _diagnostic = self._results.load(
+            job.identity(), job.id
+        )
+        return payload
+
+    # -- campaign journals ---------------------------------------------------
+
+    def campaign_journal_path(self, job_id: str) -> Path:
+        return self.root / "journals" / f"{job_id}.jsonl"
+
+    def close(self) -> None:
+        self._journal.close()

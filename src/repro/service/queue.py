@@ -1,0 +1,107 @@
+"""The bounded admission queue and its backpressure hint.
+
+Admission control is reject-with-retry-after, not block: a full
+queue refuses the submission immediately and tells the client *when*
+retrying is likely to succeed, so backpressure propagates to the
+submitter instead of accumulating as unbounded buffered work inside
+the server.  The hint is an EWMA of recent job service times scaled
+by the queue depth ahead of the retry — deliberately an estimate,
+never a promise.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+#: retry-after floor/ceiling, seconds: even a wildly wrong service
+#: EWMA must produce a hint a client can act on.
+MIN_RETRY_AFTER = 0.05
+MAX_RETRY_AFTER = 60.0
+
+#: EWMA smoothing for observed job service times.
+EWMA_ALPHA = 0.3
+
+
+class AdmissionQueue:
+    """A bounded FIFO of job ids with an explicit backpressure hint.
+
+    Thread-safe: submissions arrive on the event loop while
+    completions (which feed the service-time EWMA) arrive from runner
+    threads.
+    """
+
+    def __init__(self, capacity: int,
+                 initial_service_time: float = 1.0):
+        if capacity < 1:
+            raise ValueError(
+                f"queue capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._queue: deque[str] = deque()
+        self._lock = threading.Lock()
+        self._service_ewma = float(initial_service_time)
+        self.rejected = 0
+
+    def try_push(self, job_id: str) -> tuple[bool, float]:
+        """Admit ``job_id`` or reject it: ``(admitted, retry_after)``.
+
+        ``retry_after`` is 0.0 on admission; on rejection it estimates
+        how long until one slot frees up (one job's expected service
+        time — the head of the queue must finish before anything
+        moves)."""
+        with self._lock:
+            if len(self._queue) >= self.capacity:
+                self.rejected += 1
+                return False, self._retry_after_locked()
+            self._queue.append(job_id)
+            return True, 0.0
+
+    def _retry_after_locked(self) -> float:
+        hint = self._service_ewma
+        return max(MIN_RETRY_AFTER, min(MAX_RETRY_AFTER, hint))
+
+    def retry_hint(self) -> float:
+        """The current backpressure hint, for non-queue rejections
+        (tenant quota) that want a comparable pacing signal."""
+        with self._lock:
+            return self._retry_after_locked()
+
+    def pop(self) -> str | None:
+        """Take the oldest admitted job id (None when empty)."""
+        with self._lock:
+            if not self._queue:
+                return None
+            return self._queue.popleft()
+
+    def requeue_front(self, job_id: str) -> None:
+        """Put a job back at the head (dispatch raced a cancel)."""
+        with self._lock:
+            self._queue.appendleft(job_id)
+
+    def remove(self, job_id: str) -> bool:
+        """Drop a queued job (cancellation before dispatch)."""
+        with self._lock:
+            try:
+                self._queue.remove(job_id)
+            except ValueError:
+                return False
+            return True
+
+    def note_service_time(self, seconds: float) -> None:
+        """Feed one observed job duration into the retry-after EWMA."""
+        if seconds < 0:
+            return
+        with self._lock:
+            self._service_ewma = (
+                (1 - EWMA_ALPHA) * self._service_ewma
+                + EWMA_ALPHA * seconds
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def snapshot(self) -> list[str]:
+        with self._lock:
+            return list(self._queue)

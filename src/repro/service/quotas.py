@@ -1,0 +1,56 @@
+"""Per-tenant admission quotas.
+
+A quota bounds how many *live* (queued or running) jobs one tenant
+may hold at once, so a single runaway client cannot monopolise the
+shared queue and fleet.  Accounting is acquire/release around the
+whole job lifetime: acquired at admission, released exactly once at
+the terminal transition — the invariant the property-based tests
+hammer on is that concurrent submission storms never push a tenant
+past its limit and never leak a slot.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class TenantQuotas:
+    """Thread-safe per-tenant live-job accounting."""
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ValueError(f"quota limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._live: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tenant: str) -> bool:
+        """Take one slot for ``tenant``; False when at the limit."""
+        with self._lock:
+            held = self._live.get(tenant, 0)
+            if held >= self.limit:
+                return False
+            self._live[tenant] = held + 1
+            return True
+
+    def release(self, tenant: str) -> None:
+        """Give one slot back (terminal job transition)."""
+        with self._lock:
+            held = self._live.get(tenant, 0)
+            if held <= 0:
+                raise RuntimeError(
+                    f"quota release for {tenant!r} without a matching "
+                    f"acquire — job accounting is corrupt"
+                )
+            if held == 1:
+                del self._live[tenant]
+            else:
+                self._live[tenant] = held - 1
+
+    def held(self, tenant: str) -> int:
+        with self._lock:
+            return self._live.get(tenant, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._live)

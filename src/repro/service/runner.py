@@ -1,0 +1,192 @@
+"""Synchronous job execution, one job per runner thread.
+
+The server dispatches each job to a thread pool; everything here is
+plain blocking code.  Execution must be safe off the main thread
+(``Campaign.run`` already tolerates that: its SIGTERM hook is
+best-effort), must honour cooperative cancellation, and must produce
+*deterministic* result documents — an inject job's document is
+exactly the ``repro inject --json`` report plus a trailing newline,
+so CI can ``cmp`` a served result against a locally-computed
+reference.
+
+Inject jobs always run against the job's campaign journal with
+``resume=True``: on a fresh job that is simply an empty journal, and
+after a server crash it is what makes the re-run finish the campaign
+instead of restarting it — the final report is bit-identical either
+way, which is the service's core crash-safety promise.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.checkpoint import canonical_json
+
+
+class JobCancelled(Exception):
+    """The job was cancelled (client request or server drain)."""
+
+
+class CancelToken:
+    """Cooperative cancellation flag shared with the runner thread."""
+
+    def __init__(self):
+        self._event = threading.Event()
+        #: why the cancel happened ("cancelled by client", "drain").
+        self.reason = ""
+
+    def cancel(self, reason: str) -> None:
+        self.reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def check(self) -> None:
+        if self._event.is_set():
+            raise JobCancelled(self.reason or "cancelled")
+
+
+#: config keys an inject spec may set, mapped straight onto
+#: :class:`~repro.faultinject.campaign.CampaignConfig` — the service
+#: accepts the same knobs as the CLI, minus paths (``cache_dir``)
+#: that must stay under the server's control.
+_INJECT_PASSTHROUGH = (
+    "extension", "workload", "source", "entry", "scale", "faults",
+    "seed", "clock_ratio", "fifo_depth", "checkpoint_every",
+    "recover", "task_timeout", "max_retries", "serial_fallback",
+)
+
+
+def execute_job(job, store, cancel: CancelToken,
+                jobs: int = 1) -> dict:
+    """Run one job to completion; returns ``{"document", "meta"}``.
+
+    Raises :class:`JobCancelled` for cooperative cancellation and
+    lets real execution errors propagate (the server maps them to
+    FAILED with the message as detail).  ``jobs`` is the worker-count
+    granted by the shared fleet lease (inject/sweep fan-out).
+    """
+    cancel.check()
+    handler = _HANDLERS[job.kind]
+    return handler(job, store, cancel, jobs)
+
+
+def _run_inject(job, store, cancel: CancelToken, jobs: int) -> dict:
+    from repro.faultinject import Campaign, CampaignConfig
+    from repro.faultinject.campaign import CampaignInterrupted
+
+    spec = job.spec
+    kwargs = {key: spec[key] for key in _INJECT_PASSTHROUGH
+              if key in spec}
+    if "models" in spec and spec["models"] is not None:
+        kwargs["models"] = tuple(spec["models"])
+    if "mdl" in spec:
+        kwargs["mdl"] = tuple(
+            (name, source) for name, source in spec["mdl"]
+        )
+    kwargs["jobs"] = max(1, min(int(spec.get("jobs", 1)), jobs))
+    config = CampaignConfig(**kwargs)
+    campaign = Campaign(config)
+
+    def progress(done: int, total: int) -> None:
+        # Cancellation (and drain) interrupts between faulted runs —
+        # everything already journaled is safe and a later resume
+        # completes the campaign bit-identically.
+        if cancel.cancelled:
+            raise KeyboardInterrupt
+
+    journal_path = store.campaign_journal_path(job.id)
+    try:
+        report = campaign.run(progress=progress,
+                              journal_path=journal_path, resume=True)
+    except CampaignInterrupted:
+        cancel.check()  # cancelled: surface as JobCancelled
+        raise  # a real signal hit the server process itself
+    document = report.to_json() + "\n"
+    return {
+        "document": document,
+        "meta": {
+            "kind": "inject",
+            "no_coverage": bool(report.no_coverage),
+            "detection_coverage": round(report.detection_coverage, 6),
+            "warnings": list(campaign.warnings),
+        },
+    }
+
+
+def _run_sweep(job, store, cancel: CancelToken, jobs: int) -> dict:
+    from repro.engine.sweep import SweepPoint, run_point
+
+    spec = job.spec
+    engine = spec.get("engine", "fast")
+    outcomes = []
+    for raw in spec["points"]:
+        cancel.check()
+        point = SweepPoint(**raw)
+        outcome = run_point(point, engine=engine)
+        outcomes.append(
+            {"point": point.identity(), **outcome.payload()}
+        )
+    document = canonical_json({"points": outcomes}) + "\n"
+    return {"document": document,
+            "meta": {"kind": "sweep", "points": len(outcomes)}}
+
+
+def _run_run(job, store, cancel: CancelToken, jobs: int) -> dict:
+    from repro.engine.sweep import SweepPoint, run_point
+
+    spec = dict(job.spec)
+    engine = spec.pop("engine", "fast")
+    point = SweepPoint(**spec)
+    outcome = run_point(point, engine=engine)
+    document = canonical_json(
+        {"point": point.identity(), **outcome.payload()}
+    ) + "\n"
+    return {"document": document, "meta": {"kind": "run"}}
+
+
+def _run_compile(job, store, cancel: CancelToken, jobs: int) -> dict:
+    from repro.mdl import MdlError, compile_spec
+
+    spec = job.spec
+    filename = spec.get("filename", "<service>")
+    try:
+        program = compile_spec(spec["source"], filename)
+    except MdlError as err:
+        raise RuntimeError(f"mdl compile failed: {err}") from None
+    document = canonical_json({
+        "name": program.name,
+        "filename": filename,
+    }) + "\n"
+    return {"document": document,
+            "meta": {"kind": "compile", "name": program.name}}
+
+
+def _run_sleep(job, store, cancel: CancelToken, jobs: int) -> dict:
+    """Diagnostics kind: hold a runner slot, stay cancellable."""
+    remaining = float(job.spec["seconds"])
+    if remaining < 0:
+        raise RuntimeError("sleep seconds must be >= 0")
+    deadline = time.monotonic() + remaining
+    while True:
+        cancel.check()
+        left = deadline - time.monotonic()
+        if left <= 0:
+            break
+        time.sleep(min(0.05, left))
+    document = canonical_json(
+        {"slept": round(float(job.spec["seconds"]), 6)}
+    ) + "\n"
+    return {"document": document, "meta": {"kind": "sleep"}}
+
+
+_HANDLERS = {
+    "inject": _run_inject,
+    "sweep": _run_sweep,
+    "run": _run_run,
+    "compile": _run_compile,
+    "sleep": _run_sleep,
+}

@@ -1,0 +1,516 @@
+"""The asyncio job server: admission, scheduling, streaming, drain.
+
+One event loop owns all bookkeeping; jobs execute on a small thread
+pool (:mod:`repro.service.runner`), fanning out further through the
+shared :class:`~repro.engine.pool.WorkerFleet` when a job asks for
+parallelism.  The design rules:
+
+* **Nothing is accepted before it is durable.**  ``submit`` journals
+  the job, then answers.  A ``kill -9`` at any point therefore loses
+  no accepted job: restart replays the journal, re-queues everything
+  non-terminal and resumes inject campaigns from their own journals.
+* **Backpressure is explicit.**  A full queue or exhausted tenant
+  quota rejects with ``retry_after`` rather than buffering without
+  bound; clients back off and retry idempotently (content-addressed
+  job ids make duplicate submissions collapse onto the same job).
+* **Progress is level-triggered.**  ``tail`` streams a job's state
+  events by version number: a slow consumer never buffers more than
+  the events it has not read, and naturally coalesces to the latest
+  state (snapshot-on-reconnect, not an unbounded replay buffer).
+* **Shutdown is a drain.**  SIGTERM stops admission, cancels running
+  jobs cooperatively (their campaign journals checkpoint every
+  result, so nothing is lost), re-queues them durably and exits;
+  the next start picks the queue straight back up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.engine.pool import WorkerFleet
+from repro.service import protocol
+from repro.service.jobs import JobState, JobStore
+from repro.service.queue import AdmissionQueue
+from repro.service.quotas import TenantQuotas
+from repro.service.runner import CancelToken, JobCancelled, execute_job
+from repro.telemetry.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Service tuning knobs (none affect job *results*)."""
+
+    #: bounded admission queue capacity.
+    capacity: int = 64
+    #: concurrent runner threads (jobs executing at once).
+    runners: int = 2
+    #: per-tenant live-job quota.
+    quota: int = 8
+    #: total worker processes shared by all jobs' fan-out.
+    fleet: int = 4
+    #: heartbeat period, seconds.
+    heartbeat: float = 1.0
+    #: wall-clock deadline per job, seconds (None = unlimited).
+    #: Enforced cooperatively: the job's cancel token fires and the
+    #: job fails with a deadline detail.
+    job_deadline: float | None = None
+
+
+class JobServer:
+    """One service instance rooted at a state directory."""
+
+    def __init__(self, state_dir, address: str,
+                 config: ServerConfig | None = None):
+        self.config = config or ServerConfig()
+        self.address = address
+        self.store = JobStore(state_dir)
+        self.queue = AdmissionQueue(self.config.capacity)
+        self.quotas = TenantQuotas(self.config.quota)
+        self.fleet = WorkerFleet(self.config.fleet)
+        self.metrics = MetricsRegistry()
+        self._submitted = self.metrics.counter(
+            "service.jobs.submitted")
+        self._rejected = self.metrics.counter("service.jobs.rejected")
+        self._completed = self.metrics.counter(
+            "service.jobs.completed")
+        self._failed = self.metrics.counter("service.jobs.failed")
+        self._cancelled = self.metrics.counter(
+            "service.jobs.cancelled")
+        self._recovered = self.metrics.counter(
+            "service.jobs.recovered")
+        self._queued_gauge = self.metrics.gauge("service.queue.depth")
+        self._running_gauge = self.metrics.gauge(
+            "service.jobs.running")
+        self.ready = False
+        self.draining = False
+        self.heartbeats = 0
+        self._started = time.monotonic()
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._running: dict[str, CancelToken] = {}
+        #: recovered jobs that did not fit a shrunk queue; drained
+        #: by the dispatcher as capacity frees up.
+        self._overflow: list[str] = []
+        self._tasks: set[asyncio.Task] = set()
+        #: fires whenever any job gains an event; tail subscribers
+        #: and the dispatcher wake on it.  Level-triggered: waiters
+        #: re-check state, so a burst of events coalesces.
+        self._wakeup: asyncio.Event | None = None
+        self._stopping: asyncio.Event | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Recover state, bind the socket, start background tasks."""
+        self._loop = asyncio.get_running_loop()
+        self._wakeup = asyncio.Event()
+        self._stopping = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.runners,
+            thread_name_prefix="repro-runner",
+        )
+        recovered = self.store.load()
+        for job in recovered:
+            self.quotas.try_acquire(job.tenant)  # re-admit silently
+            admitted, _hint = self.queue.try_push(job.id)
+            if not admitted:
+                # The queue shrank across the restart; the job stays
+                # QUEUED in the store and a later dispatch sweep
+                # (triggered when capacity frees up) re-queues it.
+                self._overflow.append(job.id)
+            self._recovered.inc()
+        host, port, path = parse_listen(self.address)
+        if path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._serve_connection, path=path)
+        else:
+            self._server = await asyncio.start_server(
+                self._serve_connection, host=host, port=port)
+        self._spawn(self._dispatch_loop(), name="dispatch")
+        self._spawn(self._heartbeat_loop(), name="heartbeat")
+        self._install_signal_handlers()
+        self.ready = True
+
+    def _spawn(self, coro, name: str) -> asyncio.Task:
+        task = self._loop.create_task(coro, name=name)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    def _install_signal_handlers(self) -> None:
+        # add_signal_handler only works on a main-thread loop; tests
+        # host the server on a side thread and drive drain directly.
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(
+                    signum,
+                    lambda: self._spawn(self.drain(), name="drain"),
+                )
+            except (NotImplementedError, RuntimeError, ValueError):
+                return
+
+    async def serve_forever(self) -> None:
+        await self._stopping.wait()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop admission, park running jobs
+        durably back in the QUEUED state, stop."""
+        if self.draining:
+            return
+        self.draining = True
+        self.ready = False
+        for job_id, token in list(self._running.items()):
+            token.cancel("drain")
+        # Wait for runner threads to come home (each notices its
+        # cancel token between units of work).
+        while self._running:
+            self._wakeup.clear()
+            await self._wakeup.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        for task in list(self._tasks):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self.store.close()
+        self._stopping.set()
+
+    def _notify(self) -> None:
+        """Wake every waiter (dispatcher, tail subscribers)."""
+        self._wakeup.set()
+
+    # -- background tasks ----------------------------------------------------
+
+    async def _heartbeat_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.heartbeat)
+            self.heartbeats += 1
+            self._queued_gauge.set(len(self.queue))
+            self._running_gauge.set(len(self._running))
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            dispatched = self._try_dispatch()
+            if not dispatched:
+                self._wakeup.clear()
+                # Re-check after clearing: a completion may have
+                # raced the clear (classic lost-wakeup guard).
+                if not self._try_dispatch():
+                    await self._wakeup.wait()
+
+    def _try_dispatch(self) -> bool:
+        if self.draining:
+            return False
+        if len(self._running) >= self.config.runners:
+            return False
+        job_id = self.queue.pop()
+        if job_id is None:
+            if self._overflow:
+                job_id = self._overflow.pop(0)
+            else:
+                return False
+        job = self.store.jobs.get(job_id)
+        if job is None or job.state is not JobState.QUEUED:
+            return True  # cancelled while queued; slot freed
+        token = CancelToken()
+        self._running[job.id] = token
+        self.store.transition(job, JobState.RUNNING)
+        self._notify()
+        if self.config.job_deadline is not None:
+            self._loop.call_later(
+                self.config.job_deadline, token.cancel,
+                f"deadline exceeded "
+                f"({self.config.job_deadline:g}s)",
+            )
+        started = time.monotonic()
+        future = self._loop.run_in_executor(
+            self._executor, self._execute, job, token)
+        future.add_done_callback(
+            lambda fut: self._loop.call_soon_threadsafe(
+                self._finish, job, token, started, fut)
+        )
+        return True
+
+    def _execute(self, job, token: CancelToken) -> dict:
+        want = max(1, int(job.spec.get("jobs", 1)))
+        with self.fleet.lease(want) as lease:
+            return execute_job(job, self.store, token,
+                               jobs=lease.granted)
+
+    def _finish(self, job, token: CancelToken, started: float,
+                future) -> None:
+        self._running.pop(job.id, None)
+        self.queue.note_service_time(time.monotonic() - started)
+        try:
+            outcome = future.result()
+        except JobCancelled as err:
+            if self.draining or str(err) == "drain":
+                self.store.transition(
+                    job, JobState.QUEUED,
+                    "re-queued: server drained mid-run")
+            else:
+                self.quotas.release(job.tenant)
+                self._cancelled.inc()
+                self.store.transition(job, JobState.CANCELLED,
+                                      str(err))
+        except Exception as err:  # noqa: BLE001 — job boundary
+            self.quotas.release(job.tenant)
+            self._failed.inc()
+            self.store.transition(
+                job, JobState.FAILED,
+                f"{type(err).__name__}: {err}")
+        else:
+            try:
+                self.store.store_result(
+                    job, outcome["document"], outcome.get("meta"))
+            except OSError as err:
+                self.quotas.release(job.tenant)
+                self._failed.inc()
+                self.store.transition(
+                    job, JobState.FAILED,
+                    f"result store failed: {err}")
+            else:
+                self.quotas.release(job.tenant)
+                self._completed.inc()
+                self.store.transition(job, JobState.DONE)
+        self._notify()
+
+    # -- protocol ------------------------------------------------------------
+
+    async def _serve_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                response = await self._handle_line(line, writer)
+                if response is not None:
+                    writer.write(protocol.encode(response))
+                    try:
+                        await writer.drain()
+                    except ConnectionError:
+                        break
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _handle_line(self, line: bytes, writer) -> dict | None:
+        try:
+            message = protocol.decode_line(line)
+            op = message.get("op")
+            if op == "tail":
+                await self._op_tail(message, writer)
+                return None
+            handler = {
+                "health": self._op_health,
+                "submit": self._op_submit,
+                "status": self._op_status,
+                "jobs": self._op_jobs,
+                "result": self._op_result,
+                "cancel": self._op_cancel,
+                "drain": self._op_drain,
+            }.get(op)
+            if handler is None:
+                known = ", ".join(protocol.OPS)
+                return protocol.error(
+                    f"unknown op {op!r} (known: {known})")
+            return await handler(message)
+        except protocol.ProtocolError as err:
+            return protocol.error(str(err))
+
+    async def _op_health(self, message: dict) -> dict:
+        states = {state.value: 0 for state in JobState}
+        for job in self.store.jobs.values():
+            states[job.state.value] += 1
+        return protocol.ok(
+            version=protocol.PROTOCOL_VERSION,
+            ready=self.ready,
+            draining=self.draining,
+            heartbeats=self.heartbeats,
+            uptime=round(time.monotonic() - self._started, 3),
+            queued=len(self.queue),
+            running=len(self._running),
+            states=states,
+            capacity=self.config.capacity,
+            fleet={"size": self.fleet.size,
+                   "leased": self.fleet.leased,
+                   "peak": self.fleet.peak},
+            metrics=self.metrics.snapshot(),
+        )
+
+    async def _op_submit(self, message: dict) -> dict:
+        if self.draining or not self.ready:
+            return protocol.reject(
+                "server is draining" if self.draining
+                else "server is not ready",
+                retry_after=1.0,
+            )
+        tenant = message.get("tenant", protocol.DEFAULT_TENANT)
+        if not isinstance(tenant, str) or not tenant:
+            return protocol.error("tenant must be a non-empty string")
+        kind = message.get("kind")
+        spec = protocol.normalize_spec(kind, message.get("spec"))
+        job_id = protocol.job_id_for(tenant, kind, spec)
+        claimed = message.get("job_id")
+        if claimed is not None and claimed != job_id:
+            return protocol.error(
+                f"job_id mismatch: client sent {claimed}, spec "
+                f"hashes to {job_id} — refusing ambiguous identity"
+            )
+        existing = self.store.jobs.get(job_id)
+        if existing is not None:
+            # Idempotent resubmission: same content, same job.
+            return protocol.ok(job_id=job_id, deduplicated=True,
+                               state=existing.state.value)
+        if not self.quotas.try_acquire(tenant):
+            self._rejected.inc()
+            return protocol.reject(
+                f"tenant {tenant!r} is at its quota "
+                f"({self.quotas.limit} live jobs)",
+                retry_after=self.queue.retry_hint(),
+                quota=self.quotas.limit,
+            )
+        admitted, retry_after = self.queue.try_push(job_id)
+        if not admitted:
+            self.quotas.release(tenant)
+            self._rejected.inc()
+            return protocol.reject(
+                f"queue is full ({self.queue.capacity} jobs)",
+                retry_after=retry_after,
+            )
+        try:
+            job = self.store.accept(job_id, tenant, kind, spec)
+        except OSError as err:
+            self.queue.remove(job_id)
+            self.quotas.release(tenant)
+            return protocol.error(f"cannot journal job: {err}")
+        self._submitted.inc()
+        self._notify()
+        return protocol.ok(job_id=job.id, deduplicated=False,
+                           state=job.state.value)
+
+    async def _op_status(self, message: dict) -> dict:
+        job = self._find(message)
+        return protocol.ok(job=job.describe())
+
+    async def _op_jobs(self, message: dict) -> dict:
+        jobs = sorted(self.store.jobs.values(), key=lambda j: j.seq)
+        return protocol.ok(jobs=[job.describe() for job in jobs])
+
+    async def _op_result(self, message: dict) -> dict:
+        job = self._find(message)
+        if job.state is not JobState.DONE:
+            return protocol.error(
+                f"job {job.id} is {job.state.value}, not done",
+                state=job.state.value, detail=job.detail,
+            )
+        payload = self.store.result(job)
+        if payload is None:
+            return protocol.error(
+                f"result document for {job.id} is missing or "
+                f"corrupt; resubmit to recompute"
+            )
+        return protocol.ok(job_id=job.id,
+                           document=payload["document"],
+                           meta=payload.get("meta", {}))
+
+    async def _op_cancel(self, message: dict) -> dict:
+        job = self._find(message)
+        if job.terminal:
+            return protocol.ok(job=job.describe(), noop=True)
+        token = self._running.get(job.id)
+        if token is not None:
+            token.cancel("cancelled by client")
+            return protocol.ok(job=job.describe(), cancelling=True)
+        self.queue.remove(job.id)
+        self.quotas.release(job.tenant)
+        self._cancelled.inc()
+        self.store.transition(job, JobState.CANCELLED,
+                              "cancelled while queued")
+        self._notify()
+        return protocol.ok(job=job.describe(), cancelling=False)
+
+    async def _op_drain(self, message: dict) -> dict:
+        self._spawn(self.drain(), name="drain")
+        return protocol.ok(draining=True)
+
+    async def _op_tail(self, message: dict, writer) -> None:
+        """Stream one job's state events until it goes terminal.
+
+        Level-triggered by job.version: each iteration sends every
+        event the subscriber has not seen, then waits for the next
+        change.  A slow consumer therefore receives a *coalesced*
+        history — never an unbounded backlog — and a disconnect just
+        ends the subscription.
+        """
+        job = self._find(message)
+        seen = int(message.get("since", -1))
+        while True:
+            for version, state, detail in job.events:
+                if version <= seen:
+                    continue
+                seen = version
+                writer.write(protocol.encode(protocol.ok(
+                    event="state", job_id=job.id, version=version,
+                    state=state, detail=detail,
+                )))
+            try:
+                await writer.drain()
+            except ConnectionError:
+                return
+            if job.terminal:
+                writer.write(protocol.encode(protocol.ok(
+                    event="end", job_id=job.id,
+                    state=job.state.value, detail=job.detail,
+                )))
+                with contextlib.suppress(ConnectionError):
+                    await writer.drain()
+                return
+            self._wakeup.clear()
+            await self._wakeup.wait()
+
+    def _find(self, message: dict):
+        job_id = message.get("job_id")
+        job = self.store.jobs.get(job_id)
+        if job is None:
+            raise protocol.ProtocolError(f"unknown job {job_id!r}")
+        return job
+
+
+def parse_listen(address: str) -> tuple[str | None, int | None,
+                                        str | None]:
+    """``(host, port, unix_path)`` — exactly one side is populated.
+
+    ``unix:/path`` or anything containing ``/`` is a Unix socket;
+    ``host:port`` is TCP.
+    """
+    if address.startswith("unix:"):
+        return None, None, address[len("unix:"):]
+    if "/" in address:
+        return None, None, address
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"listen address must be unix:/path, /path or host:port, "
+            f"got {address!r}"
+        )
+    return host or "127.0.0.1", int(port), None

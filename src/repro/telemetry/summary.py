@@ -180,3 +180,39 @@ def run_digest(result: "RunResult") -> str:
     """
     blob = json.dumps(result_fingerprint(result), sort_keys=True)
     return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def format_service_health(health: dict) -> str:
+    """Render one ``health`` response of the job service as the
+    ``repro status`` screen: readiness, queue/runner occupancy, job
+    states and the lifetime service counters."""
+    states = health.get("states", {})
+    fleet = health.get("fleet", {})
+    metrics = health.get("metrics", {})
+
+    def count(name: str) -> object:
+        return metrics.get(name, 0)
+
+    lines = [
+        f"job server: ready={str(health.get('ready', False)).lower()} "
+        f"draining={str(health.get('draining', False)).lower()} "
+        f"uptime={health.get('uptime', 0.0):.1f}s "
+        f"heartbeats={health.get('heartbeats', 0)}",
+        f"queue: {health.get('queued', 0)}/"
+        f"{health.get('capacity', 0)} queued, "
+        f"{health.get('running', 0)} running, fleet "
+        f"{fleet.get('leased', 0)}/{fleet.get('size', 0)} leased "
+        f"(peak {fleet.get('peak', 0)})",
+        "jobs: " + ", ".join(
+            f"{name}={states.get(name, 0)}"
+            for name in ("queued", "running", "done", "failed",
+                         "cancelled")
+        ),
+        f"lifetime: submitted={count('service.jobs.submitted')}, "
+        f"rejected={count('service.jobs.rejected')}, "
+        f"completed={count('service.jobs.completed')}, "
+        f"failed={count('service.jobs.failed')}, "
+        f"cancelled={count('service.jobs.cancelled')}, "
+        f"recovered={count('service.jobs.recovered')}",
+    ]
+    return "\n".join(lines)

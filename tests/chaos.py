@@ -136,3 +136,73 @@ def chaos_sweep_worker(item):
 def enospc(*args, **kwargs):
     """Stand-in for any write-path function: the disk is full."""
     raise OSError(errno.ENOSPC, "No space left on device")
+
+
+# -- job-service chaos -----------------------------------------------------
+
+
+class ServiceProcess:
+    """A ``repro serve`` subprocess the chaos tests can SIGKILL.
+
+    The server is a real OS process (not a thread), so ``kill -9``
+    exercises the genuine crash-recovery path: nothing gets a chance
+    to flush, exactly like a machine losing power.
+    """
+
+    def __init__(self, state_dir, address: str, *extra_args: str):
+        import subprocess
+        import sys as sys_module
+
+        self.state_dir = Path(state_dir)
+        self.address = address
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else ""
+        )
+        self.process = subprocess.Popen(
+            [sys_module.executable, "-m", "repro", "serve",
+             "--state-dir", str(self.state_dir),
+             "--listen", address, "--heartbeat", "0.1",
+             *extra_args],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        from repro.service import Client
+        from repro.service.client import ServiceError
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.process.poll() is not None:
+                raise RuntimeError(
+                    f"server exited early "
+                    f"(code {self.process.returncode})"
+                )
+            try:
+                with Client(self.address, max_retries=0,
+                            timeout=2.0) as client:
+                    if client.health().get("ready"):
+                        return
+            except (ServiceError, OSError):
+                pass
+            time.sleep(0.05)
+        raise TimeoutError("server never became ready")
+
+    def kill9(self) -> None:
+        """SIGKILL — the power-loss simulation."""
+        self.process.kill()
+        self.process.wait(timeout=30)
+
+    def terminate(self, timeout: float = 60.0) -> int:
+        """SIGTERM — the graceful drain path; returns the exit code."""
+        self.process.terminate()
+        return self.process.wait(timeout=timeout)
+
+    def stop(self) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=30)

@@ -10,6 +10,7 @@ silently dropped.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 
 import pytest
@@ -100,11 +101,52 @@ class TestCampaignChaos:
             report = damaged.run(journal_path=journal)
             assert report.counts()[Outcome.INFRA_FAILED] == 2
         # chaos gone (monkeypatch restored): resume re-runs exactly
-        # the quarantined indices and the report heals to reference
+        # the quarantined indices and the science heals to reference —
+        # while the journaled infra history (the quarantines the
+        # campaign lived through) stays visible in the metrics
         healer = Campaign(parallel_config())
         healed = healer.run(journal_path=journal, resume=True)
-        assert healed.to_json() == reference.to_json()
+        healed_doc = json.loads(healed.to_json())
+        reference_doc = json.loads(reference.to_json())
+        assert healed_doc["metrics"].pop("infra") != \
+            reference_doc["metrics"].pop("infra")
+        assert healed_doc == reference_doc
+        assert healed.infra["quarantined"] == 2
+        assert healed.infra["crashes"] >= 2
+        assert "infra: retries=" in healed.format(metrics=True)
         assert any("re-running 2" in w for w in healer.warnings)
+
+    def test_cli_exits_3_when_no_coverage_was_measured(
+            self, tmp_path, monkeypatch, capsys):
+        """Every index quarantined: the printed 100.0% coverage is
+        vacuous, so the CLI must not exit 0 (CI would green-light a
+        campaign that measured nothing)."""
+        from repro.__main__ import main
+        chaos.install(monkeypatch, chaos.ChaosPlan(
+            tmp_path / "markers", kill_always=tuple(range(12)),
+            in_children_only=True))
+        source = tmp_path / "prog.asm"
+        source.write_text(SOURCE)
+        code = main([
+            "inject", "--extension", "sec", "--source", str(source),
+            "--faults", "12", "--seed", "7", "--jobs", "3",
+            "--max-retries", "0", "--serial-fallback", "never",
+        ])
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "no coverage measured" in captured.err
+        assert "12/12" in captured.err
+
+    def test_no_coverage_is_about_infra_not_masking(self):
+        """``no_coverage`` flags *infrastructure* vacuity only: an
+        all-masked (or empty) healthy campaign is a legitimate result
+        and must not trip the exit-3 path."""
+        from repro.faultinject.report import CoverageReport
+        profile = Campaign(sec_config()).profile
+        healthy = CoverageReport.build(sec_config(), profile, ())
+        assert not healthy.no_coverage
+        report = Campaign(sec_config()).run()
+        assert not report.no_coverage
 
     def test_serial_fallback_completes_the_campaign(
             self, tmp_path, monkeypatch):

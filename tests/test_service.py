@@ -1,0 +1,447 @@
+"""Job-service unit and integration tests (in-process server).
+
+Protocol/identity pinning, quota and admission properties
+(hypothesis), the durable job store's crash replay, the shared
+worker fleet, and an end-to-end exchange against a thread-hosted
+server.  Process-level chaos (kill -9, disconnects, storms) lives in
+``test_service_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.pool import WorkerFleet
+from repro.service import (
+    AdmissionQueue,
+    Client,
+    JobServer,
+    JobState,
+    JobStore,
+    ProtocolError,
+    ServerConfig,
+    TenantQuotas,
+    job_id_for,
+    normalize_spec,
+)
+from repro.service.client import ServiceError, ServiceRejected
+from repro.service.queue import MAX_RETRY_AFTER, MIN_RETRY_AFTER
+
+
+class TestProtocol:
+    def test_job_id_is_pinned(self):
+        # Content-addressing is an on-disk compatibility surface:
+        # result-store entries are keyed on these ids, so the hash
+        # recipe must not drift silently.
+        spec = {"extension": "sec", "workload": "crc32",
+                "faults": 6, "seed": 3}
+        assert job_id_for("default", "inject", spec) == \
+            "ec8b0c783950ba9a"
+
+    def test_job_id_ignores_key_order_not_content(self):
+        a = job_id_for("t", "sleep", {"seconds": 1})
+        b = job_id_for("t", "sleep", {"seconds": 1})
+        assert a == b
+        assert job_id_for("t", "sleep", {"seconds": 2}) != a
+        assert job_id_for("u", "sleep", {"seconds": 1}) != a
+
+    def test_unknown_spec_field_is_rejected(self):
+        with pytest.raises(ProtocolError, match="sede"):
+            normalize_spec("inject", {"extension": "sec", "sede": 1})
+
+    def test_missing_required_field_is_rejected(self):
+        with pytest.raises(ProtocolError, match="extension"):
+            normalize_spec("inject", {"faults": 10})
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown job kind"):
+            normalize_spec("mine-bitcoin", {})
+
+
+class TestQuotas:
+    def test_limit_enforced(self):
+        quotas = TenantQuotas(2)
+        assert quotas.try_acquire("a")
+        assert quotas.try_acquire("a")
+        assert not quotas.try_acquire("a")
+        assert quotas.try_acquire("b")  # other tenants unaffected
+        quotas.release("a")
+        assert quotas.try_acquire("a")
+
+    def test_release_without_acquire_is_an_error(self):
+        quotas = TenantQuotas(1)
+        with pytest.raises(RuntimeError, match="accounting"):
+            quotas.release("ghost")
+
+    def test_concurrent_storm_never_exceeds_quota(self):
+        quotas = TenantQuotas(5)
+        granted: list[bool] = []
+        lock = threading.Lock()
+
+        def stormer():
+            for _ in range(100):
+                took = quotas.try_acquire("t")
+                with lock:
+                    granted.append(took)
+                if took and len(granted) % 3 == 0:
+                    quotas.release("t")
+
+        threads = [threading.Thread(target=stormer)
+                   for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Invariant: held never exceeds the limit and the final
+        # count is consistent with grants minus releases.
+        assert quotas.held("t") <= 5
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]),
+                  st.booleans()),
+        max_size=60,
+    ))
+    def test_accounting_is_exact(self, ops):
+        """Any interleaving of acquire/release keeps per-tenant held
+        counts within [0, limit] — a model-checked quota."""
+        quotas = TenantQuotas(3)
+        model: dict[str, int] = {}
+        for tenant, is_acquire in ops:
+            if is_acquire:
+                took = quotas.try_acquire(tenant)
+                assert took == (model.get(tenant, 0) < 3)
+                if took:
+                    model[tenant] = model.get(tenant, 0) + 1
+            elif model.get(tenant, 0) > 0:
+                quotas.release(tenant)
+                model[tenant] -= 1
+            assert quotas.held(tenant) == model.get(tenant, 0)
+            assert 0 <= quotas.held(tenant) <= 3
+
+
+class TestAdmissionQueue:
+    def test_rejects_when_full_with_usable_hint(self):
+        queue = AdmissionQueue(2)
+        assert queue.try_push("a") == (True, 0.0)
+        assert queue.try_push("b") == (True, 0.0)
+        admitted, hint = queue.try_push("c")
+        assert not admitted
+        assert MIN_RETRY_AFTER <= hint <= MAX_RETRY_AFTER
+        assert queue.rejected == 1
+
+    def test_fifo_order(self):
+        queue = AdmissionQueue(3)
+        for job in ("a", "b", "c"):
+            queue.try_push(job)
+        assert [queue.pop(), queue.pop(), queue.pop()] == \
+            ["a", "b", "c"]
+        assert queue.pop() is None
+
+    def test_hint_tracks_service_times(self):
+        queue = AdmissionQueue(1, initial_service_time=1.0)
+        queue.try_push("a")
+        for _ in range(50):
+            queue.note_service_time(10.0)
+        _, slow_hint = queue.try_push("x")
+        for _ in range(200):
+            queue.note_service_time(0.01)
+        _, fast_hint = queue.try_push("y")
+        assert fast_hint < slow_hint
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.sampled_from(["push", "pop"]), max_size=80),
+           st.integers(min_value=1, max_value=5))
+    def test_depth_never_exceeds_capacity(self, ops, capacity):
+        queue = AdmissionQueue(capacity)
+        next_id = 0
+        for op in ops:
+            if op == "push":
+                queue.try_push(f"job{next_id}")
+                next_id += 1
+            else:
+                queue.pop()
+            assert len(queue) <= capacity
+
+    def test_remove_cancels_a_queued_job(self):
+        queue = AdmissionQueue(3)
+        queue.try_push("a")
+        queue.try_push("b")
+        assert queue.remove("a")
+        assert not queue.remove("a")
+        assert queue.pop() == "b"
+
+
+class TestWorkerFleet:
+    def test_lease_grants_within_budget(self):
+        fleet = WorkerFleet(4)
+        with fleet.lease(3) as lease:
+            assert lease.granted == 3
+            assert fleet.leased == 3
+            with fleet.lease(3) as second:
+                assert second.granted == 1  # only 1 left
+        assert fleet.leased == 0
+        assert fleet.peak == 4
+
+    def test_lease_never_blocks_or_starves(self):
+        fleet = WorkerFleet(2)
+        leases = [fleet.lease(2) for _ in range(5)]
+        # Oversubscribed by design: every caller can always run at
+        # least serially in its own thread.
+        assert all(lease.granted >= 1 for lease in leases)
+        for lease in leases:
+            lease.release()
+        assert fleet.leased == 0
+
+    def test_double_release_is_idempotent(self):
+        fleet = WorkerFleet(2)
+        lease = fleet.lease(2)
+        lease.release()
+        lease.release()
+        assert fleet.leased == 0
+
+
+class TestJobStore:
+    def test_accept_then_replay(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.load()
+        job = store.accept("j1", "default", "sleep", {"seconds": 1})
+        store.transition(job, JobState.RUNNING)
+        store.close()
+
+        replayed = JobStore(tmp_path)
+        recovered = replayed.load()
+        # RUNNING died with the server: re-queued durably.
+        assert [j.id for j in recovered] == ["j1"]
+        assert replayed.jobs["j1"].state is JobState.QUEUED
+        assert "restart" in replayed.jobs["j1"].detail
+
+    def test_terminal_jobs_stay_terminal(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.load()
+        job = store.accept("j1", "default", "sleep", {"seconds": 1})
+        store.transition(job, JobState.RUNNING)
+        store.store_result(job, "doc\n")
+        store.transition(job, JobState.DONE)
+        failed = store.accept("j2", "default", "sleep",
+                              {"seconds": 1})
+        store.transition(failed, JobState.FAILED, "boom")
+        store.close()
+
+        replayed = JobStore(tmp_path)
+        assert replayed.load() == []
+        assert replayed.jobs["j1"].state is JobState.DONE
+        assert replayed.result(replayed.jobs["j1"])["document"] == \
+            "doc\n"
+        assert replayed.jobs["j2"].state is JobState.FAILED
+
+    def test_done_without_result_is_requeued(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.load()
+        job = store.accept("j1", "default", "sleep", {"seconds": 1})
+        store.transition(job, JobState.DONE)  # result never stored
+        store.close()
+        replayed = JobStore(tmp_path)
+        recovered = replayed.load()
+        assert [j.id for j in recovered] == ["j1"]
+        assert "result document missing" in replayed.jobs["j1"].detail
+
+    def test_replay_preserves_admission_order(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.load()
+        for n in range(5):
+            store.accept(f"j{n}", "default", "sleep",
+                         {"seconds": n})
+        store.close()
+        recovered = JobStore(tmp_path).load()
+        assert [j.id for j in recovered] == [
+            "j0", "j1", "j2", "j3", "j4"]
+
+
+class ServerHarness:
+    """Host a JobServer on a side-thread event loop for sync tests."""
+
+    def __init__(self, tmp_path, **config):
+        self.address = str(tmp_path / "sock")
+        self.server = JobServer(
+            tmp_path / "state", self.address,
+            ServerConfig(**{"heartbeat": 0.1, **config}),
+        )
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self._host, daemon=True)
+
+    def _host(self):
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.start())
+        self.loop.run_until_complete(self.server.serve_forever())
+        self.loop.close()
+
+    def __enter__(self) -> "ServerHarness":
+        self.thread.start()
+        deadline = time.monotonic() + 10
+        while not self.server.ready:
+            if time.monotonic() > deadline:
+                raise TimeoutError("server did not become ready")
+            time.sleep(0.01)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self.loop)
+        future.result(timeout=10)
+        self.thread.join(timeout=10)
+
+
+class TestServerEndToEnd:
+    def test_submit_execute_result(self, tmp_path):
+        with ServerHarness(tmp_path) as harness:
+            with Client(harness.address) as client:
+                health = client.health()
+                assert health["ready"]
+                response = client.submit("sleep", {"seconds": 0.05})
+                job = client.wait(response["job_id"], deadline=10)
+                assert job["state"] == "done"
+                result = client.result(response["job_id"])
+                assert result["document"] == '{"slept":0.05}\n'
+
+    def test_submission_is_idempotent(self, tmp_path):
+        with ServerHarness(tmp_path) as harness:
+            with Client(harness.address) as client:
+                first = client.submit("sleep", {"seconds": 0.05})
+                second = client.submit("sleep", {"seconds": 0.05})
+                assert second["job_id"] == first["job_id"]
+                assert second["deduplicated"]
+
+    def test_forged_job_id_is_refused(self, tmp_path):
+        with ServerHarness(tmp_path) as harness:
+            with Client(harness.address) as client:
+                with pytest.raises(ServiceError, match="mismatch"):
+                    client.request(
+                        "submit", tenant="default", kind="sleep",
+                        spec={"seconds": 1}, job_id="deadbeef")
+
+    def test_queue_full_rejects_with_retry_after(self, tmp_path):
+        # capacity 1, runner busy on a long sleep: the second queued
+        # job fills the queue, the third is backpressured.
+        with ServerHarness(tmp_path, capacity=1, runners=1,
+                           quota=10) as harness:
+            with Client(harness.address) as client:
+                client.submit("sleep", {"seconds": 5})
+                deadline = time.monotonic() + 5
+                while True:  # wait until the first job occupies the
+                    jobs = client.jobs()  # runner, freeing the queue
+                    if any(j["state"] == "running" for j in jobs):
+                        break
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+                client.submit("sleep", {"seconds": 5.1})
+                with pytest.raises(ServiceRejected) as excinfo:
+                    client.submit("sleep", {"seconds": 5.2})
+                assert excinfo.value.retry_after >= MIN_RETRY_AFTER
+                assert "full" in str(excinfo.value)
+
+    def test_tenant_quota_rejects_with_retry_after(self, tmp_path):
+        with ServerHarness(tmp_path, capacity=16, runners=1,
+                           quota=2) as harness:
+            with Client(harness.address) as client:
+                client.submit("sleep", {"seconds": 3})
+                client.submit("sleep", {"seconds": 3.1})
+                with pytest.raises(ServiceRejected) as excinfo:
+                    client.submit("sleep", {"seconds": 3.2})
+                assert "quota" in str(excinfo.value)
+                assert excinfo.value.retry_after > 0
+                # another tenant is not affected
+                other = Client(harness.address, tenant="other")
+                with other:
+                    accepted = other.submit("sleep",
+                                            {"seconds": 0.01})
+                    assert accepted["state"] == "queued"
+
+    def test_cancel_queued_job(self, tmp_path):
+        with ServerHarness(tmp_path, runners=1) as harness:
+            with Client(harness.address) as client:
+                client.submit("sleep", {"seconds": 5})
+                queued = client.submit("sleep", {"seconds": 5.1})
+                cancelled = client.cancel(queued["job_id"])
+                assert not cancelled["cancelling"]
+                job = client.status(queued["job_id"])
+                assert job["state"] == "cancelled"
+
+    def test_cancel_running_job(self, tmp_path):
+        with ServerHarness(tmp_path, runners=1) as harness:
+            with Client(harness.address) as client:
+                running = client.submit("sleep", {"seconds": 30})
+                deadline = time.monotonic() + 5
+                while client.status(
+                        running["job_id"])["state"] != "running":
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+                client.cancel(running["job_id"])
+                job = client.wait(running["job_id"], deadline=10)
+                assert job["state"] == "cancelled"
+
+    def test_job_deadline_fails_the_job(self, tmp_path):
+        with ServerHarness(tmp_path, runners=1,
+                           job_deadline=0.2) as harness:
+            with Client(harness.address) as client:
+                response = client.submit("sleep", {"seconds": 30})
+                job = client.wait(response["job_id"], deadline=10)
+                assert job["state"] == "cancelled"
+                assert "deadline" in job["detail"]
+
+    def test_failed_job_carries_detail(self, tmp_path):
+        with ServerHarness(tmp_path) as harness:
+            with Client(harness.address) as client:
+                response = client.submit(
+                    "run", {"workload": "no-such-kernel"})
+                job = client.wait(response["job_id"], deadline=30)
+                assert job["state"] == "failed"
+                assert job["detail"]
+
+    def test_tail_streams_the_full_lifecycle(self, tmp_path):
+        with ServerHarness(tmp_path) as harness:
+            with Client(harness.address) as client:
+                response = client.submit("sleep", {"seconds": 0.1})
+                states = [
+                    event.get("state")
+                    for event in Client(harness.address).tail(
+                        response["job_id"])
+                ]
+                assert states[0] == "queued"
+                assert states[-1] == "done"
+                assert "running" in states
+
+    def test_compile_job(self, tmp_path):
+        from repro.mdl import shipped_specs
+        source = shipped_specs()["umc"].read_text()
+        with ServerHarness(tmp_path) as harness:
+            with Client(harness.address) as client:
+                response = client.submit(
+                    "compile",
+                    {"source": source, "filename": "umc.mdl"})
+                job = client.wait(response["job_id"], deadline=30)
+                assert job["state"] == "done"
+                result = client.result(response["job_id"])
+                assert result["meta"]["name"]
+
+    def test_run_job_document_is_deterministic(self, tmp_path):
+        spec = {"workload": "crc32", "extension": "sec",
+                "scale": 0.125}
+        with ServerHarness(tmp_path) as harness:
+            with Client(harness.address) as client:
+                response = client.submit("run", spec)
+                client.wait(response["job_id"], deadline=60)
+                first = client.result(response["job_id"])["document"]
+        with ServerHarness(tmp_path / "second") as harness:
+            with Client(harness.address) as client:
+                response = client.submit("run", spec)
+                client.wait(response["job_id"], deadline=60)
+                second = client.result(
+                    response["job_id"])["document"]
+        assert first == second

@@ -1,0 +1,294 @@
+"""Service chaos: kill -9, disconnects, storms, slow consumers.
+
+The contract under test is the service tentpole's: a ``kill -9`` of
+the server mid-campaign followed by a restart resumes every accepted
+job and produces result documents bit-identical to an uninterrupted
+run; overload is answered with explicit backpressure, never with
+silent queueing or lost jobs; and one misbehaving client (abrupt
+disconnect, unread tail stream) cannot damage the server or other
+jobs.
+
+Server processes here are real subprocesses (``repro serve``), so
+SIGKILL genuinely loses all in-memory state.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.faultinject import Campaign, CampaignConfig
+from repro.service import Client, protocol
+from repro.service.client import ServiceRejected
+from tests.chaos import ServiceProcess
+
+#: the shared inject spec: long enough that a kill lands mid-run,
+#: short enough to keep the suite fast.
+INJECT_SPEC = {"extension": "sec", "workload": "crc32",
+               "faults": 30, "seed": 11}
+
+
+def reference_document() -> str:
+    """What an uninterrupted run must produce, computed in-process."""
+    return Campaign(
+        CampaignConfig(**INJECT_SPEC)).run().to_json() + "\n"
+
+
+def wait_journal_results(state_dir, job_id: str, at_least: int,
+                         timeout: float = 60.0) -> None:
+    """Block until the job's campaign journal holds >= N results."""
+    path = state_dir / "state" / "journals" / f"{job_id}.jsonl"
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if path.exists():
+            lines = path.read_bytes().count(b"\n")
+            if lines - 1 >= at_least:  # minus the header frame
+                return
+        time.sleep(0.05)
+    raise TimeoutError(
+        f"journal never reached {at_least} results: {path}")
+
+
+@pytest.mark.slow
+class TestKillDashNine:
+    def test_kill9_restart_resumes_bit_identically(self, tmp_path):
+        """The headline crash-safety promise: SIGKILL the server in
+        the middle of a campaign; restart; the job resumes from its
+        journal and the final report is bit-identical to a serial
+        uninterrupted reference."""
+        reference = reference_document()
+        address = str(tmp_path / "sock")
+        server = ServiceProcess(tmp_path / "state", address)
+        try:
+            server.wait_ready()
+            with Client(address) as client:
+                response = client.submit("inject", INJECT_SPEC)
+                job_id = response["job_id"]
+            # Let it journal a few faulted runs, then pull the plug.
+            wait_journal_results(tmp_path, job_id, at_least=5)
+            server.kill9()
+        finally:
+            server.stop()
+
+        restarted = ServiceProcess(tmp_path / "state", address)
+        try:
+            restarted.wait_ready()
+            with Client(address) as client:
+                # The job survived the crash and was re-queued.
+                job = client.status(job_id)
+                assert job["state"] in ("queued", "running", "done")
+                final = client.wait(job_id, deadline=120)
+                assert final["state"] == "done"
+                assert "restart" in final["detail"] or \
+                    final["detail"] == ""
+                document = client.result(job_id)["document"]
+            assert document == reference
+        finally:
+            restarted.stop()
+
+    def test_kill9_before_any_result_still_recovers(self, tmp_path):
+        """A job accepted but not yet started is as durable as a
+        half-finished one: accept → kill -9 → restart → it runs."""
+        address = str(tmp_path / "sock")
+        server = ServiceProcess(tmp_path / "state", address,
+                                "--runners", "1")
+        try:
+            server.wait_ready()
+            with Client(address) as client:
+                # Occupy the single runner so the inject job is
+                # still QUEUED when the power goes out.
+                client.submit("sleep", {"seconds": 60})
+                response = client.submit("inject", {
+                    **INJECT_SPEC, "faults": 4})
+                job_id = response["job_id"]
+            server.kill9()
+        finally:
+            server.stop()
+        restarted = ServiceProcess(tmp_path / "state", address)
+        try:
+            restarted.wait_ready()
+            with Client(address) as client:
+                final = client.wait(job_id, deadline=120)
+                assert final["state"] == "done"
+        finally:
+            restarted.stop()
+
+
+@pytest.mark.slow
+class TestDrain:
+    def test_sigterm_drains_and_restart_completes(self, tmp_path):
+        """SIGTERM mid-campaign: the server parks the running job
+        back in QUEUED durably and exits 0; the next start finishes
+        it bit-identically."""
+        reference = reference_document()
+        address = str(tmp_path / "sock")
+        server = ServiceProcess(tmp_path / "state", address)
+        try:
+            server.wait_ready()
+            with Client(address) as client:
+                job_id = client.submit("inject",
+                                       INJECT_SPEC)["job_id"]
+            wait_journal_results(tmp_path, job_id, at_least=3)
+            assert server.terminate() == 0
+        finally:
+            server.stop()
+
+        restarted = ServiceProcess(tmp_path / "state", address)
+        try:
+            restarted.wait_ready()
+            with Client(address) as client:
+                final = client.wait(job_id, deadline=120)
+                assert final["state"] == "done"
+                assert client.result(job_id)["document"] == reference
+        finally:
+            restarted.stop()
+
+
+class TestMisbehavingClients:
+    def test_disconnect_mid_tail_does_not_hurt_the_job(
+            self, tmp_path):
+        address = str(tmp_path / "sock")
+        server = ServiceProcess(tmp_path / "state", address)
+        try:
+            server.wait_ready()
+            with Client(address) as client:
+                job_id = client.submit("sleep",
+                                       {"seconds": 1.0})["job_id"]
+            # Open a tail subscription and slam the door after the
+            # first event.
+            raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            raw.connect(address)
+            raw.sendall(protocol.encode(
+                {"op": "tail", "job_id": job_id, "since": -1}))
+            raw.recv(64)  # read a fragment, then vanish abruptly
+            raw.close()
+            with Client(address) as client:
+                final = client.wait(job_id, deadline=30)
+                assert final["state"] == "done"
+                assert client.health()["ready"]
+        finally:
+            server.stop()
+
+    def test_slow_consumer_gets_coalesced_history(self, tmp_path):
+        """A tail subscriber that attaches late (or reads slowly)
+        receives the job's full ordered history in one batch — the
+        server never buffers per-subscriber beyond the event list."""
+        address = str(tmp_path / "sock")
+        server = ServiceProcess(tmp_path / "state", address)
+        try:
+            server.wait_ready()
+            with Client(address) as client:
+                job_id = client.submit("sleep",
+                                       {"seconds": 0.1})["job_id"]
+                client.wait(job_id, deadline=30)
+            # Subscribe only after the job finished: the stream must
+            # replay queued -> running -> done and end, in order.
+            with Client(address) as late:
+                events = list(late.tail(job_id))
+            states = [e.get("state") for e in events]
+            assert states == ["queued", "running", "done", "done"]
+            versions = [e["version"] for e in events
+                        if e.get("event") == "state"]
+            assert versions == sorted(versions)
+        finally:
+            server.stop()
+
+    def test_garbage_line_gets_an_error_not_a_crash(self, tmp_path):
+        address = str(tmp_path / "sock")
+        server = ServiceProcess(tmp_path / "state", address)
+        try:
+            server.wait_ready()
+            raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            raw.connect(address)
+            raw.sendall(b"this is not json\n")
+            line = raw.makefile("rb").readline()
+            response = json.loads(line)
+            assert response["ok"] is False
+            raw.close()
+            with Client(address) as client:
+                assert client.health()["ready"]
+        finally:
+            server.stop()
+
+
+class TestBackpressureStorm:
+    def test_queue_full_storm_rejects_with_retry_after(
+            self, tmp_path):
+        """A submission storm against a tiny queue: every outcome is
+        either an accept or an explicit reject-with-retry-after —
+        never a hang, never a silent drop — and accepted jobs all
+        finish."""
+        address = str(tmp_path / "sock")
+        server = ServiceProcess(
+            tmp_path / "state", address,
+            "--capacity", "2", "--runners", "1", "--quota", "64")
+        try:
+            server.wait_ready()
+            accepted: list[str] = []
+            rejected: list[float] = []
+            lock = threading.Lock()
+
+            def stormer(n: int) -> None:
+                with Client(address) as client:
+                    try:
+                        response = client.submit(
+                            "sleep", {"seconds": 0.05 + n / 1000})
+                    except ServiceRejected as err:
+                        with lock:
+                            rejected.append(err.retry_after)
+                    else:
+                        with lock:
+                            accepted.append(response["job_id"])
+
+            threads = [
+                threading.Thread(target=stormer, args=(n,))
+                for n in range(12)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            assert len(accepted) + len(rejected) == 12
+            assert rejected, "a 12-way storm must overflow capacity 2"
+            assert all(hint > 0 for hint in rejected)
+            with Client(address) as client:
+                for job_id in accepted:
+                    final = client.wait(job_id, deadline=60)
+                    assert final["state"] == "done"
+                health = client.health()
+                assert health["metrics"][
+                    "service.jobs.rejected"] == len(rejected)
+        finally:
+            server.stop()
+
+    def test_backpressure_retry_eventually_lands(self, tmp_path):
+        """A polite client that honours retry_after gets its job in
+        once the queue drains."""
+        address = str(tmp_path / "sock")
+        server = ServiceProcess(
+            tmp_path / "state", address,
+            "--capacity", "1", "--runners", "1")
+        try:
+            server.wait_ready()
+            with Client(address) as client:
+                first = client.submit("sleep", {"seconds": 0.2})
+                # Fill the queue behind the running job, then submit
+                # with backpressure retries until a slot frees up.
+                deadline = time.monotonic() + 10
+                while client.status(
+                        first["job_id"])["state"] != "running":
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+                client.submit("sleep", {"seconds": 0.21})
+                response = client.submit(
+                    "sleep", {"seconds": 0.22},
+                    wait_on_backpressure=50)
+                final = client.wait(response["job_id"], deadline=60)
+                assert final["state"] == "done"
+        finally:
+            server.stop()

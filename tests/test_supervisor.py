@@ -231,3 +231,53 @@ class TestInterrupt:
         for child in multiprocessing.active_children():
             child.join(timeout=5)
         assert not multiprocessing.active_children()
+
+
+class TestDeterministicBackoff:
+    """The retry/respawn backoff is a pure function of (key, attempt):
+    no rng, no wall clock, so two sessions resuming the same campaign
+    pace their retries identically and the schedule can be pinned."""
+
+    def test_schedule_is_pinned(self):
+        # Literal expected values: any change to the jitter algorithm
+        # (a determinism-relevant behaviours change) must show up here.
+        schedule = [
+            supervisor.deterministic_backoff(0.1, 2.0, a, key="task-7")
+            for a in range(5)
+        ]
+        assert schedule == pytest.approx([
+            0.0,
+            0.059975823014974596,
+            0.1664471833501011,
+            0.3727474680170417,
+            0.5054288460873068,
+        ])
+
+    def test_same_inputs_same_delay(self):
+        a = supervisor.deterministic_backoff(0.05, 2.0, 3, key="x")
+        b = supervisor.deterministic_backoff(0.05, 2.0, 3, key="x")
+        assert a == b
+
+    def test_distinct_keys_decorrelate(self):
+        delays = {
+            supervisor.deterministic_backoff(0.05, 2.0, 2, key=f"t{i}")
+            for i in range(16)
+        }
+        assert len(delays) > 8  # jitter actually varies across tasks
+
+    def test_jitter_stays_within_half_to_full_raw(self):
+        for attempt in range(1, 8):
+            for key in ("a", "b", 42):
+                raw = min(2.0, 0.05 * (2 ** (attempt - 1)))
+                delay = supervisor.deterministic_backoff(
+                    0.05, 2.0, attempt, key=key)
+                assert 0.5 * raw <= delay < raw
+
+    def test_attempt_zero_is_immediate(self):
+        assert supervisor.deterministic_backoff(0.05, 2.0, 0) == 0.0
+
+    def test_policy_delegates_with_task_key(self):
+        policy = supervisor.PoolPolicy()
+        assert policy.backoff_delay(2, key="idx3") == \
+            supervisor.deterministic_backoff(
+                policy.backoff_base, policy.backoff_cap, 2, key="idx3")
