@@ -650,6 +650,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         fleet=args.fleet,
         heartbeat=args.heartbeat,
         job_deadline=args.job_deadline,
+        trace=args.trace,
+        trace_dir=args.trace_dir,
+        slo=args.slo,
+        forensics=not args.no_forensics,
+        metrics=not args.no_metrics,
     )
     server = JobServer(args.state_dir, args.listen, config)
 
@@ -670,10 +675,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _service_client(args: argparse.Namespace):
+def _service_client(args: argparse.Namespace,
+                    timeout: float | None = 30.0):
     from repro.service import Client
     return Client(args.connect,
-                  tenant=getattr(args, "tenant", "default"))
+                  tenant=getattr(args, "tenant", "default"),
+                  timeout=timeout)
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
@@ -721,21 +728,48 @@ def cmd_tail(args: argparse.Namespace) -> int:
     from repro.service.client import ServiceError
 
     try:
-        with _service_client(args) as client:
+        # no socket timeout: a tailed campaign may be silent for
+        # minutes between state transitions
+        with _service_client(args, timeout=None) as client:
+            exit_code = 0
             for event in client.tail(args.job_id, since=args.since):
                 if event.get("event") == "end":
                     detail = event.get("detail", "")
                     print(f"end {event['state']}"
                           + (f" {detail}" if detail else ""))
-                    return 0 if event["state"] == "done" else 1
+                    exit_code = 0 if event["state"] == "done" else 1
+                    break
                 detail = event.get("detail", "")
                 print(f"v{event['version']} {event['state']}"
                       + (f" {detail}" if detail else ""),
                       flush=True)
+            if args.trace is not None:
+                _write_job_trace(client, args.job_id, args.trace)
+            return exit_code
     except (ServiceError, OSError) as err:
         print(f"tail error: {err}", file=sys.stderr)
         return 1
-    return 0
+
+
+def _write_job_trace(client, job_id: str, path: str) -> None:
+    """Fetch a job's trace events and write a merged Perfetto doc."""
+    import json as json_module
+
+    from repro.telemetry.trace import TraceEvent, events_to_perfetto
+
+    response = client.trace(job_id)
+    events = [TraceEvent.from_dict(raw)
+              for raw in response.get("events", [])]
+    document = events_to_perfetto(
+        events,
+        process_name="repro-service",
+        time_unit="wall-clock microseconds since server start",
+    )
+    with open(path, "w") as handle:
+        json_module.dump(document, handle, sort_keys=True)
+        handle.write("\n")
+    print(f"trace ({len(events)} events) written to {path}",
+          file=sys.stderr)
 
 
 def cmd_status(args: argparse.Namespace) -> int:
@@ -744,6 +778,10 @@ def cmd_status(args: argparse.Namespace) -> int:
     try:
         with _service_client(args) as client:
             if args.job_id is None:
+                if args.metrics:
+                    response = client.metrics()
+                    print(response["prometheus"], end="")
+                    return 0
                 health = client.health()
                 from repro.telemetry.summary import (
                     format_service_health,
@@ -1112,6 +1150,26 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="SECONDS",
                            help="cooperative wall-clock deadline "
                                 "per job (default: unlimited)")
+    serve_cmd.add_argument("--trace", action="store_true",
+                           help="enable end-to-end job tracing into "
+                                "an in-memory ring (serve it via the "
+                                "trace op / repro tail --trace)")
+    serve_cmd.add_argument("--trace-dir", default=None, metavar="DIR",
+                           help="export each finished job's merged "
+                                "Perfetto trace here (implies "
+                                "--trace)")
+    serve_cmd.add_argument("--slo", type=float, default=None,
+                           metavar="SECONDS",
+                           help="submit-to-result p95 SLO target "
+                                "reflected in health (default: track "
+                                "latencies without a threshold)")
+    serve_cmd.add_argument("--no-forensics", action="store_true",
+                           help="disable post-mortem bundles under "
+                                "<state-dir>/.forensics/")
+    serve_cmd.add_argument("--no-metrics", action="store_true",
+                           help="disable the metrics registry "
+                                "entirely (overhead comparison; the "
+                                "metrics op returns empty snapshots)")
     serve_cmd.set_defaults(handler=cmd_serve)
 
     submit_cmd = commands.add_parser(
@@ -1153,6 +1211,12 @@ def build_parser() -> argparse.ArgumentParser:
     tail_cmd.add_argument("--since", type=int, default=-1,
                           metavar="VERSION",
                           help="only events after this version")
+    tail_cmd.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="after the job ends, fetch its end-to-end trace and "
+             "write a merged Perfetto JSON here (requires a server "
+             "started with --trace/--trace-dir)",
+    )
     tail_cmd.set_defaults(handler=cmd_tail)
 
     status_cmd = commands.add_parser(
@@ -1164,6 +1228,11 @@ def build_parser() -> argparse.ArgumentParser:
     status_cmd.add_argument(
         "--result", default=None, metavar="PATH",
         help="write the job's result document (byte-exact) here",
+    )
+    status_cmd.add_argument(
+        "--metrics", action="store_true",
+        help="print the server's Prometheus text exposition "
+             "(server-level status only)",
     )
     status_cmd.set_defaults(handler=cmd_status)
     return parser

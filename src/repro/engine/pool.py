@@ -134,6 +134,8 @@ class WorkerFleet:
         self.size = size
         self._leased = 0
         self._peak = 0
+        self._leases = 0
+        self._starved = 0
         self._lock = threading.Lock()
 
     def lease(self, want: int) -> FleetLease:
@@ -145,6 +147,9 @@ class WorkerFleet:
             granted = max(1, min(want, available))
             self._leased += granted
             self._peak = max(self._peak, self._leased)
+            self._leases += 1
+            if granted < want:
+                self._starved += 1
             return FleetLease(self, granted)
 
     def _release(self, granted: int) -> None:
@@ -160,6 +165,19 @@ class WorkerFleet:
     def peak(self) -> int:
         with self._lock:
             return self._peak
+
+    def snapshot(self) -> dict:
+        """Utilization counters for health/metrics exposition:
+        ``starved`` counts leases granted below the ask (the fleet
+        was saturated — the signal for growing ``--fleet``)."""
+        with self._lock:
+            return {
+                "size": self.size,
+                "leased": self._leased,
+                "peak": self._peak,
+                "leases": self._leases,
+                "starved": self._starved,
+            }
 
 
 def _run_serial(items, worker, record, initializer, initargs,

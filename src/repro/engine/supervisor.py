@@ -196,6 +196,17 @@ class PoolStats:
             "degraded": int(self.degraded),
         }
 
+    def merge(self, other: dict) -> None:
+        """Accumulate another session's counters (an ``as_dict`` /
+        journal ``infra`` frame) into this one — how the job server
+        keeps fleet-lifetime tallies across many campaigns."""
+        self.retries += int(other.get("retries", 0))
+        self.respawns += int(other.get("respawns", 0))
+        self.timeouts += int(other.get("timeouts", 0))
+        self.crashes += int(other.get("crashes", 0))
+        self.quarantined += int(other.get("quarantined", 0))
+        self.degraded = self.degraded or bool(other.get("degraded"))
+
     def summary(self) -> str:
         parts = [
             f"{self.retries} retries",

@@ -605,11 +605,18 @@ class Campaign:
         if message not in self.warnings:
             self.warnings.append(message)
 
-    def run(self, progress=None, journal_path=None, resume=False):
+    def run(self, progress=None, journal_path=None, resume=False,
+            on_result=None):
         """Execute every faulted run and build the coverage report.
 
         ``progress`` is an optional callable ``(done, total)`` invoked
         after each completed run (serial mode) or batch (parallel).
+
+        ``on_result`` is an optional callable invoked with each
+        freshly-executed :class:`FaultResult` (replayed results from a
+        resumed journal are *not* re-announced).  It is an observation
+        hook — the job service's tracer hangs per-fault trace events
+        off it — and must not mutate the result.
 
         With ``journal_path`` every result is durably appended to a
         crash-tolerant journal the moment it exists; ``resume=True``
@@ -689,6 +696,8 @@ class Campaign:
                 journal.append_result(result.as_dict())
                 if journal.disabled_reason is not None:
                     self._warn(journal.disabled_reason)
+            if on_result is not None:
+                on_result(result)
             if progress is not None:
                 progress(len(results), total)
 

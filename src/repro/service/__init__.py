@@ -16,6 +16,10 @@ worker machinery.  The layering, bottom up:
   in-flight campaigns bit-identically;
 * :mod:`repro.service.runner` — executes one job synchronously in a
   runner thread (campaign journals make inject jobs resumable);
+* :mod:`repro.service.observe` — service-wide observability:
+  end-to-end job tracing (one merged Perfetto timeline per job),
+  Prometheus metrics exposition, SLO latency tracking and crash
+  forensics bundles — off by default and observationally invariant;
 * :mod:`repro.service.server` — the asyncio front end: admission,
   scheduling, progress streaming, heartbeats, graceful drain;
 * :mod:`repro.service.client` — sync and asyncio client libraries
@@ -24,6 +28,14 @@ worker machinery.  The layering, bottom up:
 
 from repro.service.client import AsyncClient, Client, parse_address
 from repro.service.jobs import JobState, JobStore
+from repro.service.observe import (
+    ForensicsWriter,
+    ServiceObserver,
+    ServiceTracer,
+    SloTracker,
+    mint_trace_context,
+    render_prometheus,
+)
 from repro.service.protocol import (
     JOB_KINDS,
     ProtocolError,
@@ -38,14 +50,20 @@ __all__ = [
     "AdmissionQueue",
     "AsyncClient",
     "Client",
+    "ForensicsWriter",
     "JOB_KINDS",
     "JobServer",
     "JobState",
     "JobStore",
     "ProtocolError",
     "ServerConfig",
+    "ServiceObserver",
+    "ServiceTracer",
+    "SloTracker",
     "TenantQuotas",
     "job_id_for",
+    "mint_trace_context",
     "normalize_spec",
     "parse_address",
+    "render_prometheus",
 ]

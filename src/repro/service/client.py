@@ -26,6 +26,7 @@ import time
 
 from repro.engine.supervisor import deterministic_backoff
 from repro.service import protocol
+from repro.service.observe import mint_trace_context
 from repro.service.protocol import ProtocolError, job_id_for
 
 
@@ -66,7 +67,7 @@ class Client:
     """Synchronous client; one connection, reconnects on demand."""
 
     def __init__(self, address: str, *, tenant: str = "default",
-                 timeout: float = 30.0, max_retries: int = 4,
+                 timeout: float | None = 30.0, max_retries: int = 4,
                  backoff_base: float = 0.1, backoff_cap: float = 2.0,
                  sleep=time.sleep):
         self.address = address
@@ -143,21 +144,29 @@ class Client:
         return self.request("health")
 
     def submit(self, kind: str, spec: dict, *,
-               wait_on_backpressure: int = 0) -> dict:
+               wait_on_backpressure: int = 0,
+               trace: dict | None = None) -> dict:
         """Submit one job; returns ``{"job_id", "state",
         "deduplicated"}``.
 
         With ``wait_on_backpressure=N`` a rejected submission sleeps
         the server's ``retry_after`` hint and retries up to N times
         before letting :class:`ServiceRejected` escape.
+
+        Every submission carries a trace context (minted here unless
+        the caller passes its own): trace ids never influence the
+        content-addressed job id, so idempotent resubmission still
+        collapses onto one job — keeping the *first* submitter's
+        lineage.
         """
         job_id = job_id_for(self.tenant, kind, spec)
+        trace = trace or mint_trace_context()
         rejections = 0
         while True:
             try:
                 return self.request(
                     "submit", tenant=self.tenant, kind=kind,
-                    spec=spec, job_id=job_id)
+                    spec=spec, job_id=job_id, trace=trace)
             except ServiceRejected as err:
                 rejections += 1
                 if rejections > wait_on_backpressure:
@@ -178,6 +187,15 @@ class Client:
 
     def drain(self) -> dict:
         return self.request("drain")
+
+    def metrics(self) -> dict:
+        """The metrics op: registry snapshot, quota/fleet/pool/SLO
+        state and a Prometheus text rendering."""
+        return self.request("metrics")
+
+    def trace(self, job_id: str) -> dict:
+        """One job's end-to-end trace events (tracing servers)."""
+        return self.request("trace", job_id=job_id)
 
     def tail(self, job_id: str, since: int = -1):
         """Yield state events until the job goes terminal."""
@@ -280,14 +298,16 @@ class AsyncClient:
         return await self.request("health")
 
     async def submit(self, kind: str, spec: dict, *,
-                     wait_on_backpressure: int = 0) -> dict:
+                     wait_on_backpressure: int = 0,
+                     trace: dict | None = None) -> dict:
         job_id = job_id_for(self.tenant, kind, spec)
+        trace = trace or mint_trace_context()
         rejections = 0
         while True:
             try:
                 return await self.request(
                     "submit", tenant=self.tenant, kind=kind,
-                    spec=spec, job_id=job_id)
+                    spec=spec, job_id=job_id, trace=trace)
             except ServiceRejected as err:
                 rejections += 1
                 if rejections > wait_on_backpressure:
@@ -302,6 +322,12 @@ class AsyncClient:
 
     async def cancel(self, job_id: str) -> dict:
         return await self.request("cancel", job_id=job_id)
+
+    async def metrics(self) -> dict:
+        return await self.request("metrics")
+
+    async def trace(self, job_id: str) -> dict:
+        return await self.request("trace", job_id=job_id)
 
     async def tail(self, job_id: str, since: int = -1):
         """Async generator of state events until terminal."""

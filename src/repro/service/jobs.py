@@ -25,13 +25,23 @@ re-run), never as a silently corrupt result served to a client.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.checkpoint import EventJournal, IdentityCache
+from repro.service.observe import LATENCY_BUCKETS
+from repro.telemetry.metrics import NULL_METRICS
 
-#: identity frame pinning the journal to this store format.
+#: identity frame pinning the journal to this store format.  Stays at
+#: version 1: the observability fields added later (``trace`` on job
+#: frames, ``ts`` on state frames) are optional and read with
+#: ``.get``, so old journals replay unchanged.
 STORE_IDENTITY = {"store": "repro-job-service", "version": 1}
+
+#: how many replayed service-time samples seed the admission queue's
+#: retry-after EWMA after a restart.
+REPLAY_SERVICE_SAMPLES = 32
 
 
 class JobState(str, enum.Enum):
@@ -71,13 +81,24 @@ class Job:
     #: state history as ``(version, state, detail)`` — served to
     #: ``tail`` subscribers that attach after the fact.
     events: list = field(default_factory=list)
+    #: trace context minted at submit (``{"trace_id", "span_id"}``);
+    #: journaled with the job so a recovered job keeps its lineage.
+    trace: dict | None = None
+    #: supervised-pool tallies from the job's last execution, kept
+    #: in memory only when something actually went wrong (crashes,
+    #: quarantines, degradation) — surfaced via ``status``.
+    infra: dict | None = None
+    #: monotonic clock at admission/dispatch, server-local and never
+    #: journaled — feeds the queue-wait and submit→result metrics.
+    accepted_monotonic: float | None = None
+    queued_monotonic: float | None = None
 
     @property
     def terminal(self) -> bool:
         return self.state in TERMINAL_STATES
 
     def describe(self) -> dict:
-        return {
+        data = {
             "id": self.id,
             "tenant": self.tenant,
             "kind": self.kind,
@@ -86,6 +107,11 @@ class Job:
             "seq": self.seq,
             "version": self.version,
         }
+        if self.trace is not None:
+            data["trace_id"] = self.trace.get("trace_id")
+        if self.infra is not None:
+            data["infra"] = self.infra
+        return data
 
     def identity(self) -> dict:
         return {"job": self.id, "tenant": self.tenant,
@@ -102,7 +128,7 @@ class JobStore:
         <root>/journals/<id>.jsonl   per-job campaign journals
     """
 
-    def __init__(self, root):
+    def __init__(self, root, metrics=None):
         self.root = Path(root)
         self.jobs: dict[str, Job] = {}
         self._journal = EventJournal(self.root / "jobs.jsonl")
@@ -111,6 +137,17 @@ class JobStore:
             label="result store", section="result",
         )
         self._next_seq = 0
+        #: per-job RUNNING→terminal durations recovered from journal
+        #: timestamps at load() — seeds the admission queue's
+        #: retry-after EWMA so post-restart backpressure hints are
+        #: warm instead of reset to the 1-second default.
+        self.replayed_service_times: list[float] = []
+        registry = metrics if metrics is not None else NULL_METRICS
+        self._fsync_hist = registry.histogram(
+            "service.journal.fsync_seconds", LATENCY_BUCKETS)
+        self._result_hits = registry.counter("service.results.hits")
+        self._result_misses = registry.counter(
+            "service.results.misses")
 
     # -- recovery ------------------------------------------------------------
 
@@ -137,6 +174,7 @@ class JobStore:
                 f"{self._journal.path} was written by a different "
                 f"store format ({identity}); refusing to guess"
             )
+        running_since: dict[str, float] = {}
         for record in records:
             kind = record.get("kind")
             if kind == "job":
@@ -146,6 +184,7 @@ class JobStore:
                     kind=record["job_kind"],
                     spec=record["spec"],
                     seq=record["seq"],
+                    trace=record.get("trace"),
                 )
                 job.events.append((0, JobState.QUEUED.value, ""))
                 self.jobs[job.id] = job
@@ -160,6 +199,19 @@ class JobStore:
                 job.events.append(
                     (job.version, job.state.value, job.detail)
                 )
+                # RUNNING→terminal wall-clock gaps are past service
+                # times (older journals have no ``ts``; skip them).
+                ts = record.get("ts")
+                if ts is not None:
+                    if job.state is JobState.RUNNING:
+                        running_since[job.id] = ts
+                    elif job.state in TERMINAL_STATES:
+                        started = running_since.pop(job.id, None)
+                        if started is not None and ts >= started:
+                            self.replayed_service_times.append(
+                                ts - started)
+        self.replayed_service_times = (
+            self.replayed_service_times[-REPLAY_SERVICE_SAMPLES:])
         self._journal.open_append()
         recovered: list[Job] = []
         for job in sorted(self.jobs.values(), key=lambda j: j.seq):
@@ -180,15 +232,18 @@ class JobStore:
     # -- accepted jobs -------------------------------------------------------
 
     def accept(self, job_id: str, tenant: str, kind: str,
-               spec: dict) -> Job:
+               spec: dict, trace: dict | None = None) -> Job:
         """Durably record one accepted submission (QUEUED)."""
         job = Job(id=job_id, tenant=tenant, kind=kind, spec=spec,
-                  seq=self._next_seq)
+                  seq=self._next_seq, trace=trace)
         self._next_seq += 1
-        self._journal.append_event("job", {
+        frame = {
             "id": job.id, "tenant": job.tenant, "job_kind": job.kind,
             "spec": job.spec, "seq": job.seq,
-        })
+        }
+        if trace is not None:
+            frame["trace"] = trace
+        self._append_timed("job", frame)
         self._check_durable()
         job.events.append((0, JobState.QUEUED.value, ""))
         self.jobs[job.id] = job
@@ -197,14 +252,23 @@ class JobStore:
     def transition(self, job: Job, state: JobState,
                    detail: str = "") -> None:
         """Durably record one state transition."""
-        self._journal.append_event("state", {
+        self._append_timed("state", {
             "id": job.id, "state": state.value, "detail": detail,
+            "ts": time.time(),
         })
         self._check_durable()
         job.state = state
         job.detail = detail
         job.version += 1
         job.events.append((job.version, state.value, detail))
+
+    def _append_timed(self, kind: str, record: dict) -> None:
+        """One journal append, timed into the fsync-latency
+        histogram (durability is the service's slowest hot path —
+        watching it drift is how an operator spots a dying disk)."""
+        started = time.perf_counter()
+        self._journal.append_event(kind, record)
+        self._fsync_hist.observe(time.perf_counter() - started)
 
     def _check_durable(self) -> None:
         # A job server that cannot journal cannot promise recovery —
@@ -229,6 +293,10 @@ class JobStore:
         payload, _diagnostic = self._results.load(
             job.identity(), job.id
         )
+        if payload is None:
+            self._result_misses.inc()
+        else:
+            self._result_hits.inc()
         return payload
 
     # -- campaign journals ---------------------------------------------------

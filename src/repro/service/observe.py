@@ -1,0 +1,514 @@
+"""Service-wide observability: job tracing, SLOs, crash forensics.
+
+The simulator already proves that *instruction-grained* telemetry can
+be free when off and cheap when on (PR 3); this module applies the
+same contract one layer up, to the distributed system that runs the
+simulations.  Three faces:
+
+* **End-to-end job tracing.**  A trace context (``trace_id`` plus a
+  root ``span_id``) is minted at ``submit`` — by the client when it
+  can, by the server otherwise — journaled with the job, and carried
+  through admission → queue → runner thread → fleet lease → campaign
+  execution.  Every hop lands in a :class:`ServiceTracer` (a
+  thread-safe wall-clock wrapper around the simulator's
+  :class:`~repro.telemetry.trace.EventTracer` ring), so one merged
+  Perfetto document shows client submit, queue wait, worker lease and
+  simulation progress on one timeline with consistent ids.
+* **Metrics exposition.**  :func:`render_prometheus` turns the
+  server's :class:`~repro.telemetry.metrics.MetricsRegistry` (plus
+  quota, fleet, pool and SLO state) into Prometheus text format for
+  the ``metrics`` protocol op and ``repro status --metrics``.
+* **SLO tracking + crash forensics.**  :class:`SloTracker` keeps a
+  rolling window of submit→result latencies with exact percentiles
+  against a configurable target; :class:`ForensicsWriter` captures a
+  post-mortem bundle (job spec + seed, trace context, last campaign
+  journal frames, pool stats, recent trace ring) into ``.forensics/``
+  whenever a job fails, a worker is crashed/quarantined under it, or
+  a drain parks it mid-run.
+
+Everything here observes and never perturbs: result documents are
+bit-identical with tracing and metrics on or off, and CI's
+``obs-smoke`` job diffs exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+import uuid
+from pathlib import Path
+
+from repro.checkpoint import atomic_write_text
+from repro.telemetry.trace import EventTracer, events_to_perfetto
+
+#: histogram bounds for service latencies, seconds.  The simulator's
+#: power-of-two defaults are integer-valued; service waits need
+#: sub-second resolution.
+LATENCY_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5,
+                   1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0)
+
+#: trace ring capacity: a service trace is spans-per-job plus one
+#: instant per faulted run, far sparser than a simulator trace.
+TRACE_CAPACITY = 16_384
+
+#: how many trailing trace events a forensics bundle captures.
+FORENSICS_TRACE_TAIL = 200
+
+#: how many trailing campaign-journal frames a bundle captures.
+FORENSICS_JOURNAL_TAIL = 50
+
+
+# -- trace context -----------------------------------------------------------
+
+
+def mint_trace_context() -> dict:
+    """A fresh trace context: the client mints one per submission.
+
+    Randomness is deliberate — trace ids never influence job identity
+    or results (they are *excluded* from the content-addressed job
+    id), so two submissions of the same job share one job id while
+    each keeps its own trace lineage.
+    """
+    return {
+        "trace_id": uuid.uuid4().hex[:16],
+        "span_id": uuid.uuid4().hex[:8],
+    }
+
+
+def ensure_trace_context(trace) -> dict:
+    """Validate a client-supplied trace context, minting any missing
+    piece; raises ``ValueError`` on malformed input."""
+    if trace is None:
+        return mint_trace_context()
+    if not isinstance(trace, dict):
+        raise ValueError("trace must be a JSON object")
+    for key in ("trace_id", "span_id"):
+        value = trace.get(key)
+        if value is not None and (
+                not isinstance(value, str) or not value):
+            raise ValueError(f"trace.{key} must be a non-empty string")
+    minted = mint_trace_context()
+    return {
+        "trace_id": trace.get("trace_id") or minted["trace_id"],
+        "span_id": trace.get("span_id") or minted["span_id"],
+    }
+
+
+def derive_span_id(trace_id: str, track: str, name: str,
+                   ts: float) -> str:
+    """Deterministic span id: the same hop of the same trace always
+    names itself identically, so a re-exported trace is stable."""
+    import hashlib
+
+    payload = f"{trace_id}/{track}/{name}/{ts:.3f}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:8]
+
+
+# -- the service tracer ------------------------------------------------------
+
+
+class ServiceTracer:
+    """Thread-safe wall-clock facade over an :class:`EventTracer`.
+
+    The simulator tracer is single-threaded by design; the service
+    emits from the event loop *and* from runner threads, so every
+    ring touch takes one lock.  Timestamps are microseconds since the
+    tracer's epoch (server start), which keeps Perfetto's microsecond
+    timeline honest for wall-clock spans.
+    """
+
+    def __init__(self, capacity: int = TRACE_CAPACITY):
+        self._ring = EventTracer(capacity)
+        self._lock = threading.Lock()
+        self._epoch = time.monotonic()
+
+    def now_us(self) -> float:
+        """Microseconds since the trace epoch."""
+        return (time.monotonic() - self._epoch) * 1e6
+
+    def _stamp(self, job, track: str, name: str, ts: float,
+               args: dict) -> dict:
+        stamped = dict(args)
+        if job is not None:
+            stamped["job"] = job.id
+            trace = getattr(job, "trace", None) or {}
+            trace_id = trace.get("trace_id")
+            if trace_id:
+                stamped["trace"] = trace_id
+                stamped["span"] = derive_span_id(
+                    trace_id, track, name, ts)
+                stamped.setdefault("parent", trace.get("span_id"))
+        return stamped
+
+    def span(self, job, track: str, name: str, start_us: float,
+             end_us: float | None = None, **args) -> None:
+        if end_us is None:
+            end_us = self.now_us()
+        stamped = self._stamp(job, track, name, start_us, args)
+        with self._lock:
+            self._ring.span(start_us, max(0.0, end_us - start_us),
+                            track, name, **stamped)
+
+    def instant(self, job, track: str, name: str, **args) -> None:
+        ts = self.now_us()
+        stamped = self._stamp(job, track, name, ts, args)
+        with self._lock:
+            self._ring.instant(ts, track, name, **stamped)
+
+    def counter(self, track: str, name: str, value: float) -> None:
+        with self._lock:
+            self._ring.counter(self.now_us(), track, name, value)
+
+    # -- reading -------------------------------------------------------------
+
+    def events(self) -> list:
+        with self._lock:
+            return self._ring.events()
+
+    def events_for(self, job_id: str) -> list:
+        """Every ring event stamped with this job id, oldest first."""
+        return [event for event in self.events()
+                if event.args.get("job") == job_id]
+
+    def recent(self, limit: int = FORENSICS_TRACE_TAIL) -> list[dict]:
+        """The newest ``limit`` events as plain dicts (forensics)."""
+        return [event.as_dict() for event in self.events()[-limit:]]
+
+    def perfetto(self, events=None) -> dict:
+        """A Chrome ``trace_event`` document of ``events`` (default:
+        the whole ring) on the service's wall-clock timeline."""
+        if events is None:
+            events = self.events()
+        with self._lock:
+            overwritten = self._ring.overwritten
+        return events_to_perfetto(
+            events,
+            process_name="repro-service",
+            time_unit="wall-clock microseconds since server start",
+            overwritten=overwritten,
+        )
+
+
+# -- SLO tracking ------------------------------------------------------------
+
+
+class SloTracker:
+    """Rolling submit→result latency percentiles against a target.
+
+    Exact percentiles over a bounded window (not a sketch): at
+    service scale the window is hundreds of points and sorting it on
+    demand is cheaper than being clever.  Thread-safe — completions
+    land from runner callbacks.
+    """
+
+    def __init__(self, target: float | None = None,
+                 window: int = 512):
+        if window < 1:
+            raise ValueError(f"slo window must be >= 1, got {window}")
+        if target is not None and target <= 0:
+            raise ValueError(
+                f"slo target must be positive, got {target}")
+        self.target = target
+        self.window = window
+        self._lock = threading.Lock()
+        self._latencies: list[float] = []
+        self._count = 0
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            return
+        with self._lock:
+            self._count += 1
+            self._latencies.append(seconds)
+            if len(self._latencies) > self.window:
+                del self._latencies[0]
+
+    @staticmethod
+    def _percentile(ordered: list[float], q: float) -> float:
+        if not ordered:
+            return 0.0
+        index = min(len(ordered) - 1,
+                    max(0, round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def snapshot(self) -> dict:
+        """``{count, window, p50, p95, p99, target, ok}`` — ``ok``
+        means the window's p95 meets the target (vacuously true with
+        no target or no data)."""
+        with self._lock:
+            ordered = sorted(self._latencies)
+            count = self._count
+        p50 = self._percentile(ordered, 0.50)
+        p95 = self._percentile(ordered, 0.95)
+        p99 = self._percentile(ordered, 0.99)
+        ok = True
+        if self.target is not None and ordered:
+            ok = p95 <= self.target
+        return {
+            "count": count,
+            "window": len(ordered),
+            "p50": round(p50, 6),
+            "p95": round(p95, 6),
+            "p99": round(p99, 6),
+            "target": self.target,
+            "ok": ok,
+        }
+
+
+# -- crash forensics ---------------------------------------------------------
+
+
+class ForensicsWriter:
+    """Post-mortem bundle writer rooted at ``<state>/.forensics/``.
+
+    One JSON file per incident, written atomically; a writer that
+    cannot write (disk full, permissions) degrades silently into
+    ``disabled_reason`` — forensics must never take the server down
+    with the incident it is documenting.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.disabled_reason: str | None = None
+        self.written: list[Path] = []
+
+    def write(self, reason: str, job, *, journal_path=None,
+              pool: dict | None = None,
+              trace_tail: list[dict] | None = None,
+              health: dict | None = None,
+              metrics: dict | None = None) -> Path | None:
+        """Capture one incident; returns the bundle path (None when
+        disabled or the write failed)."""
+        bundle = {
+            "reason": reason,
+            "written_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "job": {
+                **job.describe(),
+                "spec": job.spec,
+                "seed": job.spec.get("seed"),
+                "trace": getattr(job, "trace", None),
+                "infra": getattr(job, "infra", None),
+            },
+            "pool": pool,
+            "journal_tail": _journal_tail(journal_path)
+            if journal_path is not None else [],
+            "trace_tail": trace_tail or [],
+            "health": health,
+            "metrics": metrics,
+        }
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+            base = f"{stamp}-{job.id}-{reason}"
+            path = self.root / f"{base}.json"
+            n = 1
+            while path.exists():
+                path = self.root / f"{base}-{n}.json"
+                n += 1
+            atomic_write_text(
+                str(path),
+                json.dumps(bundle, sort_keys=True, indent=2) + "\n",
+            )
+        except OSError as err:
+            self.disabled_reason = (
+                f"forensics disabled: cannot write under "
+                f"{self.root}: {err}"
+            )
+            return None
+        self.written.append(path)
+        return path
+
+
+def _journal_tail(path, limit: int = FORENSICS_JOURNAL_TAIL) -> list:
+    """Best-effort parse of the last frames of a CRC-framed journal.
+
+    Frame bodies only — the CRC envelope is transport, not evidence —
+    and a torn tail line is reported as such rather than hidden.
+    """
+    try:
+        lines = Path(path).read_bytes().splitlines()
+    except OSError:
+        return []
+    frames: list = []
+    for line in lines[-limit:]:
+        try:
+            frame = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            frames.append({"torn_frame": True})
+            continue
+        frames.append(frame.get("body", frame))
+    return frames
+
+
+# -- the observer facade -----------------------------------------------------
+
+
+class ServiceObserver:
+    """Everything the server consults before observing anything.
+
+    Bundles the tracer (None when tracing is off — the common case),
+    the SLO tracker (always on: a handful of floats) and the
+    forensics writer, so instrumentation sites stay one-liners and
+    the off path stays a single ``is None`` check.
+    """
+
+    def __init__(self, *, trace: bool = False,
+                 trace_dir=None, slo: float | None = None,
+                 forensics_dir=None):
+        self.trace_dir = Path(trace_dir) if trace_dir else None
+        enabled = trace or self.trace_dir is not None
+        self.tracer = ServiceTracer() if enabled else None
+        self.slo = SloTracker(target=slo)
+        self.forensics = (ForensicsWriter(forensics_dir)
+                          if forensics_dir else None)
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer is not None
+
+    def now_us(self) -> float:
+        return self.tracer.now_us() if self.tracer else 0.0
+
+    def instant(self, job, track: str, name: str, **args) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(job, track, name, **args)
+
+    def span(self, job, track: str, name: str, start_us: float,
+             end_us: float | None = None, **args) -> None:
+        if self.tracer is not None:
+            self.tracer.span(job, track, name, start_us, end_us,
+                             **args)
+
+    def export_job_trace(self, job) -> dict | None:
+        """The job's merged Perfetto document (None when tracing is
+        off or the ring holds nothing for it)."""
+        if self.tracer is None:
+            return None
+        events = self.tracer.events_for(job.id)
+        if not events:
+            return None
+        return self.tracer.perfetto(events)
+
+    def write_job_trace(self, job) -> Path | None:
+        """Export a finished job's trace under ``--trace-dir``."""
+        if self.trace_dir is None:
+            return None
+        document = self.export_job_trace(job)
+        if document is None:
+            return None
+        try:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+            path = self.trace_dir / f"{job.id}.json"
+            atomic_write_text(
+                str(path), json.dumps(document, sort_keys=True) + "\n")
+        except OSError:
+            return None
+        return path
+
+
+# -- Prometheus exposition ---------------------------------------------------
+
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _NAME_SANITIZER.sub("_", name)
+
+
+def _prom_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def render_prometheus(registry, *, quotas: dict | None = None,
+                      quota_limit: int | None = None,
+                      quota_peaks: dict | None = None,
+                      fleet: dict | None = None,
+                      pool: dict | None = None,
+                      slo: dict | None = None) -> str:
+    """Prometheus text exposition of one server's state.
+
+    Registry instruments render under their dotted names with dots
+    mangled to underscores (``service.jobs.submitted`` →
+    ``repro_service_jobs_submitted``); histograms render cumulative
+    ``_bucket{le=...}`` series plus ``_sum``/``_count``; per-tenant
+    quota holds become one labelled series.
+    """
+    lines: list[str] = []
+    for instrument in registry.instruments():
+        name = _prom_name(instrument.name)
+        kind = getattr(instrument, "kind", "untyped")
+        if kind == "histogram":
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for i, bound in enumerate(instrument.buckets):
+                cumulative += instrument.counts[i]
+                lines.append(
+                    f'{name}_bucket{{le="{_prom_value(float(bound))}"'
+                    f"}} {cumulative}"
+                )
+            lines.append(
+                f'{name}_bucket{{le="+Inf"}} {instrument.count}')
+            lines.append(
+                f"{name}_sum {_prom_value(float(instrument.total))}")
+            lines.append(f"{name}_count {instrument.count}")
+        else:
+            prom_kind = kind if kind in ("counter", "gauge") \
+                else "untyped"
+            lines.append(f"# TYPE {name} {prom_kind}")
+            lines.append(f"{name} {_prom_value(instrument.value)}")
+    if quotas is not None:
+        lines.append("# TYPE repro_service_quota_held gauge")
+        for tenant in sorted(quotas):
+            label = tenant.replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(
+                f'repro_service_quota_held{{tenant="{label}"}} '
+                f"{quotas[tenant]}"
+            )
+        if quota_limit is not None:
+            lines.append("# TYPE repro_service_quota_limit gauge")
+            lines.append(
+                f"repro_service_quota_limit {quota_limit}")
+    if quota_peaks:
+        lines.append("# TYPE repro_service_quota_peak gauge")
+        for tenant in sorted(quota_peaks):
+            label = tenant.replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(
+                f'repro_service_quota_peak{{tenant="{label}"}} '
+                f"{quota_peaks[tenant]}"
+            )
+    if fleet:
+        for key in sorted(fleet):
+            name = f"repro_service_fleet_{key}"
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_prom_value(fleet[key])}")
+    if pool:
+        for key in sorted(pool):
+            name = f"repro_service_pool_{key}"
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_prom_value(pool[key])}")
+    if slo:
+        for key in ("p50", "p95", "p99", "count", "window"):
+            if key in slo:
+                name = f"repro_service_slo_{key}"
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {_prom_value(slo[key])}")
+        if slo.get("target") is not None:
+            lines.append("# TYPE repro_service_slo_target gauge")
+            lines.append(
+                f"repro_service_slo_target "
+                f"{_prom_value(float(slo['target']))}"
+            )
+        lines.append("# TYPE repro_service_slo_ok gauge")
+        lines.append(
+            f"repro_service_slo_ok "
+            f"{_prom_value(bool(slo.get('ok', True)))}"
+        )
+    return "\n".join(lines) + "\n"

@@ -30,9 +30,11 @@ PROTOCOL_VERSION = 1
 #: slot for ``seconds`` while staying cancellable.
 JOB_KINDS = ("inject", "sweep", "run", "compile", "sleep")
 
-#: request operations.
+#: request operations.  ``metrics`` serves the Prometheus-renderable
+#: registry snapshot; ``trace`` serves one job's end-to-end trace
+#: events (when the server runs with tracing enabled).
 OPS = ("health", "submit", "status", "jobs", "result", "tail",
-       "cancel", "drain")
+       "cancel", "drain", "metrics", "trace")
 
 #: maximum accepted request line, bytes.  Campaign specs are small;
 #: anything larger is a confused or malicious client and is refused
@@ -134,12 +136,29 @@ def normalize_spec(kind: str, spec: dict) -> dict:
 
 def job_id_for(tenant: str, kind: str, spec: dict) -> str:
     """Content-addressed job id: the same submission always maps to
-    the same id, on the client and on the server independently."""
+    the same id, on the client and on the server independently.
+
+    The submission's optional ``trace`` context is deliberately *not*
+    part of the hash: trace ids are per-attempt lineage, and folding
+    them in would break idempotent resubmission (the whole point of
+    content addressing).
+    """
     normalized = normalize_spec(kind, spec)
     payload = canonical_json(
         {"tenant": tenant, "kind": kind, "spec": normalized}
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def normalize_trace(trace) -> dict:
+    """Validate/complete a submission's trace context; raises
+    :class:`ProtocolError` on malformed input."""
+    from repro.service.observe import ensure_trace_context
+
+    try:
+        return ensure_trace_context(trace)
+    except ValueError as err:
+        raise ProtocolError(str(err)) from None
 
 
 # -- response helpers --------------------------------------------------------

@@ -98,6 +98,22 @@ class AdmissionQueue:
                 + EWMA_ALPHA * seconds
             )
 
+    def seed_service_times(self, samples) -> None:
+        """Warm the EWMA from historical durations (journal replay).
+
+        A restarted server used to hand out the cold 1-second default
+        until enough jobs completed; replaying the pre-crash service
+        times through the same EWMA makes the first post-restart
+        backpressure hint as informed as the last pre-crash one.
+        """
+        for seconds in samples:
+            self.note_service_time(float(seconds))
+
+    def service_estimate(self) -> float:
+        """The current EWMA service-time estimate, seconds."""
+        with self._lock:
+            return self._service_ewma
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._queue)

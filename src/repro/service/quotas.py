@@ -22,6 +22,7 @@ class TenantQuotas:
             raise ValueError(f"quota limit must be >= 1, got {limit}")
         self.limit = limit
         self._live: dict[str, int] = {}
+        self._peaks: dict[str, int] = {}
         self._lock = threading.Lock()
 
     def try_acquire(self, tenant: str) -> bool:
@@ -31,6 +32,8 @@ class TenantQuotas:
             if held >= self.limit:
                 return False
             self._live[tenant] = held + 1
+            if held + 1 > self._peaks.get(tenant, 0):
+                self._peaks[tenant] = held + 1
             return True
 
     def release(self, tenant: str) -> None:
@@ -54,3 +57,9 @@ class TenantQuotas:
     def snapshot(self) -> dict[str, int]:
         with self._lock:
             return dict(self._live)
+
+    def peak_snapshot(self) -> dict[str, int]:
+        """Lifetime high-water mark per tenant — the signal for
+        whether the quota limit is actually binding anyone."""
+        with self._lock:
+            return dict(self._peaks)

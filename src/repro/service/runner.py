@@ -61,20 +61,25 @@ _INJECT_PASSTHROUGH = (
 
 
 def execute_job(job, store, cancel: CancelToken,
-                jobs: int = 1) -> dict:
+                jobs: int = 1, observer=None) -> dict:
     """Run one job to completion; returns ``{"document", "meta"}``.
 
     Raises :class:`JobCancelled` for cooperative cancellation and
     lets real execution errors propagate (the server maps them to
     FAILED with the message as detail).  ``jobs`` is the worker-count
     granted by the shared fleet lease (inject/sweep fan-out).
+    ``observer`` is the server's
+    :class:`~repro.service.observe.ServiceObserver` (or None): job
+    kinds hang simulation-track trace events off it, and it never
+    influences the result document.
     """
     cancel.check()
     handler = _HANDLERS[job.kind]
-    return handler(job, store, cancel, jobs)
+    return handler(job, store, cancel, jobs, observer)
 
 
-def _run_inject(job, store, cancel: CancelToken, jobs: int) -> dict:
+def _run_inject(job, store, cancel: CancelToken, jobs: int,
+                observer=None) -> dict:
     from repro.faultinject import Campaign, CampaignConfig
     from repro.faultinject.campaign import CampaignInterrupted
 
@@ -89,7 +94,14 @@ def _run_inject(job, store, cancel: CancelToken, jobs: int) -> dict:
         )
     kwargs["jobs"] = max(1, min(int(spec.get("jobs", 1)), jobs))
     config = CampaignConfig(**kwargs)
+    tracing = observer is not None and observer.tracing
+    build_start = observer.now_us() if tracing else 0.0
     campaign = Campaign(config)
+    if tracing:
+        # The constructor runs the golden (fault-free) reference —
+        # the first simulation work a traced job does.
+        observer.span(job, "simulation", "golden-run", build_start,
+                      workload=config.workload or config.source)
 
     def progress(done: int, total: int) -> None:
         # Cancellation (and drain) interrupts between faulted runs —
@@ -98,13 +110,31 @@ def _run_inject(job, store, cancel: CancelToken, jobs: int) -> dict:
         if cancel.cancelled:
             raise KeyboardInterrupt
 
+    on_result = None
+    if tracing:
+        def on_result(result) -> None:
+            observer.instant(
+                job, "simulation", "fault",
+                index=result.index,
+                outcome=getattr(result.outcome, "value",
+                                str(result.outcome)),
+                cycles=result.cycles,
+                instructions=result.instructions,
+            )
+
     journal_path = store.campaign_journal_path(job.id)
+    faults_start = observer.now_us() if tracing else 0.0
     try:
         report = campaign.run(progress=progress,
-                              journal_path=journal_path, resume=True)
+                              journal_path=journal_path, resume=True,
+                              on_result=on_result)
     except CampaignInterrupted:
         cancel.check()  # cancelled: surface as JobCancelled
         raise  # a real signal hit the server process itself
+    if tracing:
+        observer.span(job, "simulation", "faulted-runs", faults_start,
+                      faults=config.faults,
+                      workers=kwargs["jobs"])
     document = report.to_json() + "\n"
     return {
         "document": document,
@@ -113,20 +143,27 @@ def _run_inject(job, store, cancel: CancelToken, jobs: int) -> dict:
             "no_coverage": bool(report.no_coverage),
             "detection_coverage": round(report.detection_coverage, 6),
             "warnings": list(campaign.warnings),
+            "pool": campaign.pool_stats.as_dict(),
         },
     }
 
 
-def _run_sweep(job, store, cancel: CancelToken, jobs: int) -> dict:
+def _run_sweep(job, store, cancel: CancelToken, jobs: int,
+               observer=None) -> dict:
     from repro.engine.sweep import SweepPoint, run_point
 
     spec = job.spec
     engine = spec.get("engine", "fast")
+    tracing = observer is not None and observer.tracing
     outcomes = []
-    for raw in spec["points"]:
+    for index, raw in enumerate(spec["points"]):
         cancel.check()
+        point_start = observer.now_us() if tracing else 0.0
         point = SweepPoint(**raw)
         outcome = run_point(point, engine=engine)
+        if tracing:
+            observer.span(job, "simulation", "sweep-point",
+                          point_start, index=index)
         outcomes.append(
             {"point": point.identity(), **outcome.payload()}
         )
@@ -135,7 +172,8 @@ def _run_sweep(job, store, cancel: CancelToken, jobs: int) -> dict:
             "meta": {"kind": "sweep", "points": len(outcomes)}}
 
 
-def _run_run(job, store, cancel: CancelToken, jobs: int) -> dict:
+def _run_run(job, store, cancel: CancelToken, jobs: int,
+             observer=None) -> dict:
     from repro.engine.sweep import SweepPoint, run_point
 
     spec = dict(job.spec)
@@ -148,7 +186,8 @@ def _run_run(job, store, cancel: CancelToken, jobs: int) -> dict:
     return {"document": document, "meta": {"kind": "run"}}
 
 
-def _run_compile(job, store, cancel: CancelToken, jobs: int) -> dict:
+def _run_compile(job, store, cancel: CancelToken, jobs: int,
+                 observer=None) -> dict:
     from repro.mdl import MdlError, compile_spec
 
     spec = job.spec
@@ -165,7 +204,8 @@ def _run_compile(job, store, cancel: CancelToken, jobs: int) -> dict:
             "meta": {"kind": "compile", "name": program.name}}
 
 
-def _run_sleep(job, store, cancel: CancelToken, jobs: int) -> dict:
+def _run_sleep(job, store, cancel: CancelToken, jobs: int,
+               observer=None) -> dict:
     """Diagnostics kind: hold a runner slot, stay cancellable."""
     remaining = float(job.spec["seconds"])
     if remaining < 0:

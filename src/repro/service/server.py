@@ -34,12 +34,18 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.engine.pool import WorkerFleet
+from repro.engine.supervisor import PoolStats
 from repro.service import protocol
 from repro.service.jobs import JobState, JobStore
+from repro.service.observe import (
+    LATENCY_BUCKETS,
+    ServiceObserver,
+    render_prometheus,
+)
 from repro.service.queue import AdmissionQueue
 from repro.service.quotas import TenantQuotas
 from repro.service.runner import CancelToken, JobCancelled, execute_job
-from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.metrics import NULL_METRICS, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -60,6 +66,24 @@ class ServerConfig:
     #: Enforced cooperatively: the job's cancel token fires and the
     #: job fails with a deadline detail.
     job_deadline: float | None = None
+    #: end-to-end job tracing (submit → queue → lease → simulation)
+    #: into a bounded in-memory ring; off by default — tracing
+    #: observes, never perturbs (result documents are bit-identical
+    #: either way).
+    trace: bool = False
+    #: export each finished job's merged Perfetto trace here
+    #: (implies ``trace``).
+    trace_dir: str | None = None
+    #: submit→result p95 SLO target, seconds (None = track latencies
+    #: without a pass/fail threshold).
+    slo: float | None = None
+    #: write post-mortem bundles to ``<state>/.forensics/`` on job
+    #: failure, worker crash/quarantine, or drain.  On by default:
+    #: it costs nothing until something goes wrong.
+    forensics: bool = True
+    #: metrics registry on/off (off exists for overhead benchmarks;
+    #: the registry is cheap enough to leave on in production).
+    metrics: bool = True
 
 
 class JobServer:
@@ -69,11 +93,23 @@ class JobServer:
                  config: ServerConfig | None = None):
         self.config = config or ServerConfig()
         self.address = address
-        self.store = JobStore(state_dir)
+        self.metrics = (MetricsRegistry() if self.config.metrics
+                        else NULL_METRICS)
+        self.store = JobStore(state_dir, metrics=self.metrics)
         self.queue = AdmissionQueue(self.config.capacity)
         self.quotas = TenantQuotas(self.config.quota)
         self.fleet = WorkerFleet(self.config.fleet)
-        self.metrics = MetricsRegistry()
+        self.observer = ServiceObserver(
+            trace=self.config.trace,
+            trace_dir=self.config.trace_dir,
+            slo=self.config.slo,
+            forensics_dir=(Path(state_dir) / ".forensics"
+                           if self.config.forensics else None),
+        )
+        #: fleet-lifetime supervised-pool tallies, summed across
+        #: every campaign this server ran (satellite: PoolStats in
+        #: health/status instead of stderr-only warnings).
+        self.pool_totals = PoolStats()
         self._submitted = self.metrics.counter(
             "service.jobs.submitted")
         self._rejected = self.metrics.counter("service.jobs.rejected")
@@ -84,9 +120,21 @@ class JobServer:
             "service.jobs.cancelled")
         self._recovered = self.metrics.counter(
             "service.jobs.recovered")
+        self._deduplicated = self.metrics.counter(
+            "service.jobs.deduplicated")
         self._queued_gauge = self.metrics.gauge("service.queue.depth")
         self._running_gauge = self.metrics.gauge(
             "service.jobs.running")
+        self._leased_gauge = self.metrics.gauge(
+            "service.fleet.leased")
+        self._wait_hist = self.metrics.histogram(
+            "service.queue.wait_seconds", LATENCY_BUCKETS)
+        self._latency_hist = self.metrics.histogram(
+            "service.submit_to_result_seconds", LATENCY_BUCKETS)
+        self._lease_hist = self.metrics.histogram(
+            "service.fleet.lease_seconds", LATENCY_BUCKETS)
+        self._retry_hist = self.metrics.histogram(
+            "service.queue.retry_after_seconds", LATENCY_BUCKETS)
         self.ready = False
         self.draining = False
         self.heartbeats = 0
@@ -117,7 +165,16 @@ class JobServer:
             thread_name_prefix="repro-runner",
         )
         recovered = self.store.load()
+        # Warm the retry-after EWMA from replayed journal timings so
+        # the first post-restart backpressure hint reflects real
+        # service times instead of the cold default.
+        self.queue.seed_service_times(
+            self.store.replayed_service_times)
+        now = time.monotonic()
         for job in recovered:
+            job.accepted_monotonic = now
+            job.queued_monotonic = now
+            self.observer.instant(job, "queue", "recovered")
             self.quotas.try_acquire(job.tenant)  # re-admit silently
             admitted, _hint = self.queue.try_push(job.id)
             if not admitted:
@@ -167,6 +224,13 @@ class JobServer:
         self.draining = True
         self.ready = False
         for job_id, token in list(self._running.items()):
+            # Park a post-mortem bundle for every job the drain
+            # interrupts: the operator who sent SIGTERM gets the
+            # job's spec, journal tail and trace without having to
+            # reconstruct the moment later.
+            job = self.store.jobs.get(job_id)
+            if job is not None:
+                self._write_forensics("drain", job)
             token.cancel("drain")
         # Wait for runner threads to come home (each notices its
         # cancel token between units of work).
@@ -202,6 +266,7 @@ class JobServer:
             self.heartbeats += 1
             self._queued_gauge.set(len(self.queue))
             self._running_gauge.set(len(self._running))
+            self._leased_gauge.set(self.fleet.leased)
 
     async def _dispatch_loop(self) -> None:
         while True:
@@ -229,6 +294,15 @@ class JobServer:
             return True  # cancelled while queued; slot freed
         token = CancelToken()
         self._running[job.id] = token
+        now = time.monotonic()
+        if job.queued_monotonic is not None:
+            wait = now - job.queued_monotonic
+            self._wait_hist.observe(wait)
+            if self.observer.tracing:
+                end_us = self.observer.now_us()
+                self.observer.span(
+                    job, "queue", "queue.wait",
+                    end_us - wait * 1e6, end_us)
         self.store.transition(job, JobState.RUNNING)
         self._notify()
         if self.config.job_deadline is not None:
@@ -248,14 +322,40 @@ class JobServer:
 
     def _execute(self, job, token: CancelToken) -> dict:
         want = max(1, int(job.spec.get("jobs", 1)))
-        with self.fleet.lease(want) as lease:
-            return execute_job(job, self.store, token,
-                               jobs=lease.granted)
+        lease_start = time.monotonic()
+        lease_start_us = self.observer.now_us()
+        try:
+            with self.fleet.lease(want) as lease:
+                self._lease_hist.observe(
+                    time.monotonic() - lease_start)
+                self._leased_gauge.set(self.fleet.leased)
+                try:
+                    return execute_job(job, self.store, token,
+                                       jobs=lease.granted,
+                                       observer=self.observer)
+                finally:
+                    # One span per lease covering the whole hold:
+                    # the fleet track in the merged trace shows when
+                    # worker capacity was pinned by which job.
+                    if self.observer.tracing:
+                        self.observer.span(
+                            job, "fleet", "lease", lease_start_us,
+                            want=want, granted=lease.granted)
+        finally:
+            self._leased_gauge.set(self.fleet.leased)
 
     def _finish(self, job, token: CancelToken, started: float,
                 future) -> None:
         self._running.pop(job.id, None)
-        self.queue.note_service_time(time.monotonic() - started)
+        now = time.monotonic()
+        service_time = now - started
+        self.queue.note_service_time(service_time)
+        if self.observer.tracing:
+            end_us = self.observer.now_us()
+            self.observer.span(
+                job, "runner", "job.run",
+                end_us - service_time * 1e6, end_us, kind=job.kind)
+        forensics_reason = None
         try:
             outcome = future.result()
         except JobCancelled as err:
@@ -271,24 +371,73 @@ class JobServer:
         except Exception as err:  # noqa: BLE001 — job boundary
             self.quotas.release(job.tenant)
             self._failed.inc()
+            forensics_reason = "job-failed"
             self.store.transition(
                 job, JobState.FAILED,
                 f"{type(err).__name__}: {err}")
         else:
+            self._absorb_pool_stats(job, outcome.get("meta"))
+            if job.infra is not None:
+                forensics_reason = (
+                    "quarantine" if job.infra.get("quarantined")
+                    else "worker-crash"
+                    if (job.infra.get("crashes")
+                        or job.infra.get("timeouts")
+                        or job.infra.get("respawns"))
+                    else "pool-degraded")
             try:
                 self.store.store_result(
                     job, outcome["document"], outcome.get("meta"))
             except OSError as err:
                 self.quotas.release(job.tenant)
                 self._failed.inc()
+                forensics_reason = forensics_reason or "job-failed"
                 self.store.transition(
                     job, JobState.FAILED,
                     f"result store failed: {err}")
             else:
                 self.quotas.release(job.tenant)
                 self._completed.inc()
+                if job.accepted_monotonic is not None:
+                    latency = now - job.accepted_monotonic
+                    self._latency_hist.observe(latency)
+                    self.observer.slo.observe(latency)
                 self.store.transition(job, JobState.DONE)
+        if forensics_reason is not None:
+            self._write_forensics(forensics_reason, job)
+        if job.terminal:
+            self.observer.write_job_trace(job)
         self._notify()
+
+    def _absorb_pool_stats(self, job, meta: dict | None) -> None:
+        """Fold one campaign's supervised-pool tallies into the
+        fleet-lifetime totals and pin them on the job when something
+        actually went wrong (surfaced via ``status``/``health``
+        instead of stderr-only warnings)."""
+        pool = (meta or {}).get("pool")
+        if not pool:
+            return
+        self.pool_totals.merge(pool)
+        if any(pool.get(key) for key in
+               ("retries", "respawns", "timeouts", "crashes",
+                "quarantined", "degraded")):
+            job.infra = dict(pool)
+
+    def _write_forensics(self, reason: str, job) -> None:
+        writer = self.observer.forensics
+        if writer is None:
+            return
+        journal_path = self.store.campaign_journal_path(job.id)
+        writer.write(
+            reason, job,
+            journal_path=(journal_path if journal_path.exists()
+                          else None),
+            pool=self.pool_totals.as_dict(),
+            trace_tail=(self.observer.tracer.recent()
+                        if self.observer.tracing else []),
+            health=self._health_payload(),
+            metrics=self.metrics.snapshot(),
+        )
 
     # -- protocol ------------------------------------------------------------
 
@@ -328,6 +477,8 @@ class JobServer:
                 "result": self._op_result,
                 "cancel": self._op_cancel,
                 "drain": self._op_drain,
+                "metrics": self._op_metrics,
+                "trace": self._op_trace,
             }.get(op)
             if handler is None:
                 known = ", ".join(protocol.OPS)
@@ -337,24 +488,68 @@ class JobServer:
         except protocol.ProtocolError as err:
             return protocol.error(str(err))
 
-    async def _op_health(self, message: dict) -> dict:
+    def _health_payload(self) -> dict:
         states = {state.value: 0 for state in JobState}
         for job in self.store.jobs.values():
             states[job.state.value] += 1
+        return {
+            "version": protocol.PROTOCOL_VERSION,
+            "ready": self.ready,
+            "draining": self.draining,
+            "heartbeats": self.heartbeats,
+            "uptime": round(time.monotonic() - self._started, 3),
+            "queued": len(self.queue),
+            "running": len(self._running),
+            "states": states,
+            "capacity": self.config.capacity,
+            "fleet": self.fleet.snapshot(),
+            "pool": self.pool_totals.as_dict(),
+            "slo": self.observer.slo.snapshot(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    async def _op_health(self, message: dict) -> dict:
+        return protocol.ok(**self._health_payload())
+
+    async def _op_metrics(self, message: dict) -> dict:
+        """The metrics op: a structured snapshot plus a ready-to-
+        scrape Prometheus rendering (``repro status --metrics``)."""
+        self._queued_gauge.set(len(self.queue))
+        self._running_gauge.set(len(self._running))
+        self._leased_gauge.set(self.fleet.leased)
+        quotas = self.quotas.snapshot()
+        quota_peaks = self.quotas.peak_snapshot()
+        fleet = self.fleet.snapshot()
+        pool = self.pool_totals.as_dict()
+        slo = self.observer.slo.snapshot()
         return protocol.ok(
-            version=protocol.PROTOCOL_VERSION,
-            ready=self.ready,
-            draining=self.draining,
-            heartbeats=self.heartbeats,
-            uptime=round(time.monotonic() - self._started, 3),
-            queued=len(self.queue),
-            running=len(self._running),
-            states=states,
-            capacity=self.config.capacity,
-            fleet={"size": self.fleet.size,
-                   "leased": self.fleet.leased,
-                   "peak": self.fleet.peak},
             metrics=self.metrics.snapshot(),
+            quotas=quotas,
+            quota_peaks=quota_peaks,
+            fleet=fleet,
+            pool=pool,
+            slo=slo,
+            prometheus=render_prometheus(
+                self.metrics, quotas=quotas,
+                quota_limit=self.quotas.limit,
+                quota_peaks=quota_peaks, fleet=fleet,
+                pool=pool, slo=slo,
+            ),
+        )
+
+    async def _op_trace(self, message: dict) -> dict:
+        """One job's end-to-end trace events (tracing servers only)."""
+        if not self.observer.tracing:
+            return protocol.error(
+                "tracing is disabled on this server (start it with "
+                "--trace-dir or ServerConfig(trace=True))"
+            )
+        job = self._find(message)
+        events = self.observer.tracer.events_for(job.id)
+        return protocol.ok(
+            job_id=job.id,
+            trace=job.trace,
+            events=[event.as_dict() for event in events],
         )
 
     async def _op_submit(self, message: dict) -> dict:
@@ -376,34 +571,47 @@ class JobServer:
                 f"job_id mismatch: client sent {claimed}, spec "
                 f"hashes to {job_id} — refusing ambiguous identity"
             )
+        trace = protocol.normalize_trace(message.get("trace"))
         existing = self.store.jobs.get(job_id)
         if existing is not None:
-            # Idempotent resubmission: same content, same job.
+            # Idempotent resubmission: same content, same job — and
+            # the *original* trace lineage wins (the resubmitter's
+            # context would orphan the spans already recorded).
+            self._deduplicated.inc()
             return protocol.ok(job_id=job_id, deduplicated=True,
                                state=existing.state.value)
         if not self.quotas.try_acquire(tenant):
             self._rejected.inc()
+            hint = self.queue.retry_hint()
+            self._retry_hist.observe(hint)
             return protocol.reject(
                 f"tenant {tenant!r} is at its quota "
                 f"({self.quotas.limit} live jobs)",
-                retry_after=self.queue.retry_hint(),
+                retry_after=hint,
                 quota=self.quotas.limit,
             )
         admitted, retry_after = self.queue.try_push(job_id)
         if not admitted:
             self.quotas.release(tenant)
             self._rejected.inc()
+            self._retry_hist.observe(retry_after)
             return protocol.reject(
                 f"queue is full ({self.queue.capacity} jobs)",
                 retry_after=retry_after,
             )
         try:
-            job = self.store.accept(job_id, tenant, kind, spec)
+            job = self.store.accept(job_id, tenant, kind, spec,
+                                    trace=trace)
         except OSError as err:
             self.queue.remove(job_id)
             self.quotas.release(tenant)
             return protocol.error(f"cannot journal job: {err}")
+        now = time.monotonic()
+        job.accepted_monotonic = now
+        job.queued_monotonic = now
         self._submitted.inc()
+        self.observer.instant(job, "client", "submit",
+                              tenant=tenant, kind=kind)
         self._notify()
         return protocol.ok(job_id=job.id, deduplicated=False,
                            state=job.state.value)

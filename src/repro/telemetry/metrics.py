@@ -29,6 +29,7 @@ class Counter:
     """A monotonically increasing count (events, cycles, bytes)."""
 
     __slots__ = ("name", "value")
+    kind = "counter"
 
     def __init__(self, name: str):
         self.name = name
@@ -45,6 +46,7 @@ class Gauge:
     """A point-in-time value (occupancy, high-water mark)."""
 
     __slots__ = ("name", "value")
+    kind = "gauge"
 
     def __init__(self, name: str):
         self.name = name
@@ -76,6 +78,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "buckets", "counts", "total", "count")
+    kind = "histogram"
 
     def __init__(self, name: str, buckets=DEFAULT_BUCKETS):
         if not buckets:
@@ -97,6 +100,22 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (the upper bound of
+        the bucket holding the q-th observation; +inf overflow
+        reports the largest finite bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, bound in enumerate(self.buckets):
+            seen += self.counts[i]
+            if seen >= rank:
+                return float(bound)
+        return float(self.buckets[-1])
 
     def snapshot(self) -> dict:
         return {
@@ -157,6 +176,13 @@ class MetricsRegistry:
             for name, instrument in sorted(self._instruments.items())
         }
 
+    def instruments(self) -> list:
+        """Every live instrument, sorted by name (exposition
+        renderers need the instrument objects, not just values, to
+        know counter vs gauge vs histogram)."""
+        return [instrument for _name, instrument
+                in sorted(self._instruments.items())]
+
     def format(self) -> str:
         """Human rendering grouped by the first name segment."""
         lines: list[str] = []
@@ -188,6 +214,7 @@ class _NullInstrument:
 
     __slots__ = ()
     name = "null"
+    kind = "null"
     value = 0
     count = 0
     total = 0
@@ -235,6 +262,9 @@ class NullMetrics:
 
     def snapshot(self) -> dict:
         return {}
+
+    def instruments(self) -> list:
+        return []
 
     def format(self) -> str:
         return ""

@@ -215,4 +215,32 @@ def format_service_health(health: dict) -> str:
         f"cancelled={count('service.jobs.cancelled')}, "
         f"recovered={count('service.jobs.recovered')}",
     ]
+    pool = health.get("pool")
+    if pool is not None:
+        line = (
+            f"pool: {pool.get('retries', 0)} retries, "
+            f"{pool.get('respawns', 0)} respawns, "
+            f"{pool.get('timeouts', 0)} timeouts, "
+            f"{pool.get('crashes', 0)} crashes, "
+            f"{pool.get('quarantined', 0)} quarantined"
+        )
+        if pool.get("degraded"):
+            line += " — degraded to serial execution"
+        lines.append(line)
+    slo = health.get("slo")
+    if slo is not None:
+        target = slo.get("target")
+        line = (
+            f"slo: p50={slo.get('p50', 0.0):.3f}s "
+            f"p95={slo.get('p95', 0.0):.3f}s "
+            f"p99={slo.get('p99', 0.0):.3f}s "
+            f"over {slo.get('window', 0)} of "
+            f"{slo.get('count', 0)} completions"
+        )
+        if target is not None:
+            line += (
+                f" — target p95<={target:g}s: "
+                + ("ok" if slo.get("ok", True) else "VIOLATED")
+            )
+        lines.append(line)
     return "\n".join(lines)

@@ -65,6 +65,20 @@ class TraceEvent:
             data["args"] = self.args
         return data
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEvent":
+        """Rebuild an event from :meth:`as_dict` output (events that
+        crossed the service wire as plain JSON)."""
+        return cls(
+            ts=data["ts"],
+            track=data["track"],
+            name=data["name"],
+            kind=data.get("kind", INSTANT),
+            dur=data.get("dur", 0.0),
+            value=data.get("value"),
+            args=data.get("args", {}),
+        )
+
 
 class EventTracer:
     """Bounded ring buffer of :class:`TraceEvent`."""
@@ -147,60 +161,81 @@ class EventTracer:
         Events are sorted by timestamp, so ``ts`` is monotonically
         non-decreasing globally (and therefore within every track).
         """
-        events = sorted(self.events(), key=lambda e: e.ts)
-        tids: dict[str, int] = {}
-        trace_events: list[dict] = []
-        for event in events:
-            tid = tids.get(event.track)
-            if tid is None:
-                tid = len(tids) + 1
-                tids[event.track] = tid
-            entry: dict = {
-                "name": event.name,
-                "pid": 1,
-                "tid": tid,
-                "ts": event.ts,
-                "cat": event.track,
-            }
-            if event.kind == SPAN:
-                entry["ph"] = "X"
-                entry["dur"] = event.dur
-            elif event.kind == COUNTER:
-                entry["ph"] = "C"
-                entry["args"] = {"value": event.value}
-            else:
-                entry["ph"] = "i"
-                entry["s"] = "t"  # thread-scoped instant
-            if event.args:
-                entry.setdefault("args", {}).update(event.args)
-            trace_events.append(entry)
-        metadata = [
-            {
-                "name": "process_name",
-                "ph": "M",
-                "pid": 1,
-                "args": {"name": "flexcore-sim"},
-            }
-        ] + [
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 1,
-                "tid": tid,
-                "args": {"name": track},
-            }
-            for track, tid in tids.items()
-        ]
-        return {
-            "traceEvents": metadata + trace_events,
-            "displayTimeUnit": "ns",
-            "otherData": {
-                "time_unit": "simulated core-clock cycles (as us)",
-                "overwritten_events": self.overwritten,
-            },
-        }
+        return events_to_perfetto(
+            self.events(),
+            process_name="flexcore-sim",
+            time_unit="simulated core-clock cycles (as us)",
+            overwritten=self.overwritten,
+        )
 
     def write_perfetto(self, path) -> None:
         with open(path, "w") as handle:
             json.dump(self.to_perfetto(), handle, sort_keys=True)
             handle.write("\n")
+
+
+def events_to_perfetto(events, *, process_name: str,
+                       time_unit: str,
+                       overwritten: int = 0) -> dict:
+    """Convert :class:`TraceEvent` sequences to one Chrome
+    ``trace_event`` document.
+
+    Shared by the simulator tracer (timestamps in simulated cycles)
+    and the job service tracer (timestamps in wall-clock microseconds
+    since the server's trace epoch): one track per component rendered
+    as a "thread" of a single fake process, events sorted by
+    timestamp so ``ts`` is monotonically non-decreasing within every
+    track.
+    """
+    events = sorted(events, key=lambda e: e.ts)
+    tids: dict[str, int] = {}
+    trace_events: list[dict] = []
+    for event in events:
+        tid = tids.get(event.track)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[event.track] = tid
+        entry: dict = {
+            "name": event.name,
+            "pid": 1,
+            "tid": tid,
+            "ts": event.ts,
+            "cat": event.track,
+        }
+        if event.kind == SPAN:
+            entry["ph"] = "X"
+            entry["dur"] = event.dur
+        elif event.kind == COUNTER:
+            entry["ph"] = "C"
+            entry["args"] = {"value": event.value}
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"  # thread-scoped instant
+        if event.args:
+            entry.setdefault("args", {}).update(event.args)
+        trace_events.append(entry)
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": process_name},
+        }
+    ] + [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": track},
+        }
+        for track, tid in tids.items()
+    ]
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "time_unit": time_unit,
+            "overwritten_events": overwritten,
+        },
+    }

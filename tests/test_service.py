@@ -10,6 +10,7 @@ server.  Process-level chaos (kill -9, disconnects, storms) lives in
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
 import time
 
@@ -31,6 +32,11 @@ from repro.service import (
     normalize_spec,
 )
 from repro.service.client import ServiceError, ServiceRejected
+from repro.service.observe import (
+    SloTracker,
+    ensure_trace_context,
+    mint_trace_context,
+)
 from repro.service.queue import MAX_RETRY_AFTER, MIN_RETRY_AFTER
 
 
@@ -445,3 +451,303 @@ class TestServerEndToEnd:
                 second = client.result(
                     response["job_id"])["document"]
         assert first == second
+
+
+class TestSloTracker:
+    def test_percentiles_over_window(self):
+        tracker = SloTracker(window=100)
+        for n in range(100):
+            tracker.observe((n + 1) / 100)  # 0.01 .. 1.00
+        snap = tracker.snapshot()
+        assert snap["count"] == 100
+        assert snap["window"] == 100
+        assert snap["p50"] == pytest.approx(0.50, abs=0.02)
+        assert snap["p95"] == pytest.approx(0.95, abs=0.02)
+        assert snap["p99"] == pytest.approx(0.99, abs=0.02)
+        assert snap["ok"]  # no target: vacuously ok
+
+    def test_target_violation_flips_ok(self):
+        tracker = SloTracker(target=0.1)
+        tracker.observe(0.05)
+        assert tracker.snapshot()["ok"]
+        for _ in range(50):
+            tracker.observe(1.0)
+        snap = tracker.snapshot()
+        assert not snap["ok"]
+        assert snap["target"] == 0.1
+
+    def test_window_is_bounded(self):
+        tracker = SloTracker(window=8)
+        for _ in range(100):
+            tracker.observe(1.0)
+        snap = tracker.snapshot()
+        assert snap["window"] == 8
+        assert snap["count"] == 100
+
+
+class TestTraceContext:
+    def test_minted_context_shape(self):
+        context = mint_trace_context()
+        assert len(context["trace_id"]) == 16
+        assert len(context["span_id"]) == 8
+        assert context != mint_trace_context()
+
+    def test_ensure_accepts_and_completes(self):
+        full = {"trace_id": "a" * 16, "span_id": "b" * 8}
+        assert ensure_trace_context(full) == full
+        partial = ensure_trace_context({"trace_id": "a" * 16})
+        assert partial["trace_id"] == "a" * 16
+        assert partial["span_id"]
+
+    def test_ensure_rejects_malformed(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            ensure_trace_context("not-a-dict")
+        with pytest.raises(ValueError, match="trace_id"):
+            ensure_trace_context({"trace_id": 7})
+
+    def test_trace_does_not_change_job_identity(self):
+        # Trace ids are excluded from the content address: retried
+        # submissions with fresh trace contexts must still dedup.
+        spec = {"seconds": 1}
+        assert job_id_for("t", "sleep", spec) == \
+            job_id_for("t", "sleep", spec)
+
+
+class TestEwmaSeeding:
+    def test_store_replays_service_times(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.load()
+        job = store.accept("j1", "default", "sleep", {"seconds": 1})
+        store.transition(job, JobState.RUNNING)
+        time.sleep(0.05)
+        store.store_result(job, "doc\n")
+        store.transition(job, JobState.DONE)
+        store.close()
+
+        replayed = JobStore(tmp_path)
+        replayed.load()
+        assert len(replayed.replayed_service_times) == 1
+        assert replayed.replayed_service_times[0] >= 0.04
+
+    def test_seeding_moves_the_retry_hint(self):
+        fresh = AdmissionQueue(1, initial_service_time=1.0)
+        seeded = AdmissionQueue(1, initial_service_time=1.0)
+        seeded.seed_service_times([10.0] * 50)
+        assert seeded.service_estimate() > \
+            fresh.service_estimate()
+
+    def test_server_restart_keeps_ewma_warm(self, tmp_path):
+        # A restarted server must not reset its retry_after estimate
+        # to the cold default: completed-job timings replayed from
+        # the journal re-seed the EWMA.
+        with ServerHarness(tmp_path) as harness:
+            with Client(harness.address) as client:
+                response = client.submit("sleep", {"seconds": 0.05})
+                client.wait(response["job_id"], deadline=10)
+        with ServerHarness(tmp_path) as harness:
+            estimate = harness.server.queue.service_estimate()
+            # seeded from a ~0.05s completion, far from the 1.0s
+            # cold-start default
+            assert estimate < 0.9
+
+
+class TestObservability:
+    def test_metrics_op_exposes_prometheus_text(self, tmp_path):
+        with ServerHarness(tmp_path) as harness:
+            with Client(harness.address) as client:
+                response = client.submit("sleep", {"seconds": 0.05})
+                client.wait(response["job_id"], deadline=10)
+                metrics = client.metrics()
+        assert metrics["metrics"]["service.jobs.submitted"] == 1
+        assert metrics["metrics"]["service.jobs.completed"] == 1
+        text = metrics["prometheus"]
+        assert text.endswith("\n")
+        assert "repro_service_jobs_submitted 1" in text
+        assert ("# TYPE repro_service_submit_to_result_seconds "
+                "histogram") in text
+        assert "repro_service_submit_to_result_seconds_count 1" \
+            in text
+        assert "repro_service_fleet_size" in text
+        assert "repro_service_slo_p95" in text
+        # every sample line uses a mangled name with the repro_ prefix
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            assert line.startswith("repro_"), line
+
+    def test_health_carries_pool_and_slo(self, tmp_path):
+        with ServerHarness(tmp_path, slo=5.0) as harness:
+            with Client(harness.address) as client:
+                response = client.submit("sleep", {"seconds": 0.05})
+                client.wait(response["job_id"], deadline=10)
+                health = client.health()
+        assert health["pool"]["retries"] == 0
+        assert not health["pool"]["degraded"]
+        assert health["slo"]["count"] == 1
+        assert health["slo"]["target"] == 5.0
+        assert health["slo"]["ok"]
+        from repro.telemetry.summary import format_service_health
+        screen = format_service_health(health)
+        assert "pool: 0 retries" in screen
+        assert "target p95<=5s: ok" in screen
+
+    def test_trace_op_requires_tracing(self, tmp_path):
+        with ServerHarness(tmp_path) as harness:
+            with Client(harness.address) as client:
+                response = client.submit("sleep", {"seconds": 0.01})
+                client.wait(response["job_id"], deadline=10)
+                with pytest.raises(ServiceError, match="disabled"):
+                    client.trace(response["job_id"])
+
+    def test_trace_spans_cover_the_job_lifecycle(self, tmp_path):
+        context = mint_trace_context()
+        with ServerHarness(tmp_path, trace=True) as harness:
+            with Client(harness.address) as client:
+                response = client.submit(
+                    "sleep", {"seconds": 0.05}, trace=context)
+                client.wait(response["job_id"], deadline=10)
+                traced = client.trace(response["job_id"])
+        assert traced["trace"] == context
+        events = traced["events"]
+        tracks = {event["track"] for event in events}
+        assert {"client", "queue", "fleet", "runner"} <= tracks
+        # every hop is stamped with the submitter's trace id and the
+        # root span as parent
+        for event in events:
+            assert event["args"]["trace"] == context["trace_id"]
+            assert event["args"]["job"] == response["job_id"]
+            assert event["args"]["parent"] == context["span_id"]
+        # causal ordering on the shared timeline: submit happens
+        # before the queue wait ends, which ends before the runner
+        # span ends
+        by_name = {event["name"]: event for event in events}
+        submit = by_name["submit"]
+        wait = by_name["queue.wait"]
+        run = by_name["job.run"]
+        assert submit["ts"] <= wait["ts"] + wait["dur"]
+        assert wait["ts"] + wait["dur"] <= run["ts"] + run["dur"]
+
+    def test_job_trace_written_to_trace_dir(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        with ServerHarness(tmp_path,
+                           trace_dir=str(trace_dir)) as harness:
+            with Client(harness.address) as client:
+                response = client.submit("sleep", {"seconds": 0.05})
+                client.wait(response["job_id"], deadline=10)
+                deadline = time.monotonic() + 10
+                path = trace_dir / f"{response['job_id']}.json"
+                while not path.exists():
+                    assert time.monotonic() < deadline
+                    time.sleep(0.02)
+        document = json.loads(path.read_text())
+        process_names = [
+            event["args"]["name"]
+            for event in document["traceEvents"]
+            if event.get("name") == "process_name"
+        ]
+        assert process_names == ["repro-service"]
+        assert "wall-clock" in document["otherData"]["time_unit"]
+        names = {event["name"]
+                 for event in document["traceEvents"]
+                 if event.get("ph") in ("X", "i")}
+        assert {"submit", "queue.wait", "job.run"} <= names
+        # timestamps are monotone within each thread (Perfetto's
+        # per-track requirement)
+        per_track: dict = {}
+        for event in document["traceEvents"]:
+            if event.get("ph") not in ("X", "i"):
+                continue
+            last = per_track.get(event["tid"], -1.0)
+            assert event["ts"] >= last
+            per_track[event["tid"]] = event["ts"]
+
+    def test_forensics_bundle_on_failed_job(self, tmp_path):
+        with ServerHarness(tmp_path) as harness:
+            with Client(harness.address) as client:
+                response = client.submit(
+                    "run", {"workload": "no-such-kernel"})
+                job = client.wait(response["job_id"], deadline=30)
+                assert job["state"] == "failed"
+        forensics = sorted(
+            (tmp_path / "state" / ".forensics").glob("*.json"))
+        assert len(forensics) == 1
+        bundle = json.loads(forensics[0].read_text())
+        assert bundle["reason"] == "job-failed"
+        assert bundle["job"]["id"] == response["job_id"]
+        assert bundle["job"]["spec"] == \
+            {"workload": "no-such-kernel"}
+        assert bundle["pool"] is not None
+        assert bundle["health"]["ready"]
+
+    def test_no_forensics_bundle_for_clean_jobs(self, tmp_path):
+        with ServerHarness(tmp_path) as harness:
+            with Client(harness.address) as client:
+                response = client.submit("sleep", {"seconds": 0.01})
+                client.wait(response["job_id"], deadline=10)
+        assert not (tmp_path / "state" / ".forensics").exists()
+
+    def test_metrics_off_disables_the_registry(self, tmp_path):
+        with ServerHarness(tmp_path, metrics=False) as harness:
+            with Client(harness.address) as client:
+                response = client.submit("sleep", {"seconds": 0.01})
+                client.wait(response["job_id"], deadline=10)
+                metrics = client.metrics()
+        assert metrics["metrics"] == {}
+        assert "repro_service_jobs_submitted" not in \
+            metrics["prometheus"]
+
+    def test_storm_metric_accounting(self, tmp_path):
+        """A bursty 12-way submit storm against capacity 2: every
+        admission decision lands in exactly one counter, and the
+        quota ledger returns to zero once the dust settles."""
+        with ServerHarness(tmp_path, capacity=2, runners=1,
+                           quota=64) as harness:
+            accepted: list[str] = []
+            rejected: list[float] = []
+            lock = threading.Lock()
+
+            def stormer(n: int) -> None:
+                with Client(harness.address) as client:
+                    try:
+                        response = client.submit(
+                            "sleep", {"seconds": 0.05 + n / 1000})
+                    except ServiceRejected as err:
+                        with lock:
+                            rejected.append(err.retry_after)
+                    else:
+                        with lock:
+                            accepted.append(response["job_id"])
+
+            threads = [threading.Thread(target=stormer, args=(n,))
+                       for n in range(12)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(accepted) + len(rejected) == 12
+            assert rejected
+
+            with Client(harness.address) as client:
+                for job_id in accepted:
+                    final = client.wait(job_id, deadline=60)
+                    assert final["state"] == "done"
+                metrics = client.metrics()
+            counters = metrics["metrics"]
+            assert counters["service.jobs.submitted"] == \
+                len(accepted)
+            assert counters["service.jobs.rejected"] == \
+                len(rejected)
+            assert counters["service.jobs.completed"] == \
+                len(accepted)
+            # all quota holds released; the peak counts transient
+            # holds during admission too, so its ceiling is the
+            # storm size, not the accepted count
+            assert metrics["quotas"] in ({}, {"default": 0})
+            peak = metrics["quota_peaks"].get("default", 0)
+            assert 1 <= peak <= 12
+            text = metrics["prometheus"]
+            assert (f"repro_service_jobs_rejected "
+                    f"{len(rejected)}") in text
+            # the wait histogram saw every admitted job
+            assert (f"repro_service_queue_wait_seconds_count "
+                    f"{len(accepted)}") in text

@@ -292,3 +292,97 @@ class TestBackpressureStorm:
                 assert final["state"] == "done"
         finally:
             server.stop()
+
+
+def run_cli(*args: str, cwd=None):
+    """Run ``repro <args>`` exactly like a user would."""
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env, cwd=cwd, capture_output=True, text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.slow
+class TestObservabilityChaos:
+    def test_drain_writes_forensics_bundles(self, tmp_path):
+        """SIGTERM mid-campaign parks the job durably *and* leaves a
+        post-mortem bundle describing what was interrupted."""
+        address = str(tmp_path / "sock")
+        server = ServiceProcess(tmp_path / "state", address)
+        try:
+            server.wait_ready()
+            with Client(address) as client:
+                job_id = client.submit("inject",
+                                       INJECT_SPEC)["job_id"]
+            wait_journal_results(tmp_path, job_id, at_least=3)
+            assert server.terminate() == 0
+        finally:
+            server.stop()
+        bundles = sorted(
+            (tmp_path / "state" / ".forensics").glob("*-drain.json"))
+        assert len(bundles) == 1
+        bundle = json.loads(bundles[0].read_text())
+        assert bundle["reason"] == "drain"
+        assert bundle["job"]["id"] == job_id
+        assert bundle["job"]["state"] == "running"
+        assert bundle["job"]["spec"] == INJECT_SPEC
+        # the campaign journal tail made it into the bundle: the
+        # evidence of how far the run got before the plug was pulled
+        assert len(bundle["journal_tail"]) >= 3
+        assert bundle["health"]["draining"]
+
+    def test_tail_trace_cli_merges_ordered_spans(self, tmp_path):
+        """``repro tail --trace`` against a ``--trace-dir`` server:
+        the merged Perfetto document covers every hop of the job on
+        one timeline, timestamps monotone within each track, all
+        events sharing the submission's trace id."""
+        address = str(tmp_path / "sock")
+        trace_path = tmp_path / "merged.json"
+        server = ServiceProcess(
+            tmp_path / "state", address,
+            "--trace-dir", str(tmp_path / "traces"))
+        try:
+            server.wait_ready()
+            with Client(address) as client:
+                job_id = client.submit("inject", {
+                    **INJECT_SPEC, "faults": 8})["job_id"]
+            proc = run_cli("tail", "--connect", address, job_id,
+                           "--trace", str(trace_path))
+            assert proc.returncode == 0, proc.stderr
+            assert "end done" in proc.stdout
+        finally:
+            server.stop()
+
+        document = json.loads(trace_path.read_text())
+        events = [e for e in document["traceEvents"]
+                  if e.get("ph") in ("X", "i")]
+        tracks = {e["cat"] for e in events}
+        assert {"client", "queue", "fleet", "runner",
+                "simulation"} <= tracks
+        # one consistent trace id across every hop
+        trace_ids = {e["args"]["trace"] for e in events}
+        assert len(trace_ids) == 1
+        # 8 faulted runs -> 8 per-fault instants on the simulation
+        # track (plus the golden run span)
+        faults = [e for e in events
+                  if e["cat"] == "simulation" and e["name"] == "fault"]
+        assert len(faults) == 8
+        # per-track monotone timestamps (Perfetto's requirement)
+        last: dict = {}
+        for event in events:
+            assert event["ts"] >= last.get(event["tid"], -1.0)
+            last[event["tid"]] = event["ts"]
+        # the per-job export under --trace-dir appeared as well
+        assert (tmp_path / "traces" / f"{job_id}.json").exists()
