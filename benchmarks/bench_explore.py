@@ -1,0 +1,99 @@
+"""Cold vs warm design-space exploration: the cache does the work.
+
+Evaluates the ``smoke`` preset space (2 workloads x 2 monitors x
+2 FIFO depths -> 8 design points over 10 deduplicated simulations)
+twice against the same state directory:
+
+* **cold** — empty state dir, every sweep point simulates;
+* **warm** — same state dir, every sweep point must come out of the
+  on-disk outcome cache (``SweepRunner.cache_hits``).
+
+Reports wall-clock for both passes, the warm pass's cache-hit ratio,
+and asserts the two exploration reports are byte-identical — the
+cache accelerates, it never changes the answer.
+
+Run as a script to emit ``BENCH_explore.json``::
+
+    PYTHONPATH=src python benchmarks/bench_explore.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.explore import (
+    ExplorationReport,
+    PointEvaluator,
+    full_factorial,
+    load_space,
+)
+
+SPACE = "smoke"
+
+
+def measure(space, state_dir) -> tuple[dict, str]:
+    evaluator = PointEvaluator(space, state_dir=state_dir)
+    points = full_factorial(space)
+    start = time.perf_counter()
+    evaluations = evaluator.evaluate(points)
+    elapsed = time.perf_counter() - start
+    report = ExplorationReport.build(space, "factorial", evaluations,
+                                     coverage=False)
+    sims = evaluator.runner.cache_hits + evaluator.runner.cache_misses
+    row = {
+        "seconds": round(elapsed, 4),
+        "cache_hits": evaluator.runner.cache_hits,
+        "cache_misses": evaluator.runner.cache_misses,
+        "hit_ratio": round(evaluator.runner.cache_hits / sims, 4),
+    }
+    return row, report.to_json()
+
+
+def main(argv: list[str] | None = None) -> int:
+    import tempfile
+    from pathlib import Path
+
+    space = load_space(SPACE)
+    with tempfile.TemporaryDirectory() as scratch:
+        state = Path(scratch) / "explore-state"
+        cold, cold_report = measure(space, state)
+        warm, warm_report = measure(space, state)
+
+    if warm_report != cold_report:
+        raise AssertionError(
+            "warm exploration diverged from cold: the sweep cache "
+            "changed the answer")
+    if warm["cache_misses"] != 0:
+        raise AssertionError(
+            f"warm exploration missed the cache "
+            f"{warm['cache_misses']} time(s)")
+
+    document = {
+        "benchmark": "explore_cold_vs_warm",
+        "space": SPACE,
+        "design_points": space.size,
+        "target": "warm pass all-cache-hits, report bit-identical",
+        "cold": cold,
+        "warm": warm,
+        "speedup": round(cold["seconds"] / max(warm["seconds"], 1e-9),
+                         2),
+        "reports_identical": True,
+    }
+    with open("BENCH_explore.json", "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"{'pass':<6}{'seconds':>9}{'hits':>6}{'misses':>8}"
+          f"{'hit ratio':>11}")
+    for name, row in (("cold", cold), ("warm", warm)):
+        print(f"{name:<6}{row['seconds']:>8.3f}s{row['cache_hits']:>6}"
+              f"{row['cache_misses']:>8}{row['hit_ratio']:>10.0%}")
+    print(f"speedup {document['speedup']}x, reports bit-identical")
+    print("written: BENCH_explore.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

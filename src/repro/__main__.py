@@ -471,6 +471,157 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Search the design space for Pareto-optimal monitor configs.
+
+    Deterministic end to end: the same space/seed/budgets print the
+    identical report and JSON whether run cold, resumed after kill -9
+    (``--journal DIR --resume``), or as a served ``explore`` job.
+    """
+    import signal as signal_module
+
+    from repro.checkpoint import JournalError
+    from repro.engine.pool import PoolPolicy
+    from repro.explore import (
+        AdaptiveConfig,
+        EvolveConfig,
+        ExplorationReport,
+        PointEvaluator,
+        evolve,
+        fractional_factorial,
+        full_factorial,
+        load_space,
+    )
+    from repro.explore.space import SpaceError
+    from repro.faultinject.campaign import (
+        CampaignError,
+        CampaignInterrupted,
+    )
+
+    try:
+        space = load_space(args.space)
+    except SpaceError as err:
+        raise _UsageError(f"explore error: {err}") from None
+    if args.resume and args.journal is None:
+        raise _UsageError("explore error: --resume requires --journal")
+    if args.faults and args.ci_target is not None:
+        raise _UsageError(
+            "explore error: --faults (fixed-size campaigns) and "
+            "--ci-target (adaptive campaigns) are mutually exclusive")
+    adaptive = None
+    if args.ci_target is not None:
+        try:
+            adaptive = AdaptiveConfig(
+                batch=args.batch,
+                min_faults=args.min_faults,
+                max_faults=args.budget,
+                target_half_width=args.ci_target,
+            )
+        except ValueError as err:
+            raise _UsageError(f"explore error: {err}") from None
+    if args.evolve:
+        mode = "evolve"
+    elif args.max_points is not None:
+        mode = "fractional"
+    else:
+        mode = "factorial"
+        if space.size > 512:
+            raise _UsageError(
+                f"explore error: full factorial over {space.size} "
+                f"points is unreasonable; cap it with --max-points "
+                f"or search with --evolve")
+
+    def log(message: str) -> None:
+        if args.verbose:
+            print(message, file=sys.stderr)
+
+    policy = PoolPolicy(
+        task_timeout=args.task_timeout,
+        max_retries=args.max_retries,
+        fallback=args.serial_fallback,
+    )
+    evaluator = PointEvaluator(
+        space,
+        jobs=args.jobs,
+        engine=args.engine,
+        state_dir=args.journal,
+        seed=args.seed,
+        faults=args.faults,
+        adaptive=adaptive,
+        resume=args.resume,
+        policy=policy,
+        diagnostics=log,
+        log=log,
+    )
+
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_sigterm = None
+    try:
+        previous_sigterm = signal_module.signal(
+            signal_module.SIGTERM, _sigterm)
+    except ValueError:
+        pass
+    try:
+        if mode == "evolve":
+            try:
+                evolve_config = EvolveConfig(
+                    population=args.population,
+                    generations=args.generations,
+                )
+            except ValueError as err:
+                raise _UsageError(
+                    f"explore error: {err}") from None
+            coverage = evaluator.coverage_enabled
+
+            def objective_key(evaluation):
+                if (not evaluation.feasible
+                        or evaluation.slowdown is None
+                        or (coverage and evaluation.coverage is None)):
+                    return None
+                return evaluation.objectives(coverage)
+
+            evaluations = list(evolve(
+                space, evaluator.evaluate, evolve_config,
+                objective_key, seed=args.seed, log=log,
+            ).values())
+        else:
+            if mode == "fractional":
+                points = fractional_factorial(
+                    space, args.max_points, seed=args.seed)
+            else:
+                points = full_factorial(space)
+            log(f"{mode}: {len(points)} of {space.size} point(s)")
+            evaluations = evaluator.evaluate(points)
+    except (CampaignError, JournalError) as err:
+        print(f"explore error: {err}", file=sys.stderr)
+        return 1
+    except (KeyboardInterrupt, CampaignInterrupted):
+        print("\nexplore interrupted; completed work is cached"
+              + (f" under {args.journal} — re-run with --resume to "
+                 f"continue" if args.journal else
+                 " in memory only — re-run with --journal DIR to "
+                 "make exploration resumable"),
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
+    finally:
+        if previous_sigterm is not None:
+            signal_module.signal(signal_module.SIGTERM,
+                                 previous_sigterm)
+
+    report = ExplorationReport.build(
+        space, mode, evaluations, evaluator.coverage_enabled)
+    print(report.format(details=args.details))
+    if evaluator.runner.stats.interesting():
+        print(f"pool: {evaluator.runner.stats.summary()}",
+              file=sys.stderr)
+    if args.json is not None:
+        report.write_json(args.json)
+        print(f"\nJSON report written to {args.json}")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Time the fast engine against the reference loop and verify
     their digests are bit-identical; nonzero exit on divergence."""
@@ -1042,6 +1193,94 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pool_robustness_args(sweep_cmd)
     sweep_cmd.set_defaults(handler=cmd_sweep)
 
+    explore_cmd = commands.add_parser(
+        "explore",
+        help="search the design space for Pareto-optimal monitor "
+             "configurations (coverage vs slowdown vs LUT area)",
+    )
+    explore_cmd.add_argument(
+        "space",
+        help="space description: a preset name (smoke, table4, "
+             "paper) or a .toml file with workloads/extensions/"
+             "fifo_depths/clock_ratios[/meta_cache_sizes] axes",
+    )
+    explore_cmd.add_argument(
+        "--evolve", action="store_true",
+        help="seeded evolutionary search instead of factorial "
+             "enumeration (for spaces too big to brute-force)",
+    )
+    explore_cmd.add_argument(
+        "--population", type=int, default=8,
+        help="evolutionary population size (default: 8)",
+    )
+    explore_cmd.add_argument(
+        "--generations", type=int, default=4,
+        help="evolutionary generations (default: 4)",
+    )
+    explore_cmd.add_argument(
+        "--max-points", type=int, default=None, metavar="N",
+        help="deterministic fractional factorial: evaluate a seeded "
+             "N-point sample of the grid",
+    )
+    explore_cmd.add_argument(
+        "--faults", type=int, default=0, metavar="N",
+        help="score coverage with fixed-size campaigns of N faults "
+             "per configuration (default: no coverage objective)",
+    )
+    explore_cmd.add_argument(
+        "--ci-target", type=float, default=None, metavar="HW",
+        help="score coverage with adaptive campaigns: inject until "
+             "every outcome rate's Wilson 95%% half-width is <= HW",
+    )
+    explore_cmd.add_argument(
+        "--budget", type=int, default=400, metavar="N",
+        help="adaptive campaigns: hard fault budget cap "
+             "(default: 400)",
+    )
+    explore_cmd.add_argument(
+        "--batch", type=int, default=50, metavar="N",
+        help="adaptive campaigns: faults per batch; the stopping "
+             "rule runs at batch boundaries (default: 50)",
+    )
+    explore_cmd.add_argument(
+        "--min-faults", type=int, default=50, metavar="N",
+        help="adaptive campaigns: never stop before N faults "
+             "(default: 50)",
+    )
+    explore_cmd.add_argument(
+        "--seed", type=int, default=1,
+        help="seed for campaigns and the evolutionary/fractional "
+             "draw (default: 1)",
+    )
+    explore_cmd.add_argument("--jobs", type=int, default=1,
+                             help="worker processes")
+    explore_cmd.add_argument(
+        "--engine", choices=("fast", "reference"), default="fast",
+        help="execution engine (both are bit-identical)",
+    )
+    explore_cmd.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="exploration state directory (sweep cache, campaign "
+             "journals, golden cache); makes kill -9 resumable",
+    )
+    explore_cmd.add_argument(
+        "--resume", action="store_true",
+        help="resume campaign journals under --journal instead of "
+             "restarting them",
+    )
+    explore_cmd.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the full report as JSON",
+    )
+    explore_cmd.add_argument(
+        "--details", action="store_true",
+        help="list dominated and infeasible points too",
+    )
+    explore_cmd.add_argument("--verbose", action="store_true",
+                             help="print sweep/campaign progress")
+    _add_pool_robustness_args(explore_cmd)
+    explore_cmd.set_defaults(handler=cmd_explore)
+
     bench_cmd = commands.add_parser(
         "bench",
         help="time the fast engine against the reference loop",
@@ -1181,7 +1420,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit_cmd.add_argument("--tenant", default="default",
                             help="tenant name for quota accounting")
     submit_cmd.add_argument(
-        "kind", choices=("inject", "sweep", "run", "compile", "sleep"),
+        "kind",
+        choices=("inject", "sweep", "explore", "run", "compile",
+                 "sleep"),
         help="job kind",
     )
     spec_source = submit_cmd.add_mutually_exclusive_group(

@@ -45,10 +45,11 @@ import multiprocessing
 import os
 import signal
 import time
-import zlib
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
+
+from repro.util.rng import derive_fraction
 
 
 def deterministic_backoff(base: float, cap: float, attempt: int,
@@ -65,8 +66,7 @@ def deterministic_backoff(base: float, cap: float, attempt: int,
     if attempt < 1:
         return 0.0
     raw = min(cap, base * (2 ** (attempt - 1)))
-    token = f"{key}/{attempt}".encode("utf-8")
-    jitter = 0.5 + (zlib.crc32(token) & 0xFFFFFFFF) / 2**33
+    jitter = 0.5 + derive_fraction(key, attempt) / 2.0
     return raw * jitter
 
 

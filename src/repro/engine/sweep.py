@@ -31,6 +31,7 @@ from repro.engine.pool import (
 from repro.evaluation.config import (
     CLOCK_RATIOS,
     DEFAULT_FIFO_DEPTH,
+    DEFAULT_META_CACHE_BYTES,
     experiment_system_config,
 )
 from repro.extensions import EXTENSION_NAMES, create_extension
@@ -57,6 +58,10 @@ class SweepPoint:
     scale: float = 1
     predecode: bool = True
     scaled_memory: bool = True
+    #: meta-data cache capacity at paper scale (scaled down with the
+    #: rest of the memory system when ``scaled_memory`` is on) — the
+    #: design-space explorer's fifth axis.
+    meta_cache_bytes: int = DEFAULT_META_CACHE_BYTES
 
     def identity(self) -> dict:
         """Cache identity: every field that affects the outcome.
@@ -117,6 +122,7 @@ def run_point(point: SweepPoint, engine: str | None = None,
         fifo_depth=point.fifo_depth,
         scaled_memory=point.scaled_memory,
         predecode=point.predecode,
+        meta_cache_bytes=point.meta_cache_bytes,
     )
     extension = (
         create_extension(point.extension) if point.extension else None
@@ -188,6 +194,11 @@ class SweepRunner:
         #: quarantined points from the most recent :meth:`run`, as
         #: ``(point, reason)`` pairs.
         self.failures: list[tuple[SweepPoint, str]] = []
+        #: cache tallies from the most recent :meth:`run` (both zero
+        #: when no cache is configured) — the explore benchmark's
+        #: cold-vs-warm hit-ratio source.
+        self.cache_hits = 0
+        self.cache_misses = 0
         self._cache_warned = False
 
     def _store(self, outcome: SweepOutcome, diagnostics) -> None:
@@ -221,14 +232,18 @@ class SweepRunner:
         pending: list[int] = []
         self.stats = PoolStats()
         self.failures = []
+        self.cache_hits = 0
+        self.cache_misses = 0
         for index, point in enumerate(points):
             if self.cache is not None:
                 payload, diagnostic = self.cache.load(
                     point.identity(), point.stem())
                 if payload is not None:
+                    self.cache_hits += 1
                     outcomes[index] = SweepOutcome.from_payload(
                         point, payload)
                     continue
+                self.cache_misses += 1
                 if diagnostics is not None:
                     diagnostics(diagnostic)
             pending.append(index)

@@ -37,14 +37,29 @@ DEFAULT_FIFO_DEPTH = 64
 #: FIFO depths swept in Figure 5.
 FIFO_SWEEP = (8, 16, 32, 64, 128, 256)
 
+#: the paper's meta-data cache capacity (Section V-A), before the
+#: experiment harness's memory-system scaling is applied.
+DEFAULT_META_CACHE_BYTES = 4 * 1024
+
+#: meta-data cache sizes explored by the design-space explorer.  Paper-
+#: scale bytes (divided by MEMORY_SCALE under scaled memory); each must
+#: stay a multiple of line*associativity after scaling.
+META_CACHE_SWEEP = (1 * 1024, 2 * 1024, 4 * 1024, 8 * 1024)
+
 
 def experiment_system_config(
     clock_ratio: float = 0.5,
     fifo_depth: int = DEFAULT_FIFO_DEPTH,
     scaled_memory: bool = True,
     predecode: bool = True,
+    meta_cache_bytes: int = DEFAULT_META_CACHE_BYTES,
 ) -> SystemConfig:
-    """Build the system configuration used by the experiment harness."""
+    """Build the system configuration used by the experiment harness.
+
+    ``meta_cache_bytes`` is expressed at *paper* scale: like the L1s it
+    is divided by :data:`MEMORY_SCALE` when ``scaled_memory`` is on, so
+    a design point means the same thing in scaled and unscaled runs.
+    """
     scale = MEMORY_SCALE if scaled_memory else 1
     core = CoreTimingConfig(
         icache=CacheConfig(32 * 1024 // scale, 32, 4),
@@ -53,7 +68,7 @@ def experiment_system_config(
     interface = InterfaceConfig(
         clock_ratio=clock_ratio,
         fifo_depth=fifo_depth,
-        meta_cache=CacheConfig(4 * 1024 // scale, 32, 4),
+        meta_cache=CacheConfig(meta_cache_bytes // scale, 32, 4),
         predecode=predecode,
     )
     return SystemConfig(core=core, interface=interface)

@@ -1,0 +1,64 @@
+"""Statistical campaign intelligence: adaptive sampling + design-space
+exploration.
+
+The paper's evaluation is a hand-picked slice of a five-axis design
+space (workload × monitor × FIFO depth × fabric clock ratio ×
+meta-cache size) scored by fixed-size fault campaigns.  This package
+turns that slice into a search:
+
+* :mod:`repro.explore.sampling` — :class:`AdaptiveCampaign` grows a
+  fault campaign batch by batch until every outcome rate's Wilson 95%
+  interval is tight enough, deterministically, on top of the campaign
+  journal (kill -9 + resume reproduces the identical stopping point).
+* :mod:`repro.explore.space` / :mod:`factorial` / :mod:`evolve` —
+  grid description, full/fractional factorial enumeration and a seeded
+  evolutionary loop over design points.
+* :mod:`repro.explore.evaluate` — scores each point through
+  :class:`repro.engine.sweep.SweepRunner` (slowdown, cache-
+  deduplicated), the Table-III fabric models (LUTs, frequency
+  feasibility) and optional adaptive campaigns (coverage).
+* :mod:`repro.explore.pareto` / :mod:`report` — dominance filtering
+  over (coverage ↑, slowdown ↓, LUT area ↓), knee-point selection and
+  a deterministic JSON/console front report.
+
+Everything is a pure function of (space, seed, budgets): the same
+exploration run straight through, interrupted + resumed, or as a
+served ``explore`` job emits a bit-identical report.
+"""
+
+from repro.explore.evaluate import Evaluation, PointEvaluator
+from repro.explore.evolve import EvolveConfig, evolve
+from repro.explore.factorial import fractional_factorial, full_factorial
+from repro.explore.pareto import dominates, knee_point, pareto_front
+from repro.explore.report import ExplorationReport
+from repro.explore.sampling import (
+    AdaptiveCampaign,
+    AdaptiveConfig,
+    AdaptiveResult,
+)
+from repro.explore.space import (
+    PRESET_SPACES,
+    DesignPoint,
+    DesignSpace,
+    load_space,
+)
+
+__all__ = [
+    "AdaptiveCampaign",
+    "AdaptiveConfig",
+    "AdaptiveResult",
+    "DesignPoint",
+    "DesignSpace",
+    "Evaluation",
+    "EvolveConfig",
+    "ExplorationReport",
+    "PRESET_SPACES",
+    "PointEvaluator",
+    "dominates",
+    "evolve",
+    "fractional_factorial",
+    "full_factorial",
+    "knee_point",
+    "load_space",
+    "pareto_front",
+]

@@ -1,0 +1,332 @@
+"""Scoring one design point on the three exploration objectives.
+
+Each :class:`DesignPoint` is priced on:
+
+* **slowdown** — monitored cycles / unmonitored-baseline cycles, both
+  simulated through :class:`repro.engine.sweep.SweepRunner` so the
+  on-disk outcome cache deduplicates across exploration modes, resumed
+  runs, and repeated service jobs;
+* **LUT area / frequency** — the Table-III fabric model
+  (:func:`repro.fabric.synthesis.synthesize_fabric`), which also
+  decides *feasibility*: a point asking for a faster fabric clock than
+  synthesis supports is reported but never enters the Pareto front
+  (the paper's own rule — SEC runs at 0.25x because it must);
+* **coverage** (optional) — a fault campaign per
+  :meth:`DesignPoint.campaign_key`, fixed-size or adaptive
+  (:class:`repro.explore.sampling.AdaptiveCampaign`).  Points that
+  differ only in meta-cache size share one campaign: the meta cache
+  changes timing, not verdicts.
+
+Everything deterministic; ``state_dir`` only accelerates (sweep cache,
+golden cache, campaign journals) and is what makes kill -9 + resume
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.engine.pool import PoolPolicy
+from repro.engine.sweep import SweepPoint, SweepRunner
+from repro.explore.sampling import AdaptiveCampaign, AdaptiveConfig
+from repro.explore.space import DesignPoint, DesignSpace
+from repro.extensions import create_extension
+from repro.fabric.synthesis import synthesize_fabric
+from repro.faultinject.campaign import Campaign, CampaignConfig
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One design point's scores (plain values, JSON-able)."""
+
+    point: DesignPoint
+    feasible: bool
+    #: why the point is excluded from the front ("" when feasible).
+    note: str
+    luts: int
+    fmax_mhz: float
+    supported_clock_ratio: float
+    slowdown: float | None = None
+    cycles: int | None = None
+    baseline_cycles: int | None = None
+    coverage: float | None = None
+    coverage_low: float | None = None
+    coverage_high: float | None = None
+    faults_used: int | None = None
+    converged: bool | None = None
+
+    def objectives(self, coverage: bool) -> tuple[float, ...]:
+        """Minimising objective vector: (1-coverage, slowdown, luts)
+        — or (slowdown, luts) when coverage is not measured."""
+        if self.slowdown is None:
+            raise ValueError(
+                f"{self.point.key()} has no slowdown; filter "
+                f"infeasible evaluations before ranking")
+        if coverage:
+            if self.coverage is None:
+                raise ValueError(
+                    f"{self.point.key()} has no coverage; filter "
+                    f"before ranking")
+            return (1.0 - self.coverage, self.slowdown,
+                    float(self.luts))
+        return (self.slowdown, float(self.luts))
+
+    def as_dict(self) -> dict:
+        doc = {
+            "point": self.point.as_dict(),
+            "key": self.point.key(),
+            "feasible": self.feasible,
+            "note": self.note,
+            "luts": self.luts,
+            "fmax_mhz": round(self.fmax_mhz, 3),
+            "supported_clock_ratio": self.supported_clock_ratio,
+            "slowdown": (round(self.slowdown, 6)
+                         if self.slowdown is not None else None),
+            "cycles": self.cycles,
+            "baseline_cycles": self.baseline_cycles,
+            "coverage": (round(self.coverage, 6)
+                         if self.coverage is not None else None),
+            "coverage_low": self.coverage_low,
+            "coverage_high": self.coverage_high,
+            "faults_used": self.faults_used,
+            "converged": self.converged,
+        }
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Evaluation":
+        return cls(
+            point=DesignPoint.from_dict(doc["point"]),
+            feasible=doc["feasible"],
+            note=doc["note"],
+            luts=doc["luts"],
+            fmax_mhz=doc["fmax_mhz"],
+            supported_clock_ratio=doc["supported_clock_ratio"],
+            slowdown=doc["slowdown"],
+            cycles=doc["cycles"],
+            baseline_cycles=doc["baseline_cycles"],
+            coverage=doc["coverage"],
+            coverage_low=doc["coverage_low"],
+            coverage_high=doc["coverage_high"],
+            faults_used=doc["faults_used"],
+            converged=doc["converged"],
+        )
+
+
+class PointEvaluator:
+    """Batch-evaluate design points, deduplicating shared work.
+
+    ``faults > 0`` enables fixed-size coverage campaigns;
+    ``adaptive`` (an :class:`AdaptiveConfig`) enables CI-driven ones
+    (mutually exclusive).  ``state_dir`` roots the sweep cache, the
+    campaign golden cache and per-campaign journals; re-running with
+    the same directory resumes instead of recomputing.
+    """
+
+    def __init__(self, space: DesignSpace, *, jobs: int = 1,
+                 engine: str | None = "fast", state_dir=None,
+                 seed: int = 1, faults: int = 0,
+                 adaptive: AdaptiveConfig | None = None,
+                 resume: bool = True,
+                 policy: PoolPolicy | None = None,
+                 diagnostics=None, log=None, progress=None):
+        if faults and adaptive is not None:
+            raise ValueError(
+                "faults= (fixed-size) and adaptive= (CI-driven) "
+                "campaigns are mutually exclusive")
+        if faults < 0:
+            raise ValueError(f"faults must be >= 0, got {faults}")
+        self.space = space
+        self.jobs = jobs
+        self.seed = seed
+        self.faults = faults
+        self.adaptive = adaptive
+        self.resume = resume
+        self.diagnostics = diagnostics
+        self.log = log
+        #: forwarded to every campaign run as its ``progress``
+        #: callback — the job service raises from it to cancel
+        #: cooperatively (everything journaled stays resumable).
+        self.progress = progress
+        self.state_dir = str(state_dir) if state_dir else None
+        sweep_cache = None
+        if self.state_dir:
+            sweep_cache = os.path.join(self.state_dir, "sweep-cache")
+        self.runner = SweepRunner(jobs=jobs, engine=engine,
+                                  cache_dir=sweep_cache, policy=policy)
+        self._synthesis: dict[str, object] = {}
+        self._campaigns: dict[str, dict] = {}
+
+    @property
+    def coverage_enabled(self) -> bool:
+        return bool(self.faults) or self.adaptive is not None
+
+    # -- shared sub-results -------------------------------------------------
+
+    def _synthesis_for(self, extension: str):
+        report = self._synthesis.get(extension)
+        if report is None:
+            report = synthesize_fabric(create_extension(extension))
+            self._synthesis[extension] = report
+        return report
+
+    def _campaign_journal(self, point: DesignPoint) -> str | None:
+        if not self.state_dir:
+            return None
+        directory = os.path.join(self.state_dir, "campaigns")
+        os.makedirs(directory, exist_ok=True)
+        stem = point.campaign_key().replace("/", "-")
+        return os.path.join(directory, f"{stem}.jsonl")
+
+    def _coverage_for(self, point: DesignPoint) -> dict:
+        """Run (or reuse) the fault campaign behind ``point``."""
+        key = point.campaign_key()
+        cached = self._campaigns.get(key)
+        if cached is not None:
+            return cached
+        if self.log is not None:
+            self.log(f"campaign {key}")
+        golden_cache = None
+        if self.state_dir:
+            golden_cache = os.path.join(self.state_dir, "golden-cache")
+        config = CampaignConfig(
+            extension=point.extension,
+            workload=point.workload,
+            scale=self.space.scale,
+            seed=self.seed,
+            faults=self.faults or 1,  # adaptive overrides this
+            clock_ratio=point.clock_ratio,
+            fifo_depth=point.fifo_depth,
+            jobs=self.jobs,
+            cache_dir=golden_cache,
+        )
+        journal = self._campaign_journal(point)
+        if self.adaptive is not None:
+            result = AdaptiveCampaign(config, self.adaptive).run(
+                journal_path=journal,
+                resume=self.resume and journal is not None,
+                progress=self.progress,
+            )
+            report = result.report
+            faults_used = result.faults_used
+            converged = result.converged
+        else:
+            report = Campaign(config).run(
+                journal_path=journal,
+                resume=self.resume and journal is not None,
+                progress=self.progress,
+            )
+            faults_used = self.faults
+            converged = None
+        interval = report.confidence()["detection_coverage"]
+        entry = {
+            "coverage": report.detection_coverage,
+            "low": interval["low"],
+            "high": interval["high"],
+            "faults_used": faults_used,
+            "converged": converged,
+        }
+        self._campaigns[key] = entry
+        return entry
+
+    # -- the batch ----------------------------------------------------------
+
+    def evaluate(self, points) -> list[Evaluation]:
+        """Score ``points``, one :class:`Evaluation` each, in order."""
+        points = list(points)
+        feasibility: dict[str, tuple[bool, str]] = {}
+        for point in points:
+            synthesis = self._synthesis_for(point.extension)
+            supported = synthesis.clock_ratio
+            if point.clock_ratio <= supported + 1e-9:
+                feasibility[point.key()] = (True, "")
+            else:
+                feasibility[point.key()] = (False, (
+                    f"clock ratio {point.clock_ratio} exceeds the "
+                    f"synthesised fabric's supported ratio "
+                    f"{supported} ({synthesis.fmax_mhz:.1f} MHz)"))
+
+        # One sweep batch: per-workload baselines plus every feasible
+        # monitored point, deduplicated by sweep identity.
+        sweep_points: list[SweepPoint] = []
+        slots: dict[str, int] = {}
+
+        def slot(sweep_point: SweepPoint) -> int:
+            identity = repr(sorted(sweep_point.identity().items()))
+            if identity not in slots:
+                slots[identity] = len(sweep_points)
+                sweep_points.append(sweep_point)
+            return slots[identity]
+
+        baseline_slot = {
+            workload: slot(SweepPoint(
+                workload=workload, extension=None,
+                scale=self.space.scale,
+                scaled_memory=self.space.scaled_memory))
+            for workload in sorted({p.workload for p in points})
+        }
+        point_slot = {
+            point.key(): slot(point.sweep_point(
+                self.space.scale, self.space.scaled_memory))
+            for point in points
+            if feasibility[point.key()][0]
+        }
+
+        infra_notes: dict[int, str] = {}
+
+        def on_infra_failure(sweep_point, error):
+            identity = repr(sorted(sweep_point.identity().items()))
+            infra_notes[slots[identity]] = (
+                f"simulation quarantined: {error}")
+
+        if self.log is not None:
+            self.log(f"sweeping {len(sweep_points)} point(s) "
+                     f"({len(points)} design point(s))")
+        outcomes = self.runner.run(sweep_points,
+                                   diagnostics=self.diagnostics,
+                                   on_infra_failure=on_infra_failure)
+
+        evaluations = []
+        for point in points:
+            synthesis = self._synthesis_for(point.extension)
+            feasible, note = feasibility[point.key()]
+            slowdown = cycles = baseline_cycles = None
+            coverage_entry = None
+            if feasible:
+                base = outcomes[baseline_slot[point.workload]]
+                mine = outcomes[point_slot[point.key()]]
+                if base is None or mine is None:
+                    index = (point_slot[point.key()] if mine is None
+                             else baseline_slot[point.workload])
+                    feasible = False
+                    note = infra_notes.get(
+                        index, "simulation unavailable")
+                else:
+                    cycles = mine.cycles
+                    baseline_cycles = base.cycles
+                    slowdown = cycles / baseline_cycles
+                    if self.coverage_enabled:
+                        coverage_entry = self._coverage_for(point)
+            evaluations.append(Evaluation(
+                point=point,
+                feasible=feasible,
+                note=note,
+                luts=synthesis.luts,
+                fmax_mhz=synthesis.fmax_mhz,
+                supported_clock_ratio=synthesis.clock_ratio,
+                slowdown=slowdown,
+                cycles=cycles,
+                baseline_cycles=baseline_cycles,
+                coverage=(coverage_entry["coverage"]
+                          if coverage_entry else None),
+                coverage_low=(coverage_entry["low"]
+                              if coverage_entry else None),
+                coverage_high=(coverage_entry["high"]
+                               if coverage_entry else None),
+                faults_used=(coverage_entry["faults_used"]
+                             if coverage_entry else None),
+                converged=(coverage_entry["converged"]
+                           if coverage_entry else None),
+            ))
+        return evaluations

@@ -1,0 +1,178 @@
+"""Seeded evolutionary search over a design space.
+
+A deterministic (μ + λ)-style loop in the spirit of DAVOS's
+``Evolutionary_DSE``: tournament selection on Pareto-domination rank,
+uniform per-axis crossover, per-axis mutation back onto the grid.
+Every random draw comes from :func:`repro.util.rng.derive_rng` keyed
+on (seed, space, generation, role), so two runs of the same
+configuration walk the identical population sequence — and because
+point evaluation is cache-deduplicated, the second run is nearly
+free.
+
+The loop *searches*; it never ranks infeasible points above feasible
+ones (an infeasible point's rank is worse than any feasible rank),
+and it returns every evaluation it paid for — the caller Pareto-
+filters the union, so evaluations of dead ends still show up in the
+report as explored territory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.explore.pareto import dominates
+from repro.explore.space import DesignPoint, DesignSpace
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class EvolveConfig:
+    """Knobs of the evolutionary loop (all deterministic)."""
+
+    population: int = 8
+    generations: int = 4
+    #: best-ranked members copied unchanged into the next generation.
+    elite: int = 2
+    #: tournament size for parent selection.
+    tournament: int = 2
+    #: per-axis probability of re-drawing an offspring's value.
+    mutation_rate: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise ValueError(
+                f"population must be >= 2, got {self.population}")
+        if self.generations < 1:
+            raise ValueError(
+                f"generations must be >= 1, got {self.generations}")
+        if not 0 <= self.elite < self.population:
+            raise ValueError(
+                f"elite must be in [0, population), got {self.elite}")
+        if self.tournament < 1:
+            raise ValueError(
+                f"tournament must be >= 1, got {self.tournament}")
+        if not 0 <= self.mutation_rate <= 1:
+            raise ValueError(
+                f"mutation_rate must be in [0, 1], "
+                f"got {self.mutation_rate}")
+
+    def as_dict(self) -> dict:
+        return {
+            "population": self.population,
+            "generations": self.generations,
+            "elite": self.elite,
+            "tournament": self.tournament,
+            "mutation_rate": self.mutation_rate,
+        }
+
+
+def _random_point(space: DesignSpace, rng) -> DesignPoint:
+    values = {axis: rng.choice(candidates)
+              for axis, candidates in space.axes().items()}
+    return DesignPoint(**values)
+
+
+def _crossover(a: DesignPoint, b: DesignPoint, rng) -> DesignPoint:
+    values = {}
+    for axis in ("workload", "extension", "fifo_depth",
+                 "clock_ratio", "meta_cache_bytes"):
+        values[axis] = getattr(a if rng.random() < 0.5 else b, axis)
+    return DesignPoint(**values)
+
+
+def _mutate(point: DesignPoint, space: DesignSpace, rng,
+            rate: float) -> DesignPoint:
+    values = point.as_dict()
+    for axis, candidates in space.axes().items():
+        if rng.random() < rate:
+            values[axis] = rng.choice(candidates)
+    return DesignPoint(**values)
+
+
+def evolve(space: DesignSpace, evaluate, config: EvolveConfig,
+           objective_key, seed: object = 1, log=None) -> dict:
+    """Run the loop; return every evaluation, keyed by point key.
+
+    ``evaluate(points) -> list[Evaluation]`` scores a batch (the
+    :class:`repro.explore.evaluate.PointEvaluator` bound method);
+    ``objective_key(evaluation) -> tuple | None`` maps an evaluation
+    to its minimising objective vector, or ``None`` for points that
+    cannot enter the front (infeasible, missing coverage).
+    """
+    evaluated: dict[str, object] = {}
+
+    def ensure_evaluated(points) -> None:
+        fresh, seen = [], set()
+        for point in points:
+            key = point.key()
+            if key not in evaluated and key not in seen:
+                seen.add(key)
+                fresh.append(point)
+        if fresh:
+            for point, evaluation in zip(fresh, evaluate(fresh)):
+                evaluated[point.key()] = evaluation
+
+    def rank(point: DesignPoint) -> tuple:
+        """(domination count, key): lower is fitter; infeasible sits
+        below every feasible point; the key breaks ties so sorting
+        is total and deterministic."""
+        mine = objective_key(evaluated[point.key()])
+        if mine is None:
+            return (float("inf"), point.key())
+        vectors = [
+            vector for vector in (
+                objective_key(e) for e in evaluated.values())
+            if vector is not None
+        ]
+        dominated_by = sum(
+            1 for vector in vectors if dominates(vector, mine))
+        return (dominated_by, point.key())
+
+    init_rng = derive_rng(seed, space.name, "evolve", "init")
+    population: list[DesignPoint] = []
+    member_keys: set[str] = set()
+    attempts = 0
+    while (len(population) < config.population
+           and attempts < config.population * 50):
+        attempts += 1
+        candidate = _random_point(space, init_rng)
+        if candidate.key() not in member_keys:
+            member_keys.add(candidate.key())
+            population.append(candidate)
+
+    for generation in range(config.generations):
+        ensure_evaluated(population)
+        if log is not None:
+            best = min(rank(point) for point in population)
+            log(f"generation {generation}: "
+                f"{len(evaluated)} point(s) evaluated, "
+                f"best rank {best[0]}")
+        if generation == config.generations - 1:
+            break
+        rng = derive_rng(seed, space.name, "evolve", generation)
+        by_rank = sorted(population, key=rank)
+        elites = by_rank[:config.elite]
+
+        def select() -> DesignPoint:
+            contenders = [rng.choice(population)
+                          for _ in range(config.tournament)]
+            return min(contenders, key=rank)
+
+        offspring: list[DesignPoint] = list(elites)
+        keys = {point.key() for point in offspring}
+        stale = 0
+        while len(offspring) < config.population and stale < 200:
+            child = _mutate(_crossover(select(), select(), rng),
+                            space, rng, config.mutation_rate)
+            if child.key() in keys:
+                stale += 1
+                continue
+            keys.add(child.key())
+            offspring.append(child)
+        # A tiny space can saturate (every cell already present);
+        # pad with grid re-draws so the population size is stable.
+        while len(offspring) < config.population:
+            offspring.append(_random_point(space, rng))
+        population = offspring
+
+    return evaluated

@@ -1,0 +1,50 @@
+"""Factorial enumeration of a design space.
+
+``full_factorial`` walks the whole grid in a fixed nesting order, so
+two enumerations of one space are identical lists.
+``fractional_factorial`` draws a deterministic seeded subset when the
+grid is too big to brute-force — DAVOS's ``FactorialDesignBuilder``
+role, reduced to the two designs this harness needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.explore.space import DesignPoint, DesignSpace
+from repro.util.rng import derive_rng
+
+
+def full_factorial(space: DesignSpace) -> list[DesignPoint]:
+    """Every cell of the grid, in deterministic nesting order
+    (workload outermost, meta-cache innermost)."""
+    return [
+        DesignPoint(workload=workload, extension=extension,
+                    fifo_depth=fifo_depth, clock_ratio=clock_ratio,
+                    meta_cache_bytes=meta_cache_bytes)
+        for workload, extension, fifo_depth, clock_ratio,
+            meta_cache_bytes
+        in itertools.product(*space.axes().values())
+    ]
+
+
+def fractional_factorial(space: DesignSpace, max_points: int,
+                         seed: object = 0) -> list[DesignPoint]:
+    """A deterministic ``max_points``-cell sample of the grid.
+
+    A seeded sample of the full enumeration (no randomness source
+    other than ``derive_rng(seed, name, "fractional")``), returned in
+    grid order so the fraction is a stable sub-list of the full
+    factorial: growing ``max_points`` only ever *adds* points, which
+    keeps warm sweep caches useful across fraction sizes.
+    """
+    if max_points < 1:
+        raise ValueError(f"max_points must be >= 1, got {max_points}")
+    grid = full_factorial(space)
+    if max_points >= len(grid):
+        return grid
+    order = list(range(len(grid)))
+    derive_rng(seed, space.name, "fractional").shuffle(order)
+    chosen = set(order[:max_points])
+    return [point for index, point in enumerate(grid)
+            if index in chosen]

@@ -1,0 +1,77 @@
+"""Pareto dominance filtering and knee-point selection.
+
+Generic over "anything with an objective vector": the functions take a
+``key`` callable mapping each item to a tuple of *minimising* floats
+(the evaluator encodes coverage as ``1 - coverage`` so every axis
+points the same way).  This keeps them property-testable on bare
+tuples and reusable if a sixth objective ever shows up.
+
+Determinism: the front preserves the input's first-occurrence order
+for distinct objective vectors, and among items with *equal* vectors
+keeps every one (they are mutually non-dominating); callers that need
+a canonical order sort by their own key, as
+:class:`repro.explore.report.ExplorationReport` does.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is at least as good on every objective and
+    strictly better on at least one (all objectives minimising)."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"objective vectors differ in length: {len(a)} vs {len(b)}")
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b))
+
+
+def pareto_front(items: Sequence, key: Callable = lambda item: item
+                 ) -> list:
+    """The non-dominated subset of ``items``, in input order.
+
+    O(n²) pairwise filtering — exploration fronts are hundreds of
+    points, not millions, and the simple algorithm is obviously
+    order-invariant (membership depends only on the multiset of
+    vectors, which the property tests pin down).
+    """
+    vectors = [tuple(key(item)) for item in items]
+    front = []
+    for index, item in enumerate(items):
+        mine = vectors[index]
+        if not any(dominates(other, mine) for other in vectors):
+            front.append(item)
+    return front
+
+
+def knee_point(front: Sequence, key: Callable = lambda item: item):
+    """The front member closest to the (per-objective) ideal point.
+
+    Objectives are min-max normalised over the front so no axis's
+    units dominate the distance; a degenerate axis (all equal)
+    contributes zero.  Ties break toward the earliest item, so the
+    selection is deterministic for a deterministically-ordered front.
+    Returns ``None`` for an empty front.
+    """
+    if not front:
+        return None
+    vectors = [tuple(key(item)) for item in front]
+    dimensions = len(vectors[0])
+    lows = [min(v[d] for v in vectors) for d in range(dimensions)]
+    highs = [max(v[d] for v in vectors) for d in range(dimensions)]
+    best_index = 0
+    best_distance = math.inf
+    for index, vector in enumerate(vectors):
+        distance = 0.0
+        for d in range(dimensions):
+            span = highs[d] - lows[d]
+            if span > 0:
+                normalised = (vector[d] - lows[d]) / span
+                distance += normalised * normalised
+        if distance < best_distance:
+            best_distance = distance
+            best_index = index
+    return front[best_index]

@@ -1,0 +1,157 @@
+"""Deterministic exploration reports: Pareto front + knee point.
+
+The report is the exploration's single artifact: a JSON document (and
+console rendering) carrying every evaluation, the Pareto front over
+the feasible ones, and the knee point.  Like
+:class:`repro.faultinject.report.CoverageReport` it contains no
+wall-clock or environment fields, so the same exploration — straight,
+resumed after kill -9, or through the job service — serialises to the
+identical bytes, which is exactly what the CI smoke job ``cmp``\\ s.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.explore.evaluate import Evaluation
+from repro.explore.pareto import knee_point, pareto_front
+from repro.explore.space import DesignSpace
+
+
+@dataclass(frozen=True)
+class ExplorationReport:
+    """Aggregated outcome of one design-space exploration."""
+
+    space: DesignSpace
+    #: how the points were chosen: "factorial", "fractional", "evolve".
+    mode: str
+    #: whether coverage campaigns ran (and the front is 3-objective).
+    coverage: bool
+    #: every evaluation, sorted by point key (canonical order).
+    evaluations: tuple[Evaluation, ...]
+    #: point keys of the non-dominated evaluations, in canonical order.
+    front: tuple[str, ...]
+    #: point key of the knee (None for an empty front).
+    knee: str | None
+
+    @classmethod
+    def build(cls, space: DesignSpace, mode: str, evaluations,
+              coverage: bool) -> "ExplorationReport":
+        ordered = tuple(sorted(evaluations,
+                               key=lambda e: e.point.key()))
+        candidates = [
+            evaluation for evaluation in ordered
+            if evaluation.feasible and evaluation.slowdown is not None
+            and (not coverage or evaluation.coverage is not None)
+        ]
+
+        def objectives(evaluation: Evaluation) -> tuple:
+            return evaluation.objectives(coverage)
+
+        front = pareto_front(candidates, key=objectives)
+        knee = knee_point(front, key=objectives)
+        return cls(
+            space=space,
+            mode=mode,
+            coverage=coverage,
+            evaluations=ordered,
+            front=tuple(e.point.key() for e in front),
+            knee=knee.point.key() if knee is not None else None,
+        )
+
+    # -- access -------------------------------------------------------------
+
+    def front_evaluations(self) -> list[Evaluation]:
+        members = set(self.front)
+        return [e for e in self.evaluations
+                if e.point.key() in members]
+
+    @property
+    def objective_names(self) -> tuple[str, ...]:
+        if self.coverage:
+            return ("coverage", "slowdown", "luts")
+        return ("slowdown", "luts")
+
+    # -- rendering ----------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        feasible = sum(1 for e in self.evaluations if e.feasible)
+        return {
+            "space": self.space.as_dict(),
+            "mode": self.mode,
+            "objectives": list(self.objective_names),
+            "evaluated": len(self.evaluations),
+            "feasible": feasible,
+            "front": list(self.front),
+            "knee": self.knee,
+            "evaluations": [e.as_dict() for e in self.evaluations],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent,
+                          sort_keys=True)
+
+    def digest(self) -> str:
+        return hashlib.sha256(
+            self.to_json().encode("utf-8")).hexdigest()[:16]
+
+    def write_json(self, path) -> None:
+        from repro.checkpoint import atomic_write_text
+        atomic_write_text(path, self.to_json() + "\n")
+
+    def format(self, details: bool = False) -> str:
+        space = self.space
+        feasible = sum(1 for e in self.evaluations if e.feasible)
+        lines = [
+            f"design-space exploration: space={space.name} "
+            f"mode={self.mode} "
+            f"objectives=({', '.join(self.objective_names)})",
+            f"grid size {space.size}, evaluated "
+            f"{len(self.evaluations)}, feasible {feasible}, "
+            f"front {len(self.front)}",
+            "",
+        ]
+        header = (f"{'point':<40} {'slowdown':>9} {'luts':>6}")
+        if self.coverage:
+            header += f" {'coverage':>9} {'95% CI':>18} {'faults':>7}"
+        header += "  "
+        lines.append(header)
+        for evaluation in self.front_evaluations():
+            marker = " *knee*" if evaluation.point.key() == self.knee \
+                else ""
+            row = (f"{evaluation.point.key():<40} "
+                   f"{evaluation.slowdown:>8.3f}x "
+                   f"{evaluation.luts:>6}")
+            if self.coverage:
+                row += (f" {evaluation.coverage:>8.1%} "
+                        f"[{evaluation.coverage_low:6.1%}, "
+                        f"{evaluation.coverage_high:6.1%}] "
+                        f"{evaluation.faults_used:>7}")
+            lines.append(row + marker)
+        if not self.front:
+            lines.append("(empty front: no feasible evaluations)")
+        skipped = [e for e in self.evaluations if not e.feasible]
+        if skipped:
+            lines.append("")
+            lines.append(f"infeasible: {len(skipped)} point(s)")
+            if details:
+                for evaluation in skipped:
+                    lines.append(f"  {evaluation.point.key():<40} "
+                                 f"{evaluation.note}")
+        if details:
+            dominated = [e for e in self.evaluations
+                         if e.feasible
+                         and e.point.key() not in set(self.front)]
+            if dominated:
+                lines.append("")
+                lines.append(f"dominated: {len(dominated)} point(s)")
+                for evaluation in dominated:
+                    lines.append(
+                        f"  {evaluation.point.key():<40} "
+                        f"{evaluation.slowdown:>8.3f}x "
+                        f"{evaluation.luts:>6}")
+        lines.append("")
+        lines.append(f"report digest {self.digest()}")
+        return "\n".join(lines)

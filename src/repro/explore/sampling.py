@@ -1,0 +1,276 @@
+"""Confidence-interval-driven adaptive fault campaigns.
+
+A fixed-size campaign answers "what happened in N runs"; an adaptive
+campaign answers "how many runs until the rates are *known*".
+:class:`AdaptiveCampaign` grows a campaign batch by batch and stops at
+the first batch boundary where every outcome-class rate's Wilson 95%
+interval is narrower than its target half-width (per-outcome
+overrides, hard fault budget cap).
+
+Determinism is the whole design:
+
+* The wrapped :class:`~repro.faultinject.campaign.Campaign` is built
+  with ``faults = max_faults`` (the budget), so the journal identity
+  never changes as batches extend — one journal serves the entire
+  adaptive run, and a straight ``repro inject --faults <budget>``
+  journal is even compatible with it.
+* Batches are executed through ``Campaign.run(indices=...)`` with
+  per-index seeding, so *which call* executed an index never affects
+  its result.
+* The stopping rule is evaluated only at fixed boundaries
+  (``batch, 2*batch, ...``) over the results with ``index < n``; a
+  resumed journal that already holds more results cannot change an
+  earlier decision.  kill -9 + ``--resume`` therefore reproduces the
+  identical stopping point and a bit-identical report.
+
+INFRA_FAILED results contribute no trials (a flaky machine must not
+tighten or widen an interval) — on a healthy machine every path is
+bit-identical; after real quarantine, resume heals the campaign
+first, then the stopping rule sees the healed trials.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.faultinject.campaign import (
+    OUTCOME_ORDER,
+    Campaign,
+    CampaignConfig,
+    FaultResult,
+    Outcome,
+)
+from repro.faultinject.report import CoverageReport
+from repro.util.stats import wilson_half_width
+
+#: outcomes the stopping rule tracks: everything that is a verdict.
+TRACKED_OUTCOMES = tuple(
+    outcome for outcome in OUTCOME_ORDER
+    if outcome is not Outcome.INFRA_FAILED
+)
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Stopping policy for an adaptive campaign."""
+
+    #: faults per batch; the stopping rule runs at batch boundaries.
+    batch: int = 50
+    #: never stop before this many faults (CI estimates below ~30
+    #: trials are honest but uselessly wide).
+    min_faults: int = 50
+    #: hard budget cap — also the wrapped campaign's ``faults`` and
+    #: therefore its journal identity.
+    max_faults: int = 400
+    #: default target half-width for every tracked outcome rate.
+    target_half_width: float = 0.05
+    #: per-outcome overrides, e.g. ``{"sdc": 0.02}`` to pin silent
+    #: corruptions down harder than the rest.
+    targets: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+        if self.min_faults < 1:
+            raise ValueError(
+                f"min_faults must be >= 1, got {self.min_faults}")
+        if self.max_faults < self.min_faults:
+            raise ValueError(
+                f"max_faults ({self.max_faults}) must be >= "
+                f"min_faults ({self.min_faults})")
+        if not 0 < self.target_half_width < 1:
+            raise ValueError(
+                f"target_half_width must be in (0, 1), "
+                f"got {self.target_half_width}")
+        tracked = {outcome.value for outcome in TRACKED_OUTCOMES}
+        for name, value in self.targets.items():
+            if name not in tracked:
+                raise ValueError(
+                    f"unknown outcome {name!r} in targets "
+                    f"(known: {', '.join(sorted(tracked))})")
+            if not 0 < float(value) < 1:
+                raise ValueError(
+                    f"target for {name!r} must be in (0, 1), "
+                    f"got {value}")
+
+    def target_for(self, outcome: Outcome) -> float:
+        return float(self.targets.get(outcome.value,
+                                      self.target_half_width))
+
+    def as_dict(self) -> dict:
+        return {
+            "batch": self.batch,
+            "min_faults": self.min_faults,
+            "max_faults": self.max_faults,
+            "target_half_width": self.target_half_width,
+            "targets": dict(sorted(self.targets.items())),
+        }
+
+
+@dataclass(frozen=True)
+class AdaptiveResult:
+    """Outcome of one adaptive campaign."""
+
+    adaptive: AdaptiveConfig
+    #: the final coverage report, built as if ``faults=faults_used``
+    #: had been configured from the start — bit-identical to the
+    #: fixed-size campaign of that length.
+    report: CoverageReport
+    faults_used: int
+    converged: bool
+    #: one entry per evaluated batch boundary (deterministic).
+    history: tuple[dict, ...]
+
+    def digest(self) -> str:
+        """Content digest of the final report — the value the
+        determinism tests compare across straight / resumed / served
+        runs."""
+        return hashlib.sha256(
+            self.report.to_json().encode("utf-8")).hexdigest()[:16]
+
+    def as_dict(self) -> dict:
+        return {
+            "adaptive": self.adaptive.as_dict(),
+            "faults_used": self.faults_used,
+            "converged": self.converged,
+            "history": list(self.history),
+            "report_digest": self.digest(),
+            "report": self.report.as_dict(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def format(self) -> str:
+        lines = [
+            f"adaptive campaign: batch={self.adaptive.batch} "
+            f"budget={self.adaptive.max_faults} "
+            f"target half-width={self.adaptive.target_half_width}",
+        ]
+        for entry in self.history:
+            widest = max(entry["half_widths"].items(),
+                         key=lambda kv: kv[1])
+            lines.append(
+                f"  n={entry['faults']:>5}  trials={entry['trials']:>5}"
+                f"  widest CI: {widest[0]} ±{widest[1]:.4f}"
+                f"{'  (stop)' if entry['stop'] else ''}"
+            )
+        verdict = ("converged" if self.converged
+                   else "budget exhausted before convergence")
+        lines.append(f"{verdict} after {self.faults_used} faults")
+        lines.append("")
+        lines.append(self.report.format())
+        return "\n".join(lines)
+
+
+class AdaptiveCampaign:
+    """Wrap a :class:`Campaign`, growing it until its CIs converge.
+
+    ``config.faults`` is ignored in favour of the adaptive budget:
+    the wrapped campaign is rebuilt with
+    ``faults = adaptive.max_faults`` so that one journal identity
+    covers every possible stopping point.
+    """
+
+    def __init__(self, config: CampaignConfig,
+                 adaptive: AdaptiveConfig | None = None):
+        self.adaptive = adaptive or AdaptiveConfig()
+        self.campaign = Campaign(
+            replace(config, faults=self.adaptive.max_faults))
+
+    def _boundary_entry(self, by_index: dict[int, FaultResult],
+                        n: int) -> dict:
+        """Evaluate the stopping rule at boundary ``n`` (pure)."""
+        considered = [result for index, result in by_index.items()
+                      if index < n]
+        trials = sum(1 for result in considered
+                     if result.outcome is not Outcome.INFRA_FAILED)
+        counts = {outcome: 0 for outcome in TRACKED_OUTCOMES}
+        for result in considered:
+            if result.outcome is not Outcome.INFRA_FAILED:
+                counts[result.outcome] += 1
+        half_widths = {
+            outcome.value: round(
+                wilson_half_width(counts[outcome], trials), 6)
+            for outcome in TRACKED_OUTCOMES
+        }
+        within = trials > 0 and all(
+            half_widths[outcome.value]
+            <= self.adaptive.target_for(outcome)
+            for outcome in TRACKED_OUTCOMES
+        )
+        return {
+            "faults": n,
+            "trials": trials,
+            "half_widths": half_widths,
+            "within_targets": within,
+            "stop": within and n >= self.adaptive.min_faults,
+        }
+
+    def run(self, journal_path=None, resume: bool = False,
+            progress=None, on_result=None) -> AdaptiveResult:
+        """Grow the campaign until the stopping rule fires.
+
+        With ``journal_path`` every batch extends the same crash-safe
+        journal; ``resume=True`` replays it first, so an interrupted
+        adaptive run re-walks its boundary decisions over the replayed
+        results and continues from wherever the budget actually
+        stands.  :class:`~repro.faultinject.campaign.CampaignInterrupted`
+        from SIGINT/SIGTERM propagates unchanged (the journal keeps
+        everything already executed).
+        """
+        adaptive = self.adaptive
+        by_index: dict[int, FaultResult] = {}
+        history: list[dict] = []
+        last_report = None
+        converged = False
+        boundary = 0
+        resume_next = resume
+        while boundary < adaptive.max_faults:
+            previous = boundary
+            boundary = min(previous + adaptive.batch,
+                           adaptive.max_faults)
+            if journal_path is not None:
+                # Ask for the whole prefix: the journal replay marks
+                # earlier batches done, so only this batch executes.
+                report = self.campaign.run(
+                    journal_path=journal_path, resume=resume_next,
+                    indices=range(boundary),
+                    progress=progress, on_result=on_result,
+                )
+                resume_next = True
+            else:
+                report = self.campaign.run(
+                    indices=range(previous, boundary),
+                    progress=progress, on_result=on_result,
+                )
+            for result in report.results:
+                by_index[result.index] = result
+            last_report = report
+            entry = self._boundary_entry(by_index, boundary)
+            history.append(entry)
+            if entry["stop"]:
+                converged = True
+                break
+
+        faults_used = boundary
+        final_results = tuple(sorted(
+            (result for index, result in by_index.items()
+             if index < faults_used),
+            key=lambda result: result.index,
+        ))
+        final_config = replace(self.campaign.config,
+                               faults=faults_used)
+        report = CoverageReport.build(
+            final_config, self.campaign.profile, final_results,
+            infra=last_report.infra if last_report else None,
+        )
+        return AdaptiveResult(
+            adaptive=adaptive,
+            report=report,
+            faults_used=faults_used,
+            converged=converged,
+            history=tuple(history),
+        )

@@ -1,0 +1,264 @@
+"""Design-space description: axes, points, presets, TOML loading.
+
+A :class:`DesignSpace` is the declarative input of an exploration — a
+name plus one tuple of candidate values per axis.  A
+:class:`DesignPoint` is one cell of that grid.  Both are frozen,
+deterministic, and round-trip exactly through ``as_dict`` /
+``from_dict``, which is what lets the job service content-address an
+exploration by its normalised spec.
+
+Spaces load from three sources: a preset name (:data:`PRESET_SPACES`),
+a TOML file (stdlib ``tomllib``), or a plain dict (the service path).
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import asdict, dataclass
+
+from repro.engine.sweep import SweepPoint
+from repro.evaluation.config import (
+    CLOCK_RATIOS,
+    DEFAULT_META_CACHE_BYTES,
+    FIFO_SWEEP,
+    META_CACHE_SWEEP,
+)
+from repro.extensions import extension_names
+from repro.workloads import workload_names
+
+
+class SpaceError(ValueError):
+    """The space description is malformed (bad axis, unknown name)."""
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One cell of the design grid.
+
+    The workload is an axis on purpose: monitors trade off differently
+    per workload (Table IV's spread), so the front carries
+    (workload, config) pairs rather than averaging the difference
+    away.
+    """
+
+    workload: str
+    extension: str
+    fifo_depth: int
+    clock_ratio: float
+    meta_cache_bytes: int = DEFAULT_META_CACHE_BYTES
+
+    def key(self) -> str:
+        """Canonical id — stable sort key and campaign-journal stem."""
+        return (f"{self.workload}/{self.extension}"
+                f"/f{self.fifo_depth}/r{self.clock_ratio}"
+                f"/m{self.meta_cache_bytes}")
+
+    def campaign_key(self) -> str:
+        """Coverage identity: the axes a fault campaign depends on.
+
+        The meta-data cache only changes *timing*, never whether a
+        monitor traps, so points differing only in meta-cache size
+        share one campaign (and one journal).
+        """
+        return (f"{self.workload}/{self.extension}"
+                f"/f{self.fifo_depth}/r{self.clock_ratio}")
+
+    def sweep_point(self, scale: float = 1,
+                    scaled_memory: bool = True) -> SweepPoint:
+        return SweepPoint(
+            workload=self.workload,
+            extension=self.extension,
+            clock_ratio=self.clock_ratio,
+            fifo_depth=self.fifo_depth,
+            scale=scale,
+            scaled_memory=scaled_memory,
+            meta_cache_bytes=self.meta_cache_bytes,
+        )
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "DesignPoint":
+        return cls(
+            workload=str(doc["workload"]),
+            extension=str(doc["extension"]),
+            fifo_depth=int(doc["fifo_depth"]),
+            clock_ratio=float(doc["clock_ratio"]),
+            meta_cache_bytes=int(
+                doc.get("meta_cache_bytes", DEFAULT_META_CACHE_BYTES)),
+        )
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """The declarative grid an exploration searches.
+
+    ``scale`` / ``scaled_memory`` are evaluation conditions shared by
+    every point (they size the workloads and memory system), not
+    search axes.
+    """
+
+    name: str
+    workloads: tuple[str, ...]
+    extensions: tuple[str, ...]
+    fifo_depths: tuple[int, ...]
+    clock_ratios: tuple[float, ...]
+    meta_cache_sizes: tuple[int, ...] = (DEFAULT_META_CACHE_BYTES,)
+    scale: float = 0.25
+    scaled_memory: bool = True
+
+    def __post_init__(self) -> None:
+        for axis in ("workloads", "extensions", "fifo_depths",
+                     "clock_ratios", "meta_cache_sizes"):
+            values = getattr(self, axis)
+            if not values:
+                raise SpaceError(f"axis {axis} is empty")
+            if len(set(values)) != len(values):
+                raise SpaceError(f"axis {axis} has duplicates: {values}")
+        unknown = set(self.workloads) - set(workload_names())
+        if unknown:
+            raise SpaceError(
+                f"unknown workload(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(workload_names())})")
+        unknown = {e.lower() for e in self.extensions} - set(
+            extension_names())
+        if unknown:
+            raise SpaceError(
+                f"unknown extension(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(extension_names())})")
+        for depth in self.fifo_depths:
+            if depth < 1:
+                raise SpaceError(f"fifo depth must be >= 1: {depth}")
+        for ratio in self.clock_ratios:
+            if not 0 < ratio <= 1:
+                raise SpaceError(
+                    f"clock ratio must be in (0, 1]: {ratio}")
+        for size in self.meta_cache_sizes:
+            if size < 128 or size % 128:
+                raise SpaceError(
+                    f"meta cache size must be a positive multiple of "
+                    f"128 bytes (line x associativity): {size}")
+        if self.scale <= 0:
+            raise SpaceError(f"scale must be > 0: {self.scale}")
+
+    @property
+    def size(self) -> int:
+        """Full-factorial cell count."""
+        return (len(self.workloads) * len(self.extensions)
+                * len(self.fifo_depths) * len(self.clock_ratios)
+                * len(self.meta_cache_sizes))
+
+    def axes(self) -> dict[str, tuple]:
+        """Per-axis candidate values, in grid-nesting order."""
+        return {
+            "workload": self.workloads,
+            "extension": self.extensions,
+            "fifo_depth": self.fifo_depths,
+            "clock_ratio": self.clock_ratios,
+            "meta_cache_bytes": self.meta_cache_sizes,
+        }
+
+    def contains(self, point: DesignPoint) -> bool:
+        return (point.workload in self.workloads
+                and point.extension in self.extensions
+                and point.fifo_depth in self.fifo_depths
+                and point.clock_ratio in self.clock_ratios
+                and point.meta_cache_bytes in self.meta_cache_sizes)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "workloads": list(self.workloads),
+            "extensions": list(self.extensions),
+            "fifo_depths": list(self.fifo_depths),
+            "clock_ratios": list(self.clock_ratios),
+            "meta_cache_sizes": list(self.meta_cache_sizes),
+            "scale": self.scale,
+            "scaled_memory": self.scaled_memory,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "DesignSpace":
+        try:
+            name = str(doc["name"])
+            workloads = tuple(str(w) for w in doc["workloads"])
+            extensions = tuple(str(e) for e in doc["extensions"])
+            fifo_depths = tuple(int(d) for d in doc["fifo_depths"])
+            clock_ratios = tuple(float(r) for r in doc["clock_ratios"])
+        except KeyError as err:
+            raise SpaceError(f"space is missing field {err}") from None
+        except (TypeError, ValueError) as err:
+            raise SpaceError(f"malformed space: {err}") from None
+        known = {"name", "workloads", "extensions", "fifo_depths",
+                 "clock_ratios", "meta_cache_sizes", "scale",
+                 "scaled_memory"}
+        unknown = set(doc) - known
+        if unknown:
+            raise SpaceError(
+                f"unknown space field(s): {', '.join(sorted(unknown))}")
+        return cls(
+            name=name,
+            workloads=workloads,
+            extensions=extensions,
+            fifo_depths=fifo_depths,
+            clock_ratios=clock_ratios,
+            meta_cache_sizes=tuple(
+                int(s) for s in doc.get(
+                    "meta_cache_sizes", (DEFAULT_META_CACHE_BYTES,))),
+            scale=float(doc.get("scale", 0.25)),
+            scaled_memory=bool(doc.get("scaled_memory", True)),
+        )
+
+
+#: ready-made spaces.  ``paper`` is the full Table-IV/Fig-5 grid
+#: (too big to brute-force — pair it with ``--evolve`` or a fractional
+#: cap); ``smoke`` is the CI-sized slice.
+PRESET_SPACES: dict[str, DesignSpace] = {
+    "paper": DesignSpace(
+        name="paper",
+        workloads=workload_names(),
+        extensions=("umc", "dift", "bc", "sec"),
+        fifo_depths=FIFO_SWEEP,
+        clock_ratios=CLOCK_RATIOS,
+        meta_cache_sizes=META_CACHE_SWEEP,
+        scale=0.25,
+    ),
+    "table4": DesignSpace(
+        name="table4",
+        workloads=workload_names(),
+        extensions=("umc", "dift", "bc", "sec"),
+        fifo_depths=(64,),
+        clock_ratios=(0.25, 0.5),
+        meta_cache_sizes=(DEFAULT_META_CACHE_BYTES,),
+        scale=0.25,
+    ),
+    "smoke": DesignSpace(
+        name="smoke",
+        workloads=("sha", "stringsearch"),
+        extensions=("umc", "bc"),
+        fifo_depths=(16, 64),
+        clock_ratios=(0.5,),
+        meta_cache_sizes=(DEFAULT_META_CACHE_BYTES,),
+        scale=0.125,
+    ),
+}
+
+
+def load_space(source: str) -> DesignSpace:
+    """Resolve a CLI space argument: preset name or ``.toml`` path."""
+    if source in PRESET_SPACES:
+        return PRESET_SPACES[source]
+    if source.endswith(".toml"):
+        try:
+            with open(source, "rb") as handle:
+                doc = tomllib.load(handle)
+        except FileNotFoundError:
+            raise SpaceError(f"no such space file: {source}") from None
+        except tomllib.TOMLDecodeError as err:
+            raise SpaceError(f"{source}: {err}") from None
+        doc.setdefault("name", source.rsplit("/", 1)[-1][:-len(".toml")])
+        return DesignSpace.from_dict(doc)
+    raise SpaceError(
+        f"unknown space {source!r}: expected a .toml file or one of "
+        f"{', '.join(sorted(PRESET_SPACES))}")

@@ -68,6 +68,7 @@ from repro.flexcore.system import (
 from repro.isa.assembler import Program, assemble
 from repro.isa.opcodes import ALU_CLASSES
 from repro.telemetry.profiler import PhaseProfiler
+from repro.util.rng import derive_rng
 from repro.workloads import build_workload
 
 
@@ -495,7 +496,7 @@ class Campaign:
 
     def rng_for(self, index: int) -> random.Random:
         """Independent, platform-stable rng for run ``index``."""
-        return random.Random(f"{self.config.seed}/{index}")
+        return derive_rng(self.config.seed, index)
 
     def plan(self, index: int) -> tuple[FaultModel, FaultSpec]:
         """Deterministically choose the fault for run ``index``."""
@@ -606,11 +607,23 @@ class Campaign:
             self.warnings.append(message)
 
     def run(self, progress=None, journal_path=None, resume=False,
-            on_result=None):
+            on_result=None, indices=None):
         """Execute every faulted run and build the coverage report.
 
         ``progress`` is an optional callable ``(done, total)`` invoked
         after each completed run (serial mode) or batch (parallel).
+
+        ``indices`` restricts this call to a subset of the campaign's
+        fault indices (each must be in ``range(config.faults)``); the
+        default ``None`` means all of them.  This is the batch-
+        extension hook behind adaptive sampling
+        (:class:`repro.explore.sampling.AdaptiveCampaign`): the sampler
+        declares its fault *budget* up front — keeping the journal
+        identity stable — and then grows the executed prefix batch by
+        batch through repeated ``run(indices=range(n), resume=True)``
+        calls against one journal.  Per-index seeding makes the result
+        of an index independent of which call executed it, so the
+        grown journal is bit-identical to a straight-through run.
 
         ``on_result`` is an optional callable invoked with each
         freshly-executed :class:`FaultResult` (replayed results from a
@@ -642,7 +655,16 @@ class Campaign:
 
         total = self.config.faults
         results: list[FaultResult] = []
-        pending = list(range(total))
+        if indices is None:
+            pending = list(range(total))
+        else:
+            pending = sorted({int(index) for index in indices})
+            out_of_range = [i for i in pending if not 0 <= i < total]
+            if out_of_range:
+                raise CampaignError(
+                    f"fault indices out of range [0, {total}): "
+                    f"{', '.join(map(str, out_of_range[:8]))}"
+                )
         self.pool_stats = PoolStats()
         infra_records: list[dict] = []
         journal: ResultsJournal | None = None

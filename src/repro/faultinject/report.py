@@ -20,6 +20,7 @@ from repro.faultinject.campaign import (
 )
 from repro.faultinject.models import GoldenProfile
 from repro.telemetry.metrics import Histogram
+from repro.util.stats import wilson_half_width, wilson_interval
 
 #: Histogram bounds for per-run cycle counts, as multiples of the
 #: golden run's cycles.  Relative bounds keep the aggregation
@@ -132,6 +133,49 @@ class CoverageReport:
                      - counts[Outcome.INFRA_FAILED])
         return counts[Outcome.INFRA_FAILED] > 0 and effective == 0
 
+    def confidence(self) -> dict:
+        """Per-outcome Wilson 95% confidence intervals.
+
+        Rates are over *completed* runs: INFRA_FAILED runs never
+        reached a verdict, so they contribute no trials — otherwise a
+        flaky machine could tighten or widen the intervals.  The same
+        numbers drive :class:`repro.explore.sampling.AdaptiveCampaign`'s
+        stopping rule, so "the CI printed" and "the CI the sampler
+        stopped on" are one computation.
+
+        A pure function of the (index-sorted) results, bit-identical
+        across straight, resumed, and service-job campaigns.
+        """
+        counts = self.counts()
+        trials = self.total - counts[Outcome.INFRA_FAILED]
+        outcomes: dict[str, dict] = {}
+        for outcome in OUTCOME_ORDER:
+            if outcome is Outcome.INFRA_FAILED:
+                continue
+            n = counts[outcome]
+            low, high = wilson_interval(n, trials)
+            outcomes[outcome.value] = {
+                "count": n,
+                "rate": round(n / trials, 6) if trials else 0.0,
+                "low": round(low, 6),
+                "high": round(high, 6),
+                "half_width": round(wilson_half_width(n, trials), 6),
+            }
+        effective = trials - counts[Outcome.MASKED]
+        caught = counts[Outcome.DETECTED] + counts[Outcome.RECOVERED]
+        cov_low, cov_high = wilson_interval(caught, effective)
+        return {
+            "level": 0.95,
+            "trials": trials,
+            "outcomes": outcomes,
+            "detection_coverage": {
+                "low": round(cov_low, 6),
+                "high": round(cov_high, 6),
+                "half_width": round(
+                    wilson_half_width(caught, effective), 6),
+            },
+        }
+
     def metrics(self) -> dict:
         """Deterministic per-fault metric aggregation.
 
@@ -193,14 +237,20 @@ class CoverageReport:
             f"golden run: {self.profile.instructions} instructions, "
             f"{self.profile.cycles} cycles, output {self.profile.output}",
             "",
-            f"{'outcome':<12} {'count':>6} {'fraction':>9}",
+            f"{'outcome':<12} {'count':>6} {'fraction':>9} "
+            f"{'95% CI':>16}",
         ]
         counts = self.counts()
+        confidence = self.confidence()["outcomes"]
         denominator = self.total or 1  # an interrupted campaign may
         for outcome in OUTCOME_ORDER:  # have zero completed runs
             n = counts[outcome]
+            interval = confidence.get(outcome.value)
+            ci = ("" if interval is None else
+                  f"[{interval['low']:6.1%}, {interval['high']:6.1%}]")
             lines.append(
-                f"{outcome.value:<12} {n:>6} {n / denominator:>8.1%}"
+                f"{outcome.value:<12} {n:>6} {n / denominator:>8.1%} "
+                f"{ci:>16}"
             )
         lines.append(f"{'total':<12} {self.total:>6}")
         lines.append("")
@@ -218,9 +268,12 @@ class CoverageReport:
                 )
             )
         lines.append("")
+        coverage_ci = self.confidence()["detection_coverage"]
         lines.append(
             f"detection coverage (non-masked faults detected): "
-            f"{self.detection_coverage:.1%}"
+            f"{self.detection_coverage:.1%} "
+            f"(95% CI [{coverage_ci['low']:.1%}, "
+            f"{coverage_ci['high']:.1%}])"
         )
         infra = counts[Outcome.INFRA_FAILED]
         if infra:
@@ -305,6 +358,7 @@ class CoverageReport:
                 for model, row in sorted(self.by_model().items())
             },
             "detection_coverage": round(self.detection_coverage, 6),
+            "confidence": self.confidence(),
             "metrics": self.metrics(),
             "results": [result.as_dict() for result in self.results],
         }

@@ -126,6 +126,7 @@ class JobStore:
         <root>/jobs.jsonl        the job/state journal (recovery)
         <root>/results/          result documents (IdentityCache)
         <root>/journals/<id>.jsonl   per-job campaign journals
+        <root>/explore/<id>/     per-job exploration state
     """
 
     def __init__(self, root, metrics=None):
@@ -303,6 +304,13 @@ class JobStore:
 
     def campaign_journal_path(self, job_id: str) -> Path:
         return self.root / "journals" / f"{job_id}.jsonl"
+
+    def explore_dir(self, job_id: str) -> Path:
+        """Per-job exploration state (sweep cache, campaign journals,
+        golden cache) — same durability contract as the campaign
+        journals: a restarted server resumes the exploration from
+        whatever this directory already holds, bit-identically."""
+        return self.root / "explore" / job_id
 
     def close(self) -> None:
         self._journal.close()

@@ -28,7 +28,7 @@ PROTOCOL_VERSION = 1
 #: job kinds the service executes.  ``sleep`` is a diagnostics kind
 #: (chaos tests and operators pacing a queue) — it holds a runner
 #: slot for ``seconds`` while staying cancellable.
-JOB_KINDS = ("inject", "sweep", "run", "compile", "sleep")
+JOB_KINDS = ("inject", "sweep", "explore", "run", "compile", "sleep")
 
 #: request operations.  ``metrics`` serves the Prometheus-renderable
 #: registry snapshot; ``trace`` serves one job's end-to-end trace
@@ -56,6 +56,11 @@ SPEC_FIELDS = {
         "max_retries", "serial_fallback",
     },
     "sweep": {"points", "engine"},
+    "explore": {
+        "space", "mode", "max_points", "population", "generations",
+        "faults", "ci_target", "budget", "batch", "min_faults",
+        "seed", "jobs", "engine",
+    },
     "run": {"workload", "extension", "clock_ratio", "fifo_depth",
             "scale", "predecode", "scaled_memory", "engine"},
     "compile": {"source", "filename"},
@@ -66,6 +71,7 @@ SPEC_FIELDS = {
 REQUIRED_FIELDS = {
     "inject": {"extension"},
     "sweep": {"points"},
+    "explore": {"space"},
     "run": {"workload"},
     "compile": {"source"},
     "sleep": {"seconds"},

@@ -172,6 +172,131 @@ def _run_sweep(job, store, cancel: CancelToken, jobs: int,
             "meta": {"kind": "sweep", "points": len(outcomes)}}
 
 
+def _run_explore(job, store, cancel: CancelToken, jobs: int,
+                 observer=None) -> dict:
+    """Design-space exploration as a service job.
+
+    The spec mirrors the ``repro explore`` CLI (space as an inline
+    dict instead of a preset/file).  State lives under the store's
+    per-job explore directory and every campaign always resumes, so a
+    crashed or cancelled exploration continues where it stopped and
+    the result document is bit-identical to an uninterrupted run —
+    and to the CLI run of the same space, which is what the CI smoke
+    job ``cmp``\\ s.
+    """
+    from repro.explore import (
+        AdaptiveConfig,
+        EvolveConfig,
+        ExplorationReport,
+        PointEvaluator,
+        evolve,
+        fractional_factorial,
+        full_factorial,
+    )
+    from repro.explore.space import DesignSpace, SpaceError
+    from repro.faultinject.campaign import CampaignInterrupted
+
+    spec = job.spec
+    try:
+        space = DesignSpace.from_dict(spec["space"])
+    except SpaceError as err:
+        raise RuntimeError(f"bad explore space: {err}") from None
+    mode = spec.get("mode")
+    if mode is None:
+        mode = "fractional" if "max_points" in spec else "factorial"
+    if mode not in ("factorial", "fractional", "evolve"):
+        raise RuntimeError(
+            f"bad explore mode {mode!r} (expected factorial, "
+            f"fractional or evolve)")
+    adaptive = None
+    if spec.get("ci_target") is not None:
+        adaptive = AdaptiveConfig(
+            batch=int(spec.get("batch", 50)),
+            min_faults=int(spec.get("min_faults", 50)),
+            max_faults=int(spec.get("budget", 400)),
+            target_half_width=float(spec["ci_target"]),
+        )
+    seed = int(spec.get("seed", 1))
+    granted = max(1, min(int(spec.get("jobs", 1)), jobs))
+    tracing = observer is not None and observer.tracing
+
+    def progress(done: int, total: int) -> None:
+        if cancel.cancelled:
+            raise KeyboardInterrupt
+
+    def log(message: str) -> None:
+        cancel.check()
+        if tracing:
+            observer.instant(job, "simulation", "explore",
+                             note=message)
+
+    evaluator = PointEvaluator(
+        space,
+        jobs=granted,
+        engine=spec.get("engine", "fast"),
+        state_dir=store.explore_dir(job.id),
+        seed=seed,
+        faults=int(spec.get("faults", 0)),
+        adaptive=adaptive,
+        resume=True,
+        log=log,
+        progress=progress,
+    )
+    coverage = evaluator.coverage_enabled
+    explore_start = observer.now_us() if tracing else 0.0
+    try:
+        if mode == "evolve":
+            evolve_config = EvolveConfig(
+                population=int(spec.get("population", 8)),
+                generations=int(spec.get("generations", 4)),
+            )
+
+            def objective_key(evaluation):
+                if (not evaluation.feasible
+                        or evaluation.slowdown is None
+                        or (coverage and evaluation.coverage is None)):
+                    return None
+                return evaluation.objectives(coverage)
+
+            evaluations = list(evolve(
+                space, evaluator.evaluate, evolve_config,
+                objective_key, seed=seed, log=log,
+            ).values())
+        else:
+            if mode == "fractional":
+                points = fractional_factorial(
+                    space, int(spec.get("max_points", space.size)),
+                    seed=seed)
+            else:
+                points = full_factorial(space)
+            evaluations = evaluator.evaluate(points)
+    except CampaignInterrupted:
+        cancel.check()  # cancelled: surface as JobCancelled
+        raise  # a real signal hit the server process itself
+    report = ExplorationReport.build(space, mode, evaluations,
+                                     coverage)
+    if tracing:
+        observer.span(job, "simulation", "exploration",
+                      explore_start, mode=mode,
+                      evaluated=len(report.evaluations),
+                      front=len(report.front))
+    document = report.to_json() + "\n"
+    return {
+        "document": document,
+        "meta": {
+            "kind": "explore",
+            "mode": mode,
+            "evaluated": len(report.evaluations),
+            "feasible": sum(
+                1 for e in report.evaluations if e.feasible),
+            "front": len(report.front),
+            "knee": report.knee,
+            "digest": report.digest(),
+            "pool": evaluator.runner.stats.as_dict(),
+        },
+    }
+
+
 def _run_run(job, store, cancel: CancelToken, jobs: int,
              observer=None) -> dict:
     from repro.engine.sweep import SweepPoint, run_point
@@ -226,6 +351,7 @@ def _run_sleep(job, store, cancel: CancelToken, jobs: int,
 _HANDLERS = {
     "inject": _run_inject,
     "sweep": _run_sweep,
+    "explore": _run_explore,
     "run": _run_run,
     "compile": _run_compile,
     "sleep": _run_sleep,

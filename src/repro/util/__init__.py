@@ -1,0 +1,18 @@
+"""Cross-cutting helpers shared by otherwise-independent subsystems.
+
+Modules here must not import from any other ``repro`` package: they sit
+below everything else in the dependency graph so that, e.g., both
+``faultinject`` and ``explore`` can share one seed-derivation scheme
+without a cycle.
+"""
+
+from repro.util.rng import derive_fraction, derive_key, derive_rng
+from repro.util.stats import wilson_half_width, wilson_interval
+
+__all__ = [
+    "derive_fraction",
+    "derive_key",
+    "derive_rng",
+    "wilson_half_width",
+    "wilson_interval",
+]

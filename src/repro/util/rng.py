@@ -1,0 +1,48 @@
+"""Deterministic seeded-RNG derivation, shared repo-wide.
+
+Every reproducibility guarantee in this codebase bottoms out in the
+same convention: a stream of randomness is named by a ``/``-joined key
+of its coordinates (``"<seed>/<index>"``, ``"<workload>/<ext>"``,
+``"<task>/<attempt>"``) and seeded from that string.  The convention
+grew up independently in ``faultinject`` (per-fault RNGs), the
+supervised pool (backoff jitter), and the chaos tests; this module is
+the single definition all of them — and ``repro.explore`` — now use.
+
+The functions are pure and bit-stable: :func:`derive_rng` seeds
+``random.Random`` with exactly the joined string (so pre-existing
+campaign journals and golden digests keyed on ``f"{seed}/{index}"``
+replay unchanged), and :func:`derive_fraction` reduces the key through
+``zlib.crc32`` with exact power-of-two float division (so the pool's
+pinned backoff schedules are preserved to the last bit).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+
+def derive_key(*parts: object) -> str:
+    """Join stream coordinates into the canonical ``a/b/c`` seed key."""
+    return "/".join(str(part) for part in parts)
+
+
+def derive_rng(*parts: object) -> random.Random:
+    """A ``random.Random`` seeded from :func:`derive_key` of ``parts``.
+
+    ``derive_rng(seed, index)`` is bit-identical to the historical
+    ``random.Random(f"{seed}/{index}")`` idiom it replaces.
+    """
+    return random.Random(derive_key(*parts))
+
+
+def derive_fraction(*parts: object) -> float:
+    """Deterministic float in ``[0, 1)`` from the key of ``parts``.
+
+    ``crc32(key) / 2**32`` — the division is by a power of two and the
+    CRC fits in 32 bits, so the result is exact (no rounding), which is
+    what lets callers rescale it (e.g. into a ``[0.5, 1.0)`` jitter
+    factor) without perturbing pinned schedules.
+    """
+    token = derive_key(*parts).encode("utf-8")
+    return (zlib.crc32(token) & 0xFFFFFFFF) / 2**32

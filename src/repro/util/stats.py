@@ -1,0 +1,58 @@
+"""Small-sample binomial statistics for campaign outcome rates.
+
+Fault-injection coverage numbers are binomial proportions estimated
+from a few hundred to a few thousand trials; the Wilson score interval
+is the standard choice at those sizes because — unlike the normal
+(Wald) approximation — it never escapes ``[0, 1]`` and stays honest at
+p near 0 or 1, exactly where detection-coverage estimates live.
+
+Pure functions, stdlib-only, no repro imports: ``faultinject.report``
+uses them to annotate reports and ``explore.sampling`` uses the same
+code to decide when an adaptive campaign may stop, so the number shown
+to the user is definitionally the number the stopping rule saw.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Two-sided 95% normal quantile.  Fixed rather than configurable-by-
+# alpha because there is no stdlib inverse-normal-CDF; every consumer
+# in this repo wants 95% and says so in its output.
+Z_95 = 1.959963984540054
+
+
+def wilson_interval(successes: int, trials: int,
+                    z: float = Z_95) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)`` bounds in ``[0, 1]``.  With zero trials
+    nothing is known, so the interval is the vacuous ``(0.0, 1.0)``.
+    """
+    if trials < 0:
+        raise ValueError(f"trials must be >= 0, got {trials}")
+    if not 0 <= successes <= max(trials, 0):
+        raise ValueError(
+            f"successes must be in [0, {trials}], got {successes}")
+    if trials == 0:
+        return (0.0, 1.0)
+    n = float(trials)
+    p = successes / n
+    z2 = z * z
+    denominator = 1.0 + z2 / n
+    center = (p + z2 / (2.0 * n)) / denominator
+    spread = (z / denominator) * math.sqrt(
+        p * (1.0 - p) / n + z2 / (4.0 * n * n))
+    return (max(0.0, center - spread), min(1.0, center + spread))
+
+
+def wilson_half_width(successes: int, trials: int,
+                      z: float = Z_95) -> float:
+    """Half the Wilson interval width — the sampler's stopping metric.
+
+    1.0 (maximally uncertain) when ``trials`` is zero, shrinking
+    roughly as ``1/sqrt(trials)``; an adaptive campaign stops once
+    every tracked outcome's half-width is under its target.
+    """
+    low, high = wilson_interval(successes, trials, z)
+    return (high - low) / 2.0

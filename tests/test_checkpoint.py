@@ -2,7 +2,6 @@
 atomic writes, bit-exact snapshot/restore, and rollback recovery."""
 
 import os
-import random
 
 import pytest
 
@@ -25,6 +24,7 @@ from repro.checkpoint.container import MAGIC, dump_container
 from repro.extensions import create_extension
 from repro.flexcore import FlexCoreSystem
 from repro.isa.assembler import assemble
+from repro.util.rng import derive_rng
 from repro.workloads import build_workload
 
 SOURCE = """
@@ -203,7 +203,7 @@ class TestSnapshotRoundTrip:
     @pytest.mark.parametrize("extension", EXTENSIONS)
     def test_resume_is_bit_exact(self, workload, extension):
         program = build_workload(workload, 0.125).build()
-        rng = random.Random(f"{workload}/{extension}")
+        rng = derive_rng(workload, extension)
         interval = rng.randrange(300, 4000)
 
         captured = []

@@ -1,0 +1,525 @@
+"""Tests for repro.explore: adaptive sampling, DSE, Pareto analysis.
+
+The property tests pin the two contracts the subsystem stands on:
+Pareto-front membership is a pure, order-invariant function of the
+objective multiset, and an adaptive campaign's stopping point is a
+pure function of (config, seed) regardless of interruption.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.__main__ import main
+from repro.engine.supervisor import deterministic_backoff
+from repro.engine.sweep import SweepPoint
+from repro.explore import (
+    AdaptiveCampaign,
+    AdaptiveConfig,
+    DesignPoint,
+    DesignSpace,
+    EvolveConfig,
+    ExplorationReport,
+    PointEvaluator,
+    dominates,
+    evolve,
+    fractional_factorial,
+    full_factorial,
+    knee_point,
+    load_space,
+    pareto_front,
+)
+from repro.explore.space import PRESET_SPACES, SpaceError
+from repro.faultinject.campaign import Campaign, CampaignConfig
+from repro.util.rng import derive_fraction, derive_key, derive_rng
+from repro.util.stats import wilson_half_width, wilson_interval
+
+SCALE = 0.125
+
+#: one workload, two monitors, two depths: 4 design points, 5 sims.
+TINY = DesignSpace(
+    name="tiny",
+    workloads=("sha",),
+    extensions=("umc", "bc"),
+    fifo_depths=(16, 64),
+    clock_ratios=(0.5,),
+    scale=SCALE,
+)
+
+
+# ---------------------------------------------------------------------------
+# util: rng + stats
+
+
+class TestDeriveRng:
+    def test_matches_historical_seed_strings(self):
+        # faultinject seeded per-index rngs with f"{seed}/{index}";
+        # journals and golden digests depend on this staying exact.
+        assert derive_key(7, 3) == "7/3"
+        assert (derive_rng(7, 3).random()
+                == random.Random("7/3").random())
+
+    def test_fraction_is_exact_crc_scaling(self):
+        import zlib
+        crc = zlib.crc32(b"task-7/3") & 0xFFFFFFFF
+        assert derive_fraction("task-7", 3) == crc / 2**32
+
+    def test_backoff_schedule_unchanged(self):
+        # The supervised pool's jitter now derives from
+        # derive_fraction; the pre-refactor crc32-of-"key/attempt"
+        # schedule must hold to the last bit.
+        import zlib
+        crc = zlib.crc32(b"task-7/2") & 0xFFFFFFFF
+        expected = 0.2 * (0.5 + crc / 2**33)
+        assert deterministic_backoff(
+            0.1, 2.0, 2, key="task-7") == expected
+
+    def test_campaign_rng_unchanged(self):
+        config = CampaignConfig(extension="umc", workload="sha",
+                                scale=SCALE, seed=11)
+        campaign = Campaign(config)
+        reference = random.Random("11/4")
+        assert campaign.rng_for(4).random() == reference.random()
+
+
+class TestWilson:
+    def test_zero_trials_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+        assert wilson_half_width(0, 0) == 0.5
+
+    def test_bounds_and_shrinkage(self):
+        low, high = wilson_interval(8, 10)
+        assert 0.0 <= low <= 0.8 <= high <= 1.0
+        assert (wilson_half_width(80, 100)
+                < wilson_half_width(8, 10))
+
+    def test_extreme_rates_stay_in_range(self):
+        assert wilson_interval(0, 50)[0] == 0.0
+        assert wilson_interval(50, 50)[1] == 1.0
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+    @given(st.integers(0, 200), st.integers(0, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_interval_always_ordered(self, successes, trials):
+        if successes > trials:
+            successes, trials = trials, successes
+        low, high = wilson_interval(successes, trials)
+        assert 0.0 <= low <= high <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# pareto properties
+
+vectors = st.lists(
+    st.tuples(st.floats(0, 10, allow_nan=False),
+              st.floats(0, 10, allow_nan=False),
+              st.floats(0, 10, allow_nan=False)),
+    min_size=1, max_size=40,
+)
+
+
+class TestParetoProperties:
+    @given(vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_front_is_subset_and_nondominated(self, points):
+        front = pareto_front(points)
+        assert front
+        for member in front:
+            assert member in points
+            assert not any(dominates(other, member)
+                           for other in points)
+
+    @given(vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_dominated_points_are_excluded(self, points):
+        front = set(pareto_front(points))
+        for point in points:
+            if any(dominates(other, point) for other in points):
+                assert point not in front
+
+    @given(vectors, st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_order_invariance(self, points, rng):
+        shuffled = list(points)
+        rng.shuffle(shuffled)
+        assert (set(pareto_front(points))
+                == set(pareto_front(shuffled)))
+
+    @given(vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_knee_is_front_member(self, points):
+        front = pareto_front(points)
+        assert knee_point(front) in front
+
+    def test_dominates_is_irreflexive_and_asymmetric(self):
+        assert not dominates((1, 2), (1, 2))
+        assert dominates((1, 1), (1, 2))
+        assert not dominates((1, 2), (1, 1))
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+    def test_knee_prefers_balanced_point(self):
+        front = [(0.0, 10.0), (4.0, 4.0), (10.0, 0.0)]
+        assert knee_point(front) == (4.0, 4.0)
+
+    def test_empty_front_has_no_knee(self):
+        assert knee_point([]) is None
+
+
+# ---------------------------------------------------------------------------
+# space + enumeration
+
+
+class TestDesignSpace:
+    def test_presets_are_valid(self):
+        for name, space in PRESET_SPACES.items():
+            assert load_space(name) is space
+            assert space.size >= 4
+
+    def test_roundtrip(self):
+        space = DesignSpace.from_dict(TINY.as_dict())
+        assert space == TINY
+
+    def test_toml_loading(self, tmp_path):
+        path = tmp_path / "space.toml"
+        path.write_text(
+            'workloads = ["sha"]\n'
+            'extensions = ["umc"]\n'
+            'fifo_depths = [16, 64]\n'
+            'clock_ratios = [0.5]\n'
+            'scale = 0.125\n'
+        )
+        space = load_space(str(path))
+        assert space.name == "space"
+        assert space.size == 2
+
+    def test_rejects_unknowns(self):
+        with pytest.raises(SpaceError):
+            load_space("no-such-preset")
+        with pytest.raises(SpaceError):
+            DesignSpace.from_dict({**TINY.as_dict(),
+                                   "workloads": ["nope"]})
+        with pytest.raises(SpaceError):
+            DesignSpace.from_dict({**TINY.as_dict(),
+                                   "typo_axis": [1]})
+        with pytest.raises(SpaceError):
+            DesignSpace.from_dict({**TINY.as_dict(),
+                                   "meta_cache_sizes": [100]})
+
+    def test_full_factorial_order_is_stable(self):
+        grid = full_factorial(TINY)
+        assert len(grid) == TINY.size == 4
+        assert grid == full_factorial(TINY)
+        assert all(TINY.contains(point) for point in grid)
+
+    def test_fractional_is_deterministic_prefix_stable(self):
+        small = fractional_factorial(TINY, 2, seed=9)
+        larger = fractional_factorial(TINY, 3, seed=9)
+        assert len(small) == 2 and len(larger) == 3
+        assert small == fractional_factorial(TINY, 2, seed=9)
+        # growing the cap only adds points (cache-friendliness)
+        assert set(p.key() for p in small) <= set(
+            p.key() for p in larger)
+        assert fractional_factorial(TINY, 99) == full_factorial(TINY)
+
+    def test_campaign_key_ignores_meta_cache(self):
+        a = DesignPoint("sha", "umc", 64, 0.5, 2048)
+        b = DesignPoint("sha", "umc", 64, 0.5, 8192)
+        assert a.campaign_key() == b.campaign_key()
+        assert a.key() != b.key()
+
+    def test_meta_cache_is_part_of_sweep_identity(self):
+        a = DesignPoint("sha", "umc", 64, 0.5, 2048).sweep_point()
+        b = DesignPoint("sha", "umc", 64, 0.5, 8192).sweep_point()
+        assert a.identity() != b.identity()
+        assert SweepPoint("sha").identity()["meta_cache_bytes"] == 4096
+
+
+# ---------------------------------------------------------------------------
+# adaptive sampling
+
+ADAPTIVE = AdaptiveConfig(batch=10, min_faults=10, max_faults=30,
+                          target_half_width=0.18)
+
+
+def _campaign_config(seed: int) -> CampaignConfig:
+    return CampaignConfig(extension="umc", workload="sha",
+                          scale=SCALE, seed=seed)
+
+
+class TestAdaptiveConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(batch=0)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(min_faults=100, max_faults=50)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(target_half_width=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(targets={"nonsense": 0.1})
+        with pytest.raises(ValueError):
+            AdaptiveConfig(targets={"sdc": 2.0})
+
+    def test_per_outcome_override(self):
+        config = AdaptiveConfig(targets={"sdc": 0.01})
+        from repro.faultinject.campaign import Outcome
+        assert config.target_for(Outcome.SDC) == 0.01
+        assert config.target_for(Outcome.MASKED) == 0.05
+
+
+class TestAdaptiveCampaign:
+    @pytest.mark.parametrize("interrupt_after", [7, 23])
+    def test_interrupt_resume_is_bit_identical(self, tmp_path,
+                                               interrupt_after):
+        straight = AdaptiveCampaign(_campaign_config(7),
+                                    ADAPTIVE).run()
+        # Simulate a kill mid-batch: journal a ragged prefix, then
+        # let the adaptive run resume over it.
+        journal = tmp_path / "campaign.jsonl"
+        Campaign(CampaignConfig(
+            extension="umc", workload="sha", scale=SCALE, seed=7,
+            faults=ADAPTIVE.max_faults,
+        )).run(journal_path=journal, indices=range(interrupt_after))
+        resumed = AdaptiveCampaign(_campaign_config(7), ADAPTIVE).run(
+            journal_path=journal, resume=True)
+        assert resumed.faults_used == straight.faults_used
+        assert resumed.converged == straight.converged
+        assert resumed.digest() == straight.digest()
+        assert resumed.to_json() == straight.to_json()
+
+    def test_budget_exhaustion_reported(self):
+        tight = AdaptiveConfig(batch=10, min_faults=10, max_faults=20,
+                               target_half_width=0.01)
+        result = AdaptiveCampaign(_campaign_config(3), tight).run()
+        assert result.converged is False
+        assert result.faults_used == 20
+        assert result.report.total == 20
+        assert len(result.history) == 2
+
+    def test_report_matches_fixed_size_campaign(self):
+        """The adaptive report must be bit-identical to the
+        fixed-size campaign of its stopping length — that is what
+        'deterministic stopping point' buys."""
+        result = AdaptiveCampaign(_campaign_config(7), ADAPTIVE).run()
+        fixed = Campaign(CampaignConfig(
+            extension="umc", workload="sha", scale=SCALE, seed=7,
+            faults=result.faults_used,
+        )).run()
+        assert result.report.to_json() == fixed.to_json()
+
+    def test_report_carries_confidence(self):
+        result = AdaptiveCampaign(_campaign_config(7), ADAPTIVE).run()
+        doc = json.loads(result.report.to_json())
+        assert doc["confidence"]["level"] == 0.95
+        assert "detected" in doc["confidence"]["outcomes"]
+        widths = result.history[-1]["half_widths"]
+        assert all(0 <= w <= 1 for w in widths.values())
+
+
+# ---------------------------------------------------------------------------
+# evaluation + report
+
+
+@pytest.fixture(scope="module")
+def tiny_report(tmp_path_factory):
+    state = tmp_path_factory.mktemp("explore-state")
+    evaluator = PointEvaluator(TINY, state_dir=state)
+    evaluations = evaluator.evaluate(full_factorial(TINY))
+    return ExplorationReport.build(TINY, "factorial", evaluations,
+                                   coverage=False), state
+
+
+class TestEvaluation:
+    def test_front_members_verifiably_nondominated(self, tiny_report):
+        report, _state = tiny_report
+        feasible = [e for e in report.evaluations if e.feasible]
+        assert feasible
+        front = set(report.front)
+        for member in report.front_evaluations():
+            assert not any(
+                dominates(other.objectives(False),
+                          member.objectives(False))
+                for other in feasible)
+        for evaluation in feasible:
+            if evaluation.point.key() not in front:
+                assert any(
+                    dominates(other.objectives(False),
+                              evaluation.objectives(False))
+                    for other in feasible)
+
+    def test_scores_are_sane(self, tiny_report):
+        report, _state = tiny_report
+        for evaluation in report.evaluations:
+            assert evaluation.slowdown >= 1.0
+            assert evaluation.luts > 0
+            assert evaluation.baseline_cycles > 0
+
+    def test_report_roundtrip_and_determinism(self, tiny_report):
+        report, state = tiny_report
+        # a warm re-run must be bit-identical and all-cache-hits
+        evaluator = PointEvaluator(TINY, state_dir=state)
+        again = ExplorationReport.build(
+            TINY, "factorial",
+            evaluator.evaluate(full_factorial(TINY)), coverage=False)
+        assert again.to_json() == report.to_json()
+        assert again.digest() == report.digest()
+        assert evaluator.runner.cache_misses == 0
+        assert evaluator.runner.cache_hits > 0
+
+    def test_infeasible_clock_ratio_excluded_from_front(self):
+        # sec synthesises to a 0.25x-capable fabric: asking for 0.5x
+        # is infeasible and must be reported, not ranked.
+        space = DesignSpace(
+            name="infeasible", workloads=("sha",),
+            extensions=("sec",), fifo_depths=(64,),
+            clock_ratios=(0.5,), scale=SCALE)
+        evaluations = PointEvaluator(space).evaluate(
+            full_factorial(space))
+        report = ExplorationReport.build(space, "factorial",
+                                         evaluations, coverage=False)
+        assert report.front == ()
+        assert report.knee is None
+        assert not evaluations[0].feasible
+        assert "supported ratio" in evaluations[0].note
+        assert "infeasible" in report.format(details=True)
+
+    def test_evolve_is_deterministic_and_stays_in_space(
+            self, tiny_report):
+        _report, state = tiny_report
+        config = EvolveConfig(population=4, generations=2, elite=1)
+
+        def run_once():
+            evaluator = PointEvaluator(TINY, state_dir=state)
+
+            def objective_key(evaluation):
+                if not evaluation.feasible:
+                    return None
+                return evaluation.objectives(False)
+
+            return evolve(TINY, evaluator.evaluate, config,
+                          objective_key, seed=5)
+
+        first, second = run_once(), run_once()
+        assert sorted(first) == sorted(second)
+        assert all(TINY.contains(e.point) for e in first.values())
+        report_a = ExplorationReport.build(
+            TINY, "evolve", list(first.values()), coverage=False)
+        report_b = ExplorationReport.build(
+            TINY, "evolve", list(second.values()), coverage=False)
+        assert report_a.to_json() == report_b.to_json()
+
+
+# ---------------------------------------------------------------------------
+# CLI + service
+
+
+class TestExploreCli:
+    def test_cli_json_is_reproducible(self, tmp_path, capsys):
+        space = tmp_path / "tiny.toml"
+        space.write_text(
+            'workloads = ["sha"]\n'
+            'extensions = ["umc", "bc"]\n'
+            'fifo_depths = [16, 64]\n'
+            'clock_ratios = [0.5]\n'
+            'scale = 0.125\n'
+        )
+        out = tmp_path / "front.json"
+        state = tmp_path / "state"
+        argv = ["explore", str(space), "--journal", str(state),
+                "--resume", "--json", str(out)]
+        assert main(argv) == 0
+        first = out.read_text()
+        console = capsys.readouterr().out
+        assert "design-space exploration" in console
+        assert "*knee*" in console
+        assert main(argv) == 0
+        assert out.read_text() == first
+        doc = json.loads(first)
+        assert doc["evaluated"] == 4
+        assert doc["front"]
+
+    def test_cli_usage_errors(self, capsys):
+        assert main(["explore", "no-such-space"]) == 2
+        assert main(["explore", "smoke", "--resume"]) == 2
+        assert main(["explore", "smoke", "--faults", "5",
+                     "--ci-target", "0.1"]) == 2
+        assert main(["explore", "paper"]) == 2  # factorial too big
+        err = capsys.readouterr().err
+        assert "unreasonable" in err
+
+    def test_preset_and_details_render(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        assert main(["explore", "smoke", "--max-points", "3",
+                     "--journal", str(state), "--resume",
+                     "--details"]) == 0
+        console = capsys.readouterr().out
+        assert "mode=fractional" in console
+        assert "report digest" in console
+
+
+class TestExploreService:
+    def test_normalize_spec(self):
+        from repro.service.protocol import (
+            ProtocolError,
+            normalize_spec,
+        )
+        spec = normalize_spec("explore",
+                              {"space": TINY.as_dict(), "seed": 3})
+        assert spec["space"]["name"] == "tiny"
+        with pytest.raises(ProtocolError):
+            normalize_spec("explore", {})
+        with pytest.raises(ProtocolError):
+            normalize_spec("explore", {"space": TINY.as_dict(),
+                                       "typo": 1})
+
+    def test_served_explore_matches_direct(self, tmp_path):
+        from repro.service.jobs import Job, JobStore
+        from repro.service.protocol import job_id_for, normalize_spec
+        from repro.service.runner import CancelToken, execute_job
+
+        spec = normalize_spec("explore", {"space": TINY.as_dict()})
+        store = JobStore(tmp_path / "state")
+        job = Job(id=job_id_for("default", "explore", spec),
+                  tenant="default", kind="explore", spec=spec)
+        out = execute_job(job, store, CancelToken())
+        assert out["meta"]["kind"] == "explore"
+        assert out["meta"]["front"] >= 1
+
+        evaluator = PointEvaluator(TINY,
+                                   state_dir=tmp_path / "direct")
+        report = ExplorationReport.build(
+            TINY, "factorial",
+            evaluator.evaluate(full_factorial(TINY)), coverage=False)
+        assert out["document"] == report.to_json() + "\n"
+        assert out["meta"]["digest"] == report.digest()
+
+        # a crash-recovery re-run resumes from the same state dir
+        # and must reproduce the document byte for byte
+        again = execute_job(job, store, CancelToken())
+        assert again["document"] == out["document"]
+
+    def test_cancelled_before_start(self, tmp_path):
+        from repro.service.jobs import Job, JobStore
+        from repro.service.protocol import job_id_for, normalize_spec
+        from repro.service.runner import (
+            CancelToken,
+            JobCancelled,
+            execute_job,
+        )
+
+        spec = normalize_spec("explore", {"space": TINY.as_dict()})
+        store = JobStore(tmp_path / "state")
+        job = Job(id=job_id_for("default", "explore", spec),
+                  tenant="default", kind="explore", spec=spec)
+        token = CancelToken()
+        token.cancel("test")
+        with pytest.raises(JobCancelled):
+            execute_job(job, store, token)
