@@ -291,6 +291,8 @@ def cmd_inject(args: argparse.Namespace) -> int:
             clock_ratio=args.ratio,
             fifo_depth=args.fifo,
             jobs=args.jobs,
+            warm_start=not args.no_warm_start,
+            batch_size=args.batch_size,
             checkpoint_every=args.checkpoint_every,
             recover=args.recover,
             cache_dir=args.cache_dir,
@@ -623,8 +625,10 @@ def cmd_explore(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    """Time the fast engine against the reference loop and verify
-    their digests are bit-identical; nonzero exit on divergence."""
+    """Time the fast and superblock engines against the reference loop
+    (and, with --campaign, a warm fault campaign against the cold
+    baseline) and verify every digest is bit-identical; nonzero exit
+    on divergence."""
     import json
 
     from repro.engine.bench import format_bench, run_bench
@@ -636,7 +640,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         tuple(args.benchmarks.split(",")) if args.benchmarks else None
     )
     payload = run_bench(scale=scale, quick=args.quick, jobs=args.jobs,
-                        benchmarks=benchmarks)
+                        benchmarks=benchmarks, campaign=args.campaign)
     print(format_bench(payload))
     if args.json is not None:
         with open(args.json, "w") as handle:
@@ -1017,8 +1021,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the canonical RunResult digest (CI golden check)",
     )
     run_cmd.add_argument(
-        "--engine", choices=("fast", "reference"), default=None,
-        help="execution engine (default fast; both are bit-identical)",
+        "--engine", choices=("fast", "reference", "superblock"),
+        default=None,
+        help="execution engine (default fast; all are bit-identical)",
     )
     run_cmd.set_defaults(handler=cmd_run)
 
@@ -1070,7 +1075,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the one-screen metrics summary",
     )
     trace_cmd.add_argument(
-        "--engine", choices=("fast", "reference"), default=None,
+        "--engine", choices=("fast", "reference", "superblock"),
+        default=None,
         help="execution engine (tracing forces the reference loop)",
     )
     trace_cmd.set_defaults(handler=cmd_trace)
@@ -1116,6 +1122,16 @@ def build_parser() -> argparse.ArgumentParser:
                             help="forward FIFO depth")
     inject_cmd.add_argument("--jobs", type=int, default=1,
                             help="worker processes")
+    inject_cmd.add_argument(
+        "--no-warm-start", action="store_true",
+        help="re-simulate every fault-free prefix from reset instead "
+             "of forking from cached prefix snapshots",
+    )
+    inject_cmd.add_argument(
+        "--batch-size", type=int, default=8, metavar="N",
+        help="faults per lockstep worker dispatch when parallel "
+             "(scheduling only; results stream back per fault)",
+    )
     inject_cmd.add_argument("--json", default=None, metavar="PATH",
                             help="also write the JSON report here")
     inject_cmd.add_argument(
@@ -1175,8 +1191,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--jobs", type=int, default=1,
                            help="worker processes")
     sweep_cmd.add_argument(
-        "--engine", choices=("fast", "reference"), default="fast",
-        help="execution engine (both are bit-identical)",
+        "--engine", choices=("fast", "reference", "superblock"),
+        default="fast",
+        help="execution engine (all are bit-identical)",
     )
     sweep_cmd.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -1255,8 +1272,9 @@ def build_parser() -> argparse.ArgumentParser:
     explore_cmd.add_argument("--jobs", type=int, default=1,
                              help="worker processes")
     explore_cmd.add_argument(
-        "--engine", choices=("fast", "reference"), default="fast",
-        help="execution engine (both are bit-identical)",
+        "--engine", choices=("fast", "reference", "superblock"),
+        default="fast",
+        help="execution engine (all are bit-identical)",
     )
     explore_cmd.add_argument(
         "--journal", default=None, metavar="DIR",
@@ -1283,12 +1301,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_cmd = commands.add_parser(
         "bench",
-        help="time the fast engine against the reference loop",
+        help="time the fast and superblock engines against the "
+             "reference loop",
     )
     bench_cmd.add_argument(
         "--quick", action="store_true",
         help="smoke matrix: baseline + each extension at its paper "
              "fabric clock, scale 0.125 (the CI perf-smoke job)",
+    )
+    bench_cmd.add_argument(
+        "--campaign", action="store_true",
+        help="also time a fault campaign warm (prefix-snapshot "
+             "forking) vs cold, checking the reports stay "
+             "bit-identical",
     )
     bench_cmd.add_argument(
         "--scale", type=float, default=None,

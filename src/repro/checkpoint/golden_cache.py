@@ -183,13 +183,18 @@ class GoldenCache:
         profile; a miss returns a diagnostic explaining *why* the
         entry was unusable (absent, corrupt, or stale identity).
         """
-        from repro.faultinject.models import GoldenProfile
+        from repro.faultinject.models import GoldenProfile, ProfileMark
 
         fields, diagnostic = self._cache.load(golden_identity(config),
                                               self._stem(config))
         if fields is None:
             return None, diagnostic
         fields["store_addresses"] = tuple(fields["store_addresses"])
+        # Entries written before warm-start landmarks existed load
+        # with no marks: those campaigns simply run every fault cold.
+        fields["marks"] = tuple(
+            ProfileMark(*mark) for mark in fields.get("marks", ())
+        )
         return GoldenProfile(**fields), None
 
     def store(self, config: "CampaignConfig",

@@ -24,9 +24,13 @@ one pickled result per task, ~100 us), but every item here is a whole
 simulation (milliseconds to minutes), so the overhead is noise and in
 exchange a worker death costs exactly one in-flight attempt — the
 natural granularity for retries, deadlines and quarantine.  Callers
-that fan out truly tiny items should batch them *inside* the item
-(the lockstep fault-batching direction in ROADMAP item 2), not via a
-pool chunksize the supervisor cannot see into.
+that fan out truly tiny items batch them *inside* the item as a
+streaming composite (lockstep fault batches in
+:meth:`repro.faultinject.campaign.Campaign._run_parallel`): the
+worker function returns a generator, each yielded member result is
+recorded the moment it exists, and the ``shrink``/``explode`` hooks
+keep retry granularity at one member — unlike a pool chunksize the
+supervisor cannot see into.
 
 The interruption contract matches the original behaviour: workers
 ignore SIGINT (only the parent reacts to Ctrl-C, after the in-flight
@@ -36,6 +40,7 @@ reaping ends them silently.
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing
 import signal
 import sys
@@ -181,7 +186,7 @@ class WorkerFleet:
 
 
 def _run_serial(items, worker, record, initializer, initargs,
-                on_quarantine, stats: PoolStats) -> None:
+                on_quarantine, stats: PoolStats, shrink=None) -> None:
     """In-process execution of ``items`` (jobs=1 and fallback path).
 
     No deadlines here — a single process cannot preempt itself — so
@@ -189,19 +194,40 @@ def _run_serial(items, worker, record, initializer, initargs,
     is the right trade once the pool has already proven unusable.
     Worker exceptions are deterministic in-process: they quarantine
     immediately (no retries) or propagate when there is no handler.
+    A streaming worker (one returning a generator, i.e. a lockstep
+    batch) records each yielded member as it completes; an exception
+    mid-stream quarantines only the ``shrink``-narrowed remainder, so
+    serial and pooled runs agree on which members produced results.
     """
     if initializer is not None:
         initializer(*initargs)
+
+    def quarantine(item, err) -> None:
+        if on_quarantine is None:
+            raise err
+        stats.quarantined += 1
+        on_quarantine(item, Quarantined(item, 1, err))
+
     for item in items:
         try:
             result = worker(item)
         except Exception as err:  # noqa: BLE001 — quarantine boundary
-            if on_quarantine is None:
-                raise
-            stats.quarantined += 1
-            on_quarantine(item, Quarantined(item, 1, err))
-        else:
+            quarantine(item, err)
+            continue
+        if not inspect.isgenerator(result):
             record(result)
+            continue
+        while True:
+            try:
+                part = next(result)
+            except StopIteration:
+                break
+            except Exception as err:  # noqa: BLE001 — see above
+                quarantine(item, err)
+                break
+            record(part)
+            if shrink is not None:
+                item = shrink(item, part)
 
 
 def fan_out(
@@ -215,6 +241,8 @@ def fan_out(
     policy: PoolPolicy | None = None,
     on_quarantine=None,
     warn=None,
+    shrink=None,
+    explode=None,
 ) -> PoolStats:
     """Stream ``worker(item)`` results for every item to ``record``.
 
@@ -232,6 +260,12 @@ def fan_out(
     as a unit and ``policy.fallback`` is ``"auto"``, the remaining
     items run serially in-process after a ``warn(message)`` call.
 
+    Composite items that stream (worker returns a generator) take two
+    extra hooks: ``shrink(item, part) -> item`` drops the member a
+    just-recorded part belongs to, and ``explode(item) -> [items]``
+    splits a failed item's remainder into independently retried
+    sub-items.  See :meth:`SupervisedPool.run` for the semantics.
+
     Returns the run's :class:`PoolStats` (all zeros on a healthy run).
     """
     policy = policy or PoolPolicy()
@@ -245,12 +279,13 @@ def fan_out(
             stats.degraded = True
             warn("pool: serial execution forced (fallback=force)")
         _run_serial(items, worker, record, initializer, initargs,
-                    on_quarantine, stats)
+                    on_quarantine, stats, shrink=shrink)
         return stats
     pool = SupervisedPool(jobs, policy, stats)
     try:
         pool.run(items, worker, record, initializer=initializer,
-                 initargs=initargs, on_quarantine=on_quarantine)
+                 initargs=initargs, on_quarantine=on_quarantine,
+                 shrink=shrink, explode=explode)
     except Quarantined:
         raise
     except PoolError as err:
@@ -262,5 +297,5 @@ def fan_out(
             f"{len(err.pending)} remaining item(s) — {err}"
         )
         _run_serial(err.pending, worker, record, initializer,
-                    initargs, on_quarantine, stats)
+                    initargs, on_quarantine, stats, shrink=shrink)
     return stats

@@ -19,6 +19,13 @@ Mechanics
   ``err`` messages; the pipe doubles as the liveness heartbeat — a
   dead worker's pipe reads EOF, waking the supervisor immediately
   instead of at the next poll.
+* A worker function returning a *generator* streams a composite item
+  (a lockstep fault batch) as per-member ``part`` messages followed by
+  ``done``: the parent records each part immediately, narrows the
+  in-flight item via the caller's ``shrink`` hook, and renews the hang
+  deadline on every part.  A failure mid-stream therefore requeues
+  only the unfinished remainder, split by the caller's ``explode``
+  hook into sub-tasks that retry independently.
 * Every dispatch starts a deadline (:attr:`PoolPolicy.task_timeout`).
   A worker that overruns it is presumed hung, SIGKILLed, and its task
   requeued.
@@ -41,6 +48,7 @@ worker function, the result recorder, and the quarantine handler.
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing
 import os
 import signal
@@ -227,7 +235,16 @@ def _get_context():
 
 
 def _worker_main(conn, worker, initializer, initargs) -> None:
-    """Worker process body: init, ack, then serve tasks until EOF."""
+    """Worker process body: init, ack, then serve tasks until EOF.
+
+    A ``worker(item)`` returning a *generator* streams: each yielded
+    value goes back as its own ``("part", task_id, value)`` message
+    the moment it exists, followed by a bare ``("done", task_id)``.
+    The parent records parts immediately and (via its ``shrink`` hook)
+    narrows the in-flight item, so a death or deadline mid-stream
+    requeues only the unfinished remainder — the lockstep-batching
+    contract.
+    """
     # Parent owns interruption (same contract as the old pool): a
     # terminal-wide SIGINT must not kill workers mid-result, and
     # SIGTERM reverts to the default action so reaping is silent.
@@ -256,10 +273,16 @@ def _worker_main(conn, worker, initializer, initargs) -> None:
         task_id, item = task
         try:
             result = worker(item)
+            if inspect.isgenerator(result):
+                for part in result:
+                    conn.send(("part", task_id, part))
+                message = ("done", task_id)
+            else:
+                message = ("ok", task_id, result)
+        except OSError:
+            return
         except BaseException as err:  # noqa: BLE001 — crosses a process
             message = ("err", task_id, f"{type(err).__name__}: {err}")
-        else:
-            message = ("ok", task_id, result)
         try:
             conn.send(message)
         except OSError:
@@ -327,7 +350,8 @@ class SupervisedPool:
         self.stats = stats if stats is not None else PoolStats()
 
     def run(self, items, worker, record, *, initializer=None,
-            initargs: tuple = (), on_quarantine=None) -> PoolStats:
+            initargs: tuple = (), on_quarantine=None,
+            shrink=None, explode=None) -> PoolStats:
         """Stream ``worker(item)`` results to ``record``.
 
         Results arrive in completion order.  Quarantined items go to
@@ -336,6 +360,19 @@ class SupervisedPool:
         :class:`Quarantined`.  Any exception in the parent (including
         ``KeyboardInterrupt`` raised from ``record``) kills the
         workers before re-raising, so no orphan outlives the caller.
+
+        Composite items (lockstep batches) stream: a ``worker(item)``
+        that returns a generator sends each yielded value back as a
+        ``part`` message, recorded here the moment it arrives, and
+        ``shrink(item, part)`` narrows the in-flight item to its
+        unfinished remainder after every part.  Each part also renews
+        the hang deadline — progress is proof of liveness, so the
+        timeout governs the gap *between* parts, not the whole batch.
+        When a composite item fails mid-stream, ``explode(item)``
+        splits the (already shrunk) remainder into sub-items that
+        retry independently with fresh attempt counts: completed
+        members are never re-run, and a single poisonous member ends
+        up quarantined alone instead of dragging its batch down.
         """
         queue = deque(
             _Task(id=i, item=item) for i, item in enumerate(items)
@@ -344,6 +381,10 @@ class SupervisedPool:
         if not total:
             return self.stats
         budget = self.policy.budget_for(total)
+        #: tasks not yet completed or quarantined.  Distinct from
+        #: ``total`` because split-on-retry mints new tasks mid-run.
+        outstanding = total
+        next_id = total
         done: set[int] = set()
         workers: list[_Worker | None] = [None] * min(self.jobs, total)
         worker_args = (worker, initializer, initargs)
@@ -372,14 +413,49 @@ class SupervisedPool:
             )
 
         def fail_task(task: _Task, error: PoolError) -> None:
-            """One attempt failed: requeue with backoff, or
-            quarantine."""
-            nonlocal budget
+            """One attempt failed: requeue with backoff, split a
+            composite item, or quarantine."""
+            nonlocal budget, outstanding, next_id
             note_failure()
             inflight.pop(task.id, None)
             task.last_error = error
+            pieces = (
+                list(explode(task.item)) if explode is not None
+                else None
+            )
+            if pieces is not None and len(pieces) > 1:
+                # Split-on-retry: the culprit inside a composite item
+                # is unknown (any unfinished member may have wedged
+                # the worker), so each remaining member retries alone
+                # with a *fresh* attempt count — the batch failure is
+                # not evidence against any one member.  The split
+                # itself debits the budget once, so a hostile
+                # environment still exhausts it and degrades instead
+                # of splitting forever.
+                if budget <= 0:
+                    raise PoolError(
+                        f"retry budget exhausted after "
+                        f"{self.stats.retries} retries (last failure: "
+                        f"{error}) — the environment, not a task, "
+                        f"looks broken",
+                        pending=pending_items() + [task.item],
+                    )
+                budget -= 1
+                self.stats.retries += 1
+                outstanding += len(pieces) - 1
+                now = time.monotonic()
+                for piece in pieces:
+                    sub = _Task(id=next_id, item=piece,
+                                last_error=error)
+                    next_id += 1
+                    sub.not_before = now + self.policy.backoff_delay(
+                        task.attempts, key=sub.id
+                    )
+                    queue.append(sub)
+                return
             if task.attempts > self.policy.max_retries:
                 self.stats.quarantined += 1
+                outstanding -= 1
                 wrapped = Quarantined(task.item, task.attempts, error)
                 if on_quarantine is None:
                     raise wrapped
@@ -400,7 +476,7 @@ class SupervisedPool:
             queue.append(task)
 
         def handle_message(slot: int, message) -> None:
-            nonlocal consecutive_failures
+            nonlocal consecutive_failures, outstanding
             kind = message[0]
             handle = workers[slot]
             if kind == "ready":
@@ -425,8 +501,37 @@ class SupervisedPool:
                 inflight.pop(task_id, None)
                 if task is not None and task.id != task_id:
                     inflight.pop(task.id, None)
+                outstanding -= 1
                 consecutive_failures = 0
                 record(result)
+            elif kind == "part":
+                # One member of a streaming composite item finished.
+                task_id, value = message[1], message[2]
+                task = handle.task
+                if task is None or task.id != task_id or task_id in done:
+                    return  # stale stream after a reap race
+                consecutive_failures = 0
+                record(value)
+                if shrink is not None:
+                    task.item = shrink(task.item, value)
+                if self.policy.task_timeout is not None:
+                    handle.deadline = (
+                        time.monotonic() + self.policy.task_timeout
+                    )
+            elif kind == "done":
+                # End of a streamed item: every part was recorded.
+                task_id = message[1]
+                task = handle.task
+                handle.task = None
+                handle.deadline = None
+                if task_id in done:
+                    return  # late duplicate after a reap race
+                done.add(task_id)
+                inflight.pop(task_id, None)
+                if task is not None and task.id != task_id:
+                    inflight.pop(task.id, None)
+                outstanding -= 1
+                consecutive_failures = 0
             elif kind == "err":
                 # The worker survived — the task's own code raised.
                 # Still an infra-shaped failure from the caller's
@@ -449,7 +554,7 @@ class SupervisedPool:
                     f"{type(err).__name__}: {err}",
                     pending=pending_items(),
                 ) from err
-            while len(done) + self.stats.quarantined < total:
+            while outstanding > 0:
                 now = time.monotonic()
 
                 # 1. keep the fleet at strength (with backoff).  A

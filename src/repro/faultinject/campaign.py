@@ -43,8 +43,11 @@ from dataclasses import dataclass, replace
 
 from repro.checkpoint import (
     GoldenCache,
+    IdentityCache,
     JournalMismatchError,
     ResultsJournal,
+    SystemSnapshot,
+    golden_identity,
 )
 from repro.core.executor import SimulationError
 from repro.engine.pool import PoolPolicy, PoolStats
@@ -55,6 +58,7 @@ from repro.faultinject.models import (
     FaultModel,
     FaultSpec,
     GoldenProfile,
+    ProfileMark,
     create_model,
 )
 from repro.flexcore.interface import InterfaceConfig
@@ -70,6 +74,16 @@ from repro.isa.opcodes import ALU_CLASSES
 from repro.telemetry.profiler import PhaseProfiler
 from repro.util.rng import derive_rng
 from repro.workloads import build_workload
+
+
+#: warm-start landmark cadence: one :class:`ProfileMark` every this
+#: many committed instructions of the golden run ...
+MARK_STRIDE = 256
+#: ... until the landmark list would exceed twice this cap, at which
+#: point every other landmark is dropped and the stride doubles (so
+#: the list length stays below ``2 * MAX_PROFILE_MARKS`` however long
+#: the run is, while late faults keep nearby fork points).
+MAX_PROFILE_MARKS = 64
 
 
 class CampaignError(Exception):
@@ -204,6 +218,14 @@ class CampaignConfig:
     wallclock_limit: float | None = 60.0
     #: worker processes (1 = in-process serial).
     jobs: int = 1
+    #: lockstep batch size for parallel runs: up to this many fault
+    #: indices ride one worker dispatch, sharing the worker's golden
+    #: profile, predecoded superblocks and warm-start prefix
+    #: snapshots.  Results stream back one fault at a time, so retry,
+    #: quarantine and journal granularity stay per fault (a batch
+    #: that fails mid-way requeues only its unfinished members).
+    #: Scheduling only — never part of the journal identity.
+    batch_size: int = 8
     #: instruction budget for the golden run (None = system default).
     max_instructions: int | None = None
     #: periodic checkpoint interval (committed instructions) for the
@@ -214,6 +236,14 @@ class CampaignConfig:
     recover: bool = False
     #: directory for the golden-run profile cache (None = no cache).
     cache_dir: str | None = None
+    #: fork each faulted run from a prefix snapshot taken just before
+    #: its injection window instead of re-simulating the fault-free
+    #: prefix from reset.  A pure accelerant: results are bit-identical
+    #: to cold runs (the equivalence suite enforces it), any warm-path
+    #: failure degrades to a cold run with a warning, and rollback
+    #: recovery (``recover=True``) always runs cold because its
+    #: checkpoint cadence is anchored at reset.
+    warm_start: bool = True
     #: MDL monitor specs as ``(filename, source)`` pairs.  The sources
     #: ride along *inside* the config (not as paths) so a pickled
     #: config rebuilt in a worker process — or replayed from a journal
@@ -257,6 +287,10 @@ class CampaignConfig:
             raise ValueError(f"faults must be >= 1, got {self.faults}")
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
         if self.hang_multiplier <= 1:
             raise ValueError("hang_multiplier must be > 1")
         if self.hang_slack < 0:
@@ -293,9 +327,11 @@ class CampaignConfig:
 
     def journal_identity(self) -> dict:
         """The fields a resumable journal is keyed on: everything that
-        influences per-index results.  ``jobs`` (scheduling only),
+        influences per-index results.  ``jobs`` and ``batch_size``
+        (scheduling only),
         ``wallclock_limit`` (an environment backstop), ``cache_dir``
-        (a pure accelerant) and the pool-robustness knobs
+        and ``warm_start`` (pure accelerants) and the pool-robustness
+        knobs
         (``task_timeout``, ``max_retries``, ``serial_fallback`` — they
         decide *whether* an index completes here-and-now, never what
         its result is) are deliberately excluded — a campaign may be
@@ -372,6 +408,14 @@ class Campaign:
                     self._warn(cache.disabled_reason)
         self.profile = profile
         self.models = self._select_models()
+        #: in-memory prefix snapshots for warm-started faulted runs,
+        #: keyed by instret (one per landmark actually used).
+        self._prefix_snapshots: dict[int, SystemSnapshot] = {}
+        self._prefix_cache = (
+            IdentityCache(config.cache_dir, label="prefix cache",
+                          section="snapshot")
+            if config.cache_dir else None
+        )
         budget = config.hang_multiplier
         self._instr_budget = (
             int(self.profile.instructions * budget) + config.hang_slack
@@ -407,19 +451,33 @@ class Campaign:
         system = self._build_system()
         counts = {"alu": 0, "load": 0, "store": 0}
         addresses: dict[int, None] = {}  # insertion-ordered set
+        marks: list[ProfileMark] = []
+        mark_state = {"n": 0, "stride": MARK_STRIDE}
 
         def profile_hook(record):
-            if record.annulled:
-                return
-            if record.instr_class in ALU_CLASSES:
-                counts["alu"] += 1
-            if record.is_load:
-                counts["load"] += 1
-            if record.is_store:
-                counts["store"] += 1
-                addr = record.addr & ~3
-                if len(addresses) < MAX_PROFILE_ADDRESSES:
-                    addresses[addr] = None
+            if not record.annulled:
+                if record.instr_class in ALU_CLASSES:
+                    counts["alu"] += 1
+                if record.is_load:
+                    counts["load"] += 1
+                if record.is_store:
+                    counts["store"] += 1
+                    addr = record.addr & ~3
+                    if len(addresses) < MAX_PROFILE_ADDRESSES:
+                        addresses[addr] = None
+            # Warm-start landmarks: every ``stride`` commits (annulled
+            # slots included, matching instret), remember how far the
+            # ALU and forwarded-packet counters have advanced.  When
+            # the run outgrows the cap, halve the resolution — long
+            # runs get coarser but never unbounded landmark lists.
+            n = mark_state["n"] = mark_state["n"] + 1
+            if n % mark_state["stride"] == 0:
+                forwarded = (system.interface.stats.forwarded
+                             if system.interface else 0)
+                marks.append(ProfileMark(n, counts["alu"], forwarded))
+                if len(marks) == 2 * MAX_PROFILE_MARKS:
+                    del marks[::2]
+                    mark_state["stride"] *= 2
 
         system.record_hooks.append(profile_hook)
         deadline = None
@@ -456,6 +514,7 @@ class Campaign:
             register_tag_bits=extension.register_tag_bits,
             num_physical_registers=system.cpu.regs.num_physical,
             output=self._signature(result),
+            marks=tuple(marks),
         )
         return result, profile
 
@@ -504,6 +563,196 @@ class Campaign:
         model = rng.choice(self.models)
         return model, model.plan(rng, self.profile)
 
+    # -- warm start ---------------------------------------------------------
+
+    def _warm_eligible(self) -> bool:
+        return self.config.warm_start and not self.config.recover
+
+    def _warm_mark(self, model: FaultModel,
+                   spec: FaultSpec) -> ProfileMark | None:
+        """Latest golden-run landmark strictly before the fault's
+        injection window (``None`` = no usable landmark: fault too
+        early, model arms at reset, or the profile predates marks)."""
+        bound = model.warm_bound(spec)
+        best = None
+        for mark in self.profile.marks:
+            if mark[0] >= bound:
+                break
+            best = mark
+        return best
+
+    def _prefix_identity(self, instret: int) -> dict:
+        identity = golden_identity(self.config)
+        identity["prefix_instret"] = instret
+        return identity
+
+    def _prefix_stem(self, instret: int) -> str:
+        workload = self.config.workload or "inline"
+        return f"{workload}-{self.config.extension}-warm{instret}"
+
+    def _replay_prefix(self, instret: int) -> SystemSnapshot | None:
+        """Re-simulate the fault-free prefix (no hooks, so the fused
+        engine runs it) and capture the state at exactly ``instret``
+        committed instructions.  Chains from the nearest earlier
+        snapshot already in memory, so generating the landmarks of a
+        whole campaign costs one pass over the longest prefix, not a
+        quadratic pile of restarts."""
+        system = self._build_system()
+        base = 0
+        earlier = [w for w in self._prefix_snapshots if w < instret]
+        if earlier:
+            base = max(earlier)
+            self._prefix_snapshots[base].restore_into(system)
+        captured: dict = {}
+
+        def grab(_system, state):
+            if "state" not in captured:
+                captured["state"] = state
+
+        deadline = None
+        if self.config.wallclock_limit is not None:
+            deadline = time.monotonic() + self.config.wallclock_limit
+        # The checkpoint interval fires the callback at the first loop
+        # top with ``instret`` committed; the +1 instruction limit
+        # then stops the run immediately after.
+        system.run_bounded(
+            max_instructions=instret + 1,
+            checkpoint_every=instret - base,
+            on_checkpoint=grab,
+            deadline=deadline,
+            engine="superblock",
+        )
+        state = captured.get("state")
+        if state is None or state["cpu"]["instret"] != instret:
+            return None
+        return SystemSnapshot.from_state(system, state)
+
+    def _prefix_snapshot(self, instret: int) -> SystemSnapshot | None:
+        """The prefix snapshot at ``instret``, from (in order) the
+        in-memory store, the on-disk prefix cache, or a fresh fused-
+        engine replay (which then populates both)."""
+        snapshot = self._prefix_snapshots.get(instret)
+        if snapshot is not None:
+            return snapshot
+        cache = self._prefix_cache
+        if cache is not None:
+            payload, _diagnostic = cache.load(
+                self._prefix_identity(instret),
+                self._prefix_stem(instret),
+            )
+            if payload is not None:
+                snapshot = SystemSnapshot(payload["meta"],
+                                          payload["state"])
+                if snapshot.instructions != instret:
+                    snapshot = None
+        if snapshot is None:
+            snapshot = self._replay_prefix(instret)
+            if snapshot is not None and cache is not None:
+                cache.store(
+                    self._prefix_identity(instret),
+                    self._prefix_stem(instret),
+                    {"meta": snapshot.meta, "state": snapshot.state},
+                )
+                if cache.disabled_reason is not None:
+                    self._warn(cache.disabled_reason)
+        if snapshot is not None:
+            self._prefix_snapshots[instret] = snapshot
+        return snapshot
+
+    def _warm_settle(self, model: FaultModel, spec: FaultSpec) -> int:
+        """Absolute instret by which the armed fault has provably
+        fired (``0`` = unknown: the whole suffix stays hooked).
+
+        ``"commits"``-indexed models know this statically.  For
+        ``"alu"``/``"forwarded"``-indexed models the golden landmarks
+        supply the bound: the faulted run is identical to the golden
+        run until its trigger fires (the fault is the first
+        divergence), so the first landmark whose counter has reached
+        the index is an instret by which the trigger fired — past it
+        the hook is an inert counter and the rest of the run can go
+        hook-free on a fused engine."""
+        settle = model.warm_settle(spec)
+        if settle:
+            return settle
+        unit = model.warm_unit
+        if unit not in ("alu", "forwarded"):
+            return 0
+        index = int(spec.get("index", 0))
+        for mark in self.profile.marks:
+            count = (mark.alu_commits if unit == "alu"
+                     else mark.forwarded)
+            if count is not None and count >= index:
+                return mark.instret
+        return 0
+
+    def _warm_plan(self, system: FlexCoreSystem, spec: FaultSpec,
+                   model: FaultModel) -> tuple[int, int] | None:
+        """Restore the best prefix snapshot into ``system``, arm a
+        rebased ``spec``, and return ``(fork_instret, settle_instret)``
+        (``None`` = no usable landmark; caller arms and runs cold)."""
+        mark = self._warm_mark(model, spec)
+        if mark is None:
+            return None
+        snapshot = self._prefix_snapshot(mark.instret)
+        if snapshot is None:
+            return None
+        snapshot.restore_into(system)
+        model.arm_warm(system, spec, mark)
+        return mark.instret, self._warm_settle(model, spec)
+
+    def _run_warm(self, system: FlexCoreSystem, fork: int, settle: int,
+                  deadline: float | None,
+                  active: list | None = None) -> RunResult:
+        """Run a warm-armed system to completion.
+
+        When the fault's injection window provably closes at
+        ``settle``, the run splits in two legs: the hooked reference
+        window ``fork..settle``, paused by an artificial instruction
+        limit right after capturing the state at ``settle``, and a
+        hook-free fused-engine run from that state to completion
+        under the real watchdog budgets.  If the run terminates inside
+        the window (the fault trapped or crashed it), that result is
+        final and the second leg never happens.  Without a static
+        settle point the whole suffix runs in one leg.
+        """
+        config = self.config
+        if not settle or settle <= fork:
+            return system.run_bounded(
+                max_instructions=self._instr_budget,
+                max_cycles=self._cycle_budget,
+                deadline=deadline,
+                checkpoint_every=config.checkpoint_every,
+            )
+        captured: dict = {}
+
+        def grab(_system, state):
+            if "state" not in captured:
+                captured["state"] = state
+
+        window = system.run_bounded(
+            max_instructions=settle + 1,
+            max_cycles=self._cycle_budget,
+            deadline=deadline,
+            checkpoint_every=settle - fork,
+            on_checkpoint=grab,
+        )
+        state = captured.get("state")
+        if (window.termination != Termination.INSTRUCTION_LIMIT
+                or state is None
+                or state["cpu"]["instret"] != settle):
+            return window
+        remainder = self._build_system()
+        if active is not None:
+            active[0] = remainder  # crashes now belong to this system
+        remainder.restore_state(state)
+        return remainder.run_bounded(
+            max_instructions=self._instr_budget,
+            max_cycles=self._cycle_budget,
+            deadline=deadline,
+            checkpoint_every=config.checkpoint_every,
+            engine="superblock",
+        )
+
     def run_spec(
         self, spec: FaultSpec, model: FaultModel | None = None
     ) -> RunResult:
@@ -512,11 +761,31 @@ class Campaign:
         if model is None:
             model = create_model(spec.model)
         system = self._build_system()
-        model.arm(system, spec)
+        plan = None
+        if self._warm_eligible():
+            try:
+                plan = self._warm_plan(system, spec, model)
+            except Exception as err:  # noqa: BLE001 — accelerant only
+                self._warn(
+                    f"warm start failed for {spec} "
+                    f"({type(err).__name__}: {err}); running cold"
+                )
+                system = self._build_system()  # drop partial restore
+                plan = None
+        if plan is None:
+            model.arm(system, spec)
         deadline = None
         if self.config.wallclock_limit is not None:
             deadline = time.monotonic() + self.config.wallclock_limit
+        # A warm run's suffix leg executes in a *second* system (built
+        # inside _run_warm); the sandbox below must attribute a crash
+        # to whichever system was actually running, or warm crash
+        # reports would diverge from cold ones.
+        active = [system]
         try:
+            if plan is not None:
+                return self._run_warm(system, plan[0], plan[1],
+                                      deadline, active)
             return system.run_bounded(
                 max_instructions=self._instr_budget,
                 max_cycles=self._cycle_budget,
@@ -529,21 +798,23 @@ class Campaign:
             # simulated program (e.g. a config upset wedging the
             # fabric model).  The sandbox turns *any* escape into a
             # structured crash result instead of killing the campaign.
+            crashed = active[0]
             error = SimulationError(
                 f"simulator fault escaped the run: "
                 f"{type(err).__name__}: {err}",
-                pc=system.cpu.pc, instret=system.cpu.instret,
+                pc=crashed.cpu.pc, instret=crashed.cpu.instret,
             )
             return RunResult(
                 cycles=0,
-                instructions=system.cpu.instret,
+                instructions=crashed.cpu.instret,
                 halted=False,
                 trap=None,
-                core_stats=system.core_timing.stats,
+                core_stats=crashed.core_timing.stats,
                 interface_stats=(
-                    system.interface.stats if system.interface else None
+                    crashed.interface.stats
+                    if crashed.interface else None
                 ),
-                memory=system.memory,
+                memory=crashed.memory,
                 program=self.program,
                 termination=Termination.ERROR,
                 error=error,
@@ -611,7 +882,9 @@ class Campaign:
         """Execute every faulted run and build the coverage report.
 
         ``progress`` is an optional callable ``(done, total)`` invoked
-        after each completed run (serial mode) or batch (parallel).
+        after each completed run — parallel lockstep batches stream
+        their members back individually, so granularity is one fault
+        either way.
 
         ``indices`` restricts this call to a subset of the campaign's
         fault indices (each must be in ``range(config.faults)``); the
@@ -776,11 +1049,21 @@ class Campaign:
         """Fan the runs out over the supervised process pool.
 
         Each worker rebuilds the campaign once (fork keeps this cheap)
-        and runs indices one at a time; per-index seeding makes the
-        result independent of the scheduling.  Pool mechanics (worker
-        signal setup, deadlines, retries, terminate-on-interrupt) live
-        in :func:`repro.engine.pool.fan_out`; an index that keeps
-        killing its worker is quarantined here as an
+        and runs *lockstep batches* of up to ``config.batch_size``
+        indices per dispatch: the members of a batch share the
+        worker's golden profile, predecoded superblocks and chained
+        warm-start prefix snapshots, and their results stream back one
+        ``part`` at a time.  Per-index seeding makes each result
+        independent of the scheduling, so batching never changes the
+        science — only how much per-dispatch setup is amortised.
+
+        Pool mechanics (worker signal setup, deadlines, retries,
+        terminate-on-interrupt) live in
+        :func:`repro.engine.pool.fan_out`.  Retry granularity stays
+        one fault: a batch that fails mid-way is shrunk to its
+        unfinished members (everything already streamed back is
+        recorded and journaled) and split into per-index retries; an
+        index that keeps killing its worker is quarantined here as an
         :attr:`Outcome.INFRA_FAILED` result carrying the planned
         fault spec, so nothing ever silently disappears from the
         report.
@@ -788,6 +1071,9 @@ class Campaign:
         from repro.engine.pool import fan_out
 
         worker_config = replace(self.config, jobs=1)
+        size = self.config.batch_size
+        batches = [list(indices[i:i + size])
+                   for i in range(0, len(indices), size)]
         timeout = self.config.task_timeout
         if timeout is None and self.config.wallclock_limit is not None:
             # The pool deadline must comfortably outlast the
@@ -801,23 +1087,28 @@ class Campaign:
             fallback=self.config.serial_fallback,
         )
 
-        def quarantine(index, error):
-            _model, spec = self.plan(index)
-            record(FaultResult(
-                index=index,
-                spec=spec,
-                outcome=Outcome.INFRA_FAILED,
-                termination="infra-failure",
-                trap=None,
-                detail=str(error),
-                instructions=0,
-                cycles=0,
-            ))
+        def quarantine(batch, error):
+            # ``batch`` is whatever was still unfinished when retries
+            # ran out — usually a single exploded index, but every
+            # member is surfaced either way.
+            for index in batch:
+                _model, spec = self.plan(index)
+                record(FaultResult(
+                    index=index,
+                    spec=spec,
+                    outcome=Outcome.INFRA_FAILED,
+                    termination="infra-failure",
+                    trap=None,
+                    detail=str(error),
+                    instructions=0,
+                    cycles=0,
+                ))
 
         self.pool_stats = fan_out(
-            indices, _worker_run, record, jobs=self.config.jobs,
+            batches, _worker_run_batch, record, jobs=self.config.jobs,
             initializer=_init_worker, initargs=(worker_config,),
             policy=policy, on_quarantine=quarantine, warn=self._warn,
+            shrink=_shrink_batch, explode=_explode_batch,
         )
 
 
@@ -839,6 +1130,27 @@ def _init_worker(config: CampaignConfig) -> None:
 
 def _worker_run(index: int) -> FaultResult:
     return _WORKER_CAMPAIGN.run_one(index)
+
+
+def _worker_run_batch(indices):
+    """One lockstep batch: the members share this worker's campaign —
+    hence its golden profile, predecoded superblock tables and chained
+    warm-start prefix snapshots — and stream their results back one
+    ``part`` at a time, so the parent journals each fault the moment
+    it completes."""
+    for index in indices:
+        yield _worker_run(index)
+
+
+def _shrink_batch(batch: list, result: FaultResult) -> list:
+    """Drop the member a just-streamed result belongs to, leaving the
+    unfinished remainder the pool would requeue."""
+    return [index for index in batch if index != result.index]
+
+
+def _explode_batch(batch: list) -> list[list]:
+    """Split a failed batch's remainder into per-index retries."""
+    return [[index] for index in batch]
 
 
 def run_campaign(config: CampaignConfig, progress=None,

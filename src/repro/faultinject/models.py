@@ -32,6 +32,43 @@ from repro.isa.opcodes import ALU_CLASSES
 MAX_PROFILE_ADDRESSES = 4096
 
 
+class ProfileMark(tuple):
+    """One warm-start landmark of the golden run: after ``instret``
+    committed instructions (annulled slots included), exactly
+    ``alu_commits`` of them were non-annulled ALU-class commits and
+    ``forwarded`` trace packets had been delivered to the extension.
+
+    A plain tuple subclass (not a NamedTuple) so cached profiles
+    round-trip through the checkpoint codec as ordinary tuples.  The
+    ``forwarded`` element is optional: profiles cached before it
+    existed load as 2-tuples, whose marks simply cannot bound
+    forwarded-indexed injection windows.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, instret: int, alu_commits: int,
+                forwarded: int | None = None):
+        if forwarded is None:
+            return super().__new__(cls,
+                                   (int(instret), int(alu_commits)))
+        return super().__new__(
+            cls, (int(instret), int(alu_commits), int(forwarded))
+        )
+
+    @property
+    def instret(self) -> int:
+        return self[0]
+
+    @property
+    def alu_commits(self) -> int:
+        return self[1]
+
+    @property
+    def forwarded(self) -> int | None:
+        return self[2] if len(self) > 2 else None
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """One concrete, serialisable fault: a model name plus its
@@ -82,6 +119,11 @@ class GoldenProfile:
     num_physical_registers: int
     #: output signature of the golden run (SDC reference).
     output: str
+    #: warm-start landmarks, ascending by instret (see
+    #: :class:`ProfileMark`).  Defaults empty so profiles cached
+    #: before the field existed keep loading — campaigns simply run
+    #: every fault cold until the profile is regenerated.
+    marks: tuple[ProfileMark, ...] = ()
 
     def data_words(self) -> int:
         return max(self.data_size // 4, 0)
@@ -101,16 +143,84 @@ class GoldenProfile:
         )
 
 
+def _rebase_index(spec: FaultSpec, index: int) -> FaultSpec:
+    """``spec`` with its dynamic ``index`` parameter replaced."""
+    params = dict(spec.params)
+    params["index"] = index
+    return FaultSpec(spec.model, tuple(sorted(params.items())))
+
+
 class FaultModel(abc.ABC):
     """One class of injectable fault."""
 
     #: registry key and report label.
     name: str = "base"
     description: str = ""
+    #: which golden-run counter the model's ``index`` parameter walks:
+    #: ``"commits"`` (every committed instruction, annulled slots
+    #: included), ``"alu"`` (non-annulled ALU-class commits) or
+    #: ``"forwarded"`` (packets delivered to the extension).  ``None``
+    #: means the model arms at time zero, so there is no fault-free
+    #: prefix a warm-started run could skip.
+    warm_unit: str | None = None
 
     def applicable(self, profile: GoldenProfile) -> bool:
         """Whether this model has a non-empty fault space here."""
         return profile.instructions > 0
+
+    # -- warm start ---------------------------------------------------------
+
+    def warm_bound(self, spec: FaultSpec) -> int:
+        """Exclusive upper bound on the instret a warm-started run may
+        fork from.  The fault provably fires at or after this many
+        committed instructions (every counter the index may walk
+        advances at most once per instruction), so restoring a prefix
+        snapshot strictly below the bound and arming via
+        :meth:`arm_warm` reproduces the cold run bit-exactly.
+        ``0`` disables warm-starting for this spec."""
+        if self.warm_unit is None:
+            return 0
+        return int(spec.get("index", 0))
+
+    def warm_settle(self, spec: FaultSpec) -> int:
+        """Absolute instret by which the armed fault has provably
+        finished mutating the run (``0`` = not statically known).
+        Past it the injection hook is inert — a pure counter — so the
+        remainder of the run can continue hook-free on a fused engine
+        with bit-identical results.  Only ``"commits"``-indexed models
+        know this statically: their trigger fires *during* commit
+        ``index``, so the window closes when ``index`` instructions
+        have committed."""
+        if self.warm_unit == "commits":
+            return int(spec.get("index", 0))
+        return 0
+
+    def arm_warm(self, system: FlexCoreSystem, spec: FaultSpec,
+                 mark: ProfileMark) -> None:
+        """Arm ``spec`` into a system just restored from the prefix
+        snapshot described by ``mark``, rebasing the dynamic index
+        past the counter value the skipped prefix already consumed."""
+        if self.warm_unit == "commits":
+            skipped = mark.instret
+        elif self.warm_unit == "alu":
+            skipped = mark.alu_commits
+        elif self.warm_unit == "forwarded":
+            # Packets are serviced synchronously at commit, so the
+            # restored interface counter *is* the prefix's delivery
+            # count.
+            skipped = system.interface.stats.forwarded
+        else:
+            raise ValueError(
+                f"model {self.name!r} cannot warm-start"
+            )
+        index = int(spec.get("index"))
+        if skipped >= index:
+            raise ValueError(
+                f"prefix snapshot at instret {mark.instret} overruns "
+                f"the {self.name} trigger (index {index}, "
+                f"{skipped} {self.warm_unit} already consumed)"
+            )
+        self.arm(system, _rebase_index(spec, index - skipped))
 
     @abc.abstractmethod
     def plan(self, rng: random.Random, profile: GoldenProfile) -> FaultSpec:
@@ -142,6 +252,7 @@ class RegisterBitFlip(FaultModel):
 
     name = "register"
     description = "register-file single-bit flip"
+    warm_unit = "commits"
 
     def plan(self, rng: random.Random, profile: GoldenProfile) -> FaultSpec:
         return FaultSpec.make(
@@ -167,6 +278,7 @@ class MemoryBitFlip(FaultModel):
 
     name = "memory"
     description = "memory single-bit flip"
+    warm_unit = "commits"
 
     def applicable(self, profile: GoldenProfile) -> bool:
         return profile.instructions > 0 and bool(profile.address_pool())
@@ -196,6 +308,7 @@ class MetaBitFlip(FaultModel):
 
     name = "meta"
     description = "monitor meta-data single-bit flip"
+    warm_unit = "commits"
 
     def applicable(self, profile: GoldenProfile) -> bool:
         return profile.instructions > 0 and (
@@ -248,6 +361,7 @@ class PacketFieldCorruption(FaultModel):
 
     name = "packet"
     description = "trace-packet field single-bit corruption"
+    warm_unit = "commits"
 
     FIELDS = ("addr", "result", "srcv1", "srcv2", "cond", "branch")
 
@@ -279,6 +393,7 @@ class AluResultBitFlip(FaultModel):
 
     name = "alu-result"
     description = "ALU result single-bit flip"
+    warm_unit = "alu"
 
     def applicable(self, profile: GoldenProfile) -> bool:
         return profile.alu_commits > 0
@@ -309,6 +424,7 @@ class FifoDrop(FaultModel):
 
     name = "fifo-drop"
     description = "forward-FIFO entry drop"
+    warm_unit = "forwarded"
 
     def applicable(self, profile: GoldenProfile) -> bool:
         return profile.forwarded > 0

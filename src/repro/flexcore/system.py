@@ -48,12 +48,14 @@ DEFAULT_RECOVERY_LATENCY = 128
 DEFAULT_RECOVERY_LIMIT = 3
 
 #: Valid execution engines.  ``fast`` predecodes each PC into a fused
-#: handler closure (see :mod:`repro.engine`); ``reference`` is the
-#: original step/advance/on_commit loop.  Results are bit-identical —
-#: the differential and golden tests enforce it — and the fast engine
-#: silently falls back to the reference loop whenever record hooks or
+#: handler closure (see :mod:`repro.engine`); ``superblock``
+#: additionally fuses straight-line runs so the dispatch loop strides
+#: a basic block at a time; ``reference`` is the original
+#: step/advance/on_commit loop.  Results are bit-identical — the
+#: differential and golden tests enforce it — and both fused engines
+#: silently fall back to the reference loop whenever record hooks or
 #: live telemetry need to observe every commit record.
-ENGINES = ("fast", "reference")
+ENGINES = ("fast", "superblock", "reference")
 
 
 class Termination(str, enum.Enum):
@@ -137,8 +139,9 @@ class SystemConfig:
     #: stop the simulation when the extension raises TRAP (the paper's
     #: extensions terminate the program); if False, record and continue.
     stop_on_trap: bool = True
-    #: execution engine: "fast" (predecoded handler loop) or
-    #: "reference" (original loop).  Bit-identical results either way.
+    #: execution engine: "fast" (predecoded handler loop),
+    #: "superblock" (predecoded + fused straight-line runs) or
+    #: "reference" (original loop).  Bit-identical results any way.
     engine: str = "fast"
 
     def __post_init__(self) -> None:
@@ -376,12 +379,20 @@ class FlexCoreSystem:
         core_timing = self.core_timing
         interface = self.interface
 
-        use_fast = engine == "fast" and self._fast_loop_supported()
+        use_fast = (engine in ("fast", "superblock")
+                    and self._fast_loop_supported())
         if use_fast:
-            from repro.engine.fastloop import run_fast_loop
+            if engine == "superblock":
+                from repro.engine.fastloop import (
+                    run_superblock_loop as fused_loop,
+                )
+            else:
+                from repro.engine.fastloop import (
+                    run_fast_loop as fused_loop,
+                )
 
             (now, trap, termination, error, recoveries,
-             recovery_cycles) = run_fast_loop(
+             recovery_cycles) = fused_loop(
                 self, limit, max_cycles, deadline, checkpoint_every,
                 on_checkpoint, recover, recovery_limit,
                 recovery_latency,
@@ -436,7 +447,7 @@ class FlexCoreSystem:
                         if interface else None),
             cache_stats=cache_stats,
             bus_stats=self.bus.stats,
-            engine="fast" if use_fast else "reference",
+            engine=engine if use_fast else "reference",
         )
 
     def _run_reference_loop(

@@ -55,8 +55,9 @@ class CancelToken:
 #: that must stay under the server's control.
 _INJECT_PASSTHROUGH = (
     "extension", "workload", "source", "entry", "scale", "faults",
-    "seed", "clock_ratio", "fifo_depth", "checkpoint_every",
-    "recover", "task_timeout", "max_retries", "serial_fallback",
+    "seed", "clock_ratio", "fifo_depth", "warm_start", "batch_size",
+    "checkpoint_every", "recover", "task_timeout", "max_retries",
+    "serial_fallback",
 )
 
 

@@ -9,7 +9,9 @@ Each entry pins the ``run_digest`` of one (workload, extension) point
 of the experiment configuration — six paper workloads under no
 monitor and the four prototype extensions at their Table-IV fabric
 clocks, scale 0.125 — computed through
-:func:`repro.engine.sweep.run_point`.  ``tests/test_golden_digests.py``
+:func:`repro.engine.sweep.run_point`, once per fused engine mode
+(the file maps engine -> {point -> digest}, and regeneration refuses
+to write if the engines disagree).  ``tests/test_golden_digests.py``
 fails when the simulator's observable behavior drifts from these
 values, turning silent architectural changes into explicit diffs of
 this file.
@@ -21,6 +23,7 @@ from pathlib import Path
 GOLDEN_PATH = Path(__file__).resolve().parent / "digests.json"
 GOLDEN_SCALE = 0.125
 GOLDEN_EXTENSIONS = (None, "umc", "dift", "bc", "sec")
+GOLDEN_ENGINES = ("fast", "superblock")
 
 
 def golden_points():
@@ -52,11 +55,22 @@ def compute_digests(engine: str = "fast") -> dict:
 
 
 def main():
-    digests = compute_digests()
+    by_engine = {engine: compute_digests(engine)
+                 for engine in GOLDEN_ENGINES}
+    baseline = by_engine[GOLDEN_ENGINES[0]]
+    for engine, digests in by_engine.items():
+        diverged = {k for k in baseline if digests[k] != baseline[k]}
+        if diverged:
+            raise SystemExit(
+                f"engine {engine!r} diverges from "
+                f"{GOLDEN_ENGINES[0]!r} at: {sorted(diverged)} — "
+                "refusing to pin inconsistent digests"
+            )
     GOLDEN_PATH.write_text(
-        json.dumps(digests, indent=2, sort_keys=True) + "\n"
+        json.dumps(by_engine, indent=2, sort_keys=True) + "\n"
     )
-    print(f"wrote {len(digests)} digests to {GOLDEN_PATH}")
+    print(f"wrote {len(baseline)} digests x {len(by_engine)} engines "
+          f"to {GOLDEN_PATH}")
 
 
 if __name__ == "__main__":

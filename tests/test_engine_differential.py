@@ -1,17 +1,21 @@
-"""Differential proof of the fast engine.
+"""Differential proof of the fast and superblock engines.
 
 For any program, extension, and watchdog configuration the fused
-predecoded loop (``engine="fast"``) must be observationally identical
-to the reference loop: same ``run_digest``, same trap/error strings,
-same termination, same recovery count.  Three layers:
+predecoded loop (``engine="fast"``) and the block-compiled loop
+(``engine="superblock"``) must be observationally identical to the
+reference loop: same ``run_digest``, same trap/error strings, same
+termination, same recovery count.  Four layers:
 
 * a hypothesis property over random programs (ALU/memory/branch mixes,
   annulled delay slots, undecodable words) under a drawn extension;
 * the full paper matrix — six workloads under every shipped extension
   including the MDL-compiled specs — at the experiment configuration;
-* mid-run checkpoint/restore and rollback recovery under the fast
-  engine, including restoring a fast-engine snapshot into a
-  reference-loop run.
+* mid-run checkpoint/restore and rollback recovery under each fused
+  engine, including restoring a fused-engine snapshot into a
+  reference-loop run;
+* directed superblock adversaries: self-modifying stores that patch a
+  compiled block from inside it, traps raised mid-block, and
+  checkpoint boundaries landing inside a block.
 """
 
 import pytest
@@ -169,6 +173,9 @@ def _emit(seeds, ops, loops, bad_tail):
     return assemble("\n".join(lines), entry="start")
 
 
+FUSED_ENGINES = ("fast", "superblock")
+
+
 @settings(max_examples=50, deadline=None)
 @given(monitored_programs())
 def test_random_programs_bit_identical(case):
@@ -176,11 +183,12 @@ def test_random_programs_bit_identical(case):
     program = _emit(seeds, ops, loops, bad_tail)
     reference = _run_one(program, extension, "reference",
                          max_instructions=20_000)
-    fast = _run_one(program, extension, "fast",
-                    max_instructions=20_000)
-    if not isinstance(fast, tuple):
-        assert fast.engine == "fast"
-    _assert_identical(reference, fast)
+    for engine in FUSED_ENGINES:
+        fused = _run_one(program, extension, engine,
+                         max_instructions=20_000)
+        if not isinstance(fused, tuple):
+            assert fused.engine == engine
+        _assert_identical(reference, fused)
 
 
 # ---------------------------------------------------------------------------
@@ -196,33 +204,35 @@ def test_paper_workloads_bit_identical(workload, extension):
     program = build_workload(workload, 0.125).build()
     ratio = _fabric_ratio(extension)
     runs = {}
-    for engine in ("reference", "fast"):
+    for engine in ("reference",) + FUSED_ENGINES:
         system = FlexCoreSystem(
             program, _make_extension(extension),
             experiment_system_config(clock_ratio=ratio),
         )
         runs[engine] = system.run_bounded(engine=engine)
-    assert runs["fast"].engine == "fast"
-    assert runs["fast"].halted
-    _assert_identical(runs["reference"], runs["fast"])
+    for engine in FUSED_ENGINES:
+        assert runs[engine].engine == engine
+        assert runs[engine].halted
+        _assert_identical(runs["reference"], runs[engine])
 
 
 # ---------------------------------------------------------------------------
-# Layer 3: checkpoint/restore and recovery under the fast engine.
+# Layer 3: checkpoint/restore and recovery under the fused engines.
 
 
-def test_fast_engine_checkpoint_restore_round_trip():
+@pytest.mark.parametrize("engine", FUSED_ENGINES)
+def test_fused_engine_checkpoint_restore_round_trip(engine):
     program = build_workload("bitcount", 0.125).build()
 
     captured = []
     system = FlexCoreSystem(program, create_extension("umc"))
     checkpointed = system.run_bounded(
-        engine="fast", checkpoint_every=2_000,
+        engine=engine, checkpoint_every=2_000,
         on_checkpoint=lambda s, state: captured.append(
             SystemSnapshot.from_state(s, state)
         ),
     )
-    assert checkpointed.engine == "fast"
+    assert checkpointed.engine == engine
     assert checkpointed.halted
     assert captured, "run too short to checkpoint"
 
@@ -231,7 +241,7 @@ def test_fast_engine_checkpoint_restore_round_trip():
             == result_fingerprint(uninterrupted))
 
     snapshot = captured[len(captured) // 2]
-    for resume_engine in ("fast", "reference"):
+    for resume_engine in (engine, "reference"):
         resumed_system = FlexCoreSystem(program,
                                         create_extension("umc"))
         snapshot.restore_into(resumed_system)
@@ -253,19 +263,128 @@ start:
 """
 
 
-def test_rollback_recovery_bit_identical():
+@pytest.mark.parametrize("engine", FUSED_ENGINES)
+def test_rollback_recovery_bit_identical(engine):
     program = assemble(_TRAPPING_SOURCE, entry="start")
     kwargs = dict(checkpoint_every=2, recover=True, recovery_limit=3)
     reference = _run_one(program, "umc", "reference", **kwargs)
-    fast = _run_one(program, "umc", "fast", **kwargs)
-    assert fast.engine == "fast"
-    assert reference.recoveries == fast.recoveries > 0
-    _assert_identical(reference, fast)
+    fused = _run_one(program, "umc", engine, **kwargs)
+    assert fused.engine == engine
+    assert reference.recoveries == fused.recoveries > 0
+    _assert_identical(reference, fused)
+
+
+# ---------------------------------------------------------------------------
+# Layer 4: directed superblock adversaries.
+
+
+def _patch_word(source: str) -> int:
+    """Assemble a one-instruction text and return its encoded word."""
+    program = assemble(f"        .text\nw:\n        {source}\n",
+                       entry="w")
+    return program.text[0]
+
+
+_SELF_MODIFYING_TEMPLATE = """
+        .text
+start:
+        set     patch_word, %g6
+        ld      [%g6], %g1         ! replacement instruction word
+        set     target, %g2
+        mov     6, %g5
+loop:
+        add     %g0, 5, %g3        ! straight-line run containing...
+target:
+        add     %g3, 1, %g3        ! ...the word the store rewrites
+        add     %g3, 3, %o0
+        xor     %o0, %g3, %o1
+        st      %g1, [%g2]         ! patch the block we are inside
+        subcc   %g5, 1, %g5
+        bne     loop
+        nop
+        ta      0
+        nop
+        .data
+patch_word:
+        .word   {word:#x}
+"""
+
+
+@pytest.mark.parametrize("extension", (None, "umc", "dift"))
+def test_self_modifying_store_inside_own_block(extension):
+    """A store whose target word belongs to an already-compiled
+    superblock — the very block being executed — must invalidate it;
+    the patched instruction takes effect on the next loop iteration
+    exactly as in the reference."""
+    word = _patch_word("add     %g3, 2, %g3")
+    program = assemble(
+        _SELF_MODIFYING_TEMPLATE.format(word=word), entry="start")
+    reference = _run_one(program, extension, "reference",
+                         max_instructions=20_000)
+    for engine in FUSED_ENGINES:
+        fused = _run_one(program, extension, engine,
+                         max_instructions=20_000)
+        _assert_identical(reference, fused)
+
+
+_MIDBLOCK_TRAP_SOURCE = """
+        .text
+start:
+        set     0x20000, %g1       ! outside the loaded image
+        mov     7, %g2
+        st      %g2, [%g1]
+        add     %g2, 1, %g3        ! straight-line run: the trapping
+        add     %g3, 1, %g4        ! load sits mid-block, with live
+        ld      [%g1 + 8], %g5     ! members after it (UMC trap here)
+        add     %g5, 1, %g6
+        add     %g6, 1, %o0
+        ta      0
+        nop
+"""
+
+
+def test_trap_raised_mid_block_stops_identically():
+    """A monitor trap latched by a non-terminal member must stop the
+    block immediately — the members after it never execute, matching
+    the reference loop's per-instruction trap check."""
+    program = assemble(_MIDBLOCK_TRAP_SOURCE, entry="start")
+    reference = _run_one(program, "umc", "reference")
+    assert reference.trap is not None
+    for engine in FUSED_ENGINES:
+        fused = _run_one(program, "umc", engine)
+        assert fused.trap is not None
+        _assert_identical(reference, fused)
+
+
+@pytest.mark.parametrize("engine", FUSED_ENGINES)
+def test_checkpoint_boundary_inside_block_bit_identical(engine):
+    """A checkpoint stride that keeps landing mid-block (prime, and
+    small) forces the dispatcher to decline block entry near every
+    boundary; both the captured snapshot states and the final result
+    must equal the reference's."""
+    program = build_workload("bitcount", 0.0625).build()
+
+    def run(engine):
+        captured = []
+        system = FlexCoreSystem(program, create_extension("umc"))
+        result = system.run_bounded(
+            engine=engine, checkpoint_every=997,
+            on_checkpoint=lambda s, state: captured.append(state),
+        )
+        return result, captured
+
+    reference, ref_states = run("reference")
+    fused, fused_states = run(engine)
+    assert fused.engine == engine
+    _assert_identical(reference, fused)
+    assert len(ref_states) == len(fused_states) > 0
+    for ref_state, fused_state in zip(ref_states, fused_states):
+        assert ref_state == fused_state
 
 
 def test_record_hooks_fall_back_to_reference_loop():
     """A commit-record observer must see every record, so requesting
-    the fast engine silently runs the reference loop — with, still,
+    a fused engine silently runs the reference loop — with, still,
     an identical digest."""
     program = build_workload("bitcount", 0.125).build()
 

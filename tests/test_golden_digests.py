@@ -1,12 +1,13 @@
 """Golden run digests: the simulator's observable behavior is pinned.
 
 ``tests/golden/digests.json`` records the ``run_digest`` of every
-(workload, extension) point of the experiment grid.  Any change to
-decode, timing, forwarding, or extension semantics shifts a digest
-and fails here — so architectural changes are always explicit diffs
-of the pinned file, never silent.  The grid definition lives in
-``tests/golden/regenerate.py`` (single source of truth for this test
-and the regeneration script).
+(workload, extension) point of the experiment grid, once per fused
+engine mode.  Any change to decode, timing, forwarding, or extension
+semantics shifts a digest and fails here — so architectural changes
+are always explicit diffs of the pinned file, never silent — and any
+divergence *between* engines fails the cross-engine identity test.
+The grid definition lives in ``tests/golden/regenerate.py`` (single
+source of truth for this test and the regeneration script).
 """
 
 import importlib.util
@@ -32,18 +33,31 @@ GOLDEN = json.loads((_GOLDEN_DIR / "digests.json").read_text())
 
 
 def test_pinned_file_covers_the_grid():
-    assert set(GOLDEN) == {_regen.key(p)
-                           for p in _regen.golden_points()}
+    assert set(GOLDEN) == set(_regen.GOLDEN_ENGINES)
+    grid = {_regen.key(p) for p in _regen.golden_points()}
+    for engine in _regen.GOLDEN_ENGINES:
+        assert set(GOLDEN[engine]) == grid
 
 
+def test_pinned_engines_bit_identical():
+    baseline = GOLDEN[_regen.GOLDEN_ENGINES[0]]
+    for engine in _regen.GOLDEN_ENGINES[1:]:
+        assert GOLDEN[engine] == baseline, (
+            f"pinned digests diverge between {engine!r} and "
+            f"{_regen.GOLDEN_ENGINES[0]!r} — engines are no longer "
+            "bit-identical"
+        )
+
+
+@pytest.mark.parametrize("engine", _regen.GOLDEN_ENGINES)
 @pytest.mark.parametrize("point", _regen.golden_points(),
                          ids=_regen.key)
-def test_digest_matches_pinned(point):
+def test_digest_matches_pinned(point, engine):
     from repro.engine.sweep import run_point
 
-    outcome = run_point(point, engine="fast")
-    assert outcome.engine == "fast"
-    expected = GOLDEN[_regen.key(point)]
+    outcome = run_point(point, engine=engine)
+    assert outcome.engine == engine
+    expected = GOLDEN[engine][_regen.key(point)]
     assert outcome.digest == expected, (
         f"{_regen.key(point)}: digest {outcome.digest} != pinned "
         f"{expected}.  If this architectural change is intentional, "

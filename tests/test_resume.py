@@ -317,6 +317,150 @@ class TestRecoveredOutcome:
         assert "recovered" in data["counts"]
 
 
+#: the warm-start equivalence grid: three real workloads × three
+#: monitoring extensions, each with its own seed so the injection
+#: windows land at different (randomized) points of the run.
+WARM_WORKLOADS = ("bitcount", "basicmath", "gmac")
+WARM_EXTENSIONS = ("dift", "umc", "bc")
+
+
+def warm_config(workload: str, extension: str,
+                **overrides) -> CampaignConfig:
+    seed = (211 + 7 * WARM_WORKLOADS.index(workload)
+            + 13 * WARM_EXTENSIONS.index(extension))
+    settings = dict(extension=extension, workload=workload,
+                    scale=0.0625, faults=4, seed=seed)
+    settings.update(overrides)
+    return CampaignConfig(**settings)
+
+
+class TestWarmStartEquivalence:
+    """Warm-started campaigns (faulted runs forked from cached prefix
+    snapshots) must be bit-identical to cold campaigns that re-run
+    every fault-free prefix from reset."""
+
+    @pytest.mark.parametrize("extension", WARM_EXTENSIONS)
+    @pytest.mark.parametrize("workload", WARM_WORKLOADS)
+    def test_warm_report_matches_cold(self, workload, extension):
+        cold = Campaign(
+            warm_config(workload, extension, warm_start=False)
+        ).run()
+        campaign = Campaign(warm_config(workload, extension))
+        warm = campaign.run()
+        assert warm.to_json() == cold.to_json()
+        # prove the warm path actually engaged — otherwise this test
+        # would pass vacuously with both sides running cold
+        assert campaign._prefix_snapshots
+
+    def test_warm_crash_attributed_to_the_suffix_system(self):
+        # Regression: a fault whose crash escapes the warm run's
+        # hook-free suffix leg (a *second* system object) must report
+        # the crashing system's pc/instret/stats — not the paused
+        # window leg's — or warm crash results diverge from cold.
+        settings = dict(extension="dift", workload="bitcount",
+                        scale=0.0625, faults=30, seed=7)
+        cold = Campaign(CampaignConfig(**settings, warm_start=False))
+        warm = Campaign(CampaignConfig(**settings))
+        crashed = 0
+        for index in (17, 23, 27):
+            cold_result = cold.run_one(index)
+            crashed += cold_result.outcome is Outcome.CRASH
+            assert warm.run_one(index) == cold_result
+        assert crashed  # the scenario still exercises the crash path
+
+    def test_accelerants_do_not_change_journal_identity(self):
+        # warm_start and batch_size are pure accelerants: flipping
+        # them must never invalidate an existing journal or cache.
+        base = sec_config().journal_identity()
+        assert sec_config(warm_start=False).journal_identity() == base
+        assert sec_config(batch_size=1).journal_identity() == base
+
+    def test_prefix_snapshots_cached_on_disk(self, tmp_path):
+        config = warm_config("bitcount", "dift",
+                             cache_dir=str(tmp_path))
+        first = Campaign(config)
+        report = first.run()
+        stems = [p.name for p in tmp_path.iterdir()
+                 if "warm" in p.name]
+        assert stems  # prefix snapshots persisted, not just in-memory
+        # a second campaign forks from the on-disk snapshots (fresh
+        # in-memory store) and still reproduces the report exactly
+        second = Campaign(config)
+        assert second._prefix_snapshots == {}
+        assert second.run().to_json() == report.to_json()
+
+
+@pytest.mark.slow
+class TestWarmChaosKill:
+    """kill -9 a journaled warm-start campaign mid-run, resume it with
+    the same cache dir, and demand the final report be bit-identical
+    to a *cold* (``--no-warm-start``) reference — the resumed leg
+    reuses the prefix snapshots the killed process already cached."""
+
+    def test_sigkill_then_resume_reuses_prefix_cache(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        cache_dir = tmp_path / "cache"
+        ref_json = tmp_path / "ref.json"
+        resumed_json = tmp_path / "resumed.json"
+        base = [
+            sys.executable, "-m", "repro", "inject",
+            "--extension", "dift", "--workload", "bitcount",
+            "--scale", "0.0625", "--faults", "30", "--seed", "7",
+        ]
+        env = dict(os.environ)
+        root = Path(__file__).resolve().parent.parent
+        env["PYTHONPATH"] = str(root / "src")
+
+        # cold, uninterrupted reference: no snapshots anywhere
+        subprocess.run(
+            base + ["--no-warm-start", "--json", str(ref_json)],
+            env=env, check=True, capture_output=True, timeout=300,
+        )
+
+        victim = subprocess.Popen(
+            base + ["--journal", str(journal),
+                    "--cache-dir", str(cache_dir)],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        def cached_snapshots() -> list[str]:
+            if not cache_dir.is_dir():
+                return []
+            return [p.name for p in cache_dir.iterdir()
+                    if "warm" in p.name]
+
+        # kill only once the campaign is both journaled (≥3 durable
+        # results) and warm (≥1 prefix snapshot persisted): the state
+        # the resumed leg must pick up
+        deadline = time.monotonic() + 120
+        killed = False
+        while time.monotonic() < deadline:
+            if victim.poll() is not None:
+                break  # finished before we could kill it — still fine
+            if (journal.exists()
+                    and journal.read_text().count('"result"') >= 3
+                    and cached_snapshots()):
+                victim.send_signal(signal.SIGKILL)
+                killed = True
+                break
+            time.sleep(0.05)
+        victim.wait(timeout=60)
+        assert killed or victim.returncode == 0
+
+        # the killed process already persisted prefix snapshots the
+        # resumed leg will fork from
+        assert cached_snapshots()
+
+        subprocess.run(
+            base + ["--journal", str(journal), "--resume",
+                    "--cache-dir", str(cache_dir),
+                    "--json", str(resumed_json)],
+            env=env, check=True, capture_output=True, timeout=300,
+        )
+        assert resumed_json.read_bytes() == ref_json.read_bytes()
+
+
 @pytest.mark.slow
 class TestChaosKill:
     """The CI chaos scenario in miniature: SIGKILL a journaled
